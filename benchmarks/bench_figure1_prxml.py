@@ -1,0 +1,99 @@
+"""E1 — Figure 1: the Chelsea Manning PrXML document.
+
+Regenerates the paper's Figure 1 annotations as measured probabilities:
+the ind-guarded occupation (0.4), the mux-distributed given name
+(Bradley 0.6 / Chelsea 0.4), and the eJane-correlated surname / place of
+birth pair (0.9 jointly — not 0.81). Cross-checks the circuit engine against
+world enumeration and benchmarks both.
+
+Run the table:  python benchmarks/bench_figure1_prxml.py
+Benchmarks:     pytest benchmarks/bench_figure1_prxml.py --benchmark-only
+"""
+
+import math
+
+from repro.prxml import (
+    TreePattern,
+    build_pattern_lineage,
+    path_pattern,
+    pattern,
+    query_probability,
+    query_probability_enumerate,
+)
+from repro.workloads import figure1_document
+
+EXPECTED = {
+    "occupation=musician": 0.4,
+    "given name=Bradley": 0.6,
+    "given name=Chelsea": 0.4,
+    "surname=Manning": 0.9,
+    "place of birth=Crescent": 0.9,
+    "surname AND place of birth": 0.9,
+}
+
+
+def figure1_queries() -> dict:
+    queries = {
+        "occupation=musician": path_pattern("occupation", "musician"),
+        "given name=Bradley": path_pattern("given name", "Bradley"),
+        "given name=Chelsea": path_pattern("given name", "Chelsea"),
+        "surname=Manning": path_pattern("surname", "Manning"),
+        "place of birth=Crescent": path_pattern("place of birth", "Crescent"),
+    }
+    both = pattern("Q298423")
+    both.add_child(pattern("surname"))
+    both.add_child(pattern("place of birth"))
+    queries["surname AND place of birth"] = TreePattern(both)
+    return queries
+
+
+def experiment_rows() -> list[tuple[str, float, float, float]]:
+    doc = figure1_document()
+    rows = []
+    for name, query in figure1_queries().items():
+        engine = query_probability(doc, query)
+        oracle = query_probability_enumerate(doc, query)
+        rows.append((name, EXPECTED[name], engine, oracle))
+    return rows
+
+
+def test_figure1_engine(benchmark):
+    doc = figure1_document()
+    queries = figure1_queries()
+
+    def evaluate_all():
+        return [query_probability(doc, q) for q in queries.values()]
+
+    results = benchmark(evaluate_all)
+    for (name, query), measured in zip(queries.items(), results):
+        assert math.isclose(measured, EXPECTED[name], abs_tol=1e-9), name
+
+
+def test_figure1_enumeration_baseline(benchmark):
+    doc = figure1_document()
+    queries = figure1_queries()
+
+    def enumerate_all():
+        return [query_probability_enumerate(doc, q) for q in queries.values()]
+
+    results = benchmark(enumerate_all)
+    for (name, _q), measured in zip(queries.items(), results):
+        assert math.isclose(measured, EXPECTED[name], abs_tol=1e-9), name
+
+
+def test_figure1_lineage_construction(benchmark):
+    doc = figure1_document()
+    query = path_pattern("surname", "Manning")
+    lineage = benchmark(build_pattern_lineage, doc, query)
+    assert lineage.has_global
+
+
+def main() -> None:
+    print("E1 — Figure 1 (Chelsea Manning PrXML document)")
+    print(f"{'query':<32} {'paper':>7} {'engine':>8} {'enum':>8}")
+    for name, expected, engine, oracle in experiment_rows():
+        print(f"{name:<32} {expected:>7.2f} {engine:>8.4f} {oracle:>8.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""E8 — order uncertainty: tractable structures vs the hard general case.
+
+Section 3's claims, measured:
+
+- counting possible worlds (linear extensions) is #P-hard in general
+  ([Brightwell–Winkler]) — the downset DP degrades on wide random posets —
+  but polynomial on the series-parallel posets produced by the po-relation
+  algebra (union/concat);
+- possible-world *membership* is polynomial for distinct labels and total /
+  empty orders, and needs backtracking with duplicated labels (log merging);
+- the algebra itself (selection/projection/union/product) is cheap.
+
+Run the table:  python benchmarks/bench_order.py
+Benchmarks:     pytest benchmarks/bench_order.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.order import (
+    antichain,
+    chain,
+    concat,
+    count_linear_extensions,
+    count_linear_extensions_sp,
+    is_possible_world,
+    product_direct,
+    sample_linear_extension,
+    union,
+)
+from repro.workloads import generate_logs, true_interleaving
+
+
+def sp_poset(blocks: int):
+    """Alternating union/concat of small chains: series-parallel by construction."""
+    poset = chain(["a", "b"], "c0_")
+    for i in range(1, blocks):
+        term = chain([f"x{i}", f"y{i}"], f"c{i}_")
+        poset = union(poset, term) if i % 2 else concat(poset, term)
+    return poset
+
+
+@pytest.mark.parametrize("blocks", [4, 8, 16])
+def test_sp_counting_polynomial(benchmark, blocks):
+    poset = sp_poset(blocks)
+    count = benchmark(count_linear_extensions_sp, poset)
+    assert count >= 1
+
+
+def test_downset_dp_on_antichain(benchmark):
+    poset = union(antichain(range(7), "a"), chain(range(7), "c"))
+    count = benchmark(count_linear_extensions, poset)
+    assert count > 0
+
+
+def test_membership_distinct_labels_fast(benchmark):
+    workload = generate_logs(3, 6, seed=0, shared_vocabulary=False)
+    truth = true_interleaving(workload, seed=1)
+    assert benchmark(is_possible_world, workload.merged, truth)
+
+
+def test_membership_duplicate_labels_backtracking(benchmark):
+    workload = generate_logs(3, 6, seed=0, shared_vocabulary=True)
+    truth = true_interleaving(workload, seed=1)
+    assert benchmark(is_possible_world, workload.merged, truth)
+
+
+def test_uniform_sampling(benchmark):
+    workload = generate_logs(2, 8, seed=0)
+    extension = benchmark(sample_linear_extension, workload.merged, 7)
+    assert len(extension) == 16
+
+
+def main() -> None:
+    print("E8 — order uncertainty")
+    print("\ncounting possible worlds: series-parallel (poly) vs downset DP:")
+    print(f"{'elements':>9} {'SP count (s)':>13} {'DP count (s)':>13} {'#worlds':>22}")
+    for blocks in [4, 6, 8, 10]:
+        poset = sp_poset(blocks)
+        start = time.perf_counter()
+        sp_count = count_linear_extensions_sp(poset)
+        sp_time = time.perf_counter() - start
+        start = time.perf_counter()
+        dp_count = count_linear_extensions(poset)
+        dp_time = time.perf_counter() - start
+        assert sp_count == dp_count
+        print(f"{len(poset):>9} {sp_time:>13.4f} {dp_time:>13.4f} {sp_count:>22,}")
+
+    print("\nmembership testing on merged logs (3 machines x n events):")
+    print(f"{'n/log':>6} {'distinct labels (s)':>20} {'duplicate labels (s)':>21}")
+    for n in [4, 6, 8, 10]:
+        distinct = generate_logs(3, n, seed=0, shared_vocabulary=False)
+        shared = generate_logs(3, n, seed=0, shared_vocabulary=True)
+        t1 = true_interleaving(distinct, seed=1)
+        t2 = true_interleaving(shared, seed=1)
+        start = time.perf_counter()
+        assert is_possible_world(distinct.merged, t1)
+        distinct_time = time.perf_counter() - start
+        start = time.perf_counter()
+        assert is_possible_world(shared.merged, t2)
+        shared_time = time.perf_counter() - start
+        print(f"{n:>6} {distinct_time:>20.4f} {shared_time:>21.4f}")
+
+    print("\nalgebra operator costs (two 6-element chains):")
+    left, right = chain(range(6), "l"), chain(range(100, 106), "r")
+    for name, op in (
+        ("union", lambda: union(left, right)),
+        ("concat", lambda: concat(left, right)),
+        ("product_direct", lambda: product_direct(left, right)),
+    ):
+        start = time.perf_counter()
+        result = op()
+        print(f"  {name:<15} {time.perf_counter() - start:>8.4f}s"
+              f"  ({len(result)} elements)")
+    print("\nshape check: SP counting stays flat; duplicate-label membership"
+          " costs more than distinct-label; DP blows up on wide posets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""E2 — Table 1: the PODS/STOC trips c-instance.
+
+Regenerates the paper's Table 1 rows with their annotations, derives the
+possibility / certainty status of each trip, the exact distribution over the
+four worlds, and trip marginals under attendance probabilities; benchmarks
+possible-world enumeration and the pcc evaluation path.
+
+Run the table:  python benchmarks/bench_table1_cinstance.py
+Benchmarks:     pytest benchmarks/bench_table1_cinstance.py --benchmark-only
+"""
+
+import math
+
+from repro.baselines import pcc_probability_enumerate
+from repro.core import pcc_probability
+from repro.instances import pcc_from_pc
+from repro.queries import atom, cq, variables
+from repro.workloads import ALL_TRIPS, table1_cinstance, table1_pc_instance
+
+X, Y = variables("x", "y")
+
+# (trip, annotation shown in the paper, possible, certain, P at 0.7/0.5)
+EXPECTED_ROWS = [
+    ("Trip(Paris CDG, Melbourne MEL)", "pods", True, False, 0.7),
+    ("Trip(Melbourne MEL, Paris CDG)", "pods ∧ ¬stoc", True, False, 0.35),
+    ("Trip(Melbourne MEL, Portland PDX)", "pods ∧ stoc", True, False, 0.35),
+    ("Trip(Paris CDG, Portland PDX)", "¬pods ∧ stoc", True, False, 0.15),
+    ("Trip(Portland PDX, Paris CDG)", "stoc", True, False, 0.5),
+]
+
+
+def experiment_rows():
+    ci = table1_cinstance()
+    pc = table1_pc_instance(p_pods=0.7, p_stoc=0.5)
+    rows = []
+    for trip, (name, annotation, _p, _c, expected) in zip(ALL_TRIPS, EXPECTED_ROWS):
+        rows.append(
+            (
+                name,
+                annotation,
+                ci.is_possible(trip),
+                ci.is_certain(trip),
+                pc.fact_probability(trip),
+                expected,
+            )
+        )
+    return rows
+
+
+def test_table1_possibility_certainty(benchmark):
+    ci = table1_cinstance()
+
+    def status():
+        return [(ci.is_possible(t), ci.is_certain(t)) for t in ALL_TRIPS]
+
+    result = benchmark(status)
+    assert all(possible for possible, _certain in result)
+    assert not any(certain for _possible, certain in result)
+
+
+def test_table1_marginals(benchmark):
+    pc = table1_pc_instance(p_pods=0.7, p_stoc=0.5)
+
+    def marginals():
+        return [pc.fact_probability(t) for t in ALL_TRIPS]
+
+    values = benchmark(marginals)
+    for measured, (_n, _a, _p, _c, expected) in zip(values, EXPECTED_ROWS):
+        assert math.isclose(measured, expected)
+
+
+def test_table1_query_via_engine(benchmark):
+    pcc = pcc_from_pc(table1_pc_instance(0.7, 0.5))
+    query = cq(atom("Trip", "Melbourne MEL", Y))  # can I leave Melbourne?
+
+    p = benchmark(pcc_probability, query, pcc)
+    assert math.isclose(p, pcc_probability_enumerate(query, pcc), abs_tol=1e-9)
+    assert math.isclose(p, 0.7)  # needs pods; stoc split covered both ways
+
+
+def main() -> None:
+    print("E2 — Table 1 (trips c-instance), P(pods)=0.7, P(stoc)=0.5")
+    print(f"{'trip':<36} {'annotation':<14} {'poss':<5} {'cert':<5} {'P':>6} {'paper P':>8}")
+    for name, annotation, possible, certain, p, expected in experiment_rows():
+        print(
+            f"{name:<36} {annotation:<14} {str(possible):<5} {str(certain):<5}"
+            f" {p:>6.2f} {expected:>8.2f}"
+        )
+    pc = table1_pc_instance(0.7, 0.5)
+    print("\nworld distribution:")
+    for world, p in sorted(pc.world_distribution().items(), key=lambda kv: -kv[1]):
+        print(f"  {len(world)} trips booked with probability {p:.2f}")
+
+
+if __name__ == "__main__":
+    main()

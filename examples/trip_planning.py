@@ -1,0 +1,78 @@
+"""Trip planning under uncertainty: ranked answers and iterative refinement.
+
+Extends the paper's Table 1 scenario: a researcher's booked flights depend on
+uncertain conference attendance. We rank the possible destinations by exact
+probability (non-Boolean query answers), then refine the plan as information
+arrives — first conditioning on an observed booking, then asking the
+traveller directly (crowd-style) until the itinerary is certain.
+
+Run:  python examples/trip_planning.py
+"""
+
+from repro.conditioning import ConditionedInstance, SimulatedCrowd, run_crowd_session
+from repro.core import answer_probabilities, certain, possible
+from repro.instances import TIDInstance, fact, pcc_from_pc
+from repro.queries import atom, cq, variables
+from repro.workloads import ALL_TRIPS, TRIP_MEL_PDX, table1_pc_instance
+
+X, Y = variables("x", "y")
+
+
+def rank_destinations() -> None:
+    print("=" * 70)
+    print("Where will the researcher fly? (ranked answers, exact)")
+    print("=" * 70)
+    pc = table1_pc_instance(p_pods=0.7, p_stoc=0.5)
+    pcc = pcc_from_pc(pc)
+    # Marginal view as a TID for per-answer ranking.
+    tid = TIDInstance({f: pc.fact_probability(f) for f in pcc.facts()})
+
+    query = cq(atom("Trip", X, Y))
+    print(f"{'leg':<40} {'P':>6} {'possible':>9} {'certain':>8}")
+    for answer in answer_probabilities(query, (X, Y), tid):
+        leg = f"{answer.values[0]} -> {answer.values[1]}"
+        print(f"{leg:<40} {answer.probability:>6.2f} "
+              f"{str(answer.possible):>9} {str(answer.certain):>8}")
+
+    out_of_mel = cq(atom("Trip", "Melbourne MEL", Y))
+    print(f"\n  possible to leave Melbourne: {possible(out_of_mel, tid)}")
+    print(f"  certain to leave Melbourne:  {certain(out_of_mel, tid)}")
+
+
+def refine_with_observation() -> None:
+    print()
+    print("=" * 70)
+    print("A booking confirmation arrives: MEL -> PDX is booked")
+    print("=" * 70)
+    pcc = pcc_from_pc(table1_pc_instance(p_pods=0.7, p_stoc=0.5))
+    conditioned = ConditionedInstance(pcc).observe_fact(TRIP_MEL_PDX, True)
+    print("posterior trip probabilities:")
+    for trip in ALL_TRIPS:
+        print(f"  P({trip}) = {conditioned.fact_probability(trip):.2f}")
+    print("  (booking MEL->PDX reveals pods AND stoc: the itinerary is now"
+          " CDG->MEL->PDX->CDG)")
+
+
+def refine_by_asking() -> None:
+    print()
+    print("=" * 70)
+    print("No confirmation? Ask the traveller (greedy question selection)")
+    print("=" * 70)
+    pcc = pcc_from_pc(table1_pc_instance(p_pods=0.7, p_stoc=0.5))
+    itinerary_query = cq(atom("Trip", "Paris CDG", "Melbourne MEL"))
+    traveller = SimulatedCrowd({"pods": True, "stoc": False}, error_rate=0.0)
+    session = run_crowd_session(
+        pcc, itinerary_query, traveller, budget=2, policy="greedy"
+    )
+    for step in session.steps:
+        print(f"  asked about {step.question!r}: {step.answer} "
+              f"(entropy {step.entropy_before:.2f} -> {step.entropy_after:.2f})")
+    print(f"  final P[CDG -> MEL booked] = {session.final_probability:.2f}"
+          f" after {traveller.questions_asked} question(s)")
+
+
+if __name__ == "__main__":
+    rank_destinations()
+    refine_with_observation()
+    refine_by_asking()
+    print("\nTrip planning example complete.")

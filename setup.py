@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` on machines where PEP 517 editable
+installs are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""repro — Structurally Tractable Uncertain Data.
+
+A complete implementation of the systems described in Antoine Amarilli's
+SIGMOD 2015 PhD-symposium paper "Structurally Tractable Uncertain Data":
+
+- uncertain relational data (TID, c-/pc-/pcc-instances) with exact query
+  evaluation that is linear-time on bounded-treewidth instances (Theorems
+  1–2), via deterministic decomposition automata, lineage circuits, and
+  junction-tree message passing;
+- probabilistic XML with local (ind/mux) and scoped global (cie) uncertainty;
+- semiring provenance through provenance circuits;
+- order-incomplete data (po-relations) with a bag-semantics positive
+  relational algebra;
+- conditioning on observations and crowd question selection;
+- probabilistic rules via the trigger-level probabilistic chase;
+- baselines: possible-world enumeration, Monte Carlo, Karp–Luby, Shannon
+  expansion, Dalvi–Suciu safe plans.
+
+Quickstart::
+
+    from repro import TIDInstance, fact, cq, atom, variables, tid_probability
+    x, y = variables("x", "y")
+    q = cq(atom("R", x), atom("S", x, y), atom("T", y))
+    tid = TIDInstance({fact("R", 1): 0.6, fact("S", 1, 2): 0.5, fact("T", 2): 0.8})
+    print(tid_probability(q, tid))   # exact, via the treewidth-based engine
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.baselines import (
+    karp_luby_probability,
+    monte_carlo_probability,
+    pc_probability_enumerate,
+    pcc_probability_enumerate,
+    tid_certain,
+    tid_possible,
+    tid_probability_enumerate,
+)
+from repro.circuits import (
+    Circuit,
+    probability_dd,
+    wmc_enumerate,
+    wmc_message_passing,
+    wmc_shannon,
+)
+from repro.conditioning import ConditionedInstance, SimulatedCrowd, run_crowd_session
+from repro.core import (
+    BipartiteAutomaton,
+    CQAutomaton,
+    DecompositionAutomaton,
+    Lineage,
+    ParityAutomaton,
+    STConnectivityAutomaton,
+    build_lineage,
+    build_provenance_circuit,
+    pc_probability,
+    pcc_probability,
+    tid_probability,
+)
+from repro.events import EventSpace, Formula, var
+from repro.instances import (
+    CInstance,
+    Fact,
+    Instance,
+    PCCInstance,
+    PCInstance,
+    TIDInstance,
+    fact,
+    pc_from_tid,
+    pcc_from_pc,
+    pcc_from_tid,
+)
+from repro.order import LabeledPoset, antichain, chain
+from repro.prxml import PrXMLDocument, TreePattern, path_pattern, query_probability
+from repro.queries import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    atom,
+    cq,
+    is_safe,
+    safe_plan_probability,
+    ucq,
+    variables,
+)
+from repro.rules import ProbabilisticRule, chase, probabilistic_chase, rule
+from repro.semirings import Semiring, circuit_provenance, reference_provenance
+from repro.treewidth import TreeDecomposition, decompose, exact_treewidth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteAutomaton",
+    "CInstance",
+    "CQAutomaton",
+    "Circuit",
+    "ConditionedInstance",
+    "ConjunctiveQuery",
+    "DecompositionAutomaton",
+    "EventSpace",
+    "Fact",
+    "Formula",
+    "Instance",
+    "LabeledPoset",
+    "Lineage",
+    "PCCInstance",
+    "PCInstance",
+    "ParityAutomaton",
+    "PrXMLDocument",
+    "ProbabilisticRule",
+    "STConnectivityAutomaton",
+    "Semiring",
+    "SimulatedCrowd",
+    "TIDInstance",
+    "TreeDecomposition",
+    "TreePattern",
+    "UnionOfConjunctiveQueries",
+    "antichain",
+    "atom",
+    "build_lineage",
+    "build_provenance_circuit",
+    "chain",
+    "chase",
+    "circuit_provenance",
+    "cq",
+    "decompose",
+    "exact_treewidth",
+    "fact",
+    "is_safe",
+    "karp_luby_probability",
+    "monte_carlo_probability",
+    "path_pattern",
+    "pc_from_tid",
+    "pc_probability",
+    "pc_probability_enumerate",
+    "pcc_from_pc",
+    "pcc_from_tid",
+    "pcc_probability",
+    "pcc_probability_enumerate",
+    "probabilistic_chase",
+    "probability_dd",
+    "query_probability",
+    "reference_provenance",
+    "rule",
+    "run_crowd_session",
+    "safe_plan_probability",
+    "tid_certain",
+    "tid_possible",
+    "tid_probability",
+    "tid_probability_enumerate",
+    "ucq",
+    "var",
+    "variables",
+    "wmc_enumerate",
+    "wmc_message_passing",
+    "wmc_shannon",
+]

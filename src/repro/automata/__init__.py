@@ -1,0 +1,23 @@
+"""Bottom-up tree automata and the query-to-automaton bridge (S7)."""
+
+from repro.automata.bridge import PatternAutomaton
+from repro.automata.bta import TreeAutomaton
+from repro.automata.trees import (
+    LEAF,
+    BinaryTree,
+    decode_world,
+    encode_world,
+    leaf,
+    node,
+)
+
+__all__ = [
+    "BinaryTree",
+    "LEAF",
+    "PatternAutomaton",
+    "TreeAutomaton",
+    "decode_world",
+    "encode_world",
+    "leaf",
+    "node",
+]

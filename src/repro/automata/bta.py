@@ -1,0 +1,184 @@
+"""Bottom-up tree automata on binary trees: the paper's query compilation target.
+
+The Thatcher–Wright connection the paper builds on: MSO queries on trees are
+exactly the regular tree languages, recognized by bottom-up tree automata.
+We implement nondeterministic and deterministic bottom-up automata over
+binary trees (nullary symbol ``#`` plus binary symbols), with the classical
+closure operations — product, union, intersection, complement via the subset
+construction — and emptiness testing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.automata.trees import LEAF, BinaryTree
+from repro.util import check
+
+State = Hashable
+
+
+class TreeAutomaton:
+    """A nondeterministic bottom-up automaton on binary trees.
+
+    Transitions: ``leaf_states`` is the set of states at ``#`` leaves;
+    ``rules`` maps ``(symbol, left_state, right_state)`` to a set of states.
+    The automaton accepts if some run reaches a final state at the root.
+    A wildcard symbol ``None`` in a rule key matches any symbol (useful for
+    label-agnostic automata over open alphabets).
+    """
+
+    def __init__(
+        self,
+        leaf_states: Iterable[State],
+        rules: Mapping[tuple, Iterable[State]],
+        final_states: Iterable[State],
+    ):
+        self.leaf_states = frozenset(leaf_states)
+        self.rules: dict[tuple, frozenset] = {
+            key: frozenset(value) for key, value in rules.items()
+        }
+        self.final_states = frozenset(final_states)
+
+    def _step(self, symbol: str, left: State, right: State) -> frozenset:
+        exact = self.rules.get((symbol, left, right), frozenset())
+        wildcard = self.rules.get((None, left, right), frozenset())
+        return exact | wildcard
+
+    def reachable_states(self, tree: BinaryTree) -> frozenset:
+        """The set of states reachable at the root of ``tree``."""
+        if tree.is_leaf():
+            return self.leaf_states
+        lefts = self.reachable_states(tree.left)  # type: ignore[arg-type]
+        rights = self.reachable_states(tree.right)  # type: ignore[arg-type]
+        result: set = set()
+        for l in lefts:
+            for r in rights:
+                result |= self._step(tree.symbol, l, r)
+        return frozenset(result)
+
+    def accepts(self, tree: BinaryTree) -> bool:
+        """Whether some run reaches a final state."""
+        return bool(self.reachable_states(tree) & self.final_states)
+
+    def symbols(self) -> frozenset:
+        """The explicit (non-wildcard) symbols of the transition table."""
+        return frozenset(key[0] for key in self.rules if key[0] is not None)
+
+    def states(self) -> frozenset:
+        """All states mentioned anywhere."""
+        everything = set(self.leaf_states) | set(self.final_states)
+        for (symbol, l, r), outs in self.rules.items():
+            del symbol
+            everything.add(l)
+            everything.add(r)
+            everything |= outs
+        return frozenset(everything)
+
+    # ------------------------------------------------------------------ #
+    # closure operations
+
+    def determinized(self, alphabet: Iterable[str]) -> "TreeAutomaton":
+        """Subset construction; the result has frozenset states.
+
+        ``alphabet`` must cover every symbol appearing in input trees
+        (wildcard rules are folded into each concrete symbol).
+        """
+        alphabet = sorted(set(alphabet))
+        initial = self.leaf_states
+        states: set[frozenset] = {initial}
+        rules: dict[tuple, frozenset] = {}
+        frontier = [initial]
+        while frontier:
+            new_frontier = []
+            for left in list(states):
+                for right in list(states):
+                    for symbol in alphabet:
+                        key = (symbol, left, right)
+                        if key in rules:
+                            continue
+                        out: set = set()
+                        for l in left:
+                            for r in right:
+                                out |= self._step(symbol, l, r)
+                        target = frozenset(out)
+                        rules[key] = frozenset({target})
+                        if target not in states:
+                            states.add(target)
+                            new_frontier.append(target)
+            frontier = new_frontier
+        finals = {s for s in states if s & self.final_states}
+        return TreeAutomaton({initial}, rules, finals)
+
+    def complemented(self, alphabet: Iterable[str]) -> "TreeAutomaton":
+        """Complement via determinization and final-state flip."""
+        det = self.determinized(alphabet)
+        non_final = det.states() - det.final_states
+        return TreeAutomaton(det.leaf_states, det.rules, non_final)
+
+    def product(self, other: "TreeAutomaton", mode: str = "intersection") -> "TreeAutomaton":
+        """Product automaton; ``mode`` is 'intersection' or 'union'."""
+        check(mode in ("intersection", "union"), "mode must be intersection or union")
+        leaf_states = {
+            (a, b) for a in self.leaf_states for b in other.leaf_states
+        }
+        rules: dict[tuple, frozenset] = {}
+        symbols = (self.symbols() | other.symbols()) or set()
+        my_states = self.states()
+        their_states = other.states()
+        for symbol in set(symbols) | {None}:
+            for l1 in my_states:
+                for r1 in my_states:
+                    out1 = self._step(symbol, l1, r1) if symbol is not None else self.rules.get((None, l1, r1), frozenset())
+                    if not out1:
+                        continue
+                    for l2 in their_states:
+                        for r2 in their_states:
+                            out2 = (
+                                other._step(symbol, l2, r2)
+                                if symbol is not None
+                                else other.rules.get((None, l2, r2), frozenset())
+                            )
+                            if not out2:
+                                continue
+                            key = (symbol, (l1, l2), (r1, r2))
+                            combined = frozenset(
+                                (a, b) for a in out1 for b in out2
+                            )
+                            rules[key] = rules.get(key, frozenset()) | combined
+        if mode == "intersection":
+            finals = {
+                (a, b)
+                for a in self.final_states
+                for b in other.final_states
+            }
+        else:
+            finals = {
+                (a, b)
+                for a in self.states()
+                for b in other.states()
+                if a in self.final_states or b in other.final_states
+            }
+        return TreeAutomaton(leaf_states, rules, finals)
+
+    def is_empty(self, alphabet: Iterable[str]) -> bool:
+        """Whether the accepted language is empty (fixpoint reachability)."""
+        alphabet = sorted(set(alphabet))
+        reachable: set = set(self.leaf_states)
+        changed = True
+        while changed:
+            changed = False
+            for symbol in alphabet:
+                for l in list(reachable):
+                    for r in list(reachable):
+                        for out in self._step(symbol, l, r):
+                            if out not in reachable:
+                                reachable.add(out)
+                                changed = True
+        return not (reachable & self.final_states)
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeAutomaton(states={len(self.states())},"
+            f" rules={len(self.rules)}, finals={len(self.final_states)})"
+        )

@@ -1,0 +1,85 @@
+"""Ranked trees and the binary encoding of unordered labeled trees.
+
+Tree automata run on *ranked* trees; unranked document trees are bridged via
+the classic first-child / next-sibling binary encoding. ``LEAF`` marks the
+absence of a child (the nullary symbol of the encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prxml.model import World, make_world, world_children, world_label
+
+LEAF = "#"
+
+
+@dataclass(frozen=True)
+class BinaryTree:
+    """A binary tree node: a symbol and zero or two children."""
+
+    symbol: str
+    left: "BinaryTree | None" = None
+    right: "BinaryTree | None" = None
+
+    def is_leaf(self) -> bool:
+        """Whether this is a nullary (leaf) node."""
+        return self.left is None and self.right is None
+
+    def size(self) -> int:
+        """Number of nodes."""
+        total = 1
+        if self.left is not None:
+            total += self.left.size()
+        if self.right is not None:
+            total += self.right.size()
+        return total
+
+    def __repr__(self) -> str:
+        if self.is_leaf():
+            return self.symbol
+        return f"{self.symbol}({self.left!r}, {self.right!r})"
+
+
+def leaf() -> BinaryTree:
+    """The nullary leaf marker."""
+    return BinaryTree(LEAF)
+
+
+def node(symbol: str, left: BinaryTree, right: BinaryTree) -> BinaryTree:
+    """A binary internal node."""
+    return BinaryTree(symbol, left, right)
+
+
+def encode_world(world: World) -> BinaryTree:
+    """First-child / next-sibling encoding of an unordered labeled tree.
+
+    ``encode(t)``'s left child encodes t's first child (with its siblings
+    chained to the right); the right child encodes t's next sibling. The
+    root has no sibling, so its right child is a leaf.
+    """
+
+    def encode_forest(trees: tuple) -> BinaryTree:
+        if not trees:
+            return leaf()
+        first, rest = trees[0], trees[1:]
+        return BinaryTree(
+            world_label(first),
+            encode_forest(world_children(first)),
+            encode_forest(rest),
+        )
+
+    return encode_forest((world,))
+
+
+def decode_world(tree: BinaryTree) -> World:
+    """Inverse of :func:`encode_world` (for round-trip tests)."""
+
+    def decode_forest(t: BinaryTree) -> tuple:
+        if t.is_leaf():
+            return ()
+        first = make_world(t.symbol, decode_forest(t.left))  # type: ignore[arg-type]
+        return (first,) + decode_forest(t.right)  # type: ignore[arg-type]
+
+    forest = decode_forest(tree)
+    return forest[0]

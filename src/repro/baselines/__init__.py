@@ -1,0 +1,25 @@
+"""Baselines the structural approach is compared against (S13)."""
+
+from repro.baselines.enumeration import (
+    pc_probability_enumerate,
+    pcc_probability_enumerate,
+    tid_certain,
+    tid_possible,
+    tid_probability_enumerate,
+)
+from repro.baselines.sampling import (
+    karp_luby_probability,
+    monte_carlo_probability,
+    required_samples,
+)
+
+__all__ = [
+    "karp_luby_probability",
+    "monte_carlo_probability",
+    "pc_probability_enumerate",
+    "pcc_probability_enumerate",
+    "required_samples",
+    "tid_certain",
+    "tid_possible",
+    "tid_probability_enumerate",
+]

@@ -1,0 +1,66 @@
+"""Naive possible-world enumeration: the exponential ground-truth oracle.
+
+Every probabilistic result of the core engine is checked against these
+functions in the tests; the benchmarks use them to exhibit the exponential
+wall that the paper's structural approach avoids.
+"""
+
+from __future__ import annotations
+
+from repro.instances.base import Instance
+from repro.instances.cinstance import PCInstance
+from repro.instances.pcc import PCCInstance
+from repro.instances.tid import TIDInstance
+
+
+def _holds(query, world: Instance) -> bool:
+    if hasattr(query, "holds_in"):
+        return query.holds_in(world)
+    # Decomposition automata are evaluated by running them on a trivial
+    # decomposition of the world.
+    from repro.core.engine import build_lineage
+
+    lineage = build_lineage(world, query)
+    valuation = {f.variable_name: True for f in world.facts()}
+    return lineage.circuit.evaluate(valuation)
+
+
+def tid_probability_enumerate(query, tid: TIDInstance) -> float:
+    """Exact query probability on a TID by enumerating all worlds."""
+    total = 0.0
+    for world, weight in tid.possible_worlds():
+        if weight > 0.0 and _holds(query, world):
+            total += weight
+    return total
+
+
+def pc_probability_enumerate(query, pc: PCInstance) -> float:
+    """Exact query probability on a pc-instance by enumerating valuations."""
+    total = 0.0
+    for world, weight in pc.possible_worlds():
+        if weight > 0.0 and _holds(query, world):
+            total += weight
+    return total
+
+
+def pcc_probability_enumerate(query, pcc: PCCInstance) -> float:
+    """Exact query probability on a pcc-instance by enumerating valuations."""
+    total = 0.0
+    for world, weight in pcc.possible_worlds():
+        if weight > 0.0 and _holds(query, world):
+            total += weight
+    return total
+
+
+def tid_possible(query, tid: TIDInstance) -> bool:
+    """Possibility: does the query hold in some world of positive probability?"""
+    return any(
+        weight > 0.0 and _holds(query, world) for world, weight in tid.possible_worlds()
+    )
+
+
+def tid_certain(query, tid: TIDInstance) -> bool:
+    """Certainty: does the query hold in every world of positive probability?"""
+    return all(
+        _holds(query, world) for world, weight in tid.possible_worlds() if weight > 0.0
+    )

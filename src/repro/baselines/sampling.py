@@ -1,0 +1,100 @@
+"""Monte-Carlo baselines: naive sampling and Karp–Luby DNF estimation.
+
+The paper positions sampling as what practice falls back to when exact
+evaluation is #P-hard ("makes it necessary in practice to approximate query
+results via sampling"), and as the partner of the exact method in the
+partial-decomposition hybrid (E12).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.instances.base import Fact, Instance
+from repro.instances.tid import TIDInstance
+from repro.util import check, stable_rng
+
+
+def monte_carlo_probability(
+    query, tid: TIDInstance, samples: int, seed: int = 0
+) -> float:
+    """Estimate P(query) by sampling worlds and evaluating the query.
+
+    The standard unbiased estimator; its additive error scales as
+    ``O(1/sqrt(samples))`` regardless of instance structure.
+    """
+    check(samples > 0, "need at least one sample")
+    draw = tid.world_sampler(seed)
+    hits = 0
+    for _ in range(samples):
+        if query.holds_in(draw()):
+            hits += 1
+    return hits / samples
+
+
+def required_samples(epsilon: float, delta: float) -> int:
+    """Hoeffding bound: samples for additive error ``epsilon`` w.p. 1-delta."""
+    check(0 < epsilon < 1 and 0 < delta < 1, "epsilon and delta must be in (0,1)")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def karp_luby_probability(
+    query, tid: TIDInstance, samples: int, seed: int = 0
+) -> float:
+    """Karp–Luby estimator for the probability of the query's DNF lineage.
+
+    Computes the lineage as a monotone DNF (one conjunct per homomorphism
+    witness), then estimates the probability of the union by importance
+    sampling over the witnesses. Unlike naive Monte Carlo, the relative error
+    is bounded even for tiny probabilities — the classic FPRAS for DNF.
+    """
+    check(samples > 0, "need at least one sample")
+    witnesses = _dnf_witnesses(query, tid)
+    if not witnesses:
+        return 0.0
+    weights = []
+    for witness in witnesses:
+        weight = 1.0
+        for f in witness:
+            weight *= tid.probability(f)
+        weights.append(weight)
+    total_weight = sum(weights)
+    if total_weight == 0.0:
+        return 0.0
+
+    rng = stable_rng(seed)
+    facts = tid.facts()
+    probabilities = {f: tid.probability(f) for f in facts}
+    hits = 0
+    for _ in range(samples):
+        # Pick a witness with probability proportional to its weight.
+        target = rng.random() * total_weight
+        cumulative = 0.0
+        chosen = len(witnesses) - 1
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if target <= cumulative:
+                chosen = index
+                break
+        witness = witnesses[chosen]
+        # Sample the remaining facts conditioned on the witness being present.
+        world = set(witness)
+        for f in facts:
+            if f not in world and rng.random() < probabilities[f]:
+                world.add(f)
+        # Count only if ``chosen`` is the first witness fully contained.
+        for index, other in enumerate(witnesses):
+            if all(f in world for f in other):
+                if index == chosen:
+                    hits += 1
+                break
+    return total_weight * hits / samples
+
+
+def _dnf_witnesses(query, tid: TIDInstance) -> list[frozenset[Fact]]:
+    """Distinct fact-set conjuncts of the query lineage over the instance."""
+    all_facts = Instance(tid.facts())
+    seen: dict[frozenset[Fact], None] = {}
+    for witness in query.witnesses(all_facts):
+        seen.setdefault(frozenset(witness), None)
+    return list(seen)

@@ -1,0 +1,39 @@
+"""Boolean circuits, their treewidth, and weighted model counting (S2)."""
+
+from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit, Gate, from_formula
+from repro.circuits.dd import (
+    check_decomposability,
+    check_determinism_sampled,
+    probability_dd,
+)
+from repro.circuits.export import CircuitStats, circuit_stats, to_dot
+from repro.circuits.graph import circuit_width, moral_graph
+from repro.circuits.wmc import (
+    MessagePassingReport,
+    wmc_enumerate,
+    wmc_message_passing,
+    wmc_shannon,
+)
+
+__all__ = [
+    "AND",
+    "CONST",
+    "Circuit",
+    "CircuitStats",
+    "Gate",
+    "MessagePassingReport",
+    "NOT",
+    "OR",
+    "VAR",
+    "check_decomposability",
+    "circuit_stats",
+    "to_dot",
+    "check_determinism_sampled",
+    "circuit_width",
+    "from_formula",
+    "moral_graph",
+    "probability_dd",
+    "wmc_enumerate",
+    "wmc_message_passing",
+    "wmc_shannon",
+]

@@ -1,0 +1,336 @@
+"""Boolean circuits as hash-consed gate DAGs.
+
+The paper's pipeline represents uncertainty annotations and query lineages as
+*circuits* rather than formulas: circuits share common subexpressions, and the
+treewidth of the circuit (not of an equivalent formula) is what drives the
+tractability of probability computation (Theorem 2).
+
+A :class:`Circuit` is a mutable arena of immutable gates. Gates are identified
+by integer ids; building the same gate twice returns the same id
+(hash-consing), which keeps lineage circuits compact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.util import ReproError, check
+
+VAR = "var"
+AND = "and"
+OR = "or"
+NOT = "not"
+CONST = "const"
+
+_KINDS = frozenset({VAR, AND, OR, NOT, CONST})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit gate: a kind, an optional payload, and input gate ids.
+
+    ``payload`` is the variable name for ``VAR`` gates and the Boolean value
+    for ``CONST`` gates; it is ``None`` otherwise.
+    """
+
+    kind: str
+    payload: object
+    inputs: tuple[int, ...]
+
+
+class Circuit:
+    """A Boolean circuit: an arena of gates plus a designated output.
+
+    >>> c = Circuit()
+    >>> g = c.and_gate([c.variable("x"), c.negation(c.variable("y"))])
+    >>> c.set_output(g)
+    >>> c.evaluate({"x": True, "y": False})
+    True
+    """
+
+    def __init__(self) -> None:
+        self._gates: list[Gate] = []
+        self._intern: dict[tuple, int] = {}
+        self.output: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def _add(self, kind: str, payload: object, inputs: tuple[int, ...]) -> int:
+        key = (kind, payload, inputs)
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing
+        for g in inputs:
+            check(0 <= g < len(self._gates), f"unknown input gate {g}")
+        gate_id = len(self._gates)
+        self._gates.append(Gate(kind, payload, inputs))
+        self._intern[key] = gate_id
+        return gate_id
+
+    def variable(self, name: str) -> int:
+        """Return the gate for input variable ``name`` (created on demand)."""
+        return self._add(VAR, name, ())
+
+    def constant(self, value: bool) -> int:
+        """Return the constant gate for ``value``."""
+        return self._add(CONST, bool(value), ())
+
+    def true(self) -> int:
+        """Return the constant-true gate."""
+        return self.constant(True)
+
+    def false(self) -> int:
+        """Return the constant-false gate."""
+        return self.constant(False)
+
+    def and_gate(self, inputs: Iterable[int]) -> int:
+        """Return a conjunction gate over ``inputs`` with constant folding."""
+        kept: list[int] = []
+        for g in inputs:
+            check(0 <= g < len(self._gates), f"unknown input gate {g}")
+            gate = self._gates[g]
+            if gate.kind == CONST:
+                if not gate.payload:
+                    return self.false()
+                continue
+            kept.append(g)
+        if not kept:
+            return self.true()
+        if len(kept) == 1:
+            return kept[0]
+        return self._add(AND, None, tuple(kept))
+
+    def or_gate(self, inputs: Iterable[int]) -> int:
+        """Return a disjunction gate over ``inputs`` with constant folding."""
+        kept: list[int] = []
+        for g in inputs:
+            check(0 <= g < len(self._gates), f"unknown input gate {g}")
+            gate = self._gates[g]
+            if gate.kind == CONST:
+                if gate.payload:
+                    return self.true()
+                continue
+            kept.append(g)
+        if not kept:
+            return self.false()
+        if len(kept) == 1:
+            return kept[0]
+        return self._add(OR, None, tuple(kept))
+
+    def negation(self, input_gate: int) -> int:
+        """Return the negation of ``input_gate`` (double negations cancel)."""
+        check(0 <= input_gate < len(self._gates), f"unknown input gate {input_gate}")
+        gate = self._gates[input_gate]
+        if gate.kind == CONST:
+            return self.constant(not gate.payload)
+        if gate.kind == NOT:
+            return gate.inputs[0]
+        return self._add(NOT, None, (input_gate,))
+
+    def set_output(self, gate_id: int) -> None:
+        """Designate ``gate_id`` as the circuit output."""
+        check(0 <= gate_id < len(self._gates), f"unknown gate {gate_id}")
+        self.output = gate_id
+
+    # ------------------------------------------------------------------ #
+    # inspection
+
+    def gate(self, gate_id: int) -> Gate:
+        """Return the gate object with the given id."""
+        return self._gates[gate_id]
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def gate_ids(self) -> range:
+        """Return all gate ids in creation (hence topological) order."""
+        return range(len(self._gates))
+
+    def variables(self) -> frozenset[str]:
+        """Return the names of all variable gates reachable from the output."""
+        if self.output is None:
+            return frozenset(
+                g.payload for g in self._gates if g.kind == VAR  # type: ignore[misc]
+            )
+        names = set()
+        for gid in self.reachable_from_output():
+            g = self._gates[gid]
+            if g.kind == VAR:
+                names.add(g.payload)
+        return frozenset(names)  # type: ignore[arg-type]
+
+    def reachable_from_output(self) -> list[int]:
+        """Return gate ids reachable from the output, in topological order."""
+        check(self.output is not None, "circuit has no output gate")
+        seen: set[int] = set()
+        stack = [self.output]
+        while stack:
+            gid = stack.pop()
+            if gid in seen:
+                continue
+            seen.add(gid)  # type: ignore[arg-type]
+            stack.extend(self._gates[gid].inputs)  # type: ignore[index]
+        return sorted(seen)  # creation order is topological
+
+    def max_fan_in(self) -> int:
+        """Return the largest number of inputs of any gate."""
+        return max((len(g.inputs) for g in self._gates), default=0)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+
+    def evaluate(self, valuation: Mapping[str, bool], gate_id: int | None = None) -> bool:
+        """Evaluate the circuit (or one gate) under a variable ``valuation``."""
+        target = self.output if gate_id is None else gate_id
+        check(target is not None, "circuit has no output gate")
+        needed: set[int] = set()
+        stack = [target]
+        while stack:
+            gid = stack.pop()
+            if gid in needed:
+                continue
+            needed.add(gid)  # type: ignore[arg-type]
+            stack.extend(self._gates[gid].inputs)  # type: ignore[index]
+        values: dict[int, bool] = {}
+        for gid in sorted(needed):
+            gate = self._gates[gid]
+            if gate.kind == VAR:
+                if gate.payload not in valuation:
+                    raise ReproError(f"valuation is missing variable {gate.payload!r}")
+                values[gid] = bool(valuation[gate.payload])  # type: ignore[index]
+            elif gate.kind == CONST:
+                values[gid] = bool(gate.payload)
+            elif gate.kind == NOT:
+                values[gid] = not values[gate.inputs[0]]
+            elif gate.kind == AND:
+                values[gid] = all(values[i] for i in gate.inputs)
+            elif gate.kind == OR:
+                values[gid] = any(values[i] for i in gate.inputs)
+            else:  # pragma: no cover - guarded by construction
+                raise ReproError(f"unknown gate kind {gate.kind!r}")
+        return values[target]  # type: ignore[index]
+
+    # ------------------------------------------------------------------ #
+    # transformation
+
+    def copy_into(self, target: "Circuit", substitution: Mapping[str, int] | None = None,
+                  roots: Iterable[int] | None = None) -> dict[int, int]:
+        """Copy gates into ``target``, optionally substituting variables.
+
+        ``substitution`` maps variable names to gate ids *of the target
+        circuit*; variables not in the mapping are copied as variables. Only
+        gates reachable from ``roots`` (default: the output) are copied.
+        Returns the id translation map. This implements circuit composition,
+        used to plug annotation circuits into lineage circuits (pcc-instances).
+        """
+        substitution = substitution or {}
+        if roots is None:
+            check(self.output is not None, "circuit has no output gate")
+            roots = [self.output]  # type: ignore[list-item]
+        needed: set[int] = set()
+        stack = list(roots)
+        while stack:
+            gid = stack.pop()
+            if gid in needed:
+                continue
+            needed.add(gid)
+            stack.extend(self._gates[gid].inputs)
+        translation: dict[int, int] = {}
+        for gid in sorted(needed):
+            gate = self._gates[gid]
+            if gate.kind == VAR:
+                if gate.payload in substitution:
+                    translation[gid] = substitution[gate.payload]  # type: ignore[index]
+                else:
+                    translation[gid] = target.variable(gate.payload)  # type: ignore[arg-type]
+            elif gate.kind == CONST:
+                translation[gid] = target.constant(bool(gate.payload))
+            elif gate.kind == NOT:
+                translation[gid] = target.negation(translation[gate.inputs[0]])
+            elif gate.kind == AND:
+                translation[gid] = target.and_gate([translation[i] for i in gate.inputs])
+            else:
+                translation[gid] = target.or_gate([translation[i] for i in gate.inputs])
+        return translation
+
+    def restricted(self, partial: Mapping[str, bool]) -> "Circuit":
+        """Return a simplified copy with variables of ``partial`` fixed.
+
+        Conditioning on an event literal is this operation followed by a
+        renormalization; note the width of the circuit never increases.
+        """
+        result = Circuit()
+        substitution = {name: result.constant(value) for name, value in partial.items()}
+        translation = self.copy_into(result, substitution)
+        if self.output is not None:
+            result.set_output(translation[self.output])
+        return result
+
+    def binarized(self) -> "Circuit":
+        """Return an equivalent circuit in which every gate has fan-in ≤ 2.
+
+        Large AND/OR gates become balanced trees of binary gates. This keeps
+        message-passing bags small: a factor's scope is a gate plus its
+        inputs, so fan-in directly lower-bounds the junction-tree width.
+        """
+        result = Circuit()
+        translation: dict[int, int] = {}
+        roots = self.reachable_from_output() if self.output is not None else list(self.gate_ids())
+        for gid in roots:
+            gate = self._gates[gid]
+            if gate.kind == VAR:
+                translation[gid] = result.variable(gate.payload)  # type: ignore[arg-type]
+            elif gate.kind == CONST:
+                translation[gid] = result.constant(bool(gate.payload))
+            elif gate.kind == NOT:
+                translation[gid] = result.negation(translation[gate.inputs[0]])
+            else:
+                children = [translation[i] for i in gate.inputs]
+                combiner = result.and_gate if gate.kind == AND else result.or_gate
+                while len(children) > 2:
+                    paired = [
+                        combiner(children[i : i + 2]) for i in range(0, len(children), 2)
+                    ]
+                    children = paired
+                translation[gid] = combiner(children)
+        if self.output is not None:
+            result.set_output(translation[self.output])
+        return result
+
+    def pruned(self) -> "Circuit":
+        """Return a copy containing only gates reachable from the output."""
+        result = Circuit()
+        translation = self.copy_into(result)
+        result.set_output(translation[self.output])  # type: ignore[index]
+        return result
+
+    def __repr__(self) -> str:
+        return f"Circuit(gates={len(self._gates)}, output={self.output})"
+
+
+def from_formula(formula, circuit: Circuit | None = None) -> tuple[Circuit, int]:
+    """Convert a :class:`repro.events.Formula` into circuit gates.
+
+    Returns the circuit and the id of the gate representing the formula.
+    """
+    from repro.events import formulas as f
+
+    circuit = circuit if circuit is not None else Circuit()
+
+    def build(node) -> int:
+        if isinstance(node, f.Const):
+            return circuit.constant(node.value)
+        if isinstance(node, f.Var):
+            return circuit.variable(node.name)
+        if isinstance(node, f.Not):
+            return circuit.negation(build(node.child))
+        if isinstance(node, f.And):
+            return circuit.and_gate([build(c) for c in node.children])
+        if isinstance(node, f.Or):
+            return circuit.or_gate([build(c) for c in node.children])
+        raise ReproError(f"unknown formula node {node!r}")
+
+    gate = build(formula)
+    return circuit, gate

@@ -1,0 +1,93 @@
+"""Circuit inspection: statistics and Graphviz export.
+
+Debugging aids for the lineage pipeline: a size/shape summary (gate counts
+per kind, depth, fan-in) and a ``dot`` rendering for small circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
+from repro.util import check
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Shape summary of the gates reachable from a circuit's output."""
+
+    total: int
+    variables: int
+    and_gates: int
+    or_gates: int
+    not_gates: int
+    constants: int
+    depth: int
+    max_fan_in: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} gates (var={self.variables}, and={self.and_gates},"
+            f" or={self.or_gates}, not={self.not_gates}, const={self.constants});"
+            f" depth={self.depth}, max fan-in={self.max_fan_in}"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute a :class:`CircuitStats` for the output cone of ``circuit``."""
+    check(circuit.output is not None, "circuit has no output gate")
+    reachable = circuit.reachable_from_output()
+    counts = {VAR: 0, AND: 0, OR: 0, NOT: 0, CONST: 0}
+    depth: dict[int, int] = {}
+    max_fan_in = 0
+    for gid in reachable:
+        gate = circuit.gate(gid)
+        counts[gate.kind] += 1
+        max_fan_in = max(max_fan_in, len(gate.inputs))
+        depth[gid] = 1 + max((depth[i] for i in gate.inputs), default=0)
+    return CircuitStats(
+        total=len(reachable),
+        variables=counts[VAR],
+        and_gates=counts[AND],
+        or_gates=counts[OR],
+        not_gates=counts[NOT],
+        constants=counts[CONST],
+        depth=max(depth.values(), default=0),
+        max_fan_in=max_fan_in,
+    )
+
+
+_SHAPES = {VAR: "ellipse", CONST: "plaintext", AND: "box", OR: "diamond", NOT: "invtriangle"}
+
+
+def to_dot(circuit: Circuit, name: str = "circuit", max_gates: int = 500) -> str:
+    """Render the output cone as a Graphviz ``dot`` string.
+
+    Refuses circuits larger than ``max_gates`` — dot output beyond that is
+    unreadable anyway.
+    """
+    check(circuit.output is not None, "circuit has no output gate")
+    reachable = circuit.reachable_from_output()
+    check(
+        len(reachable) <= max_gates,
+        f"circuit has {len(reachable)} gates; raise max_gates to export anyway",
+    )
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for gid in reachable:
+        gate = circuit.gate(gid)
+        if gate.kind == VAR:
+            label = str(gate.payload)
+        elif gate.kind == CONST:
+            label = "1" if gate.payload else "0"
+        else:
+            label = {AND: "∧", OR: "∨", NOT: "¬"}[gate.kind]
+        shape = _SHAPES[gate.kind]
+        peripheries = 2 if gid == circuit.output else 1
+        escaped = label.replace('"', '\\"')
+        lines.append(
+            f'  g{gid} [label="{escaped}", shape={shape}, peripheries={peripheries}];'
+        )
+        for child in gate.inputs:
+            lines.append(f"  g{child} -> g{gid};")
+    lines.append("}")
+    return "\n".join(lines)

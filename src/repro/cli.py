@@ -1,0 +1,112 @@
+"""Command-line interface: regenerate any experiment table from the terminal.
+
+Usage::
+
+    python -m repro list                # list experiments E1..E12
+    python -m repro run E3              # print Theorem 1's scaling table
+    python -m repro run all             # print every table (long)
+    python -m repro paper               # one-line paper identification
+
+The experiment implementations live in ``benchmarks/bench_*.py``; each has a
+``main()`` printing its table. This CLI locates them relative to the
+repository root (they are scripts, not package modules, so installed-package
+use without the repository falls back to a clear error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+EXPERIMENTS = {
+    "E1": ("bench_figure1_prxml", "Figure 1: the Chelsea Manning PrXML document"),
+    "E2": ("bench_table1_cinstance", "Table 1: the PODS/STOC trips c-instance"),
+    "E3": ("bench_theorem1_scaling", "Theorem 1: linear time at bounded treewidth"),
+    "E4": ("bench_theorem2_pcc", "Theorem 2: bounded-treewidth pcc-instances"),
+    "E5": ("bench_scope_prxml", "Bounded event scopes on PrXML"),
+    "E6": ("bench_dichotomy", "#P-hardness contrast vs Dalvi–Suciu safe plans"),
+    "E7": ("bench_provenance", "Semiring provenance through circuits"),
+    "E8": ("bench_order", "Order uncertainty: tractable vs hard"),
+    "E9": ("bench_conditioning", "Conditioning and crowd question selection"),
+    "E10": ("bench_rules", "Probabilistic rules: the probabilistic chase"),
+    "E11": ("bench_ablation_heuristics", "Decomposition-heuristic ablation"),
+    "E12": ("bench_hybrid", "Partial decompositions: exact tentacles + sampled core"),
+}
+
+
+def _benchmarks_dir() -> Path:
+    candidates = [
+        Path(__file__).resolve().parents[2] / "benchmarks",
+        Path.cwd() / "benchmarks",
+    ]
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate
+    raise SystemExit(
+        "cannot locate the benchmarks/ directory; run from the repository root"
+    )
+
+
+def _load_main(module_name: str):
+    path = _benchmarks_dir() / f"{module_name}.py"
+    if not path.exists():
+        raise SystemExit(f"experiment script missing: {path}")
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module.main
+
+
+def command_list() -> None:
+    """Print the experiment index."""
+    print(f"{'id':<5} {'script':<28} description")
+    for exp_id, (module_name, description) in EXPERIMENTS.items():
+        print(f"{exp_id:<5} {module_name:<28} {description}")
+
+
+def command_run(target: str) -> None:
+    """Run one experiment (or 'all')."""
+    targets = list(EXPERIMENTS) if target.lower() == "all" else [target.upper()]
+    for exp_id in targets:
+        if exp_id not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {exp_id!r}; use 'list' to see E1..E12"
+            )
+        module_name, _description = EXPERIMENTS[exp_id]
+        print()
+        _load_main(module_name)()
+        print()
+
+
+def command_paper() -> None:
+    """Print the paper this repository reproduces."""
+    print(
+        "Amarilli, A. Structurally Tractable Uncertain Data. "
+        "SIGMOD 2015 PhD Symposium. arXiv:1507.04955"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Structurally Tractable Uncertain Data — reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    run = sub.add_parser("run", help="run an experiment table")
+    run.add_argument("experiment", help="experiment id (E1..E12) or 'all'")
+    sub.add_parser("paper", help="identify the reproduced paper")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        command_list()
+    elif args.command == "run":
+        command_run(args.experiment)
+    elif args.command == "paper":
+        command_paper()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Non-Boolean queries: per-answer probabilities and lineage.
+
+The paper's discussion of uncertain query *results* ("query results will
+themselves be uncertain … determine whether some answers are possible, or
+certain; or estimate which ones are likely"): for a CQ with designated free
+variables, every candidate answer tuple gets its own lineage circuit — the
+Boolean query obtained by substituting the answer — and hence its own exact
+probability, possibility and certainty status.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.engine import build_lineage, tid_probability
+from repro.instances.base import Constant, Instance
+from repro.instances.tid import TIDInstance
+from repro.queries.cq import Atom, ConjunctiveQuery, Variable
+from repro.util import check
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One answer tuple with its exact probability and modal status."""
+
+    values: tuple[Constant, ...]
+    probability: float
+    possible: bool
+    certain: bool
+
+
+def candidate_answers(
+    query: ConjunctiveQuery, free: Sequence[Variable], instance: Instance
+) -> list[tuple[Constant, ...]]:
+    """All instantiations of ``free`` realized by some homomorphism.
+
+    Candidates are computed over the *full* instance (every fact present);
+    any answer with positive probability appears among them, because CQs are
+    monotone.
+    """
+    free = tuple(free)
+    check(set(free) <= query.variables(), "free variables must occur in the query")
+    seen: dict[tuple, None] = {}
+    for binding in query.homomorphisms(instance):
+        seen.setdefault(tuple(binding[v] for v in free), None)
+    return list(seen)
+
+
+def substitute_answer(
+    query: ConjunctiveQuery, free: Sequence[Variable], values: Sequence[Constant]
+) -> ConjunctiveQuery:
+    """The Boolean query obtained by fixing ``free`` to ``values``."""
+    assignment = dict(zip(free, values))
+    return ConjunctiveQuery(
+        tuple(
+            Atom(
+                a.relation,
+                tuple(assignment.get(t, t) if isinstance(t, Variable) else t for t in a.terms),
+            )
+            for a in query.atoms
+        )
+    )
+
+
+def answer_probabilities(
+    query: ConjunctiveQuery,
+    free: Sequence[Variable],
+    tid: TIDInstance,
+    epsilon: float = 1e-12,
+) -> list[RankedAnswer]:
+    """Exact probability of every candidate answer, most probable first.
+
+    Each candidate's Boolean instantiation runs through the Theorem 1
+    engine; possibility/certainty derive from the probability being > 0 /
+    = 1 (exact up to float arithmetic, controlled by ``epsilon``).
+    """
+    answers = []
+    for values in candidate_answers(query, free, tid.instance):
+        boolean_query = substitute_answer(query, free, values)
+        probability = tid_probability(boolean_query, tid)
+        answers.append(
+            RankedAnswer(
+                values=values,
+                probability=probability,
+                possible=probability > epsilon,
+                certain=probability >= 1.0 - epsilon,
+            )
+        )
+    answers.sort(key=lambda a: (-a.probability, str(a.values)))
+    return answers
+
+
+def answer_lineages(
+    query: ConjunctiveQuery,
+    free: Sequence[Variable],
+    instance: Instance,
+):
+    """The lineage circuit of every candidate answer (for reuse/conditioning).
+
+    Returns ``{answer values: Lineage}``; each lineage can be re-evaluated
+    under different probabilities or conditioned without recomputation —
+    the "specialize the result of the query, without reevaluating it from
+    scratch" use-case of the paper's introduction.
+    """
+    lineages = {}
+    for values in candidate_answers(query, free, instance):
+        boolean_query = substitute_answer(query, free, values)
+        lineages[values] = build_lineage(instance, boolean_query)
+    return lineages

@@ -1,0 +1,141 @@
+"""Deterministic bottom-up automata over nice tree decompositions.
+
+This is our rendering of the paper's "compile the query to a tree automaton
+and run it on tree encodings of bounded-treewidth instances". An automaton
+processes a :class:`repro.treewidth.NiceTree` bottom-up; at *read* nodes it
+consumes the uncertain presence of one fact, branching on absent/present.
+
+Determinism is the load-bearing property: for a fixed subinstance below a
+node, the automaton is in exactly one state. The lineage engine exploits it
+to emit OR gates with mutually exclusive children, which is what makes the
+resulting circuits directly evaluable in linear time (Theorem 1).
+
+States must be hashable; all transition functions must be pure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.instances.base import Fact
+from repro.util import check
+
+Bag = frozenset
+
+
+class DecompositionAutomaton:
+    """Interface for deterministic automata over nice decompositions."""
+
+    def initial_state(self):
+        """State at a leaf node (empty bag)."""
+        raise NotImplementedError
+
+    def introduce(self, state, vertex, bag: Bag):
+        """State after introducing ``vertex`` (``bag`` already contains it)."""
+        raise NotImplementedError
+
+    def forget(self, state, vertex, bag: Bag):
+        """State after forgetting ``vertex`` (``bag`` no longer contains it)."""
+        raise NotImplementedError
+
+    def join(self, left, right, bag: Bag):
+        """State after joining two branches with identical bags."""
+        raise NotImplementedError
+
+    def read(self, state, fact: Fact, bag: Bag):
+        """Return ``(state_if_absent, state_if_present)`` after reading a fact."""
+        raise NotImplementedError
+
+    def accepts(self, state) -> bool:
+        """Acceptance at the root (whose bag is empty)."""
+        raise NotImplementedError
+
+
+class ProductAutomaton(DecompositionAutomaton):
+    """Run several automata in lockstep; acceptance combines their verdicts.
+
+    The product of deterministic automata is deterministic, which gives
+    Boolean closure: conjunction, disjunction, or any Boolean combination of
+    component acceptances via ``accept_fn``.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[DecompositionAutomaton],
+        accept_fn: Callable[[tuple[bool, ...]], bool],
+    ):
+        check(len(components) > 0, "product of zero automata")
+        self.components = tuple(components)
+        self.accept_fn = accept_fn
+
+    def initial_state(self):
+        return tuple(c.initial_state() for c in self.components)
+
+    def introduce(self, state, vertex, bag):
+        return tuple(
+            c.introduce(s, vertex, bag) for c, s in zip(self.components, state)
+        )
+
+    def forget(self, state, vertex, bag):
+        return tuple(c.forget(s, vertex, bag) for c, s in zip(self.components, state))
+
+    def join(self, left, right, bag):
+        return tuple(
+            c.join(l, r, bag) for c, l, r in zip(self.components, left, right)
+        )
+
+    def read(self, state, fact, bag):
+        absents = []
+        presents = []
+        for c, s in zip(self.components, state):
+            absent, present = c.read(s, fact, bag)
+            absents.append(absent)
+            presents.append(present)
+        return tuple(absents), tuple(presents)
+
+    def accepts(self, state) -> bool:
+        return self.accept_fn(tuple(c.accepts(s) for c, s in zip(self.components, state)))
+
+
+def conjunction(*components: DecompositionAutomaton) -> ProductAutomaton:
+    """Automaton accepting when all components accept."""
+    return ProductAutomaton(components, all)
+
+
+def disjunction(*components: DecompositionAutomaton) -> ProductAutomaton:
+    """Automaton accepting when some component accepts."""
+    return ProductAutomaton(components, any)
+
+
+class NegationAutomaton(DecompositionAutomaton):
+    """Complement of a deterministic automaton (flip acceptance).
+
+    Valid precisely because the inner automaton is deterministic — the same
+    reason MSO on trees is closed under negation via determinization.
+    """
+
+    def __init__(self, inner: DecompositionAutomaton):
+        self.inner = inner
+
+    def initial_state(self):
+        return self.inner.initial_state()
+
+    def introduce(self, state, vertex, bag):
+        return self.inner.introduce(state, vertex, bag)
+
+    def forget(self, state, vertex, bag):
+        return self.inner.forget(state, vertex, bag)
+
+    def join(self, left, right, bag):
+        return self.inner.join(left, right, bag)
+
+    def read(self, state, fact, bag):
+        return self.inner.read(state, fact, bag)
+
+    def accepts(self, state) -> bool:
+        return not self.inner.accepts(state)
+
+
+def negation(inner: DecompositionAutomaton) -> NegationAutomaton:
+    """Automaton accepting when ``inner`` rejects."""
+    return NegationAutomaton(inner)

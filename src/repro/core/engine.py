@@ -1,0 +1,412 @@
+"""The lineage engine: Theorems 1 and 2 of the paper, executable.
+
+Given an uncertain instance, a tree decomposition of its Gaifman graph, and a
+deterministic decomposition automaton for the query, one bottom-up pass over
+the nice decomposition produces a *lineage circuit* over fact-presence
+variables: the circuit is true exactly on the possible worlds satisfying the
+query. By construction the circuit is
+
+- **deterministic** (OR children correspond to distinct automaton states or
+  to a fact's presence/absence — mutually exclusive events), and
+- **decomposable** (AND children range over disjoint sets of read facts),
+
+so on TID instances the query probability is a single linear pass
+(:func:`repro.circuits.probability_dd`) — Theorem 1. On pcc-instances the
+fact variables are substituted by their annotation gates and the combined
+circuit is evaluated by junction-tree message passing — Theorem 2.
+
+A second mode builds the *monotone provenance circuit* of the
+nondeterministic automaton run (no negation, one gate per reachable
+nondeterministic state), which specializes to semiring provenance for
+absorptive semirings — the paper's provenance connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits import Circuit, probability_dd, wmc_message_passing
+from repro.core.automaton import DecompositionAutomaton
+from repro.core.cq_automaton import automaton_for
+from repro.instances.base import Fact, Instance
+from repro.instances.pcc import PCCInstance
+from repro.instances.tid import TIDInstance
+from repro.treewidth import (
+    FORGET,
+    INTRODUCE,
+    JOIN,
+    LEAF,
+    READ,
+    NiceTree,
+    TreeDecomposition,
+    build_nice_tree,
+    decompose,
+)
+from repro.util import ReproError, check
+
+
+@dataclass
+class Lineage:
+    """Result of a lineage run: the circuit plus structural diagnostics."""
+
+    circuit: Circuit
+    nice_tree: NiceTree
+    decomposition: TreeDecomposition
+    max_profile_size: int
+    node_count: int
+    fact_variables: dict[Fact, str] = field(default_factory=dict)
+
+    def probability_tid(self, tid: TIDInstance) -> float:
+        """Theorem 1 evaluation: linear-time pass over the d-D circuit."""
+        return probability_dd(self.circuit, tid.event_space())
+
+
+def instance_decomposition(
+    instance: Instance, heuristic: str = "min_fill"
+) -> TreeDecomposition:
+    """Tree decomposition of the instance's Gaifman graph."""
+    graph = instance.gaifman_graph()
+    if graph.number_of_nodes() == 0:
+        return TreeDecomposition({0: []}, [])
+    return decompose(graph, heuristic)
+
+
+def assign_facts_to_bags(
+    instance: Instance, decomposition: TreeDecomposition
+) -> dict[int, list[Fact]]:
+    """Choose, for every fact, one bag containing all of its constants.
+
+    Existence is guaranteed for valid decompositions because a fact's
+    constants form a clique of the Gaifman graph.
+    """
+    items_at: dict[int, list[Fact]] = {}
+    bag_ids = sorted(decomposition.bags)
+    for f in instance.facts():
+        needed = frozenset(f.args)
+        home = next(
+            (node for node in bag_ids if needed <= decomposition.bags[node]), None
+        )
+        if home is None:
+            raise ReproError(
+                f"no bag contains the constants of {f!r}; "
+                "is the decomposition valid for this instance?"
+            )
+        items_at.setdefault(home, []).append(f)
+    return items_at
+
+
+def build_lineage(
+    instance: Instance,
+    query,
+    decomposition: TreeDecomposition | None = None,
+    heuristic: str = "min_fill",
+) -> Lineage:
+    """Run the deterministic automaton for ``query`` over ``instance``.
+
+    ``query`` may be a CQ, a UCQ, or any :class:`DecompositionAutomaton`.
+    Returns the deterministic, decomposable lineage circuit whose variables
+    are the facts' :attr:`~repro.instances.base.Fact.variable_name`.
+    """
+    automaton = automaton_for(query)
+    if decomposition is None:
+        decomposition = instance_decomposition(instance, heuristic)
+    items_at = assign_facts_to_bags(instance, decomposition)
+    nice = build_nice_tree(decomposition, items_at)
+
+    circuit = Circuit()
+    max_profile = 0
+    node_count = 0
+    # state_gates maps each nice node (by object identity, postorder) to a
+    # dict from automaton state to the gate "the run below is in this state".
+    gates_of: dict[int, dict] = {}
+
+    for node in nice.iter_postorder():
+        node_count += 1
+        if node.kind == LEAF:
+            table = {automaton.initial_state(): circuit.true()}
+        elif node.kind == INTRODUCE:
+            child_table = gates_of.pop(id(node.children[0]))
+            table = {}
+            for state, gate in child_table.items():
+                new_state = automaton.introduce(state, node.vertex, node.bag)
+                _accumulate(table, new_state, gate)
+            table = _combine(circuit, table)
+        elif node.kind == FORGET:
+            child_table = gates_of.pop(id(node.children[0]))
+            table = {}
+            for state, gate in child_table.items():
+                new_state = automaton.forget(state, node.vertex, node.bag)
+                _accumulate(table, new_state, gate)
+            table = _combine(circuit, table)
+        elif node.kind == JOIN:
+            left_table = gates_of.pop(id(node.children[0]))
+            right_table = gates_of.pop(id(node.children[1]))
+            table = {}
+            for left_state, left_gate in left_table.items():
+                for right_state, right_gate in right_table.items():
+                    new_state = automaton.join(left_state, right_state, node.bag)
+                    _accumulate(
+                        table, new_state, circuit.and_gate([left_gate, right_gate])
+                    )
+            table = _combine(circuit, table)
+        elif node.kind == READ:
+            child_table = gates_of.pop(id(node.children[0]))
+            f: Fact = node.item  # type: ignore[assignment]
+            fact_var = circuit.variable(f.variable_name)
+            table = {}
+            for state, gate in child_table.items():
+                absent, present = automaton.read(state, f, node.bag)
+                if absent == present:
+                    _accumulate(table, absent, gate)
+                else:
+                    _accumulate(
+                        table, absent, circuit.and_gate([gate, circuit.negation(fact_var)])
+                    )
+                    _accumulate(table, present, circuit.and_gate([gate, fact_var]))
+            table = _combine(circuit, table)
+        else:  # pragma: no cover
+            raise ReproError(f"unknown nice-tree node kind {node.kind!r}")
+        max_profile = max(max_profile, len(table))
+        gates_of[id(node)] = table
+
+    root_table = gates_of[id(nice.root)]
+    accepting = [gate for state, gate in root_table.items() if automaton.accepts(state)]
+    circuit.set_output(circuit.or_gate(accepting))
+    fact_variables = {f: f.variable_name for f in instance.facts()}
+    return Lineage(
+        circuit=circuit,
+        nice_tree=nice,
+        decomposition=decomposition,
+        max_profile_size=max_profile,
+        node_count=node_count,
+        fact_variables=fact_variables,
+    )
+
+
+def _accumulate(table: dict, state, gate) -> None:
+    table.setdefault(state, []).append(gate)
+
+
+def _combine(circuit: Circuit, table: dict) -> dict:
+    return {state: circuit.or_gate(gates) for state, gates in table.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Probability front-ends
+
+
+def tid_probability(
+    query,
+    tid: TIDInstance,
+    decomposition: TreeDecomposition | None = None,
+    heuristic: str = "min_fill",
+) -> float:
+    """Theorem 1: exact query probability on a TID instance.
+
+    Linear in the instance for fixed query and decomposition width.
+    """
+    lineage = build_lineage(tid.instance, query, decomposition, heuristic)
+    return probability_dd(lineage.circuit, tid.event_space())
+
+
+def pcc_probability(
+    query,
+    pcc: PCCInstance,
+    decomposition: TreeDecomposition | None = None,
+    heuristic: str = "min_fill",
+    max_width: int = 24,
+    return_report: bool = False,
+):
+    """Theorem 2: exact query probability on a pcc-instance.
+
+    Builds a lineage over fact variables, substitutes each fact variable by
+    its annotation gate (yielding the combined circuit over event variables),
+    and runs junction-tree message passing. Tractable when the combined
+    circuit is tree-like — the bounded-treewidth pcc condition.
+
+    Message passing does not require determinism, so for monotone CQ/UCQ
+    queries we use the compact nondeterministic (monotone) lineage; the
+    deterministic profile circuit is reserved for non-monotone automata.
+    """
+    from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+
+    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        lineage = build_provenance_circuit(pcc.instance, query, decomposition, heuristic)
+    else:
+        lineage = build_lineage(pcc.instance, query, decomposition, heuristic)
+    combined = combine_with_annotations(lineage.circuit, pcc)
+    return wmc_message_passing(
+        combined,
+        pcc.space,
+        heuristic=heuristic,
+        max_width=max_width,
+        return_report=return_report,
+    )
+
+
+def combine_with_annotations(lineage_circuit: Circuit, pcc: PCCInstance) -> Circuit:
+    """Substitute fact variables of a lineage by their annotation gates."""
+    combined = Circuit()
+    annotation_gate: dict[str, int] = {}
+    translation = pcc.circuit.copy_into(
+        combined, substitution={}, roots=[pcc.gate_of(f) for f in pcc.facts()]
+    )
+    for f in pcc.facts():
+        annotation_gate[f.variable_name] = translation[pcc.gate_of(f)]
+    lineage_translation = lineage_circuit.copy_into(combined, annotation_gate)
+    check(lineage_circuit.output is not None, "lineage circuit has no output")
+    combined.set_output(lineage_translation[lineage_circuit.output])  # type: ignore[index]
+    return combined
+
+
+def pc_probability(query, pc, **kwargs):
+    """Query probability on a pc-instance (formulas compiled to a circuit)."""
+    from repro.instances.pcc import from_pc_instance
+
+    return pcc_probability(query, from_pc_instance(pc), **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Monotone provenance circuits (nondeterministic run)
+
+
+class NondeterministicView:
+    """Adapter exposing the nondeterministic states inside a profile.
+
+    The CQ automaton's deterministic states are *profiles* (sets of
+    nondeterministic states). The provenance construction needs the
+    nondeterministic automaton itself; this adapter recovers it from the
+    same transition logic by running each singleton through the profile
+    functions.
+    """
+
+    def __init__(self, cq_automaton):
+        self.inner = cq_automaton
+
+    def initial_states(self):
+        return list(self.inner.initial_state())
+
+    def introduce(self, state, vertex, bag):
+        return list(self.inner.introduce(frozenset({state}), vertex, bag))
+
+    def forget(self, state, vertex, bag):
+        return list(self.inner.forget(frozenset({state}), vertex, bag))
+
+    def join(self, left, right, bag):
+        return list(self.inner.join(frozenset({left}), frozenset({right}), bag))
+
+    def read_present(self, state, fact, bag):
+        _absent, present = self.inner.read(frozenset({state}), fact, bag)
+        return list(present)
+
+    def accepts(self, state) -> bool:
+        return self.inner.accepts(frozenset({state}))
+
+
+def build_provenance_circuit(
+    instance: Instance,
+    query,
+    decomposition: TreeDecomposition | None = None,
+    heuristic: str = "min_fill",
+) -> Lineage:
+    """Build the *monotone* provenance circuit of a CQ/UCQ over an instance.
+
+    One gate per reachable nondeterministic state; reads guard transitions by
+    the fact variable, absence is never mentioned (monotone queries only).
+    Evaluating the circuit in an absorptive commutative semiring yields the
+    query's semiring provenance (Green et al.) — see
+    :mod:`repro.semirings.provenance`.
+    """
+    from repro.core.cq_automaton import CQAutomaton
+    from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+
+    if isinstance(query, ConjunctiveQuery):
+        inner = CQAutomaton(query)
+    elif isinstance(query, UnionOfConjunctiveQueries):
+        # Provenance of a union is the sum; build per-disjunct circuits and OR
+        # them below via a shared construction.
+        inner = None
+    else:
+        raise ReproError("provenance circuits support CQs and UCQs only")
+
+    if inner is None:
+        disjunct_lineages = [
+            build_provenance_circuit(instance, q, decomposition, heuristic)
+            for q in query.disjuncts
+        ]
+        merged = Circuit()
+        outputs = []
+        for lin in disjunct_lineages:
+            translation = lin.circuit.copy_into(merged)
+            outputs.append(translation[lin.circuit.output])  # type: ignore[index]
+        merged.set_output(merged.or_gate(outputs))
+        first = disjunct_lineages[0]
+        return Lineage(
+            circuit=merged,
+            nice_tree=first.nice_tree,
+            decomposition=first.decomposition,
+            max_profile_size=max(l.max_profile_size for l in disjunct_lineages),
+            node_count=first.node_count,
+            fact_variables={f: f.variable_name for f in instance.facts()},
+        )
+
+    view = NondeterministicView(inner)
+    if decomposition is None:
+        decomposition = instance_decomposition(instance, heuristic)
+    items_at = assign_facts_to_bags(instance, decomposition)
+    nice = build_nice_tree(decomposition, items_at)
+
+    circuit = Circuit()
+    gates_of: dict[int, dict] = {}
+    max_states = 0
+    node_count = 0
+
+    for node in nice.iter_postorder():
+        node_count += 1
+        if node.kind == LEAF:
+            table = {state: [circuit.true()] for state in view.initial_states()}
+        elif node.kind in (INTRODUCE, FORGET):
+            child_table = gates_of.pop(id(node.children[0]))
+            step = view.introduce if node.kind == INTRODUCE else view.forget
+            table = {}
+            for state, gate in child_table.items():
+                for new_state in step(state, node.vertex, node.bag):
+                    _accumulate(table, new_state, gate)
+        elif node.kind == JOIN:
+            left_table = gates_of.pop(id(node.children[0]))
+            right_table = gates_of.pop(id(node.children[1]))
+            table = {}
+            for ls, lg in left_table.items():
+                for rs, rg in right_table.items():
+                    for new_state in view.join(ls, rs, node.bag):
+                        _accumulate(table, new_state, circuit.and_gate([lg, rg]))
+        elif node.kind == READ:
+            child_table = gates_of.pop(id(node.children[0]))
+            f: Fact = node.item  # type: ignore[assignment]
+            fact_var = circuit.variable(f.variable_name)
+            table = {}
+            for state, gate in child_table.items():
+                # Not using the fact: free pass (monotone — absence unneeded).
+                _accumulate(table, state, gate)
+                for new_state in view.read_present(state, f, node.bag):
+                    if new_state != state:
+                        _accumulate(
+                            table, new_state, circuit.and_gate([gate, fact_var])
+                        )
+        else:  # pragma: no cover
+            raise ReproError(f"unknown nice-tree node kind {node.kind!r}")
+        table = _combine(circuit, table)
+        max_states = max(max_states, len(table))
+        gates_of[id(node)] = table
+
+    root_table = gates_of[id(nice.root)]
+    accepting = [gate for state, gate in root_table.items() if view.accepts(state)]
+    circuit.set_output(circuit.or_gate(accepting))
+    return Lineage(
+        circuit=circuit,
+        nice_tree=nice,
+        decomposition=decomposition,
+        max_profile_size=max_states,
+        node_count=node_count,
+        fact_variables={f: f.variable_name for f in instance.facts()},
+    )

@@ -1,0 +1,51 @@
+"""Possibility and certainty of Boolean queries on uncertain instances.
+
+The paper's three query-evaluation tasks are "possibility, certainty, or
+probability". Probability subsumes the other two semantically, but
+possibility/certainty admit cheaper direct computation on lineage circuits:
+
+- for a **monotone** query, possibility holds iff the lineage is true when
+  every positive-probability fact is present, and certainty iff it is true
+  when only the certain (p = 1) facts are present;
+- for arbitrary (non-monotone) automata queries, we evaluate the
+  deterministic lineage's probability and compare against 0/1 — exact up to
+  float arithmetic because d-D evaluation introduces no cancellation beyond
+  products and disjoint sums.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import build_lineage
+from repro.instances.tid import TIDInstance
+from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+
+EPSILON = 1e-12
+
+
+def is_monotone_query(query) -> bool:
+    """Whether the query is syntactically monotone (CQ or UCQ)."""
+    return isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries))
+
+
+def possible(query, tid: TIDInstance) -> bool:
+    """Does the query hold in some world of positive probability?"""
+    if is_monotone_query(query):
+        world = {
+            f.variable_name: tid.probability(f) > 0.0 for f in tid.facts()
+        }
+        lineage = build_lineage(tid.instance, query)
+        return lineage.circuit.evaluate(world)
+    lineage = build_lineage(tid.instance, query)
+    return lineage.probability_tid(tid) > EPSILON
+
+
+def certain(query, tid: TIDInstance) -> bool:
+    """Does the query hold in every world of positive probability?"""
+    if is_monotone_query(query):
+        world = {
+            f.variable_name: tid.probability(f) >= 1.0 for f in tid.facts()
+        }
+        lineage = build_lineage(tid.instance, query)
+        return lineage.circuit.evaluate(world)
+    lineage = build_lineage(tid.instance, query)
+    return lineage.probability_tid(tid) >= 1.0 - EPSILON

@@ -1,0 +1,40 @@
+"""Boolean events, propositional formulas, and independent probability spaces.
+
+This is substrate S1 of DESIGN.md: the annotation language of c-instances and
+pc-instances, and the event vocabulary shared by PrXML documents, conditioning
+and the probabilistic chase.
+"""
+
+from repro.events.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Not,
+    Or,
+    Valuation,
+    Var,
+    conj,
+    disj,
+    literal,
+    var,
+)
+from repro.events.space import EventSpace
+
+__all__ = [
+    "And",
+    "Const",
+    "EventSpace",
+    "FALSE",
+    "Formula",
+    "Not",
+    "Or",
+    "TRUE",
+    "Valuation",
+    "Var",
+    "conj",
+    "disj",
+    "literal",
+    "var",
+]

@@ -1,0 +1,187 @@
+"""Propositional formulas over named Boolean events.
+
+c-instances annotate facts with propositional formulas (Imielinski–Lipski);
+pc-instances additionally give independent probabilities to the events.
+This module provides an immutable formula AST with evaluation, simplification
+and conversion helpers. Circuits (a DAG representation that can share
+subformulas) live in :mod:`repro.circuits`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from functools import reduce
+
+from repro.util import ReproError
+
+Valuation = Mapping[str, bool]
+
+
+class Formula:
+    """Base class for propositional formulas.
+
+    Formulas are immutable and hashable; ``&``, ``|`` and ``~`` build
+    conjunctions, disjunctions and negations with light simplification
+    (constant folding only — no normalization).
+    """
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        """Return the truth value of the formula under ``valuation``.
+
+        Raises :class:`ReproError` when an event mentioned by the formula is
+        missing from ``valuation``.
+        """
+        raise NotImplementedError
+
+    def events(self) -> frozenset[str]:
+        """Return the set of event names appearing in the formula."""
+        raise NotImplementedError
+
+    def substitute(self, partial: Valuation) -> "Formula":
+        """Return the formula with events of ``partial`` replaced by constants."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        if isinstance(self, Const):
+            return other if self.value else FALSE
+        if isinstance(other, Const):
+            return self if other.value else FALSE
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        if isinstance(self, Const):
+            return TRUE if self.value else other
+        if isinstance(other, Const):
+            return TRUE if other.value else self
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        if isinstance(self, Const):
+            return FALSE if self.value else TRUE
+        if isinstance(self, Not):
+            return self.child
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(Formula):
+    """The constant ``true`` or ``false``."""
+
+    value: bool
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return self.value
+
+    def events(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, partial: Valuation) -> Formula:
+        return self
+
+    def __repr__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A single Boolean event, referred to by name."""
+
+    name: str
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        if self.name not in valuation:
+            raise ReproError(f"valuation is missing event {self.name!r}")
+        return bool(valuation[self.name])
+
+    def events(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def substitute(self, partial: Valuation) -> Formula:
+        if self.name in partial:
+            return TRUE if partial[self.name] else FALSE
+        return self
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation of a formula."""
+
+    child: Formula
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return not self.child.evaluate(valuation)
+
+    def events(self) -> frozenset[str]:
+        return self.child.events()
+
+    def substitute(self, partial: Valuation) -> Formula:
+        return ~self.child.substitute(partial)
+
+    def __repr__(self) -> str:
+        return f"¬{self.child!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of zero or more formulas (empty conjunction is true)."""
+
+    children: tuple[Formula, ...]
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return all(child.evaluate(valuation) for child in self.children)
+
+    def events(self) -> frozenset[str]:
+        return frozenset().union(*(c.events() for c in self.children)) if self.children else frozenset()
+
+    def substitute(self, partial: Valuation) -> Formula:
+        return conj(c.substitute(partial) for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of zero or more formulas (empty disjunction is false)."""
+
+    children: tuple[Formula, ...]
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return any(child.evaluate(valuation) for child in self.children)
+
+    def events(self) -> frozenset[str]:
+        return frozenset().union(*(c.events() for c in self.children)) if self.children else frozenset()
+
+    def substitute(self, partial: Valuation) -> Formula:
+        return disj(c.substitute(partial) for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(c) for c in self.children) + ")"
+
+
+def var(name: str) -> Var:
+    """Return the formula consisting of the single event ``name``."""
+    return Var(name)
+
+
+def conj(formulas: Iterable[Formula]) -> Formula:
+    """Conjunction of ``formulas`` with constant folding."""
+    return reduce(lambda a, b: a & b, formulas, TRUE)
+
+
+def disj(formulas: Iterable[Formula]) -> Formula:
+    """Disjunction of ``formulas`` with constant folding."""
+    return reduce(lambda a, b: a | b, formulas, FALSE)
+
+
+def literal(name: str, positive: bool) -> Formula:
+    """Return the literal ``name`` or ``¬name``."""
+    return Var(name) if positive else Not(Var(name))

@@ -1,0 +1,127 @@
+"""Probability spaces over independent Boolean events.
+
+A :class:`EventSpace` assigns an independent marginal probability to each
+named event. pc-instances, PrXML documents and probabilistic chase runs all
+draw their randomness from such a space; correlations are expressed *through*
+formulas and circuits over the events, never inside the space itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.events.formulas import Formula, Valuation
+from repro.util import ReproError, check, stable_rng
+
+
+class EventSpace:
+    """A finite set of independent Boolean events with marginal probabilities.
+
+    >>> space = EventSpace({"pods": 0.7, "stoc": 0.4})
+    >>> space.probability("pods")
+    0.7
+    >>> len(list(space.valuations()))
+    4
+    """
+
+    def __init__(self, probabilities: Mapping[str, float] | None = None):
+        self._probabilities: dict[str, float] = {}
+        if probabilities:
+            for name, p in probabilities.items():
+                self.add(name, p)
+
+    def add(self, name: str, probability: float) -> str:
+        """Register event ``name`` with the given marginal probability."""
+        check(0.0 <= probability <= 1.0, f"probability of {name!r} must be in [0,1], got {probability}")
+        if name in self._probabilities and self._probabilities[name] != probability:
+            raise ReproError(f"event {name!r} already registered with a different probability")
+        self._probabilities[name] = float(probability)
+        return name
+
+    def probability(self, name: str) -> float:
+        """Return the marginal probability of ``name``."""
+        if name not in self._probabilities:
+            raise ReproError(f"unknown event {name!r}")
+        return self._probabilities[name]
+
+    def events(self) -> frozenset[str]:
+        """Return the set of registered event names."""
+        return frozenset(self._probabilities)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probabilities
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def restrict(self, names: Iterable[str]) -> "EventSpace":
+        """Return the sub-space containing only the events in ``names``."""
+        names = set(names)
+        missing = names - set(self._probabilities)
+        check(not missing, f"unknown events {sorted(missing)}")
+        return EventSpace({n: self._probabilities[n] for n in names})
+
+    def merged(self, other: "EventSpace") -> "EventSpace":
+        """Return the union of two spaces (consistent overlaps allowed)."""
+        merged = EventSpace(self._probabilities)
+        for name in other.events():
+            merged.add(name, other.probability(name))
+        return merged
+
+    def valuations(self, names: Iterable[str] | None = None) -> Iterator[dict[str, bool]]:
+        """Enumerate all valuations of ``names`` (default: all events).
+
+        Exponential in the number of events; intended for oracles and tests.
+        """
+        ordered = sorted(names if names is not None else self._probabilities)
+        for bits in itertools.product([False, True], repeat=len(ordered)):
+            yield dict(zip(ordered, bits))
+
+    def valuation_probability(self, valuation: Valuation) -> float:
+        """Return the product probability of ``valuation`` over its keys."""
+        result = 1.0
+        for name, value in valuation.items():
+            p = self.probability(name)
+            result *= p if value else 1.0 - p
+        return result
+
+    def formula_probability(self, formula: Formula) -> float:
+        """Exact probability of ``formula`` by brute-force enumeration.
+
+        Exponential in the number of events of the formula; used as a
+        reference oracle by tests and small examples.
+        """
+        total = 0.0
+        for valuation in self.valuations(formula.events()):
+            if formula.evaluate(valuation):
+                total += self.valuation_probability(valuation)
+        return total
+
+    def sample(self, seed: int | None = None, names: Iterable[str] | None = None) -> dict[str, bool]:
+        """Draw one valuation of ``names`` (default: all events) at random."""
+        rng = stable_rng(seed)
+        ordered = sorted(names if names is not None else self._probabilities)
+        return {name: rng.random() < self._probabilities[name] for name in ordered}
+
+    def sampler(self, seed: int | None = None):
+        """Return a callable producing a fresh random valuation per call."""
+        rng = stable_rng(seed)
+        ordered = sorted(self._probabilities)
+
+        def draw() -> dict[str, bool]:
+            return {name: rng.random() < self._probabilities[name] for name in ordered}
+
+        return draw
+
+    def conditioned_on_literal(self, name: str, value: bool) -> "EventSpace":
+        """Return the space where ``name`` is forced to ``value``.
+
+        Because events are independent, conditioning on a literal simply pins
+        the event's marginal to 0 or 1 — the structural-tractability-preserving
+        case discussed in the paper's Section 4.
+        """
+        check(name in self._probabilities, f"unknown event {name!r}")
+        updated = dict(self._probabilities)
+        updated[name] = 1.0 if value else 0.0
+        return EventSpace(updated)

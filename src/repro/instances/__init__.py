@@ -1,0 +1,23 @@
+"""Relational substrate: instances, TIDs, c-/pc-/pcc-instances (S4)."""
+
+from repro.instances.base import Constant, Fact, Instance, fact
+from repro.instances.cinstance import CInstance, PCInstance
+from repro.instances.cinstance import from_tid as pc_from_tid
+from repro.instances.pcc import PCCInstance
+from repro.instances.pcc import from_pc_instance as pcc_from_pc
+from repro.instances.pcc import from_tid as pcc_from_tid
+from repro.instances.tid import TIDInstance
+
+__all__ = [
+    "CInstance",
+    "Constant",
+    "Fact",
+    "Instance",
+    "PCCInstance",
+    "PCInstance",
+    "TIDInstance",
+    "fact",
+    "pc_from_tid",
+    "pcc_from_pc",
+    "pcc_from_tid",
+]

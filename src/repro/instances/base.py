@@ -1,0 +1,151 @@
+"""Relational instances: schemas, facts, and Gaifman graphs.
+
+The deterministic substrate on which all uncertainty formalisms are layered.
+A fact is a relation name applied to a tuple of constants; an instance is a
+finite set of facts. The *Gaifman graph* of an instance connects two domain
+elements when they co-occur in a fact — its treewidth is what "tree-like
+data" means in the paper (Theorem 1 defines the treewidth of a TID as that of
+its underlying instance).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.util import check
+
+Constant = Hashable
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact ``relation(args...)``.
+
+    >>> Fact("From", ("CDG", "MEL"))
+    From(CDG, MEL)
+    """
+
+    relation: str
+    args: tuple[Constant, ...]
+
+    def __post_init__(self):
+        check(isinstance(self.args, tuple), "fact arguments must be a tuple")
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def variable_name(self) -> str:
+        """Canonical Boolean-variable name for the presence of this fact."""
+        inside = ",".join(str(a) for a in self.args)
+        return f"f:{self.relation}({inside})"
+
+    def __repr__(self) -> str:
+        inside = ", ".join(str(a) for a in self.args)
+        return f"{self.relation}({inside})"
+
+
+def fact(relation: str, *args: Constant) -> Fact:
+    """Convenience constructor: ``fact("R", 1, 2) == Fact("R", (1, 2))``."""
+    return Fact(relation, tuple(args))
+
+
+class Instance:
+    """A finite set of facts with set semantics.
+
+    Iteration order is deterministic (insertion order), which keeps every
+    downstream construction reproducible.
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: dict[Fact, None] = {}
+        for f in facts:
+            self.add(f)
+
+    def add(self, f: Fact) -> Fact:
+        """Insert a fact (idempotent) and return it."""
+        self._facts.setdefault(f, None)
+        return f
+
+    def discard(self, f: Fact) -> None:
+        """Remove a fact if present."""
+        self._facts.pop(f, None)
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return set(self._facts) == set(other._facts)
+
+    def __hash__(self):  # pragma: no cover - instances used as dict keys rarely
+        return hash(frozenset(self._facts))
+
+    def facts(self) -> list[Fact]:
+        """Return the facts as a list, in insertion order."""
+        return list(self._facts)
+
+    def relations(self) -> dict[str, int]:
+        """Return the schema observed in the data: relation name → arity."""
+        schema: dict[str, int] = {}
+        for f in self._facts:
+            previous = schema.setdefault(f.relation, f.arity)
+            check(previous == f.arity, f"relation {f.relation!r} used with two arities")
+        return schema
+
+    def by_relation(self, relation: str) -> list[Fact]:
+        """Return all facts of the given relation, in insertion order."""
+        return [f for f in self._facts if f.relation == relation]
+
+    def domain(self) -> frozenset[Constant]:
+        """Return the active domain: all constants appearing in facts."""
+        elements: set[Constant] = set()
+        for f in self._facts:
+            elements.update(f.args)
+        return frozenset(elements)
+
+    def gaifman_graph(self) -> nx.Graph:
+        """Return the Gaifman graph: constants adjacent iff they share a fact."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.domain())
+        for f in self._facts:
+            for i, a in enumerate(f.args):
+                for b in f.args[i + 1 :]:
+                    if a != b:
+                        graph.add_edge(a, b)
+        return graph
+
+    def treewidth_upper_bound(self, heuristic: str = "min_fill") -> int:
+        """Heuristic treewidth of the Gaifman graph (Theorem 1's parameter)."""
+        from repro.treewidth import decompose
+
+        return decompose(self.gaifman_graph(), heuristic).width()
+
+    def restricted_to(self, keep: Iterable[Fact]) -> "Instance":
+        """Return the sub-instance with only the facts in ``keep``."""
+        keep_set = set(keep)
+        return Instance(f for f in self._facts if f in keep_set)
+
+    def union(self, other: "Instance") -> "Instance":
+        """Return the union of two instances."""
+        merged = Instance(self._facts)
+        for f in other:
+            merged.add(f)
+        return merged
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(f) for f in list(self._facts)[:4])
+        suffix = ", ..." if len(self._facts) > 4 else ""
+        return f"Instance({{{preview}{suffix}}}, size={len(self._facts)})"

@@ -1,0 +1,165 @@
+"""c-instances and pc-instances (Imielinski–Lipski, Green–Tannen).
+
+A *c-instance* annotates every fact with a propositional formula over Boolean
+events; each event valuation defines the possible world keeping exactly the
+facts whose annotation is true. A *pc-instance* additionally equips the
+events with independent probabilities, inducing a distribution over worlds.
+Table 1 of the paper (the PODS/STOC trips) is the running example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping
+
+from repro.events import Formula, EventSpace, TRUE, Valuation
+from repro.instances.base import Fact, Instance
+from repro.util import check
+
+
+class CInstance:
+    """Facts annotated with propositional formulas over named events."""
+
+    def __init__(self, rows: Mapping[Fact, Formula] | None = None):
+        self.instance = Instance()
+        self._annotations: dict[Fact, Formula] = {}
+        if rows:
+            for f, formula in rows.items():
+                self.add(f, formula)
+
+    def add(self, f: Fact, annotation: Formula = TRUE) -> Fact:
+        """Insert fact ``f`` with the given annotation (default: certain)."""
+        self.instance.add(f)
+        self._annotations[f] = annotation
+        return f
+
+    def annotation(self, f: Fact) -> Formula:
+        """Return the annotation of ``f``."""
+        check(f in self._annotations, f"unknown fact {f!r}")
+        return self._annotations[f]
+
+    def facts(self) -> list[Fact]:
+        """Return the facts in insertion order."""
+        return self.instance.facts()
+
+    def __len__(self) -> int:
+        return len(self.instance)
+
+    def events(self) -> frozenset[str]:
+        """Return all events mentioned by annotations."""
+        if not self._annotations:
+            return frozenset()
+        return frozenset().union(*(a.events() for a in self._annotations.values()))
+
+    def world(self, valuation: Valuation) -> Instance:
+        """Return the possible world selected by ``valuation``."""
+        return Instance(
+            f for f in self.facts() if self._annotations[f].evaluate(valuation)
+        )
+
+    def possible_worlds(self) -> Iterator[tuple[Instance, dict[str, bool]]]:
+        """Enumerate ``(world, valuation)`` pairs — exponential oracle."""
+        events = sorted(self.events())
+        check(len(events) <= 20, "possible-world enumeration limited to 20 events")
+        for bits in itertools.product([False, True], repeat=len(events)):
+            valuation = dict(zip(events, bits))
+            yield self.world(valuation), valuation
+
+    def distinct_worlds(self) -> list[Instance]:
+        """Return the distinct possible worlds (deduplicated)."""
+        seen: list[Instance] = []
+        for world, _valuation in self.possible_worlds():
+            if world not in seen:
+                seen.append(world)
+        return seen
+
+    def is_possible(self, f: Fact) -> bool:
+        """Possibility: does some world contain ``f``? (brute force)"""
+        return any(f in world for world, _ in self.possible_worlds())
+
+    def is_certain(self, f: Fact) -> bool:
+        """Certainty: does every world contain ``f``? (brute force)"""
+        return all(f in world for world, _ in self.possible_worlds())
+
+    def conditioned_on_literal(self, event: str, value: bool) -> "CInstance":
+        """Return the c-instance with ``event`` forced to ``value``.
+
+        Annotations are partially evaluated; this is the *easy* conditioning
+        case of the paper's Section 4 (formula structure only shrinks).
+        """
+        conditioned = CInstance()
+        for f in self.facts():
+            conditioned.add(f, self._annotations[f].substitute({event: value}))
+        return conditioned
+
+    def __repr__(self) -> str:
+        return f"CInstance(facts={len(self.instance)}, events={len(self.events())})"
+
+
+class PCInstance:
+    """A c-instance whose events carry independent probabilities."""
+
+    def __init__(self, cinstance: CInstance | None = None, space: EventSpace | None = None):
+        self.cinstance = cinstance if cinstance is not None else CInstance()
+        self.space = space if space is not None else EventSpace()
+
+    def add(self, f: Fact, annotation: Formula = TRUE) -> Fact:
+        """Insert an annotated fact; its events must already be registered."""
+        missing = annotation.events() - self.space.events()
+        check(not missing, f"events {sorted(missing)} not registered in the space")
+        return self.cinstance.add(f, annotation)
+
+    def add_event(self, name: str, probability: float) -> str:
+        """Register an event with its probability."""
+        return self.space.add(name, probability)
+
+    def facts(self) -> list[Fact]:
+        """Return the facts in insertion order."""
+        return self.cinstance.facts()
+
+    def annotation(self, f: Fact) -> Formula:
+        """Return the annotation of ``f``."""
+        return self.cinstance.annotation(f)
+
+    def fact_probability(self, f: Fact) -> float:
+        """Exact marginal probability that ``f`` is present (enumeration)."""
+        return self.space.formula_probability(self.cinstance.annotation(f))
+
+    def possible_worlds(self) -> Iterator[tuple[Instance, float]]:
+        """Enumerate ``(world, probability)`` pairs — exponential oracle."""
+        for world, valuation in self.cinstance.possible_worlds():
+            yield world, self.space.valuation_probability(valuation)
+
+    def world_distribution(self) -> dict[frozenset[Fact], float]:
+        """Return the full distribution over distinct worlds (enumeration)."""
+        distribution: dict[frozenset[Fact], float] = {}
+        for world, probability in self.possible_worlds():
+            key = frozenset(world)
+            distribution[key] = distribution.get(key, 0.0) + probability
+        return distribution
+
+    def sample_world(self, seed: int | None = None) -> Instance:
+        """Draw one world at random."""
+        valuation = self.space.sample(seed)
+        return self.cinstance.world(valuation)
+
+    def conditioned_on_literal(self, event: str, value: bool) -> "PCInstance":
+        """Force an event literal; independence makes this exact and cheap."""
+        return PCInstance(
+            self.cinstance.conditioned_on_literal(event, value),
+            self.space.conditioned_on_literal(event, value),
+        )
+
+    def __repr__(self) -> str:
+        return f"PCInstance(facts={len(self.cinstance)}, events={len(self.space)})"
+
+
+def from_tid(tid) -> PCInstance:
+    """View a TID instance as a pc-instance with one event per fact."""
+    from repro.events import var
+
+    pc = PCInstance()
+    for f in tid.facts():
+        pc.add_event(f.variable_name, tid.probability(f))
+        pc.add(f, var(f.variable_name))
+    return pc

@@ -1,0 +1,108 @@
+"""Tuple-independent (TID) probabilistic instances.
+
+The simplest probabilistic relational model (ProbView, Lakshmanan et al.):
+every fact is present independently with its own probability. Query
+probability evaluation is #P-hard on arbitrary TIDs (Dalvi–Suciu) — the
+paper's Theorem 1 shows it becomes linear-time on TIDs of bounded treewidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.events import EventSpace
+from repro.instances.base import Fact, Instance
+from repro.util import check, stable_rng
+
+
+class TIDInstance:
+    """An instance plus an independent presence probability per fact.
+
+    >>> tid = TIDInstance()
+    >>> _ = tid.add(Fact("R", (1,)), 0.5)
+    >>> tid.probability(Fact("R", (1,)))
+    0.5
+    """
+
+    def __init__(self, rows: Mapping[Fact, float] | Iterable[tuple[Fact, float]] = ()):
+        self.instance = Instance()
+        self._probabilities: dict[Fact, float] = {}
+        items = rows.items() if isinstance(rows, Mapping) else rows
+        for f, p in items:
+            self.add(f, p)
+
+    def add(self, f: Fact, probability: float) -> Fact:
+        """Insert fact ``f`` with the given presence probability."""
+        check(0.0 <= probability <= 1.0, f"probability of {f!r} must be in [0,1]")
+        self.instance.add(f)
+        self._probabilities[f] = float(probability)
+        return f
+
+    def probability(self, f: Fact) -> float:
+        """Return the presence probability of ``f``."""
+        check(f in self._probabilities, f"unknown fact {f!r}")
+        return self._probabilities[f]
+
+    def facts(self) -> list[Fact]:
+        """Return the facts in insertion order."""
+        return self.instance.facts()
+
+    def __len__(self) -> int:
+        return len(self.instance)
+
+    def event_space(self) -> EventSpace:
+        """Return the event space with one independent event per fact.
+
+        Event names follow :attr:`repro.instances.base.Fact.variable_name`,
+        the convention the lineage engine uses for its circuit leaves.
+        """
+        return EventSpace(
+            {f.variable_name: p for f, p in self._probabilities.items()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # possible-world semantics
+
+    def possible_worlds(self) -> Iterator[tuple[Instance, float]]:
+        """Enumerate ``(world, probability)`` pairs — exponential oracle."""
+        facts = self.facts()
+        check(len(facts) <= 20, "possible-world enumeration limited to 20 facts")
+        for included in itertools.product([False, True], repeat=len(facts)):
+            world = Instance(f for f, keep in zip(facts, included) if keep)
+            weight = 1.0
+            for f, keep in zip(facts, included):
+                p = self._probabilities[f]
+                weight *= p if keep else 1.0 - p
+            yield world, weight
+
+    def world_probability(self, world: Instance) -> float:
+        """Return the probability of one specific world."""
+        weight = 1.0
+        for f in self.facts():
+            p = self._probabilities[f]
+            weight *= p if f in world else 1.0 - p
+        return weight
+
+    def sample_world(self, seed: int | None = None) -> Instance:
+        """Draw a world at random (used by Monte-Carlo baselines)."""
+        rng = stable_rng(seed)
+        return Instance(f for f in self.facts() if rng.random() < self._probabilities[f])
+
+    def world_sampler(self, seed: int | None = None):
+        """Return a callable producing a fresh random world per call."""
+        rng = stable_rng(seed)
+        facts = self.facts()
+        probabilities = self._probabilities
+
+        def draw() -> Instance:
+            return Instance(f for f in facts if rng.random() < probabilities[f])
+
+        return draw
+
+    def treewidth_upper_bound(self, heuristic: str = "min_fill") -> int:
+        """Treewidth (heuristic) of the underlying instance — Theorem 1's notion."""
+        return self.instance.treewidth_upper_bound(heuristic)
+
+    def __repr__(self) -> str:
+        return f"TIDInstance(facts={len(self.instance)})"

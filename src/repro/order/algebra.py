@@ -1,0 +1,135 @@
+"""Bag semantics for the positive relational algebra on po-relations.
+
+Following the paper's [6] ("Querying order-incomplete data"), a po-relation
+is a labeled partial order whose possible worlds are the label sequences of
+its linear extensions. The operators:
+
+- ``selection``  — keep elements whose tuple satisfies a predicate (induced
+  order on survivors);
+- ``projection`` — rewrite labels (order unchanged, duplicates allowed: bag
+  semantics);
+- ``union``      — parallel composition: no constraints between the inputs,
+  so worlds are all interleavings of the inputs' worlds;
+- ``concat``     — series composition: everything in the first input before
+  everything in the second (the ordered-concatenation variant of union);
+- ``product_direct`` — pairs ordered componentwise (the DIR semantics);
+- ``product_lex``    — pairs ordered lexicographically (the LEX semantics).
+
+Unions and concatenations of singletons build exactly the series-parallel
+posets, the class on which counting possible worlds is polynomial
+(:mod:`repro.order.series_parallel`) — one of the tractable structures the
+paper points to.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.order.posets import LabeledPoset
+from repro.util import check
+
+
+def selection(poset: LabeledPoset, predicate: Callable[[object], bool]) -> LabeledPoset:
+    """σ: keep elements whose label satisfies ``predicate``."""
+    keep = [e for e in poset.elements() if predicate(poset.label(e))]
+    return poset.restricted_to(keep)
+
+
+def projection(poset: LabeledPoset, mapping: Callable[[object], object]) -> LabeledPoset:
+    """π: rewrite every label through ``mapping`` (bag semantics)."""
+    return poset.relabeled(mapping)
+
+
+def union(left: LabeledPoset, right: LabeledPoset) -> LabeledPoset:
+    """∪ (parallel composition): disjoint union with no cross constraints."""
+    result = LabeledPoset({})
+    for side, poset in (("L", left), ("R", right)):
+        for e in poset.elements():
+            result.add_element((side, e), poset.label(e))
+        for a, b in poset.hasse_edges():
+            result.add_order((side, a), (side, b))
+    return result
+
+
+def concat(first: LabeledPoset, second: LabeledPoset) -> LabeledPoset:
+    """Series composition: all of ``first`` before all of ``second``."""
+    result = union(first, second)
+    first_max = [
+        ("L", e)
+        for e in first.elements()
+        if not any(first.less_than(e, other) for other in first.elements())
+    ]
+    second_min = [("R", e) for e in second.minimal_elements()]
+    for a in first_max:
+        for b in second_min:
+            result.add_order(a, b)
+    return result
+
+
+def product_direct(left: LabeledPoset, right: LabeledPoset) -> LabeledPoset:
+    """×ᴰᴵᴿ: pairs with the componentwise (direct product) order.
+
+    ``(a, b) < (a', b')`` iff ``a ≤ a'`` and ``b ≤ b'`` with at least one
+    strict. The least constrained product semantics.
+    """
+    result = LabeledPoset({})
+    left_elements = left.elements()
+    right_elements = right.elements()
+    for a in left_elements:
+        for b in right_elements:
+            label = _pair_label(left.label(a), right.label(b))
+            result.add_element((a, b), label)
+    for a1 in left_elements:
+        for b1 in right_elements:
+            for a2 in left_elements:
+                for b2 in right_elements:
+                    if (a1, b1) == (a2, b2):
+                        continue
+                    le_left = a1 == a2 or left.less_than(a1, a2)
+                    le_right = b1 == b2 or right.less_than(b1, b2)
+                    if le_left and le_right:
+                        result.add_order((a1, b1), (a2, b2))
+    return result
+
+
+def product_lex(left: LabeledPoset, right: LabeledPoset) -> LabeledPoset:
+    """×ᴸᴱˣ: lexicographic product.
+
+    ``(a, b) < (a', b')`` iff ``a < a'``, or ``a = a'`` and ``b < b'`` — the
+    semantics matching a nested-loop implementation over ordered inputs.
+    """
+    result = LabeledPoset({})
+    for a in left.elements():
+        for b in right.elements():
+            result.add_element((a, b), _pair_label(left.label(a), right.label(b)))
+    for a1 in left.elements():
+        for b1 in right.elements():
+            for a2 in left.elements():
+                for b2 in right.elements():
+                    if (a1, b1) == (a2, b2):
+                        continue
+                    if left.less_than(a1, a2) or (a1 == a2 and right.less_than(b1, b2)):
+                        result.add_order((a1, b1), (a2, b2))
+    return result
+
+
+def _pair_label(a, b) -> tuple:
+    """Concatenate two tuple labels (scalars treated as 1-tuples)."""
+    ta = a if isinstance(a, tuple) else (a,)
+    tb = b if isinstance(b, tuple) else (b,)
+    return ta + tb
+
+
+def interleavings(first: tuple, second: tuple) -> list[tuple]:
+    """All interleavings of two sequences (the spec of union's worlds)."""
+    if not first:
+        return [tuple(second)]
+    if not second:
+        return [tuple(first)]
+    with_first = [
+        (first[0],) + rest for rest in interleavings(first[1:], second)
+    ]
+    with_second = [
+        (second[0],) + rest for rest in interleavings(first, second[1:])
+    ]
+    return with_first + with_second

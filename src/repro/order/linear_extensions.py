@@ -1,0 +1,138 @@
+"""Linear extensions: enumeration, counting, uniform sampling.
+
+The possible worlds of a po-relation are its linear extensions. Counting
+them is #P-complete in general (Brightwell–Winkler, the paper's [14]); we
+provide the standard downset dynamic program (exponential worst case, fast on
+narrow posets) plus exact uniform sampling driven by the same table. The
+series-parallel fast path lives in :mod:`repro.order.series_parallel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.order.posets import Element, LabeledPoset
+from repro.util import check, stable_rng
+
+
+def iter_linear_extensions(poset: LabeledPoset) -> Iterator[tuple[Element, ...]]:
+    """Enumerate all linear extensions (sequences of elements).
+
+    Backtracking over minimal elements; output order is deterministic.
+    """
+    elements = poset.elements()
+    predecessor_sets = {e: poset.predecessors(e) for e in elements}
+
+    def extend(remaining: set[Element], prefix: list[Element]) -> Iterator[tuple]:
+        if not remaining:
+            yield tuple(prefix)
+            return
+        for e in elements:
+            if e in remaining and not (predecessor_sets[e] & remaining):
+                prefix.append(e)
+                remaining.discard(e)
+                yield from extend(remaining, prefix)
+                remaining.add(e)
+                prefix.pop()
+
+    yield from extend(set(elements), [])
+
+
+def count_linear_extensions(poset: LabeledPoset) -> int:
+    """Count linear extensions via the downset dynamic program.
+
+    ``L(S) = Σ over maximal e of S of L(S − e)`` where S ranges over downsets;
+    memoized on frozensets. Worst case exponential (the problem is
+    #P-complete); efficient when the poset has small width.
+    """
+    elements = poset.elements()
+    successors = {e: set() for e in elements}
+    for e in elements:
+        for p in poset.predecessors(e):
+            successors[p].add(e)
+    memo: dict[frozenset, int] = {frozenset(): 1}
+
+    def count(remaining: frozenset) -> int:
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        total = 0
+        for e in remaining:
+            # e can be placed last iff none of its successors remain.
+            if not (successors[e] & remaining):
+                total += count(remaining - {e})
+        memo[remaining] = total
+        return total
+
+    return count(frozenset(elements))
+
+
+def sample_linear_extension(
+    poset: LabeledPoset, seed: int | None = None
+) -> tuple[Element, ...]:
+    """Draw a uniformly random linear extension.
+
+    Exact sampling by proportional choice of the next minimal element,
+    weighted by the count of completions (shares the counting memo).
+    """
+    rng = stable_rng(seed)
+    elements = poset.elements()
+    predecessor_sets = {e: poset.predecessors(e) for e in elements}
+    successors = {e: set() for e in elements}
+    for e in elements:
+        for p in predecessor_sets[e]:
+            successors[p].add(e)
+    memo: dict[frozenset, int] = {frozenset(): 1}
+
+    def count(remaining: frozenset) -> int:
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        total = 0
+        for e in remaining:
+            if not (successors[e] & remaining):
+                total += count(remaining - {e})
+        memo[remaining] = total
+        return total
+
+    sequence: list[Element] = []
+    remaining = frozenset(elements)
+    while remaining:
+        minimals = [
+            e for e in elements if e in remaining and not (predecessor_sets[e] & remaining)
+        ]
+        weights = [count(remaining - {e}) for e in minimals]
+        total = sum(weights)
+        check(total > 0, "internal error: no completion")
+        draw = rng.randrange(total)
+        cumulative = 0
+        chosen = minimals[-1]
+        for e, w in zip(minimals, weights):
+            cumulative += w
+            if draw < cumulative:
+                chosen = e
+                break
+        sequence.append(chosen)
+        remaining = remaining - {chosen}
+    return tuple(sequence)
+
+
+def extension_labels(poset: LabeledPoset, extension: tuple[Element, ...]) -> tuple:
+    """Read a linear extension through the labeling (a possible world)."""
+    return tuple(poset.label(e) for e in extension)
+
+
+def possible_worlds(poset: LabeledPoset) -> list[tuple]:
+    """All distinct label sequences realizable by linear extensions."""
+    seen: dict[tuple, None] = {}
+    for extension in iter_linear_extensions(poset):
+        seen.setdefault(extension_labels(poset, extension), None)
+    return list(seen)
+
+
+def is_linear_extension(poset: LabeledPoset, sequence: tuple[Element, ...]) -> bool:
+    """Whether ``sequence`` lists all elements in an order-respecting way."""
+    if sorted(map(str, sequence)) != sorted(map(str, poset.elements())):
+        return False
+    position = {e: i for i, e in enumerate(sequence)}
+    return all(position[a] < position[b] for a, b in poset.closure_pairs())

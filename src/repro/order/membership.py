@@ -1,0 +1,105 @@
+"""Possible-world membership for po-relations.
+
+"Given a labeled partial order, we cannot tractably determine whether an
+input total order is one of its possible worlds" — the paper's hardness
+observation (the problem is NP-hard with duplicate labels, by reduction from
+matching-with-precedences). We provide the general backtracking decision
+procedure plus the tractable special cases the paper highlights: distinct
+labels, unordered posets, and totally ordered posets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.order.posets import LabeledPoset
+from repro.order.linear_extensions import extension_labels, iter_linear_extensions
+
+
+def is_possible_world(poset: LabeledPoset, sequence: tuple) -> bool:
+    """Whether ``sequence`` (a tuple of labels) is a possible world.
+
+    Dispatches to a polynomial special case when one applies, otherwise
+    falls back to backtracking (exponential in the worst case).
+    """
+    if len(sequence) != len(poset):
+        return False
+    if Counter(sequence) != Counter(poset.labels().values()):
+        return False
+    if poset.is_unordered():
+        return True  # multiset equality, already checked
+    if poset.has_distinct_labels():
+        return _distinct_labels_case(poset, sequence)
+    if poset.is_total():
+        return _total_order_case(poset, sequence)
+    return membership_backtracking(poset, sequence)
+
+
+def _distinct_labels_case(poset: LabeledPoset, sequence: tuple) -> bool:
+    """Distinct labels: the element order is forced; check it respects ≤."""
+    by_label = {label: e for e, label in poset.labels().items()}
+    elements = tuple(by_label[label] for label in sequence)
+    position = {e: i for i, e in enumerate(elements)}
+    return all(position[a] < position[b] for a, b in poset.closure_pairs())
+
+
+def _total_order_case(poset: LabeledPoset, sequence: tuple) -> bool:
+    """Total order: exactly one world; compare label sequences."""
+    extension = next(iter_linear_extensions(poset))
+    return extension_labels(poset, extension) == tuple(sequence)
+
+
+def membership_backtracking(poset: LabeledPoset, sequence: tuple) -> bool:
+    """General decision procedure: match the sequence greedily with backtracking.
+
+    At step i, try every currently-minimal element whose label equals
+    ``sequence[i]``. Exponential in the worst case (duplicate labels force
+    branching); this is the cost the paper's hardness remark predicts.
+    """
+    elements = poset.elements()
+    predecessor_sets = {e: poset.predecessors(e) for e in elements}
+
+    def extend(index: int, remaining: set) -> bool:
+        if index == len(sequence):
+            return not remaining
+        target = sequence[index]
+        for e in elements:
+            if (
+                e in remaining
+                and poset.label(e) == target
+                and not (predecessor_sets[e] & remaining)
+            ):
+                remaining.discard(e)
+                if extend(index + 1, remaining):
+                    remaining.add(e)
+                    return True
+                remaining.add(e)
+        return False
+
+    return extend(0, set(elements))
+
+
+def certain_pairs(poset: LabeledPoset) -> set[tuple]:
+    """Label pairs ``(x, y)`` with x before y in *every* possible world.
+
+    Computed exactly for small posets by enumerating worlds; a certain-answer
+    primitive over order-incomplete data.
+    """
+    worlds = [extension_labels(poset, ext) for ext in iter_linear_extensions(poset)]
+    if not worlds:
+        return set()
+    labels = set(poset.labels().values())
+    candidates = {
+        (x, y) for x in labels for y in labels if x != y
+    }
+    for world in worlds:
+        surviving = set()
+        for x, y in candidates:
+            positions_x = [i for i, l in enumerate(world) if l == x]
+            positions_y = [i for i, l in enumerate(world) if l == y]
+            if positions_x and positions_y and max(positions_x) < min(positions_y):
+                surviving.add((x, y))
+        candidates = surviving
+        if not candidates:
+            break
+    return candidates

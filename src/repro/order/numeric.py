@@ -1,0 +1,93 @@
+"""Order uncertainty arising from uncertain numeric values.
+
+The paper's Section 3 perspective ([5]): when the order comes from unknown
+numeric scores (itemset supports, relevance values) of which only intervals
+are known, the induced comparison ``a < b`` is *certain* iff a's interval
+lies entirely below b's. The certain comparisons form a partial order
+(an *interval order*); possible worlds correspond to orderings realizable by
+some choice of values inside the intervals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.order.posets import LabeledPoset
+from repro.util import check, stable_rng
+
+Interval = tuple[float, float]
+
+
+def poset_from_intervals(intervals: Mapping[object, Interval]) -> LabeledPoset:
+    """Build the certain-order poset of interval-valued items.
+
+    ``a < b`` iff ``hi(a) < lo(b)`` — the order that holds for *every* value
+    choice. Labels are the item identifiers themselves.
+    """
+    for item, (lo, hi) in intervals.items():
+        check(lo <= hi, f"interval of {item!r} is empty: [{lo}, {hi}]")
+    poset = LabeledPoset({item: item for item in intervals})
+    items = list(intervals)
+    for a in items:
+        for b in items:
+            if a != b and intervals[a][1] < intervals[b][0]:
+                poset.add_order(a, b)
+    return poset
+
+
+def is_realizable_order(
+    intervals: Mapping[object, Interval], sequence: tuple
+) -> bool:
+    """Whether some value choice makes ``sequence`` the (weakly) sorted order.
+
+    Greedy feasibility: walk the sequence keeping the minimal feasible value;
+    item i must admit a value ≥ the running value within its interval.
+    """
+    if sorted(map(str, sequence)) != sorted(map(str, intervals)):
+        return False
+    running = float("-inf")
+    for item in sequence:
+        lo, hi = intervals[item]
+        value = max(lo, running)
+        if value > hi:
+            return False
+        running = value
+    return True
+
+
+def sample_order(
+    intervals: Mapping[object, Interval], seed: int | None = None
+) -> tuple:
+    """Draw values uniformly in each interval and return the sorted order."""
+    rng = stable_rng(seed)
+    drawn = {
+        item: rng.uniform(lo, hi) if hi > lo else lo
+        for item, (lo, hi) in intervals.items()
+    }
+    return tuple(sorted(drawn, key=lambda item: (drawn[item], str(item))))
+
+
+def order_probability(
+    intervals: Mapping[object, Interval],
+    sequence: tuple,
+    samples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of the probability that values sort as ``sequence``.
+
+    Values are independent uniforms over their intervals — the natural
+    probabilistic refinement the paper's Section 3 asks about.
+    """
+    check(samples > 0, "need at least one sample")
+    rng = stable_rng(seed)
+    hits = 0
+    items = list(intervals)
+    for _ in range(samples):
+        drawn = {
+            item: rng.uniform(lo, hi) if hi > lo else lo
+            for item, (lo, hi) in intervals.items()
+        }
+        ordered = tuple(sorted(items, key=lambda item: (drawn[item], str(item))))
+        if ordered == tuple(sequence):
+            hits += 1
+    return hits / samples

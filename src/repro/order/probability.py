@@ -1,0 +1,99 @@
+"""A probabilistic model over possible orders: uniform linear extensions.
+
+The paper's §3 asks "How can we define a probability distribution on the
+possible ways to order the data?" The canonical baseline is the uniform
+distribution over linear extensions; a world's probability is then the
+number of extensions realizing its label sequence over the total count.
+Counting realizations of a *label sequence* generalizes both membership
+(count > 0) and extension counting (sum over sequences).
+"""
+
+from __future__ import annotations
+
+from repro.order.linear_extensions import count_linear_extensions
+from repro.order.posets import LabeledPoset
+from repro.util import check
+
+
+def count_realizations(poset: LabeledPoset, sequence: tuple) -> int:
+    """Number of linear extensions whose label sequence equals ``sequence``.
+
+    Backtracking with memoization on (position, remaining antichain state);
+    exponential worst case (duplicate labels), polynomial when labels are
+    distinct.
+    """
+    if len(sequence) != len(poset):
+        return 0
+    elements = poset.elements()
+    predecessor_sets = {e: poset.predecessors(e) for e in elements}
+    memo: dict[tuple[int, frozenset], int] = {}
+
+    def count(index: int, remaining: frozenset) -> int:
+        if index == len(sequence):
+            return 1 if not remaining else 0
+        key = (index, remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        target = sequence[index]
+        total = 0
+        for e in remaining:
+            if poset.label(e) == target and not (predecessor_sets[e] & remaining):
+                total += count(index + 1, remaining - {e})
+        memo[key] = total
+        return total
+
+    return count(0, frozenset(elements))
+
+
+def world_probability(poset: LabeledPoset, sequence: tuple) -> float:
+    """P(world = ``sequence``) under uniform linear extensions."""
+    total = count_linear_extensions(poset)
+    check(total > 0, "poset has no linear extensions")
+    return count_realizations(poset, sequence) / total
+
+
+def most_probable_worlds(
+    poset: LabeledPoset, k: int = 3
+) -> list[tuple[tuple, float]]:
+    """The ``k`` most probable worlds under uniform linear extensions.
+
+    Enumerates distinct label sequences (exponential; for small posets and
+    the benchmarks/examples).
+    """
+    from repro.order.linear_extensions import extension_labels, iter_linear_extensions
+
+    counts: dict[tuple, int] = {}
+    total = 0
+    for extension in iter_linear_extensions(poset):
+        labels = extension_labels(poset, extension)
+        counts[labels] = counts.get(labels, 0) + 1
+        total += 1
+    check(total > 0, "poset has no linear extensions")
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(labels, hits / total) for labels, hits in ranked[:k]]
+
+
+def pair_order_probability(poset: LabeledPoset, before, after) -> float:
+    """P(every ``before``-labeled element precedes every ``after`` one).
+
+    A probabilistic certain-answer primitive: 1.0 means the label order is
+    certain, 0.0 impossible.
+    """
+    from repro.order.linear_extensions import extension_labels, iter_linear_extensions
+
+    hits = 0
+    total = 0
+    for extension in iter_linear_extensions(poset):
+        labels = extension_labels(poset, extension)
+        total += 1
+        positions_before = [i for i, l in enumerate(labels) if l == before]
+        positions_after = [i for i, l in enumerate(labels) if l == after]
+        if (
+            positions_before
+            and positions_after
+            and max(positions_before) < min(positions_after)
+        ):
+            hits += 1
+    check(total > 0, "poset has no linear extensions")
+    return hits / total

@@ -1,0 +1,180 @@
+"""PrXML documents: probabilistic XML with local and global uncertainty.
+
+The PrXML formalism (Kimelfeld–Senellart) extends unordered labeled trees
+with *distributional* nodes deciding which children are kept:
+
+- ``ind``  — each child kept independently with its own probability (local);
+- ``mux``  — at most one child kept, mutually exclusively (local);
+- ``det``  — all children kept (useful under mux);
+- ``cie``  — each child kept iff a conjunction of global event literals holds
+  (the global-uncertainty class; query evaluation is intractable in general,
+  tractable under the paper's bounded event scopes).
+
+Distributional nodes are *virtual*: they do not appear in possible worlds;
+their surviving children attach to the nearest regular ancestor. Figure 1 of
+the paper (the Chelsea Manning Wikidata entry) is built with exactly these
+node kinds — see :func:`repro.workloads.wikidata.figure1_document`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.events import EventSpace
+from repro.util import check
+
+REGULAR = "regular"
+IND = "ind"
+MUX = "mux"
+DET = "det"
+CIE = "cie"
+
+
+@dataclass
+class PNode:
+    """A PrXML node.
+
+    ``label`` is meaningful for regular nodes. ``probability`` is the
+    annotation on the *edge from the parent* when the parent is ind/mux.
+    ``conditions`` is the conjunction of event literals (pairs
+    ``(event, positive)``) when the parent is cie.
+    """
+
+    kind: str
+    label: str | None = None
+    children: list["PNode"] = field(default_factory=list)
+    probability: float | None = None
+    conditions: tuple[tuple[str, bool], ...] = ()
+
+    def is_distributional(self) -> bool:
+        """Whether this is a virtual (ind/mux/det/cie) node."""
+        return self.kind != REGULAR
+
+    def iter_subtree(self) -> Iterator["PNode"]:
+        """Yield the node and all of its descendants (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:
+        tag = self.label if self.kind == REGULAR else self.kind
+        return f"PNode({tag}, children={len(self.children)})"
+
+
+def regular(label: str, children: Sequence[PNode] = ()) -> PNode:
+    """Create a regular node."""
+    return PNode(REGULAR, label=label, children=list(children))
+
+
+def ind(children: Sequence[tuple[PNode, float]]) -> PNode:
+    """Create an ``ind`` node from ``(child, probability)`` pairs."""
+    node = PNode(IND)
+    for child, probability in children:
+        check(0.0 <= probability <= 1.0, "ind child probability must be in [0,1]")
+        child.probability = probability
+        node.children.append(child)
+    return node
+
+
+def mux(children: Sequence[tuple[PNode, float]]) -> PNode:
+    """Create a ``mux`` node from ``(child, probability)`` pairs (sum ≤ 1)."""
+    node = PNode(MUX)
+    total = 0.0
+    for child, probability in children:
+        check(0.0 <= probability <= 1.0, "mux child probability must be in [0,1]")
+        total += probability
+        child.probability = probability
+        node.children.append(child)
+    check(total <= 1.0 + 1e-9, f"mux probabilities sum to {total} > 1")
+    return node
+
+
+def det(children: Sequence[PNode]) -> PNode:
+    """Create a ``det`` node keeping all of its children."""
+    return PNode(DET, children=list(children))
+
+
+def cie(children: Sequence[tuple[PNode, Sequence[tuple[str, bool]]]]) -> PNode:
+    """Create a ``cie`` node from ``(child, literal-conjunction)`` pairs.
+
+    Each literal is ``(event_name, positive)``; the child survives iff all
+    its literals hold under the global event valuation.
+    """
+    node = PNode(CIE)
+    for child, literals in children:
+        child.conditions = tuple((str(e), bool(v)) for e, v in literals)
+        node.children.append(child)
+    return node
+
+
+class PrXMLDocument:
+    """A PrXML document: a regular root plus a space of global events."""
+
+    def __init__(self, root: PNode, space: EventSpace | None = None):
+        check(root.kind == REGULAR, "the document root must be a regular node")
+        self.root = root
+        self.space = space if space is not None else EventSpace()
+        self._validate()
+
+    def _validate(self) -> None:
+        for node in self.root.iter_subtree():
+            if node.kind == CIE:
+                for child in node.children:
+                    for event, _positive in child.conditions:
+                        check(
+                            event in self.space,
+                            f"cie condition uses unregistered event {event!r}",
+                        )
+            if node.kind == MUX:
+                total = sum(child.probability or 0.0 for child in node.children)
+                check(total <= 1.0 + 1e-9, "mux probabilities must sum to at most 1")
+
+    def nodes(self) -> list[PNode]:
+        """All nodes of the document in pre-order."""
+        return list(self.root.iter_subtree())
+
+    def regular_nodes(self) -> list[PNode]:
+        """All regular nodes in pre-order."""
+        return [n for n in self.nodes() if n.kind == REGULAR]
+
+    def has_global_uncertainty(self) -> bool:
+        """Whether the document contains cie nodes (global correlations)."""
+        return any(n.kind == CIE for n in self.nodes())
+
+    def local_choice_count(self) -> int:
+        """Number of independent local choices (ind children + mux nodes)."""
+        count = 0
+        for node in self.nodes():
+            if node.kind == IND:
+                count += len(node.children)
+            elif node.kind == MUX:
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"PrXMLDocument(nodes={len(self.nodes())},"
+            f" events={len(self.space)}, cie={self.has_global_uncertainty()})"
+        )
+
+
+# Possible worlds are plain immutable trees: (label, (child, ...)).
+World = tuple
+
+
+def world_label(world: World) -> str:
+    """The label of a world tree's root."""
+    return world[0]
+
+
+def world_children(world: World) -> tuple:
+    """The children of a world tree's root."""
+    return world[1]
+
+
+def make_world(label: str, children: Sequence[World] = ()) -> World:
+    """Construct a world tree node."""
+    return (label, tuple(children))

@@ -1,0 +1,142 @@
+"""Tree-pattern queries over unordered labeled trees.
+
+The standard query language of probabilistic XML (and the one the paper's
+tree-tractability results are usually stated for, alongside MSO): a pattern
+is a tree whose nodes carry a label or the wildcard ``*`` and whose edges are
+child or descendant edges; it matches a tree if there is a homomorphism
+respecting labels and edge types. The pattern may match anywhere in the tree
+(descendant-or-self at the root).
+
+Matching is the classic bottom-up (A, D) computation: for each tree node,
+``A`` is the set of pattern nodes matched exactly there and ``D`` the set
+matched there or below. The same computation, lifted to distributions or
+circuits, powers the probabilistic evaluation in
+:mod:`repro.prxml.evaluation` and the binary tree automata bridge in
+:mod:`repro.automata.bridge`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.prxml.model import World, world_children, world_label
+from repro.util import check
+
+CHILD = "child"
+DESCENDANT = "descendant"
+WILDCARD = "*"
+
+
+@dataclass
+class PatternNode:
+    """One node of a tree pattern: a label test plus typed child edges."""
+
+    label: str
+    edges: list[tuple[str, "PatternNode"]] = field(default_factory=list)
+
+    def add_child(self, node: "PatternNode") -> "PatternNode":
+        """Attach ``node`` via a child edge and return it."""
+        self.edges.append((CHILD, node))
+        return node
+
+    def add_descendant(self, node: "PatternNode") -> "PatternNode":
+        """Attach ``node`` via a descendant edge and return it."""
+        self.edges.append((DESCENDANT, node))
+        return node
+
+
+class TreePattern:
+    """A tree-pattern query; matches anywhere in the target tree."""
+
+    def __init__(self, root: PatternNode):
+        self.root = root
+        self._nodes: list[PatternNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            self._nodes.append(node)
+            for _kind, child in node.edges:
+                stack.append(child)
+        self._index = {id(n): i for i, n in enumerate(self._nodes)}
+
+    def nodes(self) -> list[PatternNode]:
+        """All pattern nodes (root first)."""
+        return list(self._nodes)
+
+    def node_index(self, node: PatternNode) -> int:
+        """Stable index of a pattern node (used as automaton state bits)."""
+        return self._index[id(node)]
+
+    # ------------------------------------------------------------------ #
+
+    def _label_ok(self, node: PatternNode, label: str) -> bool:
+        return node.label == WILDCARD or node.label == label
+
+    def match_state(self, label: str, child_states: Sequence[tuple[frozenset, frozenset]]
+                    ) -> tuple[frozenset, frozenset]:
+        """One step of the bottom-up (A, D) computation.
+
+        ``child_states`` are the (A, D) pairs of the node's children; returns
+        the (A, D) pair of the node itself. Exposed so that the probabilistic
+        evaluation and the automata bridge can reuse the identical logic.
+        """
+        union_a: frozenset = frozenset().union(*(a for a, _d in child_states)) if child_states else frozenset()
+        union_d: frozenset = frozenset().union(*(d for _a, d in child_states)) if child_states else frozenset()
+        return self.match_state_from_unions(label, union_a, union_d)
+
+    def match_state_from_unions(
+        self, label: str, union_a: frozenset, union_d: frozenset
+    ) -> tuple[frozenset, frozenset]:
+        """(A, D) of a node from the unions of its children's A's and D's."""
+        matched = set()
+        for i, node in enumerate(self._nodes):
+            if not self._label_ok(node, label):
+                continue
+            ok = True
+            for kind, child in node.edges:
+                j = self._index[id(child)]
+                if kind == CHILD and j not in union_a:
+                    ok = False
+                    break
+                if kind == DESCENDANT and j not in union_d:
+                    ok = False
+                    break
+            if ok:
+                matched.add(i)
+        a = frozenset(matched)
+        d = a | union_d
+        return a, d
+
+    def matches(self, tree: World) -> bool:
+        """Whether the pattern matches ``tree`` (anywhere)."""
+        _a, d = self._evaluate(tree)
+        return self._index[id(self.root)] in d
+
+    def _evaluate(self, tree: World) -> tuple[frozenset, frozenset]:
+        child_states = [self._evaluate(child) for child in world_children(tree)]
+        return self.match_state(world_label(tree), child_states)
+
+    def __repr__(self) -> str:
+        return f"TreePattern(nodes={len(self._nodes)})"
+
+
+def pattern(label: str) -> PatternNode:
+    """Create a pattern node (chain with :meth:`PatternNode.add_child`)."""
+    check(isinstance(label, str) and label != "", "pattern label must be a non-empty string")
+    return PatternNode(label)
+
+
+def path_pattern(*labels: str, descendant: bool = False) -> TreePattern:
+    """Pattern for a root-to-leaf label path, via child or descendant edges."""
+    check(len(labels) > 0, "need at least one label")
+    root = pattern(labels[0])
+    current = root
+    for label in labels[1:]:
+        nxt = pattern(label)
+        if descendant:
+            current.add_descendant(nxt)
+        else:
+            current.add_child(nxt)
+        current = nxt
+    return TreePattern(root)

@@ -1,0 +1,88 @@
+"""Event scopes: the paper's sufficient condition for tractable cie documents.
+
+The scope of an event is "the set of nodes where the value of this event must
+be remembered when trying to evaluate a query on the tree" ([7]). During a
+bottom-up/left-to-right evaluation, an event must be remembered from its
+first use to its last use; we therefore define the scope of ``e`` as the
+contiguous *pre-order span* of nodes from the first to the last node of any
+cie-child guarded by ``e`` (each guarded subtree included).
+
+On the paper's Figure 1, the two eJane-guarded subtrees are adjacent
+siblings, so the scope is exactly "the nodes 'surname' and 'place of birth'
+and their descendants" — matching the paper's description. An event guarding
+subtrees far apart must be remembered across everything in between, which is
+what makes crossing/grid-correlated documents intractable.
+
+The *scope width* of a document is the largest number of events any single
+node is in scope of; bounded scope width keeps the lineage circuit's
+treewidth bounded (experiment E5 measures this operationally).
+"""
+
+from __future__ import annotations
+
+from repro.prxml.model import CIE, PrXMLDocument
+
+
+def _preorder_spans(doc: PrXMLDocument) -> tuple[dict[int, tuple[int, int]], dict[int, int]]:
+    """Pre-order index of each node and the index span of its subtree."""
+    index_of: dict[int, int] = {}
+    span_of: dict[int, tuple[int, int]] = {}
+
+    counter = [0]
+
+    def visit(node) -> tuple[int, int]:
+        start = counter[0]
+        index_of[id(node)] = start
+        counter[0] += 1
+        end = start
+        for child in node.children:
+            _s, child_end = visit(child)
+            end = child_end
+        span_of[id(node)] = (start, end)
+        return start, end
+
+    visit(doc.root)
+    return span_of, index_of
+
+
+def event_scopes(doc: PrXMLDocument) -> dict[str, set[int]]:
+    """Map each event to the pre-order indices of the nodes in its scope."""
+    span_of, _index_of = _preorder_spans(doc)
+    use_spans: dict[str, list[tuple[int, int]]] = {}
+    for node in doc.nodes():
+        if node.kind != CIE:
+            continue
+        for child in node.children:
+            for event, _positive in child.conditions:
+                use_spans.setdefault(event, []).append(span_of[id(child)])
+    scopes: dict[str, set[int]] = {e: set() for e in doc.space.events()}
+    for event, spans in use_spans.items():
+        low = min(s for s, _e in spans)
+        high = max(e for _s, e in spans)
+        scopes.setdefault(event, set()).update(range(low, high + 1))
+    return scopes
+
+
+def node_scopes(doc: PrXMLDocument) -> dict[int, set[str]]:
+    """Map each node (pre-order index) to the set of events scoping it."""
+    result: dict[int, set[str]] = {i: set() for i in range(len(doc.nodes()))}
+    for event, members in event_scopes(doc).items():
+        for index in members:
+            result.setdefault(index, set()).add(event)
+    return result
+
+
+def scope_width(doc: PrXMLDocument) -> int:
+    """The largest number of events any node is in scope of."""
+    widths = node_scopes(doc)
+    return max((len(events) for events in widths.values()), default=0)
+
+
+def events_used(doc: PrXMLDocument) -> set[str]:
+    """Events actually referenced by some cie condition."""
+    used: set[str] = set()
+    for node in doc.nodes():
+        if node.kind == CIE:
+            for child in node.children:
+                used.update(e for e, _positive in child.conditions)
+    return used

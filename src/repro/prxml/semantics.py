@@ -1,0 +1,172 @@
+"""Possible-world semantics of PrXML documents (the exponential oracle).
+
+A possible world is obtained by drawing the global event valuation, resolving
+every ind/mux choice, and splicing out distributional nodes. This module
+enumerates the full distribution — exponential, used as ground truth by the
+tests and small examples, exactly like possible-world enumeration for
+relational instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.events import Valuation
+from repro.prxml.model import (
+    CIE,
+    DET,
+    IND,
+    MUX,
+    REGULAR,
+    PNode,
+    PrXMLDocument,
+    World,
+    make_world,
+)
+from repro.util import ReproError, check, stable_rng
+
+
+def _contributions(node: PNode, valuation: Valuation) -> list[tuple[tuple[World, ...], float]]:
+    """Distribution over tuples of world-trees the node forwards upward."""
+    if node.kind == REGULAR:
+        combined = _combine_children(node.children, valuation)
+        return [
+            ((make_world(node.label, kids),), p)  # type: ignore[arg-type]
+            for kids, p in combined
+        ]
+    if node.kind == DET:
+        return _combine_children(node.children, valuation)
+    if node.kind == IND:
+        result: list[tuple[tuple[World, ...], float]] = [((), 1.0)]
+        for child in node.children:
+            p_keep = child.probability or 0.0
+            child_options = _contributions(child, valuation)
+            updated = []
+            for kids, p in result:
+                for extra, q in child_options:
+                    if p * q * p_keep > 0.0:
+                        updated.append((kids + extra, p * q * p_keep))
+                if p * (1.0 - p_keep) > 0.0:
+                    updated.append((kids, p * (1.0 - p_keep)))
+            result = _merge(updated)
+        return result
+    if node.kind == MUX:
+        result = []
+        total = 0.0
+        for child in node.children:
+            p_choose = child.probability or 0.0
+            total += p_choose
+            for kids, q in _contributions(child, valuation):
+                if p_choose * q > 0.0:
+                    result.append((kids, p_choose * q))
+        leftover = 1.0 - total
+        if leftover > 1e-12:
+            result.append(((), leftover))
+        return _merge(result)
+    if node.kind == CIE:
+        result = [((), 1.0)]
+        for child in node.children:
+            holds = all(
+                bool(valuation[event]) == positive for event, positive in child.conditions
+            )
+            if not holds:
+                continue
+            child_options = _contributions(child, valuation)
+            result = _merge(
+                [
+                    (kids + extra, p * q)
+                    for kids, p in result
+                    for extra, q in child_options
+                ]
+            )
+        return result
+    raise ReproError(f"unknown PrXML node kind {node.kind!r}")
+
+
+def _combine_children(
+    children: list[PNode], valuation: Valuation
+) -> list[tuple[tuple[World, ...], float]]:
+    result: list[tuple[tuple[World, ...], float]] = [((), 1.0)]
+    for child in children:
+        child_options = _contributions(child, valuation)
+        result = _merge(
+            [
+                (kids + extra, p * q)
+                for kids, p in result
+                for extra, q in child_options
+            ]
+        )
+    return result
+
+
+def _merge(options: list[tuple[tuple[World, ...], float]]) -> list:
+    merged: dict[tuple, float] = {}
+    for kids, p in options:
+        if p > 0.0:
+            merged[kids] = merged.get(kids, 0.0) + p
+    return list(merged.items())
+
+
+def world_distribution(doc: PrXMLDocument) -> Iterator[tuple[World, float]]:
+    """Enumerate ``(world, probability)`` pairs of the document.
+
+    Exponential in events and local choices; capped for safety.
+    """
+    events = sorted(doc.space.events())
+    check(len(events) <= 16, "world enumeration limited to 16 events")
+    check(doc.local_choice_count() <= 16, "world enumeration limited to 16 local choices")
+    accumulated: dict[World, float] = {}
+    for valuation in doc.space.valuations(events):
+        p_valuation = doc.space.valuation_probability(valuation)
+        if p_valuation == 0.0:
+            continue
+        for forwarded, p in _contributions(doc.root, valuation):
+            world = forwarded[0]  # the root always survives
+            accumulated[world] = accumulated.get(world, 0.0) + p_valuation * p
+    yield from accumulated.items()
+
+
+def sample_world(doc: PrXMLDocument, seed: int | None = None) -> World:
+    """Draw one world at random (Monte-Carlo baseline for PrXML)."""
+    rng = stable_rng(seed)
+    valuation = {e: rng.random() < doc.space.probability(e) for e in doc.space.events()}
+
+    def build(node: PNode) -> tuple[World, ...]:
+        if node.kind == REGULAR:
+            kids: list[World] = []
+            for child in node.children:
+                kids.extend(build(child))
+            return (make_world(node.label, kids),)  # type: ignore[arg-type]
+        if node.kind == DET:
+            kids = []
+            for child in node.children:
+                kids.extend(build(child))
+            return tuple(kids)
+        if node.kind == IND:
+            kids = []
+            for child in node.children:
+                if rng.random() < (child.probability or 0.0):
+                    kids.extend(build(child))
+            return tuple(kids)
+        if node.kind == MUX:
+            draw = rng.random()
+            cumulative = 0.0
+            for child in node.children:
+                cumulative += child.probability or 0.0
+                if draw < cumulative:
+                    return build(child)
+            return ()
+        if node.kind == CIE:
+            kids = []
+            for child in node.children:
+                if all(valuation[e] == positive for e, positive in child.conditions):
+                    kids.extend(build(child))
+            return tuple(kids)
+        raise ReproError(f"unknown PrXML node kind {node.kind!r}")
+
+    return build(doc.root)[0]
+
+
+def query_probability_enumerate(doc: PrXMLDocument, pattern) -> float:
+    """Reference probability that ``pattern`` matches a random world."""
+    return sum(p for world, p in world_distribution(doc) if pattern.matches(world))

@@ -1,0 +1,36 @@
+"""Query languages: CQs, UCQs, safe plans, Datalog (S5)."""
+
+from repro.queries.cq import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    Variable,
+    atom,
+    cq,
+    ucq,
+    variables,
+)
+from repro.queries.datalog import DatalogProgram, DatalogRule
+from repro.queries.safe import (
+    UnsafeQueryError,
+    is_hierarchical,
+    is_safe,
+    safe_plan_probability,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "DatalogProgram",
+    "DatalogRule",
+    "UnionOfConjunctiveQueries",
+    "UnsafeQueryError",
+    "Variable",
+    "atom",
+    "cq",
+    "is_hierarchical",
+    "is_safe",
+    "safe_plan_probability",
+    "ucq",
+    "variables",
+]

@@ -1,0 +1,117 @@
+"""Non-probabilistic Datalog with semi-naive evaluation.
+
+The deterministic substrate for the probabilistic-rules direction (§2.3):
+certain-answer reasoning under hard rules, against which the probabilistic
+chase is compared. Rules here are plain Datalog (no existentials — those live
+in :mod:`repro.rules.tgds`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.instances.base import Fact, Instance
+from repro.queries.cq import Atom, Variable
+from repro.util import check
+
+
+@dataclass(frozen=True)
+class DatalogRule:
+    """A rule ``head :- body`` with no existential variables in the head."""
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self):
+        body_vars = frozenset().union(*(a.variables() for a in self.body)) if self.body else frozenset()
+        check(
+            self.head.variables() <= body_vars,
+            "head variables must occur in the body (safe Datalog)",
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} :- " + ", ".join(repr(a) for a in self.body)
+
+
+class DatalogProgram:
+    """A set of Datalog rules, evaluated semi-naively to a fixpoint."""
+
+    def __init__(self, rules: Iterable[DatalogRule] = ()):
+        self.rules: list[DatalogRule] = list(rules)
+
+    def add(self, rule: DatalogRule) -> DatalogRule:
+        """Register a rule."""
+        self.rules.append(rule)
+        return rule
+
+    def idb_relations(self) -> frozenset[str]:
+        """Relations defined by rule heads."""
+        return frozenset(rule.head.relation for rule in self.rules)
+
+    def fixpoint(self, instance: Instance, max_rounds: int = 10_000) -> Instance:
+        """Return the least fixpoint of the program over ``instance``.
+
+        Semi-naive evaluation: each round only considers rule matches using
+        at least one fact derived in the previous round.
+        """
+        total = Instance(instance.facts())
+        delta = Instance(instance.facts())
+        rounds = 0
+        while len(delta) > 0:
+            rounds += 1
+            check(rounds <= max_rounds, "Datalog fixpoint exceeded max_rounds")
+            new_delta = Instance()
+            for rule in self.rules:
+                for derived in _apply_rule(rule, total, delta):
+                    if derived not in total:
+                        total.add(derived)
+                        new_delta.add(derived)
+            delta = new_delta
+        return total
+
+    def __repr__(self) -> str:
+        return f"DatalogProgram(rules={len(self.rules)})"
+
+
+def _apply_rule(rule: DatalogRule, total: Instance, delta: Instance) -> list[Fact]:
+    """All head facts derivable with ≥1 body atom matched in ``delta``."""
+    derived: list[Fact] = []
+    body = rule.body
+    for pivot in range(len(body)):
+        # Atom ``pivot`` must match inside delta; others match anywhere.
+        def extend(index: int, binding: dict) -> None:
+            if index == len(body):
+                head_args = tuple(
+                    binding[t] if isinstance(t, Variable) else t for t in rule.head.terms
+                )
+                derived.append(Fact(rule.head.relation, head_args))
+                return
+            source = delta if index == pivot else total
+            for f in source.by_relation(body[index].relation):
+                match = _match_atom(body[index], f, binding)
+                if match is not None:
+                    extend(index + 1, match)
+
+        extend(0, {})
+    # Deduplicate while preserving order.
+    unique: dict[Fact, None] = {}
+    for f in derived:
+        unique.setdefault(f, None)
+    return list(unique)
+
+
+def _match_atom(a: Atom, f: Fact, binding: dict) -> dict | None:
+    if a.relation != f.relation or len(a.terms) != len(f.args):
+        return None
+    extended = dict(binding)
+    for term, value in zip(a.terms, f.args):
+        if isinstance(term, Variable):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended

@@ -1,0 +1,147 @@
+"""Safe-plan (extensional) evaluation of self-join-free CQs on TIDs.
+
+The Dalvi–Suciu dichotomy: a self-join-free Boolean CQ is *hierarchical* iff
+for any two variables, their atom sets are disjoint or nested; hierarchical
+queries admit PTIME extensional plans, all others are #P-hard on unrestricted
+TIDs. The paper contrasts this query-based tractability frontier with its own
+data-based one (bounded treewidth): ``∃xy R(x)S(x,y)T(y)`` is non-hierarchical
+— this module refuses it — yet the lineage engine handles it on tree-like
+data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.instances.base import Constant, Fact
+from repro.instances.tid import TIDInstance
+from repro.queries.cq import Atom, ConjunctiveQuery, Variable
+from repro.util import ReproError, check
+
+
+class UnsafeQueryError(ReproError):
+    """Raised when a query has no safe extensional plan."""
+
+
+def atom_sets(query: ConjunctiveQuery) -> dict[Variable, frozenset[int]]:
+    """Map each variable to the indices of atoms containing it."""
+    result: dict[Variable, set[int]] = {}
+    for index, a in enumerate(query.atoms):
+        for v in a.variables():
+            result.setdefault(v, set()).add(index)
+    return {v: frozenset(s) for v, s in result.items()}
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Whether every pair of variables has nested or disjoint atom sets."""
+    sets = list(atom_sets(query).values())
+    for i, a in enumerate(sets):
+        for b in sets[i + 1 :]:
+            if a & b and not (a <= b or b <= a):
+                return False
+    return True
+
+
+def is_safe(query: ConjunctiveQuery) -> bool:
+    """Whether the query is self-join-free and hierarchical (PTIME on TIDs)."""
+    return query.is_self_join_free() and is_hierarchical(query)
+
+
+def safe_plan_probability(query: ConjunctiveQuery, tid: TIDInstance) -> float:
+    """Evaluate a safe query's probability by its extensional plan.
+
+    Recursive rules (Dalvi–Suciu):
+
+    1. ground query → product over its atoms of fact probabilities;
+    2. disconnected components → product of component probabilities;
+    3. root variable (in every atom) → independent project:
+       ``1 − Π_a (1 − P(q[x := a]))`` over the active domain.
+
+    Raises :class:`UnsafeQueryError` if no rule applies (unsafe query).
+    """
+    check(query.is_self_join_free(), "safe plans require self-join-free queries")
+    return _evaluate(query.atoms, tid, {})
+
+
+def _evaluate(
+    atoms: tuple[Atom, ...], tid: TIDInstance, binding: Mapping[Variable, Constant]
+) -> float:
+    atoms = tuple(_substitute(a, binding) for a in atoms)
+
+    free = frozenset().union(*(a.variables() for a in atoms)) if atoms else frozenset()
+    if not free:
+        probability = 1.0
+        for a in atoms:
+            f = Fact(a.relation, tuple(a.terms))  # type: ignore[arg-type]
+            if f not in tid.instance:
+                return 0.0
+            probability *= tid.probability(f)
+        return probability
+
+    components = _components(atoms)
+    if len(components) > 1:
+        probability = 1.0
+        for component in components:
+            probability *= _evaluate(component, tid, {})
+        return probability
+
+    root = _root_variable(atoms)
+    if root is None:
+        raise UnsafeQueryError(
+            f"query {' ∧ '.join(map(repr, atoms))} is not hierarchical: no root variable"
+        )
+    domain = _relevant_domain(atoms, tid, root)
+    miss_probability = 1.0
+    for value in domain:
+        miss_probability *= 1.0 - _evaluate(atoms, tid, {root: value})
+    return 1.0 - miss_probability
+
+
+def _substitute(a: Atom, binding: Mapping[Variable, Constant]) -> Atom:
+    return Atom(
+        a.relation,
+        tuple(binding.get(t, t) if isinstance(t, Variable) else t for t in a.terms),
+    )
+
+
+def _components(atoms: tuple[Atom, ...]) -> list[tuple[Atom, ...]]:
+    """Split atoms into connected components by shared variables."""
+    unassigned = list(range(len(atoms)))
+    components: list[tuple[Atom, ...]] = []
+    while unassigned:
+        frontier = [unassigned.pop(0)]
+        component = set(frontier)
+        seen_vars = set(atoms[frontier[0]].variables())
+        changed = True
+        while changed:
+            changed = False
+            for index in list(unassigned):
+                if atoms[index].variables() & seen_vars:
+                    component.add(index)
+                    seen_vars |= atoms[index].variables()
+                    unassigned.remove(index)
+                    changed = True
+        components.append(tuple(atoms[i] for i in sorted(component)))
+    return components
+
+
+def _root_variable(atoms: tuple[Atom, ...]) -> Variable | None:
+    """Return a variable occurring in every atom, if any."""
+    common = atoms[0].variables()
+    for a in atoms[1:]:
+        common &= a.variables()
+    return min(common, key=lambda v: v.name) if common else None
+
+
+def _relevant_domain(
+    atoms: tuple[Atom, ...], tid: TIDInstance, root: Variable
+) -> list[Constant]:
+    """Constants that could instantiate ``root`` (from matching positions)."""
+    values: set[Constant] = set()
+    for a in atoms:
+        positions = [i for i, t in enumerate(a.terms) if t == root]
+        for f in tid.instance.by_relation(a.relation):
+            if len(f.args) != len(a.terms):
+                continue
+            values.update(f.args[i] for i in positions)
+    return sorted(values, key=str)

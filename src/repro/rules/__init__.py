@@ -1,0 +1,25 @@
+"""Probabilistic rules: tgds, chase, probabilistic chase (S12)."""
+
+from repro.rules.chase import Null, certain_answer, chase
+from repro.rules.probabilistic import (
+    RULE_LEVEL,
+    TRIGGER_LEVEL,
+    ProbabilisticRule,
+    derived_fact_probability,
+    probabilistic_chase,
+)
+from repro.rules.tgds import ExistentialRule, is_weakly_acyclic, rule
+
+__all__ = [
+    "ExistentialRule",
+    "Null",
+    "ProbabilisticRule",
+    "RULE_LEVEL",
+    "TRIGGER_LEVEL",
+    "certain_answer",
+    "chase",
+    "derived_fact_probability",
+    "is_weakly_acyclic",
+    "probabilistic_chase",
+    "rule",
+]

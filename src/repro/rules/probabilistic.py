@@ -1,0 +1,160 @@
+"""The probabilistic chase: reasoning under soft rules (paper Section 2.3).
+
+The paper's desired semantics — explicitly contrasted with Gottlob et al.'s
+probabilistic Datalog+/−: a rule with probability p "applies, on average, in
+p of the cases", i.e. every *trigger* (body match) fires independently with
+probability p. We implement both semantics:
+
+- ``TRIGGER_LEVEL``  (the paper's): one fresh independent event per trigger;
+- ``RULE_LEVEL``     (the [25] baseline): one event per rule — the rule is
+  always true or always false.
+
+The chase produces a **pcc-instance**: each derived fact is annotated by the
+disjunction, over its derivations, of (trigger event ∧ body-fact gates).
+Cyclic/multiple derivations are handled naturally by the circuit OR; chase
+termination is bounded rounds (weakly acyclic rule sets terminate on their
+own). Query answering is then Theorem 2 machinery: lineage + message passing
+(or enumeration for small event spaces).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.instances.base import Fact, Instance
+from repro.instances.pcc import PCCInstance
+from repro.queries.cq import ConjunctiveQuery, Variable
+from repro.rules.tgds import ExistentialRule
+from repro.util import check
+
+TRIGGER_LEVEL = "trigger"
+RULE_LEVEL = "rule"
+
+
+@dataclass(frozen=True)
+class ProbabilisticRule:
+    """An existential rule firing with probability ``probability``."""
+
+    rule: ExistentialRule
+    probability: float
+
+    def __post_init__(self):
+        check(0.0 <= self.probability <= 1.0, "rule probability must be in [0,1]")
+
+    def __repr__(self) -> str:
+        return f"[{self.probability}] {self.rule!r}"
+
+
+class _DeterministicNull:
+    """Fresh null with a stable, derivation-determined name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other):
+        return isinstance(other, _DeterministicNull) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("null", self.name))
+
+
+def probabilistic_chase(
+    instance: Instance,
+    rules: Iterable[ProbabilisticRule],
+    rounds: int = 3,
+    semantics: str = TRIGGER_LEVEL,
+    base_probabilities: Mapping[Fact, float] | None = None,
+) -> PCCInstance:
+    """Run the probabilistic chase for a bounded number of rounds.
+
+    ``base_probabilities`` optionally makes the input facts themselves
+    uncertain (one independent event each); facts not listed are certain.
+    Returns the pcc-instance over base-fact events plus firing events.
+    """
+    check(semantics in (TRIGGER_LEVEL, RULE_LEVEL), "unknown semantics")
+    rules = list(rules)
+    pcc = PCCInstance()
+    base_probabilities = dict(base_probabilities or {})
+
+    # Base facts.
+    for f in instance.facts():
+        if f in base_probabilities:
+            event = pcc.add_event(f.variable_name, base_probabilities[f])
+            pcc.add(f, pcc.circuit.variable(event))
+        else:
+            pcc.add(f, pcc.circuit.true())
+
+    rule_events: dict[int, str] = {}
+    if semantics == RULE_LEVEL:
+        for index, pr in enumerate(rules):
+            name = pcc.add_event(f"rule:{index}", pr.probability)
+            rule_events[index] = name
+
+    fired: set[tuple] = set()
+    trigger_counter = 0
+    for round_index in range(rounds):
+        new_facts: list[tuple[Fact, int]] = []
+        for rule_index, pr in enumerate(rules):
+            body_query = ConjunctiveQuery(pr.rule.body)
+            for witness, binding in _witnesses_with_bindings(body_query, pcc.instance):
+                trigger_key = (rule_index, witness)
+                if trigger_key in fired:
+                    continue
+                fired.add(trigger_key)
+                trigger_counter += 1
+                if semantics == TRIGGER_LEVEL:
+                    event = pcc.add_event(
+                        f"trig:{rule_index}:{trigger_counter}", pr.probability
+                    )
+                    firing_gate = pcc.circuit.variable(event)
+                else:
+                    firing_gate = pcc.circuit.variable(rule_events[rule_index])
+                body_gate = pcc.circuit.and_gate(
+                    [firing_gate] + [pcc.gate_of(f) for f in witness]
+                )
+                extended = dict(binding)
+                for v in pr.rule.existential_variables():
+                    extended[v] = _DeterministicNull(
+                        f"_{v.name}#{rule_index}.{trigger_counter}"
+                    )
+                for head_atom in pr.rule.head:
+                    args = tuple(
+                        extended[t] if isinstance(t, Variable) else t
+                        for t in head_atom.terms
+                    )
+                    new_facts.append((Fact(head_atom.relation, args), body_gate))
+        if not new_facts:
+            break
+        for f, gate in new_facts:
+            if f in pcc.instance:
+                merged = pcc.circuit.or_gate([pcc.gate_of(f), gate])
+                pcc.add(f, merged)  # re-annotate with the disjunction
+            else:
+                pcc.add(f, gate)
+    return pcc
+
+
+def _witnesses_with_bindings(query: ConjunctiveQuery, instance: Instance):
+    """Yield ``(witness facts, binding)`` pairs for each body homomorphism."""
+    for binding in query.homomorphisms(instance):
+        witness = tuple(
+            Fact(a.relation, tuple(binding.get(t, t) for t in a.terms))
+            for a in query.atoms
+        )
+        yield witness, binding
+
+
+def query_probability_enumerate(pcc: PCCInstance, query) -> float:
+    """Reference query probability on the chased instance (enumeration)."""
+    from repro.baselines.enumeration import pcc_probability_enumerate
+
+    return pcc_probability_enumerate(query, pcc)
+
+
+def derived_fact_probability(pcc: PCCInstance, f: Fact) -> float:
+    """Marginal probability of a derived fact (enumeration oracle)."""
+    return pcc.fact_probability_enumerate(f)

@@ -1,0 +1,317 @@
+"""Commutative semirings for provenance (Green–Karvounarakis–Tannen).
+
+The paper connects its lineage circuits to semiring provenance: for monotone
+queries, the circuits are provenance circuits matching the standard
+definitions *for absorptive semirings* (those where ``a + a·b = a``). This
+module provides the semiring protocol, the standard zoo of instances, and an
+empirical absorptivity check used by tests and the E7 benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.util import check
+
+
+class Semiring:
+    """A commutative semiring ``(K, ⊕, ⊗, 0, 1)``.
+
+    Subclasses provide ``zero``, ``one``, ``add``, ``multiply`` and may
+    override ``is_absorptive_hint`` when absorptivity is known analytically.
+    """
+
+    name = "semiring"
+
+    def zero(self):
+        """Additive identity."""
+        raise NotImplementedError
+
+    def one(self):
+        """Multiplicative identity."""
+        raise NotImplementedError
+
+    def add(self, a, b):
+        """Semiring addition ⊕."""
+        raise NotImplementedError
+
+    def multiply(self, a, b):
+        """Semiring multiplication ⊗."""
+        raise NotImplementedError
+
+    def add_all(self, items: Iterable):
+        """Fold ⊕ over ``items`` (empty fold yields 0)."""
+        result = self.zero()
+        for item in items:
+            result = self.add(result, item)
+        return result
+
+    def multiply_all(self, items: Iterable):
+        """Fold ⊗ over ``items`` (empty fold yields 1)."""
+        result = self.one()
+        for item in items:
+            result = self.multiply(result, item)
+        return result
+
+    def is_absorptive_on(self, samples: Iterable[tuple]) -> bool:
+        """Check ``a ⊕ (a ⊗ b) == a`` on the given sample pairs."""
+        return all(
+            self.add(a, self.multiply(a, b)) == a for a, b in samples
+        )
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name})"
+
+
+class BooleanSemiring(Semiring):
+    """({0,1}, ∨, ∧): plain query semantics. Absorptive."""
+
+    name = "boolean"
+
+    def zero(self):
+        return False
+
+    def one(self):
+        return True
+
+    def add(self, a, b):
+        return a or b
+
+    def multiply(self, a, b):
+        return a and b
+
+
+class CountingSemiring(Semiring):
+    """(ℕ, +, ×): counts derivations (bag semantics). Not absorptive."""
+
+    name = "counting"
+
+    def zero(self):
+        return 0
+
+    def one(self):
+        return 1
+
+    def add(self, a, b):
+        return a + b
+
+    def multiply(self, a, b):
+        return a * b
+
+
+class TropicalSemiring(Semiring):
+    """(ℝ∪{∞}, min, +): cheapest derivation cost. Absorptive for costs ≥ 0."""
+
+    name = "tropical"
+    INFINITY = float("inf")
+
+    def zero(self):
+        return self.INFINITY
+
+    def one(self):
+        return 0.0
+
+    def add(self, a, b):
+        return min(a, b)
+
+    def multiply(self, a, b):
+        return a + b
+
+
+class ViterbiSemiring(Semiring):
+    """([0,1], max, ×): most-probable derivation. Absorptive."""
+
+    name = "viterbi"
+
+    def zero(self):
+        return 0.0
+
+    def one(self):
+        return 1.0
+
+    def add(self, a, b):
+        return max(a, b)
+
+    def multiply(self, a, b):
+        return a * b
+
+
+class FuzzySemiring(Semiring):
+    """([0,1], max, min): fuzzy membership. Absorptive."""
+
+    name = "fuzzy"
+
+    def zero(self):
+        return 0.0
+
+    def one(self):
+        return 1.0
+
+    def add(self, a, b):
+        return max(a, b)
+
+    def multiply(self, a, b):
+        return min(a, b)
+
+
+@dataclass(frozen=True, order=True)
+class Clearance:
+    """A security clearance level (smaller rank = more public)."""
+
+    rank: int
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+PUBLIC = Clearance(0, "public")
+CONFIDENTIAL = Clearance(1, "confidential")
+SECRET = Clearance(2, "secret")
+TOP_SECRET = Clearance(3, "top-secret")
+NEVER = Clearance(4, "never")
+
+CLEARANCES = (PUBLIC, CONFIDENTIAL, SECRET, TOP_SECRET, NEVER)
+
+
+class SecuritySemiring(Semiring):
+    """Access-control semiring: min-rank over derivations, max within one.
+
+    The canonical example of an absorptive semiring in the provenance
+    literature (Foster–Green–Tannen).
+    """
+
+    name = "security"
+
+    def zero(self):
+        return NEVER
+
+    def one(self):
+        return PUBLIC
+
+    def add(self, a, b):
+        return min(a, b)
+
+    def multiply(self, a, b):
+        return max(a, b)
+
+
+class WhySemiring(Semiring):
+    """Why-provenance: sets of witness fact-sets, union / pairwise-union.
+
+    Elements are frozensets of frozensets of fact tokens. Idempotent but not
+    absorptive (a superset witness is retained alongside a subset witness).
+    """
+
+    name = "why"
+
+    def zero(self):
+        return frozenset()
+
+    def one(self):
+        return frozenset({frozenset()})
+
+    def add(self, a, b):
+        return a | b
+
+    def multiply(self, a, b):
+        return frozenset(x | y for x in a for y in b)
+
+
+class PosBoolSemiring(Semiring):
+    """PosBool(X): positive Boolean functions as minimal monomial antichains.
+
+    Elements are frozensets of frozensets of variable tokens, kept minimal
+    under absorption (no monomial contains another). The free *absorptive*
+    semiring — the most informative provenance our circuits compute exactly.
+    """
+
+    name = "posbool"
+
+    def zero(self):
+        return frozenset()
+
+    def one(self):
+        return frozenset({frozenset()})
+
+    @staticmethod
+    def _minimize(monomials: frozenset) -> frozenset:
+        return frozenset(
+            m for m in monomials if not any(other < m for other in monomials)
+        )
+
+    def add(self, a, b):
+        return self._minimize(a | b)
+
+    def multiply(self, a, b):
+        return self._minimize(frozenset(x | y for x in a for y in b))
+
+    def variable(self, token) -> frozenset:
+        """The element representing a single variable token."""
+        return frozenset({frozenset({token})})
+
+
+class PolynomialSemiring(Semiring):
+    """ℕ[X]: provenance polynomials, the free commutative semiring.
+
+    Elements are mappings monomial → coefficient, encoded as frozensets of
+    ``(monomial, coefficient)`` pairs where a monomial is a frozenset of
+    ``(token, exponent)`` pairs. The most general provenance; **not**
+    absorptive, hence not guaranteed to match our circuits (documented
+    limitation; verified negatively in tests).
+    """
+
+    name = "polynomial"
+
+    def zero(self):
+        return frozenset()
+
+    def one(self):
+        return frozenset({(frozenset(), 1)})
+
+    @staticmethod
+    def _to_dict(element) -> dict:
+        return {monomial: coefficient for monomial, coefficient in element}
+
+    @staticmethod
+    def _from_dict(d: dict) -> frozenset:
+        return frozenset((m, c) for m, c in d.items() if c != 0)
+
+    def add(self, a, b):
+        total = self._to_dict(a)
+        for monomial, coefficient in b:
+            total[monomial] = total.get(monomial, 0) + coefficient
+        return self._from_dict(total)
+
+    def multiply(self, a, b):
+        product: dict = {}
+        for m1, c1 in a:
+            d1 = dict(m1)
+            for m2, c2 in b:
+                combined = dict(d1)
+                for token, exponent in m2:
+                    combined[token] = combined.get(token, 0) + exponent
+                key = frozenset(combined.items())
+                product[key] = product.get(key, 0) + c1 * c2
+        return self._from_dict(product)
+
+    def variable(self, token) -> frozenset:
+        """The polynomial consisting of the single variable ``token``."""
+        return frozenset({(frozenset({(token, 1)}), 1)})
+
+
+ABSORPTIVE_SEMIRINGS = (
+    BooleanSemiring(),
+    TropicalSemiring(),
+    ViterbiSemiring(),
+    FuzzySemiring(),
+    SecuritySemiring(),
+    PosBoolSemiring(),
+)
+
+NON_ABSORPTIVE_SEMIRINGS = (
+    CountingSemiring(),
+    WhySemiring(),
+    PolynomialSemiring(),
+)

@@ -1,0 +1,223 @@
+"""K-relations: the annotated positive relational algebra (Green et al.).
+
+The foundation the paper's provenance connection stands on: a K-relation
+maps tuples to annotations in a commutative semiring K, and the positive
+relational algebra (σ, π, ⋈, ∪, ρ) acts on annotations — union adds,
+join multiplies, projection sums over collapsed tuples. Instantiating K
+recovers set semantics (Boolean), bag semantics (counting), probabilistic
+lineage (PosBool), and the provenance polynomials.
+
+This gives an independent, compositional evaluator for provenance that the
+tests cross-check against both the homomorphism-based reference and the
+circuit-based engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+from repro.semirings.base import Semiring
+from repro.util import ReproError, check
+
+Tuple_ = tuple
+
+
+class KRelation:
+    """A finite map from tuples to non-zero semiring annotations.
+
+    Tuples are positional; ``attributes`` names the columns (used by joins
+    to decide the shared columns and by ``project``/``rename``).
+    """
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        attributes: Sequence[str],
+        rows: Mapping[Tuple_, object] | Iterable[tuple[Tuple_, object]] = (),
+    ):
+        self.semiring = semiring
+        self.attributes = tuple(attributes)
+        check(
+            len(set(self.attributes)) == len(self.attributes),
+            "attribute names must be distinct",
+        )
+        self._rows: dict[Tuple_, object] = {}
+        items = rows.items() if isinstance(rows, Mapping) else rows
+        for values, annotation in items:
+            self.add(values, annotation)
+
+    def add(self, values: Tuple_, annotation) -> None:
+        """Add a tuple's annotation (⊕-merged if the tuple already exists)."""
+        values = tuple(values)
+        check(
+            len(values) == len(self.attributes),
+            f"tuple arity {len(values)} != relation arity {len(self.attributes)}",
+        )
+        current = self._rows.get(values, self.semiring.zero())
+        merged = self.semiring.add(current, annotation)
+        if merged == self.semiring.zero():
+            self._rows.pop(values, None)
+        else:
+            self._rows[values] = merged
+
+    def annotation(self, values: Tuple_) -> object:
+        """The annotation of ``values`` (semiring zero if absent)."""
+        return self._rows.get(tuple(values), self.semiring.zero())
+
+    def rows(self) -> dict[Tuple_, object]:
+        """A copy of the tuple → annotation map."""
+        return dict(self._rows)
+
+    def support(self) -> set[Tuple_]:
+        """Tuples with non-zero annotation."""
+        return set(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"KRelation({self.semiring.name}, {list(self.attributes)},"
+            f" rows={len(self._rows)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # the positive relational algebra
+
+    def select(self, predicate: Callable[[dict], bool]) -> "KRelation":
+        """σ: keep tuples whose attribute dict satisfies ``predicate``."""
+        result = KRelation(self.semiring, self.attributes)
+        for values, annotation in self._rows.items():
+            if predicate(dict(zip(self.attributes, values))):
+                result.add(values, annotation)
+        return result
+
+    def project(self, attributes: Sequence[str]) -> "KRelation":
+        """π: project onto ``attributes``, ⊕-summing collapsed tuples."""
+        attributes = tuple(attributes)
+        missing = set(attributes) - set(self.attributes)
+        check(not missing, f"unknown attributes {sorted(missing)}")
+        indices = [self.attributes.index(a) for a in attributes]
+        result = KRelation(self.semiring, attributes)
+        for values, annotation in self._rows.items():
+            result.add(tuple(values[i] for i in indices), annotation)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "KRelation":
+        """ρ: rename attributes."""
+        renamed = tuple(mapping.get(a, a) for a in self.attributes)
+        return KRelation(self.semiring, renamed, self._rows)
+
+    def union(self, other: "KRelation") -> "KRelation":
+        """∪: ⊕ of annotations, same schema required."""
+        self._require_compatible(other)
+        result = KRelation(self.semiring, self.attributes, self._rows)
+        for values, annotation in other._rows.items():
+            result.add(values, annotation)
+        return result
+
+    def join(self, other: "KRelation") -> "KRelation":
+        """⋈: natural join; annotations ⊗-multiply.
+
+        Shared attributes must match; the result schema is the union of the
+        schemas (shared attributes once, in this relation's order first).
+        """
+        check(
+            self.semiring is other.semiring
+            or type(self.semiring) is type(other.semiring),
+            "joined relations must share the semiring",
+        )
+        shared = [a for a in self.attributes if a in other.attributes]
+        other_only = [a for a in other.attributes if a not in self.attributes]
+        result_attributes = self.attributes + tuple(other_only)
+        result = KRelation(self.semiring, result_attributes)
+        other_shared_indices = [other.attributes.index(a) for a in shared]
+        other_only_indices = [other.attributes.index(a) for a in other_only]
+        my_shared_indices = [self.attributes.index(a) for a in shared]
+        # Index the right-hand side by the shared-key for join efficiency.
+        by_key: dict[Tuple_, list[tuple[Tuple_, object]]] = {}
+        for values, annotation in other._rows.items():
+            key = tuple(values[i] for i in other_shared_indices)
+            by_key.setdefault(key, []).append((values, annotation))
+        for values, annotation in self._rows.items():
+            key = tuple(values[i] for i in my_shared_indices)
+            for other_values, other_annotation in by_key.get(key, ()):
+                combined = values + tuple(other_values[i] for i in other_only_indices)
+                result.add(
+                    combined, self.semiring.multiply(annotation, other_annotation)
+                )
+        return result
+
+    def _require_compatible(self, other: "KRelation") -> None:
+        if self.attributes != other.attributes:
+            raise ReproError(
+                f"schema mismatch: {self.attributes} vs {other.attributes}"
+            )
+
+
+def evaluate_cq_algebraically(query, instance_relations: Mapping[str, KRelation]):
+    """Evaluate a Boolean CQ by joins and a final full projection.
+
+    ``instance_relations`` maps relation names to K-relations whose
+    attributes are positional (``"0", "1", …``). Returns the annotation of
+    the empty tuple — the query's provenance under GKT semantics. This is
+    the *plan-based* route to provenance, cross-checked in the tests against
+    the homomorphism-based and automaton-based routes.
+    """
+    from repro.queries.cq import ConjunctiveQuery, Variable
+
+    check(isinstance(query, ConjunctiveQuery), "algebraic evaluation needs a CQ")
+    plan: KRelation | None = None
+    fresh = 0
+    for a in query.atoms:
+        relation = instance_relations.get(a.relation)
+        check(relation is not None, f"no K-relation for {a.relation!r}")
+        renaming = {}
+        selections: list[tuple[int, object]] = []
+        seen_vars: dict[Variable, str] = {}
+        equalities: list[tuple[str, str]] = []
+        for index, term in enumerate(a.terms):
+            column = str(index)
+            if isinstance(term, Variable):
+                if term in seen_vars:
+                    fresh += 1
+                    alias = f"_dup{fresh}"
+                    renaming[column] = alias
+                    equalities.append((seen_vars[term], alias))
+                else:
+                    renaming[column] = f"v_{term.name}"
+                    seen_vars[term] = f"v_{term.name}"
+            else:
+                fresh += 1
+                alias = f"_const{fresh}"
+                renaming[column] = alias
+                selections.append((alias, term))
+        operand = relation.rename(renaming)
+        for alias, constant in selections:
+            operand = operand.select(lambda row, a=alias, c=constant: row[a] == c)
+        for left, right in equalities:
+            operand = operand.select(lambda row, l=left, r=right: row[l] == row[r])
+            operand = operand.project(
+                [attr for attr in operand.attributes if attr != right]
+            )
+        operand = operand.project(
+            [attr for attr in operand.attributes if attr.startswith("v_")]
+        )
+        plan = operand if plan is None else plan.join(operand)
+    assert plan is not None
+    return plan.project([]).annotation(())
+
+
+def from_instance(
+    instance, semiring: Semiring, annotation: Mapping | Callable
+) -> dict[str, KRelation]:
+    """Build positional K-relations from an Instance plus fact annotations."""
+    annotate = annotation if callable(annotation) else annotation.__getitem__
+    relations: dict[str, KRelation] = {}
+    for f in instance.facts():
+        rel = relations.get(f.relation)
+        if rel is None:
+            rel = KRelation(semiring, [str(i) for i in range(f.arity)])
+            relations[f.relation] = rel
+        rel.add(f.args, annotate(f))
+    return relations

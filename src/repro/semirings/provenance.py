@@ -1,0 +1,103 @@
+"""Semiring provenance: reference semantics and circuit evaluation.
+
+Two routes to the provenance of a monotone query:
+
+- :func:`reference_provenance` — the textbook Green–Karvounarakis–Tannen
+  definition: sum over homomorphisms of the product of fact annotations
+  (for UCQs, additionally summed over disjuncts).
+- :func:`evaluate_circuit` — evaluate a monotone provenance circuit (from
+  :func:`repro.core.build_provenance_circuit`) in the semiring.
+
+The paper's claim, which tests and benchmark E7 verify: the two agree on
+**absorptive** semirings; on non-absorptive ones (ℕ[X], counting, Why) the
+circuit may differ because a run of the automaton can use spare facts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.circuits import AND, CONST, NOT, OR, VAR, Circuit
+from repro.instances.base import Fact, Instance
+from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.semirings.base import Semiring
+from repro.util import ReproError, check
+
+
+def reference_provenance(
+    query,
+    instance: Instance,
+    semiring: Semiring,
+    annotation: Mapping[Fact, object] | Callable[[Fact], object],
+):
+    """GKT provenance by homomorphism enumeration (the ground truth).
+
+    ``annotation`` maps each fact to its semiring element (a mapping or a
+    callable). For a CQ: ``⊕ over homomorphisms h`` of
+    ``⊗ over atoms a`` of ``annotation(h(a))``; for UCQs, summed over
+    disjuncts.
+    """
+    annotate = annotation if callable(annotation) else annotation.__getitem__
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return semiring.add_all(
+            reference_provenance(q, instance, semiring, annotation)
+            for q in query.disjuncts
+        )
+    check(isinstance(query, ConjunctiveQuery), "reference provenance needs a CQ/UCQ")
+    total = semiring.zero()
+    for witness in query.witnesses(instance):
+        term = semiring.multiply_all(annotate(f) for f in witness)
+        total = semiring.add(total, term)
+    return total
+
+
+def evaluate_circuit(
+    circuit: Circuit,
+    semiring: Semiring,
+    annotation: Mapping[str, object] | Callable[[str], object],
+):
+    """Evaluate a monotone circuit in a semiring (⊕ at OR, ⊗ at AND).
+
+    ``annotation`` maps *variable names* (fact variable names) to semiring
+    elements. Negation gates are rejected: provenance is defined for
+    monotone queries only.
+    """
+    annotate = annotation if callable(annotation) else annotation.__getitem__
+    check(circuit.output is not None, "circuit has no output gate")
+    values: dict[int, object] = {}
+    for gid in circuit.reachable_from_output():
+        gate = circuit.gate(gid)
+        if gate.kind == VAR:
+            values[gid] = annotate(gate.payload)  # type: ignore[arg-type]
+        elif gate.kind == CONST:
+            values[gid] = semiring.one() if gate.payload else semiring.zero()
+        elif gate.kind == AND:
+            values[gid] = semiring.multiply_all(values[i] for i in gate.inputs)
+        elif gate.kind == OR:
+            values[gid] = semiring.add_all(values[i] for i in gate.inputs)
+        elif gate.kind == NOT:
+            raise ReproError("provenance circuits must be monotone (no NOT gates)")
+        else:  # pragma: no cover
+            raise ReproError(f"unknown gate kind {gate.kind!r}")
+    return values[circuit.output]  # type: ignore[index]
+
+
+def circuit_provenance(
+    query,
+    instance: Instance,
+    semiring: Semiring,
+    annotation: Mapping[Fact, object] | Callable[[Fact], object],
+    decomposition=None,
+):
+    """Provenance via the treewidth-based provenance circuit (the paper's way)."""
+    from repro.core.engine import build_provenance_circuit
+
+    annotate = annotation if callable(annotation) else annotation.__getitem__
+    lineage = build_provenance_circuit(instance, query, decomposition)
+    by_name = {f.variable_name: annotate(f) for f in instance.facts()}
+    return evaluate_circuit(lineage.circuit, semiring, by_name)
+
+
+def default_tokens(instance: Instance) -> dict[Fact, str]:
+    """Annotate each fact with its own token (for PosBool / ℕ[X] semirings)."""
+    return {f: f.variable_name for f in instance.facts()}

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG helpers, iteration helpers, validation."""
+
+from repro.util.helpers import (
+    ReproError,
+    check,
+    fresh_name_factory,
+    pairs,
+    powerset,
+    stable_rng,
+)
+
+__all__ = [
+    "ReproError",
+    "check",
+    "fresh_name_factory",
+    "pairs",
+    "powerset",
+    "stable_rng",
+]

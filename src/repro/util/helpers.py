@@ -1,0 +1,64 @@
+"""Small shared helpers used across the library.
+
+Everything here is dependency-free so that any subpackage can import it
+without creating cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+def check(condition: bool, message: str) -> None:
+    """Raise :class:`ReproError` with ``message`` unless ``condition`` holds.
+
+    Used for validating user-facing invariants (as opposed to ``assert``,
+    which guards internal logic and may be stripped with ``-O``).
+    """
+    if not condition:
+        raise ReproError(message)
+
+
+def powerset(items: Iterable[T]) -> Iterator[tuple[T, ...]]:
+    """Yield every subset of ``items`` as a tuple, smallest subsets first.
+
+    >>> list(powerset([1, 2]))
+    [(), (1,), (2,), (1, 2)]
+    """
+    pool = list(items)
+    return itertools.chain.from_iterable(
+        itertools.combinations(pool, size) for size in range(len(pool) + 1)
+    )
+
+
+def pairs(items: Iterable[T]) -> Iterator[tuple[T, T]]:
+    """Yield all unordered pairs of distinct elements of ``items``."""
+    return itertools.combinations(items, 2)
+
+
+def stable_rng(seed: int | None) -> random.Random:
+    """Return a :class:`random.Random` seeded deterministically.
+
+    All randomized components of the library accept a ``seed`` and create
+    their generator through this helper so behaviour is reproducible.
+    """
+    return random.Random(seed if seed is not None else 0)
+
+
+def fresh_name_factory(prefix: str):
+    """Return a zero-argument callable producing ``prefix0, prefix1, ...``."""
+    counter = itertools.count()
+
+    def fresh() -> str:
+        return f"{prefix}{next(counter)}"
+
+    return fresh

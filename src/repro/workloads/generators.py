@@ -1,0 +1,172 @@
+"""Synthetic workload generators with certified structure.
+
+Everything is seeded and deterministic. The partial-k-tree generator records
+the decomposition built during generation, so benchmarks can run with a
+*certified* width instead of trusting heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.instances.base import Fact, fact
+from repro.instances.tid import TIDInstance
+from repro.treewidth import TreeDecomposition
+from repro.util import check, stable_rng
+
+
+@dataclass
+class GeneratedGraph:
+    """A generated graph TID plus its certified decomposition."""
+
+    tid: TIDInstance
+    decomposition: TreeDecomposition
+    width: int
+
+
+def path_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+    """A path of uncertain edges E(i, i+1) — treewidth 1."""
+    rng = stable_rng(seed)
+    tid = TIDInstance()
+    for i in range(n - 1):
+        tid.add(fact("E", i, i + 1), _jitter(probability, rng))
+    return tid
+
+
+def cycle_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+    """A cycle of uncertain edges — treewidth 2."""
+    rng = stable_rng(seed)
+    tid = TIDInstance()
+    for i in range(n):
+        tid.add(fact("E", i, (i + 1) % n), _jitter(probability, rng))
+    return tid
+
+
+def grid_tid(rows: int, cols: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+    """A rows×cols grid of uncertain edges — treewidth min(rows, cols)."""
+    rng = stable_rng(seed)
+    tid = TIDInstance()
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                tid.add(fact("E", (r, c), (r, c + 1)), _jitter(probability, rng))
+            if r + 1 < rows:
+                tid.add(fact("E", (r, c), (r + 1, c)), _jitter(probability, rng))
+    return tid
+
+
+def partial_ktree_tid(
+    n: int,
+    k: int,
+    edge_keep: float = 0.7,
+    probability: float = 0.5,
+    seed: int = 0,
+) -> GeneratedGraph:
+    """A random partial k-tree with a certified width-k decomposition.
+
+    Grows a k-tree (start from a (k+1)-clique; repeatedly attach a new vertex
+    to a random existing k-clique), recording one bag per vertex; then keeps
+    each edge with probability ``edge_keep`` (edge-subgraphs of k-trees are
+    exactly the partial k-trees). The recorded decomposition stays valid.
+    """
+    check(n >= k + 1, "need at least k+1 vertices")
+    rng = stable_rng(seed)
+    graph = nx.complete_graph(k + 1)
+    cliques = [tuple(range(k + 1))]
+    bags: dict[int, frozenset] = {0: frozenset(range(k + 1))}
+    edges: list[tuple[int, int]] = []
+    bag_of_clique = {cliques[0]: 0}
+    for v in range(k + 1, n):
+        base = cliques[rng.randrange(len(cliques))]
+        members = rng.sample(base, k) if len(base) > k else list(base)
+        for u in members:
+            graph.add_edge(v, u)
+        new_bag = frozenset(list(members) + [v])
+        bag_id = len(bags)
+        bags[bag_id] = new_bag
+        edges.append((bag_id, bag_of_clique[base]))
+        for subset_index in range(len(members) + 1):
+            candidate = tuple(sorted(members[:subset_index] + members[subset_index + 1 :] + [v]))
+            if len(candidate) == k and candidate not in bag_of_clique:
+                cliques.append(candidate)
+                bag_of_clique[candidate] = bag_id
+        full = tuple(sorted(list(members) + [v]))
+        if len(full) == k and full not in bag_of_clique:
+            cliques.append(full)
+            bag_of_clique[full] = bag_id
+    decomposition = TreeDecomposition(bags, edges)
+    tid = TIDInstance()
+    for a, b in sorted(graph.edges, key=str):
+        if rng.random() < edge_keep:
+            key = (a, b) if str(a) <= str(b) else (b, a)
+            tid.add(fact("E", *key), _jitter(probability, rng))
+    return GeneratedGraph(tid=tid, decomposition=decomposition, width=k)
+
+
+def rst_chain_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+    """R(i), S(i, i+1), T(i) facts along a path — the Q_RST workload."""
+    rng = stable_rng(seed)
+    tid = TIDInstance()
+    for i in range(n):
+        tid.add(fact("R", i), _jitter(probability, rng))
+        tid.add(fact("T", i), _jitter(probability, rng))
+        if i + 1 < n:
+            tid.add(fact("S", i, i + 1), _jitter(probability, rng))
+    return tid
+
+
+def rst_bipartite_tid(
+    left: int, right: int, probability: float = 0.5, seed: int = 0, density: float = 1.0
+) -> TIDInstance:
+    """R over left nodes, T over right nodes, S a (dense) bipartite relation.
+
+    With ``density=1`` this is the complete bipartite workload on which the
+    query ``∃xy R(x)S(x,y)T(y)`` exhibits its #P-hard behaviour (high
+    treewidth); lower densities interpolate toward tree-like instances.
+    """
+    rng = stable_rng(seed)
+    tid = TIDInstance()
+    for i in range(left):
+        tid.add(fact("R", f"l{i}"), _jitter(probability, rng))
+    for j in range(right):
+        tid.add(fact("T", f"r{j}"), _jitter(probability, rng))
+    for i in range(left):
+        for j in range(right):
+            if rng.random() < density:
+                tid.add(fact("S", f"l{i}", f"r{j}"), _jitter(probability, rng))
+    return tid
+
+
+def core_and_tentacles_tid(
+    core_size: int,
+    tentacle_count: int,
+    tentacle_length: int,
+    probability: float = 0.5,
+    seed: int = 0,
+) -> TIDInstance:
+    """A dense clique core with long path tentacles hanging off it.
+
+    The partial-decomposition workload (E12): the core has treewidth
+    ``core_size − 1`` while the tentacles are width-1 paths.
+    """
+    rng = stable_rng(seed)
+    tid = TIDInstance()
+    for i in range(core_size):
+        for j in range(i + 1, core_size):
+            tid.add(fact("E", f"core{i}", f"core{j}"), _jitter(probability, rng))
+    for t in range(tentacle_count):
+        anchor = f"core{t % core_size}"
+        previous = anchor
+        for step in range(tentacle_length):
+            node = f"t{t}_{step}"
+            tid.add(fact("E", previous, node), _jitter(probability, rng))
+            previous = node
+    return tid
+
+
+def _jitter(probability: float, rng) -> float:
+    """Perturb a base probability slightly, clamped to (0.05, 0.95)."""
+    jittered = probability + rng.uniform(-0.2, 0.2)
+    return round(min(0.95, max(0.05, jittered)), 3)

@@ -1,0 +1,83 @@
+"""Synthetic knowledge-base workloads for the probabilistic-rules experiments.
+
+A small people/cities/countries KB with the paper's own example rules:
+"a citizen of a country often lives in that country, and probably speaks the
+official language of the country"; plus the existential example "a PhD
+student and their advisor have probably co-authored some paper".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instances.base import Instance, fact
+from repro.queries.cq import atom, variables
+from repro.rules.probabilistic import ProbabilisticRule
+from repro.rules.tgds import rule
+from repro.util import stable_rng
+
+X, Y, Z = variables("x", "y", "z")
+
+CITIZEN_RULES = (
+    # Citizens usually live in their country.
+    ProbabilisticRule(
+        rule([atom("Citizen", X, Y)], [atom("LivesIn", X, Y)]), 0.8
+    ),
+    # Residents probably speak the official language.
+    ProbabilisticRule(
+        rule(
+            [atom("LivesIn", X, Y), atom("OfficialLanguage", Y, Z)],
+            [atom("Speaks", X, Z)],
+        ),
+        0.9,
+    ),
+)
+
+ADVISOR_RULES = (
+    # A PhD student and their advisor have probably co-authored some paper
+    # (the head invents the paper: an existential).
+    ProbabilisticRule(
+        rule(
+            [atom("AdvisedBy", X, Y)],
+            [atom("Author", X, Z), atom("Author", Y, Z)],
+        ),
+        0.7,
+    ),
+)
+
+
+@dataclass
+class KBWorkload:
+    """A generated KB instance with its soft rules."""
+
+    instance: Instance
+    rules: tuple[ProbabilisticRule, ...]
+
+
+def citizenship_kb(people: int, countries: int = 3, seed: int = 0) -> KBWorkload:
+    """People with citizenships; countries with official languages."""
+    rng = stable_rng(seed)
+    inst = Instance()
+    languages = ["english", "french", "german", "spanish"]
+    for c in range(countries):
+        inst.add(fact("OfficialLanguage", f"country{c}", languages[c % len(languages)]))
+    for p in range(people):
+        country = f"country{rng.randrange(countries)}"
+        inst.add(fact("Citizen", f"person{p}", country))
+        if rng.random() < 0.3:
+            # Some residences are already known (hard facts).
+            inst.add(fact("LivesIn", f"person{p}", country))
+    return KBWorkload(instance=inst, rules=CITIZEN_RULES)
+
+
+def advisor_kb(students: int, seed: int = 0) -> KBWorkload:
+    """PhD students with advisors; some papers already known."""
+    rng = stable_rng(seed)
+    inst = Instance()
+    for s in range(students):
+        advisor = f"prof{s % max(1, students // 2)}"
+        inst.add(fact("AdvisedBy", f"student{s}", advisor))
+        if rng.random() < 0.3:
+            inst.add(fact("Author", f"student{s}", f"paper{s}"))
+            inst.add(fact("Author", advisor, f"paper{s}"))
+    return KBWorkload(instance=inst, rules=ADVISOR_RULES)

@@ -1,0 +1,75 @@
+"""Log-integration workloads for order uncertainty (paper Section 3).
+
+The paper motivates order uncertainty with "integrating logged events from
+different machines or files, where the log entries are sequentially ordered
+but do not mention a global timestamp" (fetchmail, dmesg). We generate k
+totally ordered logs over a shared event vocabulary; their union is a
+po-relation whose possible worlds are the admissible global interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.order.algebra import union
+from repro.order.posets import LabeledPoset, chain
+from repro.util import check, stable_rng
+
+EVENT_KINDS = (
+    "connect",
+    "auth",
+    "fetch",
+    "write",
+    "flush",
+    "disconnect",
+    "retry",
+    "error",
+)
+
+
+@dataclass
+class LogWorkload:
+    """Generated logs plus their merged po-relation."""
+
+    logs: list[list[str]]
+    merged: LabeledPoset
+
+
+def generate_logs(
+    machines: int, events_per_log: int, seed: int = 0, shared_vocabulary: bool = True
+) -> LogWorkload:
+    """Generate per-machine ordered logs and their parallel merge.
+
+    With ``shared_vocabulary`` the same event kind can appear in several logs
+    (duplicate labels — the hard membership regime); otherwise labels are
+    made machine-unique (the tractable distinct-label regime).
+    """
+    check(machines >= 1 and events_per_log >= 1, "need at least one log entry")
+    rng = stable_rng(seed)
+    logs: list[list[str]] = []
+    for m in range(machines):
+        entries = []
+        for i in range(events_per_log):
+            kind = EVENT_KINDS[rng.randrange(len(EVENT_KINDS))]
+            entries.append(kind if shared_vocabulary else f"m{m}:{kind}:{i}")
+        logs.append(entries)
+    merged = chain(logs[0], prefix="m0_")
+    for m, entries in enumerate(logs[1:], start=1):
+        merged = union(merged, chain(entries, prefix=f"m{m}_"))
+    return LogWorkload(logs=logs, merged=merged)
+
+
+def true_interleaving(workload: LogWorkload, seed: int = 0) -> tuple[str, ...]:
+    """A ground-truth global order consistent with all logs (for testing)."""
+    rng = stable_rng(seed)
+    positions = [0] * len(workload.logs)
+    result: list[str] = []
+    total = sum(len(log) for log in workload.logs)
+    while len(result) < total:
+        candidates = [
+            m for m, log in enumerate(workload.logs) if positions[m] < len(log)
+        ]
+        m = candidates[rng.randrange(len(candidates))]
+        result.append(workload.logs[m][positions[m]])
+        positions[m] += 1
+    return tuple(result)

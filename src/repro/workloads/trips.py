@@ -1,0 +1,43 @@
+"""The paper's Table 1: the conference-trips c-instance, verbatim.
+
+A researcher books flights depending on which conferences they attend: PODS
+in Melbourne, STOC in Portland. Each trip fact is annotated with a formula
+over the events ``pods`` and ``stoc``.
+"""
+
+from __future__ import annotations
+
+from repro.events import var
+from repro.instances.base import fact
+from repro.instances.cinstance import CInstance, PCInstance
+
+PODS = "pods"
+STOC = "stoc"
+
+TRIP_CDG_MEL = fact("Trip", "Paris CDG", "Melbourne MEL")
+TRIP_MEL_CDG = fact("Trip", "Melbourne MEL", "Paris CDG")
+TRIP_MEL_PDX = fact("Trip", "Melbourne MEL", "Portland PDX")
+TRIP_CDG_PDX = fact("Trip", "Paris CDG", "Portland PDX")
+TRIP_PDX_CDG = fact("Trip", "Portland PDX", "Paris CDG")
+
+ALL_TRIPS = (TRIP_CDG_MEL, TRIP_MEL_CDG, TRIP_MEL_PDX, TRIP_CDG_PDX, TRIP_PDX_CDG)
+
+
+def table1_cinstance() -> CInstance:
+    """The exact c-instance of the paper's Table 1."""
+    pods, stoc = var(PODS), var(STOC)
+    ci = CInstance()
+    ci.add(TRIP_CDG_MEL, pods)
+    ci.add(TRIP_MEL_CDG, pods & ~stoc)
+    ci.add(TRIP_MEL_PDX, pods & stoc)
+    ci.add(TRIP_CDG_PDX, ~pods & stoc)
+    ci.add(TRIP_PDX_CDG, stoc)
+    return ci
+
+
+def table1_pc_instance(p_pods: float = 0.7, p_stoc: float = 0.5) -> PCInstance:
+    """Table 1 as a pc-instance with attendance probabilities."""
+    pc = PCInstance(table1_cinstance())
+    pc.add_event(PODS, p_pods)
+    pc.add_event(STOC, p_stoc)
+    return pc

@@ -1,0 +1,170 @@
+"""Wikidata-like PrXML workloads, including the paper's exact Figure 1.
+
+Figure 1 of the paper shows part of the Wikidata entry for Chelsea Manning:
+an ``ind`` node for the uncertain "occupation: musician" statement (p = 0.4),
+a ``cie`` node correlating "place of birth: Crescent" and "surname: Manning"
+through the contributor-trust event eJane (p = 0.9), and a ``mux`` node for
+the given name (Bradley 0.6 / Chelsea 0.4). :func:`figure1_document`
+reproduces it verbatim; :func:`wikidata_like_document` generates arbitrarily
+large documents with the same shape (entities, property subtrees,
+per-contributor events guarding groups of facts — bounded event scopes).
+"""
+
+from __future__ import annotations
+
+from repro.events import EventSpace
+from repro.prxml.model import PNode, PrXMLDocument, cie, ind, mux, regular
+from repro.util import check, stable_rng
+
+FIGURE1_EVENT_JANE = "eJane"
+
+
+def figure1_document() -> PrXMLDocument:
+    """The exact PrXML document of the paper's Figure 1."""
+    space = EventSpace({FIGURE1_EVENT_JANE: 0.9})
+    root = regular(
+        "Q298423",
+        [
+            ind([(regular("occupation", [regular("musician")]), 0.4)]),
+            cie(
+                [
+                    (
+                        regular("place of birth", [regular("Crescent")]),
+                        [(FIGURE1_EVENT_JANE, True)],
+                    ),
+                    (
+                        regular("surname", [regular("Manning")]),
+                        [(FIGURE1_EVENT_JANE, True)],
+                    ),
+                ]
+            ),
+            regular(
+                "given name",
+                [mux([(regular("Bradley"), 0.6), (regular("Chelsea"), 0.4)])],
+            ),
+        ],
+    )
+    return PrXMLDocument(root, space)
+
+
+PROPERTIES = (
+    "occupation",
+    "place of birth",
+    "surname",
+    "given name",
+    "citizenship",
+    "employer",
+    "award",
+    "spouse",
+)
+
+VALUES = (
+    "musician",
+    "Crescent",
+    "Manning",
+    "Chelsea",
+    "Bradley",
+    "USA",
+    "army",
+    "medal",
+)
+
+
+def wikidata_like_document(
+    entities: int,
+    properties_per_entity: int = 4,
+    contributors: int = 3,
+    facts_per_contributor: int = 2,
+    trust: float = 0.85,
+    seed: int = 0,
+) -> PrXMLDocument:
+    """Generate a Wikidata-like document with contributor events.
+
+    Each contributor event guards a *contiguous group* of property subtrees
+    under one entity — so every node lies in the scope of at most one event,
+    the bounded-scope regime. Remaining properties get ind/mux local noise.
+    """
+    check(entities >= 1, "need at least one entity")
+    rng = stable_rng(seed)
+    space = EventSpace()
+    entity_nodes: list[PNode] = []
+    contributor_index = 0
+    for e in range(entities):
+        children: list[PNode] = []
+        remaining = properties_per_entity
+        # One contributor-guarded group per entity while contributors remain.
+        if contributor_index < contributors and remaining >= facts_per_contributor:
+            event = f"eContrib{contributor_index}"
+            space.add(event, round(min(0.95, max(0.05, trust + rng.uniform(-0.1, 0.1))), 3))
+            guarded = []
+            for _ in range(facts_per_contributor):
+                # Guarded claims share the label "statement" so a single tree
+                # pattern can query them across the whole document.
+                guarded.append(
+                    (
+                        regular("statement", [_property_subtree(rng)]),
+                        [(event, True)],
+                    )
+                )
+                remaining -= 1
+            children.append(cie(guarded))
+            contributor_index += 1
+        for _ in range(remaining):
+            style = rng.random()
+            subtree = _property_subtree(rng)
+            if style < 0.4:
+                children.append(ind([(subtree, round(rng.uniform(0.3, 0.9), 2))]))
+            elif style < 0.6:
+                children.append(
+                    regular(
+                        subtree.label,
+                        [
+                            mux(
+                                [
+                                    (regular(rng.choice(VALUES)), 0.5),
+                                    (regular(rng.choice(VALUES)), 0.3),
+                                ]
+                            )
+                        ],
+                    )
+                )
+            else:
+                children.append(subtree)
+        entity_nodes.append(regular(f"Q{1000 + e}", children))
+    root = regular("wikidata", entity_nodes)
+    return PrXMLDocument(root, space)
+
+
+def adversarial_scope_document(
+    side: int, probability: float = 0.5, seed: int = 0
+) -> PrXMLDocument:
+    """A grid-correlated document whose scope width grows with ``side``.
+
+    One cie node with ``side²`` children; child (i, j) is guarded by
+    ``row_i ∧ col_j``. Every row event's uses are spread across the whole
+    child list, so it must be remembered across everything in between: the
+    node-scope width grows linearly in ``side``, and so does the lineage
+    circuit's treewidth — the intractable contrast for experiment E5.
+    """
+    rng = stable_rng(seed)
+    space = EventSpace()
+    for i in range(side):
+        space.add(f"row{i}", round(min(0.95, max(0.05, probability + rng.uniform(-0.2, 0.2))), 3))
+        space.add(f"col{i}", round(min(0.95, max(0.05, probability + rng.uniform(-0.2, 0.2))), 3))
+    guarded = []
+    for i in range(side):
+        for j in range(side):
+            guarded.append(
+                (
+                    regular("statement", [regular(f"val{i}_{j}")]),
+                    [(f"row{i}", True), (f"col{j}", True)],
+                )
+            )
+    root = regular("entity", [cie(guarded)])
+    return PrXMLDocument(root, space)
+
+
+def _property_subtree(rng) -> PNode:
+    prop = rng.choice(PROPERTIES)
+    value = rng.choice(VALUES)
+    return regular(prop, [regular(value)])

@@ -1,0 +1,135 @@
+"""Coverage of remaining public-API surface: export utilities, edge cases."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, circuit_stats, to_dot
+from repro.events import EventSpace
+from repro.instances import Instance, TIDInstance, fact
+from repro.order import antichain, chain, count_realizations, union
+from repro.prxml import sample_world, world_distribution
+from repro.util import ReproError
+from repro.workloads import figure1_document
+
+
+class TestCircuitExport:
+    def build(self) -> Circuit:
+        c = Circuit()
+        g = c.or_gate(
+            [
+                c.and_gate([c.variable("a"), c.variable("b")]),
+                c.negation(c.variable("c")),
+            ]
+        )
+        c.set_output(g)
+        return c
+
+    def test_stats_counts(self):
+        stats = circuit_stats(self.build())
+        assert stats.variables == 3
+        assert stats.and_gates == 1
+        assert stats.or_gates == 1
+        assert stats.not_gates == 1
+        assert stats.depth == 3
+        assert "gates" in str(stats)
+
+    def test_stats_requires_output(self):
+        with pytest.raises(ReproError, match="no output"):
+            circuit_stats(Circuit())
+
+    def test_dot_structure(self):
+        c = self.build()
+        dot = to_dot(c)
+        assert dot.startswith("digraph circuit {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= 4
+        assert "peripheries=2" in dot  # the output gate is highlighted
+
+    def test_dot_size_guard(self):
+        c = Circuit()
+        acc = c.variable("x0")
+        for i in range(1, 600):
+            acc = c.or_gate([acc, c.variable(f"x{i}")])
+        c.set_output(acc)
+        with pytest.raises(ReproError, match="max_gates"):
+            to_dot(c)
+
+
+class TestEventSpaceEdges:
+    def test_restrict_unknown_event(self):
+        with pytest.raises(ReproError, match="unknown events"):
+            EventSpace({"a": 0.5}).restrict(["ghost"])
+
+    def test_merged_conflict(self):
+        with pytest.raises(ReproError, match="different probability"):
+            EventSpace({"a": 0.5}).merged(EventSpace({"a": 0.6}))
+
+    def test_contains(self):
+        space = EventSpace({"a": 0.5})
+        assert "a" in space
+        assert "b" not in space
+
+
+class TestInstanceEdges:
+    def test_by_relation_order(self):
+        inst = Instance([fact("R", 2), fact("S", 1), fact("R", 1)])
+        assert inst.by_relation("R") == [fact("R", 2), fact("R", 1)]
+
+    def test_discard(self):
+        inst = Instance([fact("R", 1)])
+        inst.discard(fact("R", 1))
+        inst.discard(fact("R", 99))  # no-op
+        assert len(inst) == 0
+
+    def test_repr_preview(self):
+        inst = Instance([fact("R", i) for i in range(6)])
+        assert "..." in repr(inst)
+
+
+class TestOrderRealizations:
+    def test_realizations_match_enumeration(self):
+        poset = union(chain(["a", "b"], "l"), antichain(["b"], "r"))
+        from repro.order import extension_labels, iter_linear_extensions
+
+        worlds = {}
+        for extension in iter_linear_extensions(poset):
+            labels = extension_labels(poset, extension)
+            worlds[labels] = worlds.get(labels, 0) + 1
+        for labels, expected in worlds.items():
+            assert count_realizations(poset, labels) == expected
+
+    def test_wrong_length_is_zero(self):
+        poset = chain(["a", "b"])
+        assert count_realizations(poset, ("a",)) == 0
+
+
+class TestPrXMLSampling:
+    def test_sampling_frequencies_match_distribution(self):
+        doc = figure1_document()
+        distribution = dict(world_distribution(doc))
+        counts: dict = {}
+        trials = 3000
+        for seed in range(trials):
+            world = sample_world(doc, seed=seed)
+            counts[world] = counts.get(world, 0) + 1
+        for world, probability in distribution.items():
+            frequency = counts.get(world, 0) / trials
+            assert abs(frequency - probability) < 0.05
+
+    def test_tid_treewidth_bound_nonnegative(self):
+        tid = TIDInstance({fact("E", 1, 2): 0.5})
+        assert tid.treewidth_upper_bound() >= 1
+
+
+class TestRepr:
+    """Reprs must be stable and informative (they appear in docs/examples)."""
+
+    def test_key_reprs(self):
+        from repro.queries import atom, cq, variables
+
+        x, y = variables("x", "y")
+        assert "?x" in repr(atom("R", x))
+        assert "∃" in repr(cq(atom("R", x)))
+        assert "TIDInstance" in repr(TIDInstance())
+        assert "PrXMLDocument" in repr(figure1_document())

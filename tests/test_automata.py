@@ -1,0 +1,156 @@
+"""Tests for tree automata and the pattern-to-automaton bridge."""
+
+import pytest
+
+from repro.automata import (
+    BinaryTree,
+    LEAF,
+    PatternAutomaton,
+    TreeAutomaton,
+    decode_world,
+    encode_world,
+    leaf,
+    node,
+)
+from repro.prxml import make_world, path_pattern, pattern, TreePattern
+from repro.prxml.semantics import world_distribution
+from repro.workloads import figure1_document
+
+
+def parity_automaton() -> TreeAutomaton:
+    """Accepts binary trees with an even number of 'a' symbols."""
+    rules = {}
+    for symbol, flip in (("a", 1), ("b", 0)):
+        for l in (0, 1):
+            for r in (0, 1):
+                rules[(symbol, l, r)] = {(l + r + flip) % 2}
+    return TreeAutomaton({0}, rules, {0})
+
+
+def contains_a_automaton() -> TreeAutomaton:
+    """Accepts binary trees containing at least one 'a' symbol."""
+    rules = {}
+    for l in (0, 1):
+        for r in (0, 1):
+            rules[("a", l, r)] = {1}
+            rules[("b", l, r)] = {max(l, r)}
+    return TreeAutomaton({0}, rules, {1})
+
+
+def tree_aba() -> BinaryTree:
+    return node("a", node("b", leaf(), leaf()), node("a", leaf(), leaf()))
+
+
+class TestTreeAutomaton:
+    def test_parity_accepts_even(self):
+        assert parity_automaton().accepts(tree_aba())  # two a's
+
+    def test_parity_rejects_odd(self):
+        assert not parity_automaton().accepts(node("a", leaf(), leaf()))
+
+    def test_contains_a(self):
+        auto = contains_a_automaton()
+        assert auto.accepts(node("b", node("a", leaf(), leaf()), leaf()))
+        assert not auto.accepts(node("b", leaf(), leaf()))
+
+    def test_reachable_states(self):
+        states = parity_automaton().reachable_states(tree_aba())
+        assert states == frozenset({0})
+
+    def test_determinized_equivalence(self):
+        auto = contains_a_automaton()
+        det = auto.determinized(["a", "b"])
+        trees = [
+            tree_aba(),
+            node("b", leaf(), leaf()),
+            node("a", leaf(), leaf()),
+            node("b", node("b", leaf(), leaf()), node("a", leaf(), leaf())),
+        ]
+        for t in trees:
+            assert det.accepts(t) == auto.accepts(t)
+            assert len(det.reachable_states(t)) == 1  # deterministic
+
+    def test_complement(self):
+        auto = contains_a_automaton().complemented(["a", "b"])
+        assert auto.accepts(node("b", leaf(), leaf()))
+        assert not auto.accepts(tree_aba())
+
+    def test_product_intersection(self):
+        both = parity_automaton().product(contains_a_automaton(), "intersection")
+        assert both.accepts(tree_aba())  # two a's: even and nonempty
+        assert not both.accepts(node("a", leaf(), leaf()))  # odd
+        assert not both.accepts(node("b", leaf(), leaf()))  # no a
+
+    def test_product_union(self):
+        either = parity_automaton().product(contains_a_automaton(), "union")
+        assert either.accepts(node("b", leaf(), leaf()))  # even (zero a's)
+        assert either.accepts(node("a", leaf(), leaf()))  # contains a
+
+    def test_emptiness(self):
+        auto = contains_a_automaton()
+        assert not auto.is_empty(["a", "b"])
+        never = TreeAutomaton({0}, {("a", 0, 0): {0}}, {1})
+        assert never.is_empty(["a"])
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        world = make_world("r", [make_world("a", [make_world("x")]), make_world("b")])
+        assert decode_world(encode_world(world)) == world
+
+    def test_encoding_shape(self):
+        world = make_world("r", [make_world("a"), make_world("b")])
+        encoded = encode_world(world)
+        assert encoded.symbol == "r"
+        assert encoded.right.is_leaf()  # root has no siblings
+        assert encoded.left.symbol == "a"
+        assert encoded.left.right.symbol == "b"  # sibling chain
+
+    def test_size(self):
+        world = make_world("r", [make_world("a"), make_world("b")])
+        # 3 labeled nodes + leaf markers.
+        assert encode_world(world).size() == 7
+
+
+class TestPatternBridge:
+    @pytest.mark.parametrize(
+        "labels,descendant",
+        [
+            (("given name", "Chelsea"), False),
+            (("occupation", "musician"), False),
+            (("Q298423", "Manning"), True),
+            (("surname",), False),
+        ],
+    )
+    def test_automaton_agrees_with_matcher_on_figure1(self, labels, descendant):
+        pat = path_pattern(*labels, descendant=descendant)
+        auto = PatternAutomaton(pat)
+        for world, _p in world_distribution(figure1_document()):
+            assert auto.accepts(encode_world(world)) == pat.matches(world)
+
+    def test_branching_pattern_bridge(self):
+        root = pattern("Q298423")
+        root.add_child(pattern("surname"))
+        root.add_child(pattern("given name"))
+        pat = TreePattern(root)
+        auto = PatternAutomaton(pat)
+        for world, _p in world_distribution(figure1_document()):
+            assert auto.accepts(encode_world(world)) == pat.matches(world)
+
+    def test_explicit_table_agrees_with_lazy(self):
+        pat = path_pattern("given name", "Chelsea")
+        lazy = PatternAutomaton(pat)
+        alphabet = {
+            "Q298423", "occupation", "musician", "place of birth", "Crescent",
+            "surname", "Manning", "given name", "Bradley", "Chelsea",
+        }
+        table = lazy.to_table(alphabet)
+        for world, _p in world_distribution(figure1_document()):
+            encoded = encode_world(world)
+            assert table.accepts(encoded) == lazy.accepts(encoded)
+
+    def test_table_automaton_is_deterministic(self):
+        pat = path_pattern("a", "b")
+        table = PatternAutomaton(pat).to_table({"a", "b"})
+        tree = encode_world(make_world("a", [make_world("b")]))
+        assert len(table.reachable_states(tree)) == 1

@@ -1,0 +1,39 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, command_list, command_run, main
+
+
+class TestCli:
+    def test_experiment_index_complete(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+
+    def test_list_prints_all(self, capsys):
+        command_list()
+        output = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in output
+
+    def test_paper_command(self, capsys):
+        assert main(["paper"]) == 0
+        assert "Structurally Tractable" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            command_run("E99")
+
+    def test_run_small_experiment(self, capsys):
+        # E1 is fast enough to run inside the test suite.
+        assert main(["run", "E1"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "0.9" in output
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "e2"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

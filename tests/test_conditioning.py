@@ -1,0 +1,160 @@
+"""Tests for conditioning and crowd question selection."""
+
+import math
+
+import pytest
+
+from repro.conditioning import (
+    ConditionedInstance,
+    SimulatedCrowd,
+    binary_entropy,
+    choose_question_greedy,
+    run_crowd_session,
+)
+from repro.events import var
+from repro.instances import PCInstance, fact, pcc_from_pc
+from repro.queries import atom, cq, variables
+from repro.util import ReproError
+from repro.workloads import TRIP_CDG_MEL, TRIP_MEL_PDX, table1_pc_instance
+
+X, Y = variables("x", "y")
+
+
+def trips_pcc():
+    return pcc_from_pc(table1_pc_instance(p_pods=0.7, p_stoc=0.5))
+
+
+class TestEventConditioning:
+    def test_literal_conditioning_pins_fact(self):
+        conditioned = ConditionedInstance(trips_pcc()).observe_event("pods", True)
+        assert math.isclose(conditioned.fact_probability(TRIP_CDG_MEL), 1.0)
+
+    def test_literal_conditioning_keeps_independents(self):
+        conditioned = ConditionedInstance(trips_pcc()).observe_event("pods", True)
+        assert math.isclose(conditioned.fact_probability(TRIP_MEL_PDX), 0.5)
+
+    def test_evidence_probability(self):
+        conditioned = ConditionedInstance(trips_pcc()).observe_event("pods", False)
+        assert math.isclose(conditioned.evidence_probability(), 0.3)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ReproError, match="unknown event"):
+            ConditionedInstance(trips_pcc()).observe_event("icdt", True)
+
+    def test_matches_bayes_by_enumeration(self):
+        pcc = trips_pcc()
+        conditioned = ConditionedInstance(pcc).observe_event("stoc", True)
+        # P(MEL→PDX | stoc) = P(pods ∧ stoc | stoc) = P(pods) = 0.7
+        assert math.isclose(conditioned.fact_probability(TRIP_MEL_PDX), 0.7)
+
+
+class TestFactConditioning:
+    def test_observe_fact_present(self):
+        pcc = trips_pcc()
+        conditioned = ConditionedInstance(pcc).observe_fact(TRIP_MEL_PDX, True)
+        # Observing pods∧stoc forces both events true.
+        assert math.isclose(conditioned.fact_probability(TRIP_CDG_MEL), 1.0)
+
+    def test_observe_fact_absent(self):
+        pcc = trips_pcc()
+        conditioned = ConditionedInstance(pcc).observe_fact(TRIP_CDG_MEL, False)
+        # ¬pods: P(MEL→PDX)=0.
+        assert math.isclose(conditioned.fact_probability(TRIP_MEL_PDX), 0.0)
+
+    def test_zero_probability_observation_raises(self):
+        pc = PCInstance()
+        pc.add_event("e", 1.0)
+        pc.add(fact("R", 1), var("e"))
+        pcc = pcc_from_pc(pc)
+        conditioned = ConditionedInstance(pcc).observe_fact(fact("R", 1), False)
+        with pytest.raises(ReproError, match="zero-probability"):
+            conditioned.fact_probability(fact("R", 1))
+
+    def test_accumulated_observations(self):
+        pcc = trips_pcc()
+        conditioned = (
+            ConditionedInstance(pcc)
+            .observe_event("pods", True)
+            .observe_event("stoc", False)
+        )
+        # The only surviving world keeps CDG→MEL and MEL→CDG.
+        assert math.isclose(conditioned.evidence_probability(), 0.7 * 0.5)
+        assert math.isclose(conditioned.fact_probability(TRIP_MEL_PDX), 0.0)
+
+
+class TestQueryConditioning:
+    def test_observe_query_true(self):
+        pcc = trips_pcc()
+        q = cq(atom("Trip", "Melbourne MEL", Y))  # some flight out of MEL
+        conditioned = ConditionedInstance(pcc).observe_query(q, holds=True)
+        # q ≡ pods (MEL→CDG or MEL→PDX both require pods; given pods one of
+        # them always exists since they cover stoc and ¬stoc).
+        assert math.isclose(conditioned.evidence_probability(), 0.7)
+
+    def test_observe_query_false(self):
+        pcc = trips_pcc()
+        q = cq(atom("Trip", "Melbourne MEL", Y))
+        conditioned = ConditionedInstance(pcc).observe_query(q, holds=False)
+        assert math.isclose(conditioned.evidence_probability(), 0.3)
+        assert math.isclose(conditioned.fact_probability(TRIP_CDG_MEL), 0.0)
+
+    def test_query_probability_conditional(self):
+        pcc = trips_pcc()
+        q_out = cq(atom("Trip", "Paris CDG", Y))
+        conditioned = ConditionedInstance(pcc).observe_event("pods", False)
+        # Without pods, CDG flights need stoc: P = 0.5.
+        assert math.isclose(conditioned.query_probability(q_out), 0.5)
+
+
+class TestEntropyAndCrowd:
+    def test_binary_entropy_bounds(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert math.isclose(binary_entropy(0.5), 1.0)
+
+    def test_crowd_truthful_answers(self):
+        crowd = SimulatedCrowd({"pods": True}, error_rate=0.0)
+        assert crowd.ask("pods") is True
+        assert crowd.questions_asked == 1
+
+    def test_crowd_error_rate(self):
+        crowd = SimulatedCrowd({"e": True}, error_rate=0.3, seed=0)
+        answers = [crowd.ask("e") for _ in range(2000)]
+        wrong = sum(1 for a in answers if not a)
+        assert abs(wrong / 2000 - 0.3) < 0.05
+
+    def test_crowd_error_rate_bounds(self):
+        with pytest.raises(ReproError):
+            SimulatedCrowd({"e": True}, error_rate=0.6)
+
+    def test_greedy_prefers_informative_question(self):
+        # Query depends only on pods, so asking pods kills all entropy.
+        pcc = trips_pcc()
+        q = cq(atom("Trip", "Paris CDG", "Melbourne MEL"))
+        conditioned = ConditionedInstance(pcc)
+        best = choose_question_greedy(conditioned, q, ["pods", "stoc"])
+        assert best == "pods"
+
+    def test_session_reduces_entropy(self):
+        pcc = trips_pcc()
+        q = cq(atom("Trip", "Paris CDG", Y))
+        crowd = SimulatedCrowd({"pods": True, "stoc": False}, error_rate=0.0)
+        session = run_crowd_session(pcc, q, crowd, budget=2, policy="greedy")
+        entropies = session.entropies()
+        assert entropies[-1] <= entropies[0]
+        assert session.final_probability in (0.0, 1.0)
+
+    def test_greedy_no_worse_than_random_on_average(self):
+        pcc = trips_pcc()
+        q = cq(atom("Trip", "Paris CDG", "Melbourne MEL"))
+
+        def first_step_entropy(policy: str, seed: int) -> float:
+            crowd = SimulatedCrowd({"pods": True, "stoc": False}, seed=seed)
+            session = run_crowd_session(
+                pcc, q, crowd, budget=1, policy=policy, seed=seed
+            )
+            return session.entropies()[-1]
+
+        greedy = sum(first_step_entropy("greedy", s) for s in range(6)) / 6
+        rand = sum(first_step_entropy("random", s) for s in range(6)) / 6
+        assert greedy <= rand + 1e-9

@@ -1,0 +1,346 @@
+"""Tests for the lineage engine: Theorems 1 and 2 against the oracle."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    pcc_probability_enumerate,
+    tid_probability_enumerate,
+)
+from repro.circuits import (
+    check_decomposability,
+    check_determinism_sampled,
+    probability_dd,
+)
+from repro.core import (
+    BipartiteAutomaton,
+    ParityAutomaton,
+    STConnectivityAutomaton,
+    build_lineage,
+    build_provenance_circuit,
+    conjunction,
+    disjunction,
+    negation,
+    pcc_probability,
+    tid_probability,
+)
+from repro.events import var
+from repro.instances import Instance, PCInstance, TIDInstance, fact, pcc_from_pc
+from repro.queries import atom, cq, ucq, variables
+
+X, Y, Z = variables("x", "y", "z")
+Q_RST = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+
+
+def random_rst_tid(seed: int, max_n: int = 5) -> TIDInstance:
+    rng = random.Random(seed)
+    tid = TIDInstance()
+    n = rng.randint(2, max_n)
+    for i in range(n):
+        if rng.random() < 0.8:
+            tid.add(fact("R", i), round(rng.random(), 2))
+        if rng.random() < 0.8:
+            tid.add(fact("T", i), round(rng.random(), 2))
+    for _ in range(rng.randint(1, 2 * n)):
+        tid.add(fact("S", rng.randrange(n), rng.randrange(n)), round(rng.random(), 2))
+    return tid
+
+
+def random_graph_tid(seed: int, max_n: int = 6) -> TIDInstance:
+    rng = random.Random(seed)
+    tid = TIDInstance()
+    n = rng.randint(3, max_n)
+    for i in range(n - 1):
+        tid.add(fact("E", i, i + 1), round(rng.uniform(0.1, 0.9), 2))
+    for _ in range(rng.randint(0, 3)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            tid.add(fact("E", min(a, b), max(a, b)), round(rng.uniform(0.1, 0.9), 2))
+    return tid
+
+
+class _Oracle:
+    """Wrap a world-predicate so the enumeration baselines can use it."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def holds_in(self, world):
+        return self.fn(world)
+
+
+def stconn_oracle(s, t):
+    def fn(world):
+        graph = nx.Graph()
+        graph.add_nodes_from([s, t])
+        for f in world.facts():
+            if f.relation == "E":
+                graph.add_edge(*f.args)
+        return nx.has_path(graph, s, t)
+
+    return _Oracle(fn)
+
+
+def bipartite_oracle():
+    def fn(world):
+        graph = nx.Graph()
+        for f in world.facts():
+            if f.relation == "E":
+                if f.args[0] == f.args[1]:
+                    return False
+                graph.add_edge(*f.args)
+        return nx.is_bipartite(graph)
+
+    return _Oracle(fn)
+
+
+class TestCQLineage:
+    def test_matches_oracle_on_trips_example(self):
+        tid = TIDInstance(
+            {
+                fact("R", 1): 0.4,
+                fact("S", 1, 2): 0.5,
+                fact("T", 2): 0.9,
+            }
+        )
+        assert math.isclose(tid_probability(Q_RST, tid), 0.4 * 0.5 * 0.9)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_enumeration_on_random_instances(self, seed):
+        tid = random_rst_tid(seed)
+        assert math.isclose(
+            tid_probability(Q_RST, tid),
+            tid_probability_enumerate(Q_RST, tid),
+            abs_tol=1e-9,
+        )
+
+    def test_lineage_is_deterministic_and_decomposable(self):
+        tid = random_rst_tid(99)
+        lineage = build_lineage(tid.instance, Q_RST)
+        assert check_determinism_sampled(lineage.circuit, trials=300)
+        assert check_decomposability(lineage.circuit)
+
+    def test_lineage_circuit_boolean_semantics(self):
+        tid = random_rst_tid(3)
+        lineage = build_lineage(tid.instance, Q_RST)
+        for world, _p in tid.possible_worlds():
+            valuation = {
+                f.variable_name: (f in world) for f in tid.facts()
+            }
+            assert lineage.circuit.evaluate(valuation) == Q_RST.holds_in(world)
+
+    def test_query_with_constants(self):
+        tid = TIDInstance({fact("S", "paris", "rome"): 0.5, fact("S", "oslo", "rome"): 0.5})
+        q = cq(atom("S", "paris", Y))
+        assert math.isclose(tid_probability(q, tid), 0.5)
+
+    def test_empty_instance(self):
+        tid = TIDInstance()
+        assert tid_probability(Q_RST, tid) == 0.0
+
+    def test_certain_facts(self):
+        tid = TIDInstance(
+            {fact("R", 1): 1.0, fact("S", 1, 2): 1.0, fact("T", 2): 1.0}
+        )
+        assert math.isclose(tid_probability(Q_RST, tid), 1.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ucq_matches_enumeration(self, seed):
+        tid = random_rst_tid(seed, max_n=4)
+        q = ucq(cq(atom("R", X), atom("S", X, Y)), cq(atom("T", Y)))
+        assert math.isclose(
+            tid_probability(q, tid),
+            tid_probability_enumerate(q, tid),
+            abs_tol=1e-9,
+        )
+
+    def test_self_join_query(self):
+        # Beyond Dalvi–Suciu safe plans: self-joins handled structurally.
+        q = cq(atom("E", X, Y), atom("E", Y, Z))
+        tid = TIDInstance(
+            {fact("E", 1, 2): 0.5, fact("E", 2, 3): 0.5, fact("E", 3, 4): 0.5}
+        )
+        assert math.isclose(
+            tid_probability(q, tid),
+            tid_probability_enumerate(q, tid),
+            abs_tol=1e-9,
+        )
+
+
+class TestGraphAutomata:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_stconnectivity_matches_oracle(self, seed):
+        tid = random_graph_tid(seed)
+        n = max(max(f.args) for f in tid.facts()) + 1
+        auto = STConnectivityAutomaton(0, n - 1)
+        assert math.isclose(
+            tid_probability(auto, tid),
+            tid_probability_enumerate(stconn_oracle(0, n - 1), tid),
+            abs_tol=1e-9,
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bipartite_matches_oracle(self, seed):
+        tid = random_graph_tid(seed)
+        assert math.isclose(
+            tid_probability(BipartiteAutomaton(), tid),
+            tid_probability_enumerate(bipartite_oracle(), tid),
+            abs_tol=1e-9,
+        )
+
+    @pytest.mark.parametrize("parity", [0, 1])
+    def test_parity_matches_oracle(self, parity):
+        tid = random_graph_tid(5)
+        oracle = _Oracle(
+            lambda world: len([f for f in world.facts() if f.relation == "E"]) % 2
+            == parity
+        )
+        assert math.isclose(
+            tid_probability(ParityAutomaton("E", parity), tid),
+            tid_probability_enumerate(oracle, tid),
+            abs_tol=1e-9,
+        )
+
+    def test_parity_complement(self):
+        tid = random_graph_tid(2)
+        even = tid_probability(ParityAutomaton("E", 0), tid)
+        odd = tid_probability(ParityAutomaton("E", 1), tid)
+        assert math.isclose(even + odd, 1.0)
+
+    def test_same_source_target_always_connected(self):
+        tid = random_graph_tid(1)
+        assert tid_probability(STConnectivityAutomaton(0, 0), tid) == 1.0
+
+    def test_missing_terminals_never_connected(self):
+        tid = TIDInstance({fact("E", 1, 2): 0.5})
+        assert tid_probability(STConnectivityAutomaton(77, 78), tid) == 0.0
+
+
+class TestBooleanCombinators:
+    def test_negation_probability(self):
+        tid = random_graph_tid(4)
+        auto = STConnectivityAutomaton(0, 1)
+        p = tid_probability(auto, tid)
+        assert math.isclose(tid_probability(negation(auto), tid), 1.0 - p)
+
+    def test_conjunction_of_parity_and_connectivity(self):
+        tid = random_graph_tid(7)
+        n = max(max(f.args) for f in tid.facts()) + 1
+        conn = STConnectivityAutomaton(0, n - 1)
+        even = ParityAutomaton("E", 0)
+        both = conjunction(conn, even)
+        oracle_conn = stconn_oracle(0, n - 1)
+        oracle = _Oracle(
+            lambda w: oracle_conn.holds_in(w)
+            and len([f for f in w.facts() if f.relation == "E"]) % 2 == 0
+        )
+        assert math.isclose(
+            tid_probability(both, tid),
+            tid_probability_enumerate(oracle, tid),
+            abs_tol=1e-9,
+        )
+
+    def test_disjunction_inclusion_exclusion(self):
+        tid = random_graph_tid(9)
+        a = ParityAutomaton("E", 0)
+        b = BipartiteAutomaton()
+        pa = tid_probability(a, tid)
+        pb = tid_probability(b, tid)
+        pboth = tid_probability(conjunction(a, b), tid)
+        peither = tid_probability(disjunction(a, b), tid)
+        assert math.isclose(peither, pa + pb - pboth, abs_tol=1e-9)
+
+
+class TestPCCTheorem2:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pcc_matches_enumeration(self, seed):
+        rng = random.Random(seed)
+        pc = PCInstance()
+        events = [f"e{i}" for i in range(rng.randint(2, 4))]
+        for e in events:
+            pc.add_event(e, round(rng.uniform(0.1, 0.9), 2))
+        n = rng.randint(2, 4)
+        for i in range(n):
+            annotation = var(rng.choice(events))
+            if rng.random() < 0.5:
+                annotation = annotation & ~var(rng.choice(events))
+            pc.add(fact("R", i), annotation)
+            pc.add(fact("T", i), var(rng.choice(events)))
+            pc.add(fact("S", i, (i + 1) % n), var(rng.choice(events)))
+        pcc = pcc_from_pc(pc)
+        assert math.isclose(
+            pcc_probability(Q_RST, pcc),
+            pcc_probability_enumerate(Q_RST, pcc),
+            abs_tol=1e-9,
+        )
+
+    def test_pcc_with_graph_automaton(self):
+        pc = PCInstance()
+        pc.add_event("a", 0.6)
+        pc.add_event("b", 0.3)
+        pc.add(fact("E", 1, 2), var("a"))
+        pc.add(fact("E", 2, 3), var("a") | var("b"))
+        pcc = pcc_from_pc(pc)
+        auto = STConnectivityAutomaton(1, 3)
+        oracle = stconn_oracle(1, 3)
+        assert math.isclose(
+            pcc_probability(auto, pcc),
+            pcc_probability_enumerate(oracle, pcc),
+            abs_tol=1e-9,
+        )
+
+    def test_correlated_facts_differ_from_independent(self):
+        # Two facts guarded by the same event: perfectly correlated.
+        pc = PCInstance()
+        pc.add_event("e", 0.5)
+        pc.add(fact("R", 1), var("e"))
+        pc.add(fact("S", 1, 2), var("e"))
+        pc.add(fact("T", 2), var("e"))
+        pcc = pcc_from_pc(pc)
+        assert math.isclose(pcc_probability(Q_RST, pcc), 0.5)
+
+
+class TestProvenanceCircuit:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_boolean_semantics_matches_query(self, seed):
+        tid = random_rst_tid(seed, max_n=4)
+        lineage = build_provenance_circuit(tid.instance, Q_RST)
+        for world, _p in tid.possible_worlds():
+            valuation = {f.variable_name: (f in world) for f in tid.facts()}
+            assert lineage.circuit.evaluate(valuation) == Q_RST.holds_in(world)
+
+    def test_monotone_no_negation(self):
+        tid = random_rst_tid(0)
+        lineage = build_provenance_circuit(tid.instance, Q_RST)
+        kinds = {
+            lineage.circuit.gate(g).kind
+            for g in lineage.circuit.reachable_from_output()
+        }
+        assert "not" not in kinds
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_engine_agrees_with_oracle_property(seed):
+    tid = random_rst_tid(seed, max_n=4)
+    assert math.isclose(
+        tid_probability(Q_RST, tid),
+        tid_probability_enumerate(Q_RST, tid),
+        abs_tol=1e-9,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_stconn_agrees_with_oracle_property(seed):
+    tid = random_graph_tid(seed, max_n=5)
+    n = max(max(f.args) for f in tid.facts()) + 1
+    assert math.isclose(
+        tid_probability(STConnectivityAutomaton(0, n - 1), tid),
+        tid_probability_enumerate(stconn_oracle(0, n - 1), tid),
+        abs_tol=1e-9,
+    )

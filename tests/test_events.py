@@ -1,0 +1,158 @@
+"""Tests for events: formulas and probability spaces."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.events import (
+    FALSE,
+    TRUE,
+    EventSpace,
+    Var,
+    conj,
+    disj,
+    literal,
+    var,
+)
+from repro.util import ReproError
+
+
+class TestFormulaEvaluation:
+    def test_constants(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_variable(self):
+        assert var("e").evaluate({"e": True}) is True
+        assert var("e").evaluate({"e": False}) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ReproError, match="missing event"):
+            var("e").evaluate({})
+
+    def test_connectives(self):
+        f = (var("a") & var("b")) | ~var("c")
+        assert f.evaluate({"a": True, "b": True, "c": True})
+        assert f.evaluate({"a": False, "b": False, "c": False})
+        assert not f.evaluate({"a": True, "b": False, "c": True})
+
+    def test_literal(self):
+        assert literal("e", True).evaluate({"e": True})
+        assert literal("e", False).evaluate({"e": False})
+
+    def test_events_collection(self):
+        f = (var("a") & var("b")) | ~var("a")
+        assert f.events() == {"a", "b"}
+
+    def test_conj_disj_folding(self):
+        assert conj([]) is TRUE
+        assert disj([]) is FALSE
+        assert conj([TRUE, var("x")]) == var("x")
+        assert disj([FALSE, var("x")]) == var("x")
+        assert conj([FALSE, var("x")]) is FALSE
+        assert disj([TRUE, var("x")]) is TRUE
+
+    def test_double_negation_cancels(self):
+        assert ~~var("x") == var("x")
+
+    def test_substitute_to_constant(self):
+        f = var("a") & var("b")
+        assert f.substitute({"a": True}) == var("b")
+        assert f.substitute({"a": False}) is FALSE
+
+    def test_substitute_in_negation(self):
+        assert (~var("a")).substitute({"a": False}) is TRUE
+
+
+@given(
+    st.dictionaries(st.sampled_from("abc"), st.booleans(), min_size=3, max_size=3)
+)
+def test_formula_de_morgan(valuation):
+    left = ~(var("a") & var("b"))
+    right = ~var("a") | ~var("b")
+    assert left.evaluate(valuation) == right.evaluate(valuation)
+
+
+@given(
+    st.dictionaries(st.sampled_from("ab"), st.booleans(), min_size=2, max_size=2),
+    st.booleans(),
+)
+def test_substitute_agrees_with_evaluate(valuation, pin):
+    f = (var("a") & ~var("b")) | (var("b") & ~var("a"))
+    substituted = f.substitute({"a": pin})
+    full = dict(valuation)
+    full["a"] = pin
+    assert substituted.evaluate(full) == f.evaluate(full)
+
+
+class TestEventSpace:
+    def test_probability_roundtrip(self):
+        space = EventSpace({"e": 0.25})
+        assert space.probability("e") == 0.25
+
+    def test_invalid_probability(self):
+        with pytest.raises(ReproError):
+            EventSpace({"e": 1.5})
+
+    def test_conflicting_registration(self):
+        space = EventSpace({"e": 0.5})
+        with pytest.raises(ReproError, match="different probability"):
+            space.add("e", 0.6)
+
+    def test_idempotent_registration(self):
+        space = EventSpace({"e": 0.5})
+        space.add("e", 0.5)
+        assert len(space) == 1
+
+    def test_unknown_event(self):
+        with pytest.raises(ReproError, match="unknown event"):
+            EventSpace().probability("missing")
+
+    def test_valuations_count(self):
+        space = EventSpace({"a": 0.5, "b": 0.5, "c": 0.5})
+        assert len(list(space.valuations())) == 8
+
+    def test_valuation_probability(self):
+        space = EventSpace({"a": 0.3, "b": 0.8})
+        p = space.valuation_probability({"a": True, "b": False})
+        assert math.isclose(p, 0.3 * 0.2)
+
+    def test_formula_probability_independent_and(self):
+        space = EventSpace({"a": 0.3, "b": 0.5})
+        assert math.isclose(space.formula_probability(var("a") & var("b")), 0.15)
+
+    def test_formula_probability_or(self):
+        space = EventSpace({"a": 0.3, "b": 0.5})
+        expected = 0.3 + 0.5 - 0.15
+        assert math.isclose(space.formula_probability(var("a") | var("b")), expected)
+
+    def test_restrict_and_merge(self):
+        space = EventSpace({"a": 0.3, "b": 0.5})
+        restricted = space.restrict(["a"])
+        assert restricted.events() == {"a"}
+        merged = restricted.merged(EventSpace({"c": 0.1}))
+        assert merged.events() == {"a", "c"}
+
+    def test_sample_deterministic(self):
+        space = EventSpace({"a": 0.5, "b": 0.5})
+        assert space.sample(seed=1) == space.sample(seed=1)
+
+    def test_sampler_marginal(self):
+        space = EventSpace({"a": 0.7})
+        draw = space.sampler(seed=0)
+        hits = sum(draw()["a"] for _ in range(2000))
+        assert abs(hits / 2000 - 0.7) < 0.05
+
+    def test_conditioned_on_literal(self):
+        space = EventSpace({"a": 0.3, "b": 0.5})
+        pinned = space.conditioned_on_literal("a", True)
+        assert pinned.probability("a") == 1.0
+        assert pinned.probability("b") == 0.5
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+def test_formula_probability_matches_inclusion_exclusion(pa, pb):
+    space = EventSpace({"a": pa, "b": pb})
+    measured = space.formula_probability(var("a") | var("b"))
+    assert math.isclose(measured, pa + pb - pa * pb, abs_tol=1e-12)

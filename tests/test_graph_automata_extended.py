@@ -1,0 +1,134 @@
+"""Tests for the counting-MSO automata: even degrees, edge connectivity."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from types import SimpleNamespace
+
+from repro.baselines import tid_probability_enumerate
+from repro.core import (
+    AllDegreesEvenAutomaton,
+    EdgeConnectedAutomaton,
+    conjunction,
+    tid_probability,
+)
+from repro.instances import TIDInstance, fact
+
+
+def random_graph_tid(seed: int, max_n: int = 6) -> TIDInstance:
+    rng = random.Random(seed)
+    tid = TIDInstance()
+    n = rng.randint(3, max_n)
+    for i in range(n - 1):
+        tid.add(fact("E", i, i + 1), round(rng.uniform(0.1, 0.9), 2))
+    for _ in range(rng.randint(0, 4)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            tid.add(fact("E", min(a, b), max(a, b)), round(rng.uniform(0.1, 0.9), 2))
+    return tid
+
+
+def even_degree_oracle():
+    def fn(world):
+        degree: dict = {}
+        for f in world.facts():
+            if f.relation == "E":
+                a, b = f.args
+                if a == b:
+                    continue
+                degree[a] = degree.get(a, 0) + 1
+                degree[b] = degree.get(b, 0) + 1
+        return all(d % 2 == 0 for d in degree.values())
+
+    return SimpleNamespace(holds_in=fn)
+
+
+def edge_connected_oracle():
+    def fn(world):
+        graph = nx.Graph()
+        for f in world.facts():
+            if f.relation == "E":
+                graph.add_edge(*f.args)
+        if graph.number_of_edges() == 0:
+            return True
+        return nx.number_connected_components(graph) == 1
+
+    return SimpleNamespace(holds_in=fn)
+
+
+class TestAllDegreesEven:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle(self, seed):
+        tid = random_graph_tid(seed)
+        assert math.isclose(
+            tid_probability(AllDegreesEvenAutomaton(), tid),
+            tid_probability_enumerate(even_degree_oracle(), tid),
+            abs_tol=1e-9,
+        )
+
+    def test_empty_graph_accepted(self):
+        tid = TIDInstance({fact("E", 1, 2): 0.0})
+        assert tid_probability(AllDegreesEvenAutomaton(), tid) == 1.0
+
+    def test_triangle_is_even(self):
+        tid = TIDInstance(
+            {fact("E", 1, 2): 1.0, fact("E", 2, 3): 1.0, fact("E", 1, 3): 1.0}
+        )
+        assert math.isclose(tid_probability(AllDegreesEvenAutomaton(), tid), 1.0)
+
+    def test_single_edge_is_odd(self):
+        tid = TIDInstance({fact("E", 1, 2): 1.0})
+        assert tid_probability(AllDegreesEvenAutomaton(), tid) == 0.0
+
+
+class TestEdgeConnected:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle(self, seed):
+        tid = random_graph_tid(seed)
+        assert math.isclose(
+            tid_probability(EdgeConnectedAutomaton(), tid),
+            tid_probability_enumerate(edge_connected_oracle(), tid),
+            abs_tol=1e-9,
+        )
+
+    def test_no_edges_vacuously_connected(self):
+        tid = TIDInstance({fact("E", 1, 2): 0.0})
+        assert tid_probability(EdgeConnectedAutomaton(), tid) == 1.0
+
+    def test_two_disjoint_edges_rejected(self):
+        tid = TIDInstance({fact("E", 1, 2): 1.0, fact("E", 3, 4): 1.0})
+        assert tid_probability(EdgeConnectedAutomaton(), tid) == 0.0
+
+    def test_path_probability(self):
+        # Connectivity of present edges on a 3-path: connected iff not
+        # exactly the two end edges without... enumerate check suffices.
+        tid = TIDInstance(
+            {fact("E", 1, 2): 0.5, fact("E", 2, 3): 0.5, fact("E", 3, 4): 0.5}
+        )
+        assert math.isclose(
+            tid_probability(EdgeConnectedAutomaton(), tid),
+            tid_probability_enumerate(edge_connected_oracle(), tid),
+            abs_tol=1e-12,
+        )
+
+
+class TestEulerianCombination:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_eulerian_circuit_condition(self, seed):
+        # Connected + all degrees even = Eulerian (on the present edges):
+        # the textbook example of combining MSO properties by product.
+        tid = random_graph_tid(seed, max_n=5)
+        eulerian = conjunction(EdgeConnectedAutomaton(), AllDegreesEvenAutomaton())
+
+        def oracle(world):
+            return edge_connected_oracle().holds_in(world) and even_degree_oracle().holds_in(
+                world
+            )
+
+        assert math.isclose(
+            tid_probability(eulerian, tid),
+            tid_probability_enumerate(SimpleNamespace(holds_in=oracle), tid),
+            abs_tol=1e-9,
+        )

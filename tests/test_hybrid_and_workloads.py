@@ -1,0 +1,164 @@
+"""Tests for the partial-decomposition hybrid (E12) and workload generators."""
+
+import math
+
+import networkx as nx
+import pytest
+from types import SimpleNamespace
+
+from repro.baselines import tid_probability_enumerate
+from repro.core.hybrid import (
+    hybrid_stconn,
+    monte_carlo_stconn,
+    peel,
+    reduce_for_stconn,
+)
+from repro.instances import fact
+from repro.workloads import (
+    core_and_tentacles_tid,
+    cycle_tid,
+    grid_tid,
+    partial_ktree_tid,
+    path_tid,
+    rst_bipartite_tid,
+    rst_chain_tid,
+    table1_cinstance,
+    table1_pc_instance,
+)
+
+
+def conn_oracle(s, t):
+    def fn(world):
+        graph = nx.Graph()
+        graph.add_nodes_from([s, t])
+        for f in world.facts():
+            if f.relation == "E":
+                graph.add_edge(*f.args)
+        return nx.has_path(graph, s, t)
+
+    return SimpleNamespace(holds_in=fn)
+
+
+class TestGenerators:
+    def test_path_width_one(self):
+        tid = path_tid(20, seed=0)
+        assert tid.treewidth_upper_bound() == 1
+
+    def test_cycle_width_two(self):
+        tid = cycle_tid(12, seed=0)
+        assert tid.treewidth_upper_bound() == 2
+
+    def test_grid_width_grows(self):
+        small = grid_tid(2, 6, seed=0).treewidth_upper_bound()
+        large = grid_tid(4, 6, seed=0).treewidth_upper_bound()
+        assert small <= 2 and large >= 4
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_partial_ktree_certified_decomposition(self, k):
+        generated = partial_ktree_tid(16, k, seed=3)
+        generated.decomposition.validate(generated.tid.instance.gaifman_graph())
+        assert generated.decomposition.width() <= k
+
+    def test_generators_are_deterministic(self):
+        a = path_tid(10, seed=4)
+        b = path_tid(10, seed=4)
+        assert [(f, a.probability(f)) for f in a.facts()] == [
+            (f, b.probability(f)) for f in b.facts()
+        ]
+
+    def test_rst_chain_low_width(self):
+        tid = rst_chain_tid(15, seed=0)
+        assert tid.treewidth_upper_bound() <= 2
+
+    def test_rst_bipartite_high_width(self):
+        tid = rst_bipartite_tid(5, 5, seed=0)
+        assert tid.treewidth_upper_bound() >= 4
+
+    def test_table1_matches_paper_rows(self):
+        ci = table1_cinstance()
+        assert len(ci) == 5
+        # pods-only world books CDG→MEL and MEL→CDG.
+        world = ci.world({"pods": True, "stoc": False})
+        assert len(world) == 2
+
+    def test_table1_pc_distribution(self):
+        pc = table1_pc_instance(0.7, 0.5)
+        assert math.isclose(sum(pc.world_distribution().values()), 1.0)
+
+
+class TestPeeling:
+    def test_peel_removes_tentacles_only(self):
+        tid = core_and_tentacles_tid(4, 2, 3, seed=0)
+        graph = nx.Graph()
+        for f in tid.facts():
+            graph.add_edge(*f.args)
+        periphery = peel(graph, frozenset({"core0"}), max_degree=2)
+        assert all(v.startswith("t") or v.startswith("core") for v in periphery)
+        # The 4-clique core cannot be peeled at degree 2.
+        assert not any(
+            v in periphery for v in ("core0", "core1", "core2", "core3")
+        )
+
+
+class TestHybridReduction:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("terminals", [("core0", "t0_2"), ("core1", "core3")])
+    def test_reduction_preserves_distribution(self, seed, terminals):
+        tid = core_and_tentacles_tid(4, 2, 3, seed=seed)
+        s, t = terminals
+        reduction = reduce_for_stconn(tid, s, t)
+        exact_full = tid_probability_enumerate(conn_oracle(s, t), tid)
+        exact_reduced = tid_probability_enumerate(conn_oracle(s, t), reduction.reduced)
+        assert math.isclose(exact_full, exact_reduced, abs_tol=1e-9)
+
+    def test_reduction_shrinks_instance(self):
+        tid = core_and_tentacles_tid(4, 3, 4, seed=1)
+        reduction = reduce_for_stconn(tid, "core0", "core2")
+        assert len(reduction.reduced) < len(tid)
+        assert reduction.fragments_summarized >= 1
+
+    def test_hybrid_estimate_close_to_exact(self):
+        tid = core_and_tentacles_tid(4, 2, 3, seed=2)
+        s, t = "core0", "t1_2"
+        exact = tid_probability_enumerate(conn_oracle(s, t), tid)
+        estimate, _reduction = hybrid_stconn(tid, s, t, samples=4000, seed=0)
+        assert abs(estimate - exact) < 0.05
+
+    def test_monte_carlo_baseline_close_to_exact(self):
+        tid = core_and_tentacles_tid(4, 2, 3, seed=2)
+        s, t = "core0", "core3"
+        exact = tid_probability_enumerate(conn_oracle(s, t), tid)
+        estimate = monte_carlo_stconn(tid, s, t, samples=4000, seed=1)
+        assert abs(estimate - exact) < 0.05
+
+    def test_series_factoring_reduces_variance(self):
+        # With a terminal at a tentacle tip, the chain reliability factors
+        # out exactly: the hybrid integrates that randomness analytically,
+        # so its estimator variance drops below naive MC's.
+        tid = core_and_tentacles_tid(4, 3, 4, seed=3)
+        s, t = "core0", "t2_3"
+        exact = tid_probability_enumerate(conn_oracle(s, t), tid)
+        hybrid_estimates = []
+        naive_estimates = []
+        for seed in range(30):
+            estimate, _reduction = hybrid_stconn(tid, s, t, samples=60, seed=seed)
+            hybrid_estimates.append(estimate)
+            naive_estimates.append(monte_carlo_stconn(tid, s, t, samples=60, seed=seed))
+
+        def mse(xs):
+            return sum((x - exact) ** 2 for x in xs) / len(xs)
+
+        assert mse(hybrid_estimates) < mse(naive_estimates)
+
+    def test_series_factoring_exact_on_pure_chain(self):
+        from repro.core.hybrid import series_factor_terminals
+        from repro.workloads import path_tid
+
+        tid = path_tid(6, seed=7)
+        factor, s, t, remaining = series_factor_terminals(tid, 0, 5)
+        expected = 1.0
+        for f in tid.facts():
+            expected *= tid.probability(f)
+        assert s == t
+        assert math.isclose(factor, expected)
+        assert len(remaining) == 0

@@ -1,0 +1,251 @@
+"""Tests for the relational substrate: instances, TID, c/pc/pcc-instances."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import EventSpace, TRUE, var
+from repro.instances import (
+    CInstance,
+    Fact,
+    Instance,
+    PCCInstance,
+    PCInstance,
+    TIDInstance,
+    fact,
+    pc_from_tid,
+    pcc_from_pc,
+    pcc_from_tid,
+)
+from repro.util import ReproError
+
+
+class TestFact:
+    def test_repr(self):
+        assert repr(fact("From", "CDG", "MEL")) == "From(CDG, MEL)"
+
+    def test_variable_name_unique(self):
+        assert fact("R", 1).variable_name != fact("R", 2).variable_name
+        assert fact("R", 1).variable_name != fact("S", 1).variable_name
+
+    def test_equality_and_hash(self):
+        assert fact("R", 1, 2) == Fact("R", (1, 2))
+        assert hash(fact("R", 1, 2)) == hash(Fact("R", (1, 2)))
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        inst = Instance([fact("R", 1)])
+        assert fact("R", 1) in inst
+        assert fact("R", 2) not in inst
+
+    def test_set_semantics(self):
+        inst = Instance([fact("R", 1), fact("R", 1)])
+        assert len(inst) == 1
+
+    def test_domain(self):
+        inst = Instance([fact("R", 1, 2), fact("S", 2, 3)])
+        assert inst.domain() == {1, 2, 3}
+
+    def test_relations_schema(self):
+        inst = Instance([fact("R", 1), fact("S", 1, 2)])
+        assert inst.relations() == {"R": 1, "S": 2}
+
+    def test_mixed_arity_rejected(self):
+        inst = Instance([fact("R", 1), fact("R", 1, 2)])
+        with pytest.raises(ReproError, match="two arities"):
+            inst.relations()
+
+    def test_gaifman_graph_edges(self):
+        inst = Instance([fact("E", "a", "b"), fact("E", "b", "c")])
+        graph = inst.gaifman_graph()
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "c")
+        assert not graph.has_edge("a", "c")
+
+    def test_gaifman_ternary_clique(self):
+        inst = Instance([fact("T", 1, 2, 3)])
+        graph = inst.gaifman_graph()
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 3) and graph.has_edge(1, 3)
+
+    def test_treewidth_of_path_instance(self):
+        inst = Instance([fact("E", i, i + 1) for i in range(9)])
+        assert inst.treewidth_upper_bound() == 1
+
+    def test_union_and_restrict(self):
+        a = Instance([fact("R", 1)])
+        b = Instance([fact("R", 2)])
+        merged = a.union(b)
+        assert len(merged) == 2
+        assert len(merged.restricted_to([fact("R", 1)])) == 1
+
+
+class TestTIDInstance:
+    def test_probability_bounds(self):
+        tid = TIDInstance()
+        with pytest.raises(ReproError):
+            tid.add(fact("R", 1), 1.4)
+
+    def test_world_count(self):
+        tid = TIDInstance({fact("R", 1): 0.5, fact("R", 2): 0.5})
+        worlds = list(tid.possible_worlds())
+        assert len(worlds) == 4
+        assert math.isclose(sum(w for _, w in worlds), 1.0)
+
+    def test_world_probability(self):
+        tid = TIDInstance({fact("R", 1): 0.3, fact("R", 2): 0.8})
+        world = Instance([fact("R", 2)])
+        assert math.isclose(tid.world_probability(world), 0.7 * 0.8)
+
+    def test_event_space_names(self):
+        tid = TIDInstance({fact("R", 1): 0.3})
+        assert tid.event_space().probability(fact("R", 1).variable_name) == 0.3
+
+    def test_sampler_marginals(self):
+        tid = TIDInstance({fact("R", 1): 0.7})
+        draw = tid.world_sampler(seed=0)
+        hits = sum(fact("R", 1) in draw() for _ in range(2000))
+        assert abs(hits / 2000 - 0.7) < 0.05
+
+
+class TestCInstance:
+    def build_trips(self) -> CInstance:
+        """Table 1 of the paper: trips annotated over events pods, stoc."""
+        ci = CInstance()
+        pods, stoc = var("pods"), var("stoc")
+        ci.add(fact("Trip", "CDG", "MEL"), pods)
+        ci.add(fact("Trip", "MEL", "CDG"), pods & ~stoc)
+        ci.add(fact("Trip", "MEL", "PDX"), pods & stoc)
+        ci.add(fact("Trip", "CDG", "PDX"), ~pods & stoc)
+        ci.add(fact("Trip", "PDX", "CDG"), stoc)
+        return ci
+
+    def test_world_selection(self):
+        ci = self.build_trips()
+        world = ci.world({"pods": True, "stoc": False})
+        assert fact("Trip", "CDG", "MEL") in world
+        assert fact("Trip", "MEL", "CDG") in world
+        assert fact("Trip", "MEL", "PDX") not in world
+
+    def test_world_count_matches_events(self):
+        ci = self.build_trips()
+        assert len(list(ci.possible_worlds())) == 4
+
+    def test_possibility_and_certainty(self):
+        ci = self.build_trips()
+        assert ci.is_possible(fact("Trip", "CDG", "MEL"))
+        assert not ci.is_certain(fact("Trip", "CDG", "MEL"))
+        certain = CInstance({fact("R", 1): TRUE})
+        assert certain.is_certain(fact("R", 1))
+
+    def test_conditioning_on_literal(self):
+        ci = self.build_trips()
+        pinned = ci.conditioned_on_literal("pods", True)
+        assert pinned.is_certain(fact("Trip", "CDG", "MEL"))
+        assert not pinned.is_possible(fact("Trip", "CDG", "PDX"))
+
+    def test_distinct_worlds_deduplicated(self):
+        ci = CInstance({fact("R", 1): var("e") | ~var("e")})
+        assert len(ci.distinct_worlds()) == 1
+
+
+class TestPCInstance:
+    def build(self) -> PCInstance:
+        pc = PCInstance()
+        pc.add_event("pods", 0.7)
+        pc.add_event("stoc", 0.4)
+        pc.add(fact("Trip", "CDG", "MEL"), var("pods"))
+        pc.add(fact("Trip", "PDX", "CDG"), var("stoc"))
+        pc.add(fact("Trip", "MEL", "PDX"), var("pods") & var("stoc"))
+        return pc
+
+    def test_unregistered_event_rejected(self):
+        pc = PCInstance()
+        with pytest.raises(ReproError, match="not registered"):
+            pc.add(fact("R", 1), var("mystery"))
+
+    def test_fact_probability(self):
+        pc = self.build()
+        assert math.isclose(pc.fact_probability(fact("Trip", "MEL", "PDX")), 0.28)
+
+    def test_world_distribution_sums_to_one(self):
+        pc = self.build()
+        assert math.isclose(sum(pc.world_distribution().values()), 1.0)
+
+    def test_conditioning_renormalizes(self):
+        pc = self.build().conditioned_on_literal("pods", True)
+        assert math.isclose(pc.fact_probability(fact("Trip", "CDG", "MEL")), 1.0)
+        assert math.isclose(pc.fact_probability(fact("Trip", "MEL", "PDX")), 0.4)
+
+    def test_from_tid_view(self):
+        tid = TIDInstance({fact("R", 1): 0.25})
+        pc = pc_from_tid(tid)
+        assert math.isclose(pc.fact_probability(fact("R", 1)), 0.25)
+
+
+class TestPCCInstance:
+    def build(self) -> PCCInstance:
+        pcc = PCCInstance()
+        pcc.add_event("e1", 0.5)
+        pcc.add_event("e2", 0.5)
+        g = pcc.circuit.and_gate(
+            [pcc.circuit.variable("e1"), pcc.circuit.variable("e2")]
+        )
+        pcc.add(fact("R", 1), g)
+        pcc.add(fact("R", 2), pcc.circuit.negation(g))
+        return pcc
+
+    def test_world_selection(self):
+        pcc = self.build()
+        world = pcc.world({"e1": True, "e2": True})
+        assert fact("R", 1) in world and fact("R", 2) not in world
+
+    def test_fact_probability_enumerate(self):
+        pcc = self.build()
+        assert math.isclose(pcc.fact_probability_enumerate(fact("R", 1)), 0.25)
+        assert math.isclose(pcc.fact_probability_enumerate(fact("R", 2)), 0.75)
+
+    def test_joint_graph_links_facts_to_gates(self):
+        pcc = self.build()
+        graph = pcc.joint_graph()
+        assert ("d", 1) in graph.nodes
+        assert ("g", pcc.gate_of(fact("R", 1))) in graph.nodes
+        assert graph.has_edge(("d", 1), ("g", pcc.gate_of(fact("R", 1))))
+
+    def test_joint_width_small_for_local_annotations(self):
+        pcc = pcc_from_tid(TIDInstance({fact("E", i, i + 1): 0.5 for i in range(8)}))
+        assert pcc.joint_width() <= 3
+
+    def test_conversion_preserves_distribution(self):
+        pc = PCInstance()
+        pc.add_event("a", 0.3)
+        pc.add_event("b", 0.6)
+        pc.add(fact("R", 1), var("a") & ~var("b"))
+        pcc = pcc_from_pc(pc)
+        expected = pc.fact_probability(fact("R", 1))
+        assert math.isclose(pcc.fact_probability_enumerate(fact("R", 1)), expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pc_and_pcc_world_distributions_agree(seed):
+    import random
+
+    rng = random.Random(seed)
+    pc = PCInstance()
+    events = [f"e{i}" for i in range(rng.randint(1, 3))]
+    for e in events:
+        pc.add_event(e, round(rng.uniform(0.1, 0.9), 2))
+    for i in range(rng.randint(1, 4)):
+        annotation = var(rng.choice(events))
+        if rng.random() < 0.5:
+            annotation = annotation & ~var(rng.choice(events))
+        pc.add(fact("R", i), annotation)
+    pcc = pcc_from_pc(pc)
+    for f in pc.facts():
+        assert math.isclose(
+            pc.fact_probability(f),
+            pcc.fact_probability_enumerate(f),
+            abs_tol=1e-9,
+        )

@@ -1,0 +1,225 @@
+"""Integration tests: end-to-end scenarios crossing several subsystems.
+
+Each test exercises a realistic pipeline the paper motivates, checking the
+final numbers against independent oracles.
+"""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from types import SimpleNamespace
+
+from repro.baselines import pcc_probability_enumerate, tid_probability_enumerate
+from repro.circuits import circuit_stats, to_dot
+from repro.conditioning import ConditionedInstance, SimulatedCrowd, run_crowd_session
+from repro.core import (
+    AllDegreesEvenAutomaton,
+    STConnectivityAutomaton,
+    answer_probabilities,
+    build_lineage,
+    conjunction,
+    negation,
+    pcc_probability,
+    tid_probability,
+)
+from repro.events import var
+from repro.instances import Instance, PCInstance, TIDInstance, fact, pcc_from_pc
+from repro.prxml import path_pattern, query_probability, query_probability_enumerate
+from repro.queries import atom, cq, ucq, variables
+from repro.rules import probabilistic_chase
+from repro.workloads import (
+    CITIZEN_RULES,
+    figure1_document,
+    partial_ktree_tid,
+    table1_pc_instance,
+    wikidata_like_document,
+)
+
+X, Y, Z = variables("x", "y", "z")
+
+
+class TestChaseThenCondition:
+    """Probabilistic rules produce a pcc-instance; conditioning refines it."""
+
+    def test_observing_consequence_raises_premise(self):
+        kb = Instance(
+            [
+                fact("Citizen", "alice", "fr"),
+                fact("OfficialLanguage", "fr", "french"),
+            ]
+        )
+        chased = probabilistic_chase(kb, CITIZEN_RULES, rounds=3)
+        speaks = fact("Speaks", "alice", "french")
+        lives = fact("LivesIn", "alice", "fr")
+        prior_lives = chased.fact_probability_enumerate(lives)
+        conditioned = ConditionedInstance(chased).observe_fact(speaks, True)
+        posterior_lives = conditioned.fact_probability(lives)
+        # Speaking implies having lived (the only derivation path).
+        assert math.isclose(prior_lives, 0.8)
+        assert math.isclose(posterior_lives, 1.0)
+
+    def test_observing_absence_lowers_posterior(self):
+        kb = Instance(
+            [
+                fact("Citizen", "alice", "fr"),
+                fact("OfficialLanguage", "fr", "french"),
+            ]
+        )
+        chased = probabilistic_chase(kb, CITIZEN_RULES, rounds=3)
+        speaks = fact("Speaks", "alice", "french")
+        lives = fact("LivesIn", "alice", "fr")
+        conditioned = ConditionedInstance(chased).observe_fact(speaks, False)
+        posterior = conditioned.fact_probability(lives)
+        # P(lives | ¬speaks) = P(lives ∧ ¬fire2)/P(¬speaks) = 0.8*0.1/0.28
+        assert math.isclose(posterior, 0.8 * 0.1 / (1.0 - 0.72))
+
+
+class TestCrowdOnChasedKB:
+    """Crowd conditioning on top of the probabilistic chase output."""
+
+    def test_session_converges_to_truth(self):
+        kb = Instance(
+            [
+                fact("Citizen", "alice", "fr"),
+                fact("OfficialLanguage", "fr", "french"),
+            ]
+        )
+        chased = probabilistic_chase(kb, CITIZEN_RULES, rounds=3)
+        query = cq(atom("Speaks", "alice", "french"))
+        truth = {e: True for e in chased.space.events()}
+        crowd = SimulatedCrowd(truth, error_rate=0.0)
+        session = run_crowd_session(chased, query, crowd, budget=3, policy="greedy")
+        assert math.isclose(session.final_probability, 1.0)
+        assert session.entropies()[-1] == 0.0
+
+
+class TestPrXMLAgainstRelationalRendering:
+    """The same uncertainty modeled as PrXML and as a pc-instance agrees."""
+
+    def test_figure1_two_renderings(self):
+        doc = figure1_document()
+        p_xml = query_probability(doc, path_pattern("surname", "Manning"))
+
+        pc = PCInstance()
+        pc.add_event("eJane", 0.9)
+        pc.add(fact("Statement", "surname", "Manning"), var("eJane"))
+        pc.add(fact("Statement", "pob", "Crescent"), var("eJane"))
+        pcc = pcc_from_pc(pc)
+        p_rel = pcc_probability(cq(atom("Statement", "surname", Y)), pcc)
+        assert math.isclose(p_xml, p_rel)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_wikidata_document_engine_vs_enumeration(self, seed):
+        doc = wikidata_like_document(2, contributors=2, seed=seed)
+        pattern = path_pattern("statement")
+        assert math.isclose(
+            query_probability(doc, pattern),
+            query_probability_enumerate(doc, pattern),
+            abs_tol=1e-9,
+        )
+
+
+class TestMSOCombinations:
+    """Boolean combinations of automata against combined oracles."""
+
+    def test_eulerian_and_connected(self):
+        tid = TIDInstance(
+            {
+                fact("E", 1, 2): 0.6,
+                fact("E", 2, 3): 0.6,
+                fact("E", 3, 1): 0.6,
+                fact("E", 3, 4): 0.4,
+            }
+        )
+        even = AllDegreesEvenAutomaton()
+        reach = STConnectivityAutomaton(1, 3)
+        both = conjunction(even, reach)
+
+        def oracle(world):
+            graph = nx.MultiGraph()
+            graph.add_nodes_from([1, 3])
+            for f in world.facts():
+                if f.relation == "E":
+                    graph.add_edge(*f.args)
+            degrees_even = all(d % 2 == 0 for _v, d in graph.degree)
+            return degrees_even and nx.has_path(graph, 1, 3)
+
+        assert math.isclose(
+            tid_probability(both, tid),
+            tid_probability_enumerate(SimpleNamespace(holds_in=oracle), tid),
+            abs_tol=1e-9,
+        )
+
+    def test_negated_cq_is_triangle_freeness(self):
+        triangle = cq(atom("E", X, Y), atom("E", Y, Z), atom("E", Z, X))
+        from repro.core import automaton_for
+
+        no_triangle = negation(automaton_for(triangle))
+        tid = TIDInstance(
+            {
+                fact("E", 1, 2): 0.5,
+                fact("E", 2, 3): 0.5,
+                fact("E", 3, 1): 0.5,
+                fact("E", 3, 4): 0.5,
+            }
+        )
+
+        def oracle(world):
+            return not triangle.holds_in(world)
+
+        assert math.isclose(
+            tid_probability(no_triangle, tid),
+            tid_probability_enumerate(SimpleNamespace(holds_in=oracle), tid),
+            abs_tol=1e-9,
+        )
+
+
+class TestRankedAnswersOnTable1:
+    def test_destination_ranking(self):
+        pcc = pcc_from_pc(table1_pc_instance(0.7, 0.5))
+        # Rank destinations reachable from Paris CDG by probability — via the
+        # per-answer engine on the TID rendering of the marginals.
+        tid = TIDInstance()
+        for f in pcc.facts():
+            tid.add(f, pcc.fact_probability_enumerate(f))
+        query = cq(atom("Trip", "Paris CDG", Y))
+        ranked = answer_probabilities(query, (Y,), tid)
+        assert ranked[0].values == ("Melbourne MEL",)
+        assert math.isclose(ranked[0].probability, 0.7)
+
+
+class TestDiagnostics:
+    def test_lineage_stats_and_dot(self):
+        generated = partial_ktree_tid(10, 2, seed=0)
+        lineage = build_lineage(
+            generated.tid.instance,
+            cq(atom("E", X, Y)),
+            generated.decomposition,
+        )
+        stats = circuit_stats(lineage.circuit)
+        assert stats.total > 0
+        assert stats.variables <= len(generated.tid)
+        dot = to_dot(lineage.circuit, max_gates=10_000)
+        assert dot.startswith("digraph")
+        assert f"g{lineage.circuit.output}" in dot
+
+
+class TestUCQAcrossSubsystems:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ucq_on_pcc_matches_enumeration(self, seed):
+        rng = random.Random(seed)
+        pc = PCInstance()
+        for e in range(3):
+            pc.add_event(f"e{e}", round(rng.uniform(0.2, 0.8), 2))
+        for i in range(3):
+            pc.add(fact("A", i), var(f"e{rng.randrange(3)}"))
+            pc.add(fact("B", i, i + 1), var(f"e{rng.randrange(3)}"))
+        pcc = pcc_from_pc(pc)
+        query = ucq(cq(atom("A", X), atom("B", X, Y)), cq(atom("B", X, X)))
+        assert math.isclose(
+            pcc_probability(query, pcc),
+            pcc_probability_enumerate(query, pcc),
+            abs_tol=1e-9,
+        )

@@ -1,0 +1,177 @@
+"""Tests for K-relations: the annotated positive relational algebra."""
+
+import random
+
+import pytest
+
+from repro.instances import Instance, fact
+from repro.queries import atom, cq, variables
+from repro.semirings import (
+    BooleanSemiring,
+    CountingSemiring,
+    KRelation,
+    PolynomialSemiring,
+    PosBoolSemiring,
+    TropicalSemiring,
+    evaluate_cq_algebraically,
+    from_instance,
+    reference_provenance,
+)
+from repro.util import ReproError
+
+X, Y = variables("x", "y")
+N = CountingSemiring()
+
+
+def bag(rows):
+    """A counting-semiring relation over two columns."""
+    r = KRelation(N, ["a", "b"])
+    for values, count in rows:
+        r.add(values, count)
+    return r
+
+
+class TestAlgebra:
+    def test_add_merges_annotations(self):
+        r = KRelation(N, ["a"])
+        r.add((1,), 2)
+        r.add((1,), 3)
+        assert r.annotation((1,)) == 5
+
+    def test_zero_annotations_dropped(self):
+        r = KRelation(TropicalSemiring(), ["a"])
+        r.add((1,), TropicalSemiring().zero())
+        assert len(r) == 0
+
+    def test_select(self):
+        r = bag([((1, 2), 1), ((3, 4), 2)])
+        selected = r.select(lambda row: row["a"] == 3)
+        assert selected.rows() == {(3, 4): 2}
+
+    def test_project_sums_collapsed(self):
+        r = bag([((1, 2), 1), ((1, 3), 2)])
+        projected = r.project(["a"])
+        assert projected.annotation((1,)) == 3  # bag semantics: 1 + 2
+
+    def test_project_unknown_attribute(self):
+        with pytest.raises(ReproError, match="unknown attributes"):
+            bag([]).project(["ghost"])
+
+    def test_union_requires_same_schema(self):
+        with pytest.raises(ReproError, match="schema mismatch"):
+            bag([]).union(KRelation(N, ["x", "y"]))
+
+    def test_union_adds(self):
+        left = bag([((1, 2), 1)])
+        right = bag([((1, 2), 5), ((9, 9), 1)])
+        merged = left.union(right)
+        assert merged.annotation((1, 2)) == 6
+        assert merged.annotation((9, 9)) == 1
+
+    def test_join_multiplies(self):
+        left = bag([((1, 2), 2)])
+        right = KRelation(N, ["b", "c"], {(2, 7): 3})
+        joined = left.join(right)
+        assert joined.attributes == ("a", "b", "c")
+        assert joined.annotation((1, 2, 7)) == 6
+
+    def test_join_no_shared_is_cross_product(self):
+        left = KRelation(N, ["a"], {(1,): 2})
+        right = KRelation(N, ["b"], {(5,): 3, (6,): 1})
+        joined = left.join(right)
+        assert len(joined) == 2
+        assert joined.annotation((1, 5)) == 6
+
+    def test_rename(self):
+        r = bag([((1, 2), 1)]).rename({"a": "x"})
+        assert r.attributes == ("x", "b")
+
+    def test_bag_join_counts_multiplicities(self):
+        # Classic: |R ⋈ S| in bag semantics is the product of multiplicities.
+        left = KRelation(N, ["a"], {(1,): 2})
+        right = KRelation(N, ["a"], {(1,): 3})
+        assert left.join(right).annotation((1,)) == 6
+
+
+class TestAlgebraicCQEvaluation:
+    def make_instance(self):
+        return Instance(
+            [
+                fact("R", 1),
+                fact("S", 1, 2),
+                fact("T", 2),
+                fact("R", 3),
+                fact("S", 3, 2),
+            ]
+        )
+
+    @pytest.mark.parametrize(
+        "semiring,annotate",
+        [
+            (BooleanSemiring(), lambda f: True),
+            (CountingSemiring(), lambda f: 1),
+            (TropicalSemiring(), lambda f: float(len(str(f)))),
+        ],
+        ids=["boolean", "counting", "tropical"],
+    )
+    def test_matches_reference_provenance(self, semiring, annotate):
+        inst = self.make_instance()
+        query = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        relations = from_instance(inst, semiring, annotate)
+        algebraic = evaluate_cq_algebraically(query, relations)
+        reference = reference_provenance(query, inst, semiring, annotate)
+        assert algebraic == reference
+
+    def test_posbool_matches_reference(self):
+        inst = self.make_instance()
+        semiring = PosBoolSemiring()
+        annotate = {f: semiring.variable(f.variable_name) for f in inst.facts()}
+        query = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        relations = from_instance(inst, semiring, annotate)
+        assert evaluate_cq_algebraically(query, relations) == reference_provenance(
+            query, inst, semiring, annotate
+        )
+
+    def test_polynomial_matches_reference(self):
+        inst = self.make_instance()
+        semiring = PolynomialSemiring()
+        annotate = {f: semiring.variable(f.variable_name) for f in inst.facts()}
+        query = cq(atom("S", X, Y))
+        relations = from_instance(inst, semiring, annotate)
+        assert evaluate_cq_algebraically(query, relations) == reference_provenance(
+            query, inst, semiring, annotate
+        )
+
+    def test_constants_in_query(self):
+        inst = self.make_instance()
+        query = cq(atom("S", 1, Y), atom("T", Y))
+        relations = from_instance(inst, N, lambda f: 1)
+        assert evaluate_cq_algebraically(query, relations) == 1
+
+    def test_repeated_variable(self):
+        inst = Instance([fact("S", 1, 1), fact("S", 1, 2)])
+        query = cq(atom("S", X, X))
+        relations = from_instance(inst, N, lambda f: 1)
+        assert evaluate_cq_algebraically(query, relations) == 1
+
+    def test_missing_relation(self):
+        query = cq(atom("Ghost", X))
+        with pytest.raises(ReproError, match="no K-relation"):
+            evaluate_cq_algebraically(query, {})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_counting(self, seed):
+        rng = random.Random(seed)
+        inst = Instance()
+        n = rng.randint(2, 4)
+        for i in range(n):
+            if rng.random() < 0.8:
+                inst.add(fact("R", i))
+            if rng.random() < 0.8:
+                inst.add(fact("T", i))
+        for _ in range(rng.randint(1, 2 * n)):
+            inst.add(fact("S", rng.randrange(n), rng.randrange(n)))
+        query = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        relations = from_instance(inst, N, lambda f: 1)
+        algebraic = evaluate_cq_algebraically(query, relations)
+        assert algebraic == len(list(query.homomorphisms(inst)))

@@ -1,0 +1,265 @@
+"""Tests for order uncertainty: posets, algebra, counting, membership."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.order import (
+    LabeledPoset,
+    antichain,
+    certain_pairs,
+    chain,
+    concat,
+    count_linear_extensions,
+    count_linear_extensions_sp,
+    extension_labels,
+    interleavings,
+    is_linear_extension,
+    is_possible_world,
+    is_realizable_order,
+    is_series_parallel,
+    iter_linear_extensions,
+    membership_backtracking,
+    NotSeriesParallel,
+    possible_worlds,
+    poset_from_intervals,
+    product_direct,
+    product_lex,
+    projection,
+    sample_linear_extension,
+    selection,
+    union,
+)
+from repro.util import ReproError
+from repro.workloads import generate_logs, true_interleaving
+
+
+def n_poset() -> LabeledPoset:
+    """The canonical non-series-parallel 'N' shape."""
+    return LabeledPoset(
+        {"a": "a", "b": "b", "c": "c", "d": "d"},
+        [("a", "c"), ("b", "c"), ("b", "d")],
+    )
+
+
+class TestPosets:
+    def test_cycle_rejected(self):
+        poset = chain(["x", "y"], "p")
+        with pytest.raises(ReproError, match="cycle"):
+            poset.add_order("p1", "p0")
+
+    def test_less_than_is_transitive(self):
+        poset = chain(["x", "y", "z"], "p")
+        assert poset.less_than("p0", "p2")
+
+    def test_total_and_unordered_predicates(self):
+        assert chain(["x", "y"]).is_total()
+        assert antichain(["x", "y"]).is_unordered()
+        assert not n_poset().is_total()
+
+    def test_hasse_removes_transitive_edges(self):
+        poset = LabeledPoset({1: "a", 2: "b", 3: "c"}, [(1, 2), (2, 3), (1, 3)])
+        assert (1, 3) not in poset.hasse_edges()
+
+    def test_restriction_keeps_induced_order(self):
+        poset = chain(["x", "y", "z"], "p")
+        sub = poset.restricted_to(["p0", "p2"])
+        assert sub.less_than("p0", "p2")
+
+    def test_minimal_elements(self):
+        assert set(n_poset().minimal_elements()) == {"a", "b"}
+
+
+class TestLinearExtensions:
+    def test_chain_has_one_extension(self):
+        assert count_linear_extensions(chain(range(5))) == 1
+
+    def test_antichain_has_factorial(self):
+        assert count_linear_extensions(antichain(range(4))) == 24
+
+    def test_enumeration_matches_count(self):
+        poset = n_poset()
+        extensions = list(iter_linear_extensions(poset))
+        assert len(extensions) == count_linear_extensions(poset)
+        assert len(set(extensions)) == len(extensions)
+        for ext in extensions:
+            assert is_linear_extension(poset, ext)
+
+    def test_sampling_is_uniform_ish(self):
+        poset = union(chain(["x1", "x2"], "a"), chain(["y1"], "b"))
+        counts = {}
+        for seed in range(3000):
+            ext = sample_linear_extension(poset, seed=seed)
+            counts[ext] = counts.get(ext, 0) + 1
+        assert len(counts) == 3
+        for hits in counts.values():
+            assert abs(hits / 3000 - 1 / 3) < 0.05
+
+    def test_possible_worlds_deduplicate_labels(self):
+        poset = antichain(["same", "same"])
+        assert possible_worlds(poset) == [("same", "same")]
+
+
+class TestAlgebra:
+    def test_union_worlds_are_interleavings(self):
+        left = chain(["x1", "x2"], "a")
+        right = chain(["y1", "y2"], "b")
+        worlds = set(possible_worlds(union(left, right)))
+        assert worlds == set(interleavings(("x1", "x2"), ("y1", "y2")))
+
+    def test_concat_orders_all_of_first_before_second(self):
+        left = antichain(["x1", "x2"], "a")
+        right = chain(["y"], "b")
+        for world in possible_worlds(concat(left, right)):
+            assert world[-1] == "y"
+
+    def test_selection_keeps_induced_order(self):
+        poset = chain([1, 2, 3, 4], "p")
+        selected = selection(poset, lambda v: v % 2 == 0)
+        assert possible_worlds(selected) == [(2, 4)]
+
+    def test_projection_is_bag_semantics(self):
+        poset = antichain([("a", 1), ("b", 1)], "p")
+        projected = projection(poset, lambda t: t[1])
+        assert possible_worlds(projected) == [(1, 1)]
+
+    def test_product_direct_pairs(self):
+        left = chain(["x"], "a")
+        right = chain(["y1", "y2"], "b")
+        product = product_direct(left, right)
+        assert possible_worlds(product) == [(("x", "y1"), ("x", "y2"))]
+
+    def test_product_lex_totally_orders_chains(self):
+        left = chain(["x1", "x2"], "a")
+        right = chain(["y1", "y2"], "b")
+        assert product_lex(left, right).is_total()
+
+    def test_product_direct_less_constrained_than_lex(self):
+        left = chain(["x1", "x2"], "a")
+        right = chain(["y1", "y2"], "b")
+        direct = count_linear_extensions(product_direct(left, right))
+        lex = count_linear_extensions(product_lex(left, right))
+        assert direct >= lex
+
+
+class TestSeriesParallel:
+    def test_algebra_builds_sp(self):
+        poset = concat(union(chain([1, 2]), chain([3])), chain([4]))
+        assert is_series_parallel(poset)
+        assert count_linear_extensions_sp(poset) == count_linear_extensions(poset)
+
+    def test_n_poset_rejected(self):
+        assert not is_series_parallel(n_poset())
+        with pytest.raises(NotSeriesParallel):
+            count_linear_extensions_sp(n_poset())
+
+    def test_parallel_count_is_binomial(self):
+        poset = union(chain(range(3)), chain(range(4)))
+        assert count_linear_extensions_sp(poset) == math.comb(7, 3)
+
+    def test_singleton(self):
+        assert count_linear_extensions_sp(chain(["only"])) == 1
+
+
+class TestMembership:
+    def test_distinct_labels_polynomial_path(self):
+        poset = union(chain(["a", "b"], "l"), chain(["c"], "r"))
+        assert poset.has_distinct_labels()
+        assert is_possible_world(poset, ("a", "c", "b"))
+        assert not is_possible_world(poset, ("b", "a", "c"))
+
+    def test_duplicate_labels_backtracking(self):
+        poset = union(chain(["x", "y"], "l"), chain(["y", "x"], "r"))
+        assert is_possible_world(poset, ("x", "y", "y", "x"))
+        assert is_possible_world(poset, ("y", "x", "x", "y"))
+        assert not is_possible_world(poset, ("x", "x", "x", "y"))
+
+    def test_wrong_multiset_rejected_fast(self):
+        poset = antichain(["a", "b"])
+        assert not is_possible_world(poset, ("a", "a"))
+        assert not is_possible_world(poset, ("a",))
+
+    def test_membership_matches_enumeration(self):
+        poset = union(chain(["a", "b"], "l"), chain(["b", "a"], "r"))
+        worlds = set(possible_worlds(poset))
+        import itertools
+
+        for candidate in set(itertools.permutations(["a", "a", "b", "b"])):
+            assert is_possible_world(poset, candidate) == (candidate in worlds)
+
+    def test_certain_pairs(self):
+        poset = concat(chain(["first"]), chain(["second"]))
+        assert ("first", "second") in certain_pairs(poset)
+        assert ("second", "first") not in certain_pairs(poset)
+
+
+class TestNumericOrder:
+    def test_disjoint_intervals_are_ordered(self):
+        poset = poset_from_intervals({"a": (0, 1), "b": (2, 3)})
+        assert poset.less_than("a", "b")
+
+    def test_overlapping_intervals_incomparable(self):
+        poset = poset_from_intervals({"a": (0, 2), "b": (1, 3)})
+        assert not poset.comparable("a", "b")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            poset_from_intervals({"a": (2, 1)})
+
+    def test_realizable_orders(self):
+        intervals = {"a": (0, 2), "b": (1, 3)}
+        assert is_realizable_order(intervals, ("a", "b"))
+        assert is_realizable_order(intervals, ("b", "a"))
+        assert not is_realizable_order({"a": (0, 1), "b": (2, 3)}, ("b", "a"))
+
+    def test_realizable_iff_linear_extension_of_certain_order(self):
+        intervals = {"a": (0.0, 1.0), "b": (0.5, 1.5), "c": (2.0, 3.0)}
+        poset = poset_from_intervals(intervals)
+        import itertools
+
+        for perm in itertools.permutations(intervals):
+            realizable = is_realizable_order(intervals, perm)
+            extension = is_linear_extension(poset, perm)
+            assert realizable == extension
+
+
+class TestLogWorkload:
+    def test_true_interleaving_is_possible_world(self):
+        workload = generate_logs(machines=2, events_per_log=3, seed=5)
+        truth = true_interleaving(workload, seed=1)
+        assert is_possible_world(workload.merged, truth)
+
+    def test_merged_size(self):
+        workload = generate_logs(machines=3, events_per_log=2, seed=0)
+        assert len(workload.merged) == 6
+
+    def test_distinct_vocabulary_mode(self):
+        workload = generate_logs(
+            machines=2, events_per_log=3, seed=0, shared_vocabulary=False
+        )
+        assert workload.merged.has_distinct_labels()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_union_count_equals_binomial_formula(seed):
+    import random
+
+    rng = random.Random(seed)
+    m, n = rng.randint(1, 4), rng.randint(1, 4)
+    merged = union(chain(range(m), "l"), chain(range(100, 100 + n), "r"))
+    assert count_linear_extensions(merged) == math.comb(m + n, m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_sp_count_matches_dp_on_algebra_terms(seed):
+    import random
+
+    rng = random.Random(seed)
+    terms = [chain([rng.randint(0, 3)]) for _ in range(rng.randint(2, 4))]
+    poset = terms[0]
+    for term in terms[1:]:
+        poset = union(poset, term) if rng.random() < 0.5 else concat(poset, term)
+    assert count_linear_extensions_sp(poset) == count_linear_extensions(poset)

@@ -1,0 +1,283 @@
+"""Tests for PrXML: model, semantics, patterns, scopes, circuit evaluation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import EventSpace
+from repro.prxml import (
+    PrXMLDocument,
+    build_pattern_lineage,
+    cie,
+    det,
+    ind,
+    make_world,
+    mux,
+    path_pattern,
+    pattern,
+    query_probability,
+    query_probability_enumerate,
+    regular,
+    sample_world,
+    scope_width,
+    world_distribution,
+    TreePattern,
+)
+from repro.prxml.scopes import event_scopes, events_used
+from repro.util import ReproError
+from repro.workloads import (
+    adversarial_scope_document,
+    figure1_document,
+    wikidata_like_document,
+)
+
+
+class TestModel:
+    def test_root_must_be_regular(self):
+        with pytest.raises(ReproError, match="regular"):
+            PrXMLDocument(det([regular("a")]))
+
+    def test_mux_probability_cap(self):
+        with pytest.raises(ReproError, match="sum"):
+            mux([(regular("a"), 0.7), (regular("b"), 0.7)])
+
+    def test_cie_requires_registered_events(self):
+        root = regular("r", [cie([(regular("a"), [("ghost", True)])])])
+        with pytest.raises(ReproError, match="unregistered"):
+            PrXMLDocument(root, EventSpace())
+
+    def test_local_choice_count(self):
+        doc = figure1_document()
+        assert doc.local_choice_count() == 2  # one ind child + one mux node
+
+    def test_has_global_uncertainty(self):
+        assert figure1_document().has_global_uncertainty()
+        local = PrXMLDocument(regular("r", [ind([(regular("a"), 0.5)])]))
+        assert not local.has_global_uncertainty()
+
+
+class TestSemantics:
+    def test_distribution_sums_to_one(self):
+        total = sum(p for _w, p in world_distribution(figure1_document()))
+        assert math.isclose(total, 1.0)
+
+    def test_figure1_world_count(self):
+        # 2 (occupation) × 2 (eJane) × 3 (mux: Bradley/Chelsea/none... sum=1 so 2)
+        worlds = list(world_distribution(figure1_document()))
+        assert len(worlds) == 8
+
+    def test_cie_correlation(self):
+        # Both eJane facts present or both absent — never exactly one.
+        for world, p in world_distribution(figure1_document()):
+            labels = _labels(world)
+            assert ("surname" in labels) == ("place of birth" in labels)
+
+    def test_mux_exclusivity(self):
+        for world, _p in world_distribution(figure1_document()):
+            labels = _labels(world)
+            assert not ("Bradley" in labels and "Chelsea" in labels)
+
+    def test_sampled_worlds_are_possible(self):
+        doc = figure1_document()
+        possible = {w for w, p in world_distribution(doc) if p > 0}
+        for seed in range(20):
+            assert sample_world(doc, seed=seed) in possible
+
+    def test_det_keeps_all_children(self):
+        doc = PrXMLDocument(
+            regular("r", [mux([(det([regular("a"), regular("b")]), 1.0)])])
+        )
+        worlds = list(world_distribution(doc))
+        assert len(worlds) == 1
+        assert _labels(worlds[0][0]) == {"r", "a", "b"}
+
+
+class TestPatterns:
+    def test_child_edge(self):
+        tree = make_world("a", [make_world("b")])
+        assert path_pattern("a", "b").matches(tree)
+        assert not path_pattern("b", "a").matches(tree)
+
+    def test_descendant_edge(self):
+        tree = make_world("a", [make_world("mid", [make_world("b")])])
+        assert path_pattern("a", "b", descendant=True).matches(tree)
+        assert not path_pattern("a", "b").matches(tree)
+
+    def test_match_anywhere(self):
+        tree = make_world("top", [make_world("a", [make_world("b")])])
+        assert path_pattern("a", "b").matches(tree)
+
+    def test_wildcard(self):
+        root = pattern("*")
+        root.add_child(pattern("b"))
+        tree = make_world("anything", [make_world("b")])
+        assert TreePattern(root).matches(tree)
+
+    def test_branching_pattern(self):
+        root = pattern("a")
+        root.add_child(pattern("b"))
+        root.add_child(pattern("c"))
+        q = TreePattern(root)
+        assert q.matches(make_world("a", [make_world("b"), make_world("c")]))
+        assert not q.matches(make_world("a", [make_world("b")]))
+
+    def test_shared_target_allowed(self):
+        # Two pattern children may map to the same tree node (homomorphism).
+        root = pattern("a")
+        root.add_child(pattern("b"))
+        root.add_child(pattern("b"))
+        assert TreePattern(root).matches(make_world("a", [make_world("b")]))
+
+
+class TestFigure1Probabilities:
+    def test_occupation(self):
+        doc = figure1_document()
+        assert math.isclose(
+            query_probability(doc, path_pattern("occupation", "musician")), 0.4
+        )
+
+    def test_given_name_chelsea(self):
+        doc = figure1_document()
+        assert math.isclose(
+            query_probability(doc, path_pattern("given name", "Chelsea")), 0.4
+        )
+
+    def test_surname_tracks_jane(self):
+        doc = figure1_document()
+        assert math.isclose(
+            query_probability(doc, path_pattern("surname", "Manning")), 0.9
+        )
+
+    def test_correlated_pair_probability(self):
+        # P(surname ∧ place of birth) = P(eJane) = 0.9, not 0.81.
+        root = pattern("Q298423")
+        root.add_child(pattern("surname"))
+        root.add_child(pattern("place of birth"))
+        doc = figure1_document()
+        assert math.isclose(query_probability(doc, TreePattern(root)), 0.9)
+
+
+class TestCircuitEvaluation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_local_documents_match_enumeration(self, seed):
+        doc = _random_local_document(seed)
+        pat = _random_pattern(seed)
+        assert math.isclose(
+            query_probability(doc, pat),
+            query_probability_enumerate(doc, pat),
+            abs_tol=1e-9,
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cie_documents_match_enumeration(self, seed):
+        doc = _random_cie_document(seed)
+        pat = _random_pattern(seed)
+        assert math.isclose(
+            query_probability(doc, pat),
+            query_probability_enumerate(doc, pat),
+            abs_tol=1e-9,
+        )
+
+    def test_direct_method_rejected_on_global(self):
+        doc = figure1_document()
+        lineage = build_pattern_lineage(doc, path_pattern("surname"))
+        with pytest.raises(ReproError, match="local"):
+            lineage.probability(method="dd")
+
+    def test_shannon_agrees(self):
+        doc = figure1_document()
+        pat = path_pattern("surname", "Manning")
+        lineage = build_pattern_lineage(doc, pat)
+        assert math.isclose(lineage.probability(method="shannon"), 0.9)
+
+
+class TestScopes:
+    def test_figure1_scope_is_guarded_subtrees(self):
+        doc = figure1_document()
+        scopes = event_scopes(doc)
+        # eJane scopes the two guarded subtrees: 4 nodes in the span.
+        assert len(scopes["eJane"]) == 4
+        assert scope_width(doc) == 1
+
+    def test_wikidata_like_bounded_scope(self):
+        doc = wikidata_like_document(6, contributors=6, seed=0)
+        assert scope_width(doc) == 1
+
+    def test_adversarial_scope_grows(self):
+        small = scope_width(adversarial_scope_document(2))
+        large = scope_width(adversarial_scope_document(5))
+        assert large > small
+
+    def test_events_used(self):
+        assert events_used(figure1_document()) == {"eJane"}
+
+
+def _labels(world) -> set:
+    labels = set()
+    stack = [world]
+    while stack:
+        node = stack.pop()
+        labels.add(node[0])
+        stack.extend(node[1])
+    return labels
+
+
+def _random_local_document(seed: int) -> PrXMLDocument:
+    rng = random.Random(seed)
+
+    def build(depth: int):
+        label = rng.choice("abcd")
+        children = []
+        if depth < 2:
+            for _ in range(rng.randint(0, 2)):
+                child = build(depth + 1)
+                style = rng.random()
+                if style < 0.4:
+                    children.append(ind([(child, round(rng.uniform(0.2, 0.9), 1))]))
+                elif style < 0.6:
+                    children.append(
+                        mux([(child, 0.5), (build(depth + 1), 0.3)])
+                    )
+                else:
+                    children.append(child)
+        return regular(label, children)
+
+    return PrXMLDocument(build(0), EventSpace())
+
+
+def _random_cie_document(seed: int) -> PrXMLDocument:
+    rng = random.Random(seed)
+    space = EventSpace(
+        {f"e{i}": round(rng.uniform(0.2, 0.8), 2) for i in range(rng.randint(1, 3))}
+    )
+    events = sorted(space.events())
+    guarded = []
+    for i in range(rng.randint(1, 3)):
+        literals = [(rng.choice(events), rng.random() < 0.7)]
+        if rng.random() < 0.4:
+            literals.append((rng.choice(events), True))
+        guarded.append((regular(rng.choice("abc"), [regular("v")]), literals))
+    root = regular("root", [cie(guarded), regular(rng.choice("abc"))])
+    return PrXMLDocument(root, space)
+
+
+def _random_pattern(seed: int) -> TreePattern:
+    rng = random.Random(seed + 1000)
+    labels = ["a", "b", "c", "root", "v"]
+    return path_pattern(
+        rng.choice(labels), rng.choice(labels), descendant=rng.random() < 0.5
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_local_engine_agrees_with_enumeration_property(seed):
+    doc = _random_local_document(seed)
+    pat = _random_pattern(seed)
+    assert math.isclose(
+        query_probability(doc, pat),
+        query_probability_enumerate(doc, pat),
+        abs_tol=1e-9,
+    )

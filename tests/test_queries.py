@@ -1,0 +1,208 @@
+"""Tests for CQs, UCQs, safe plans and Datalog."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instances import Instance, TIDInstance, fact
+from repro.queries import (
+    DatalogProgram,
+    DatalogRule,
+    UnsafeQueryError,
+    atom,
+    cq,
+    is_hierarchical,
+    is_safe,
+    safe_plan_probability,
+    ucq,
+    variables,
+)
+from repro.baselines import tid_probability_enumerate
+from repro.util import ReproError
+
+X, Y, Z = variables("x", "y", "z")
+
+
+class TestCQEvaluation:
+    def test_single_atom_match(self):
+        q = cq(atom("R", X))
+        assert q.holds_in(Instance([fact("R", 1)]))
+        assert not q.holds_in(Instance([fact("S", 1)]))
+
+    def test_join_requires_shared_value(self):
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        good = Instance([fact("R", 1), fact("S", 1, 2), fact("T", 2)])
+        bad = Instance([fact("R", 1), fact("S", 3, 2), fact("T", 2)])
+        assert q.holds_in(good)
+        assert not q.holds_in(bad)
+
+    def test_constants_in_atoms(self):
+        q = cq(atom("S", "paris", Y))
+        assert q.holds_in(Instance([fact("S", "paris", "lyon")]))
+        assert not q.holds_in(Instance([fact("S", "rome", "lyon")]))
+
+    def test_repeated_variable_in_atom(self):
+        q = cq(atom("E", X, X))
+        assert q.holds_in(Instance([fact("E", 1, 1)]))
+        assert not q.holds_in(Instance([fact("E", 1, 2)]))
+
+    def test_homomorphism_count(self):
+        q = cq(atom("E", X, Y))
+        inst = Instance([fact("E", 1, 2), fact("E", 2, 3)])
+        assert len(list(q.homomorphisms(inst))) == 2
+
+    def test_homomorphisms_can_merge_variables(self):
+        q = cq(atom("E", X, Y), atom("E", Y, Z))
+        inst = Instance([fact("E", 1, 1)])
+        assert q.holds_in(inst)
+
+    def test_witnesses_are_facts_of_instance(self):
+        q = cq(atom("R", X), atom("S", X, Y))
+        inst = Instance([fact("R", 1), fact("S", 1, 2)])
+        witness = next(q.witnesses(inst))
+        assert set(witness) == {fact("R", 1), fact("S", 1, 2)}
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ReproError):
+            cq()
+
+    def test_self_join_free(self):
+        assert cq(atom("R", X), atom("S", X, Y)).is_self_join_free()
+        assert not cq(atom("R", X), atom("R", Y)).is_self_join_free()
+
+
+class TestUCQ:
+    def test_union_semantics(self):
+        q = ucq(cq(atom("R", X)), cq(atom("S", X)))
+        assert q.holds_in(Instance([fact("S", 1)]))
+        assert not q.holds_in(Instance([fact("T", 1)]))
+
+    def test_variables_union(self):
+        q = ucq(cq(atom("R", X)), cq(atom("S", Y)))
+        assert q.variables() == {X, Y}
+
+
+class TestHierarchy:
+    def test_rst_not_hierarchical(self):
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        assert not is_hierarchical(q)
+        assert not is_safe(q)
+
+    def test_star_query_hierarchical(self):
+        q = cq(atom("R", X), atom("S", X, Y))
+        assert is_hierarchical(q)
+        assert is_safe(q)
+
+    def test_self_join_makes_unsafe(self):
+        q = cq(atom("R", X), atom("R", Y))
+        assert not is_safe(q)
+
+
+class TestSafePlans:
+    def test_single_atom_probability(self):
+        tid = TIDInstance({fact("R", 1): 0.3, fact("R", 2): 0.6})
+        q = cq(atom("R", X))
+        expected = 1 - 0.7 * 0.4
+        assert math.isclose(safe_plan_probability(q, tid), expected)
+
+    def test_product_of_components(self):
+        tid = TIDInstance({fact("R", 1): 0.5, fact("T", 2): 0.5})
+        q = cq(atom("R", X), atom("T", Y))
+        assert math.isclose(safe_plan_probability(q, tid), 0.25)
+
+    def test_hierarchical_join(self):
+        tid = TIDInstance(
+            {
+                fact("R", 1): 0.5,
+                fact("S", 1, "a"): 0.5,
+                fact("S", 1, "b"): 0.5,
+                fact("R", 2): 0.2,
+                fact("S", 2, "a"): 0.9,
+            }
+        )
+        q = cq(atom("R", X), atom("S", X, Y))
+        expected = tid_probability_enumerate(q, tid)
+        assert math.isclose(safe_plan_probability(q, tid), expected)
+
+    def test_unsafe_query_raises(self):
+        tid = TIDInstance({fact("R", 1): 0.5, fact("S", 1, 2): 0.5, fact("T", 2): 0.5})
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        with pytest.raises(UnsafeQueryError):
+            safe_plan_probability(q, tid)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_safe_plan_matches_enumeration(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        tid = TIDInstance()
+        for i in range(rng.randint(1, 3)):
+            tid.add(fact("R", i), round(rng.uniform(0.1, 0.9), 2))
+            for j in range(rng.randint(0, 2)):
+                tid.add(fact("S", i, f"v{j}"), round(rng.uniform(0.1, 0.9), 2))
+        q = cq(atom("R", X), atom("S", X, Y))
+        assert math.isclose(
+            safe_plan_probability(q, tid),
+            tid_probability_enumerate(q, tid),
+            abs_tol=1e-9,
+        )
+
+
+class TestDatalog:
+    def test_transitive_closure(self):
+        program = DatalogProgram(
+            [
+                DatalogRule(atom("Reach", X, Y), (atom("E", X, Y),)),
+                DatalogRule(atom("Reach", X, Z), (atom("Reach", X, Y), atom("E", Y, Z))),
+            ]
+        )
+        inst = Instance([fact("E", 1, 2), fact("E", 2, 3), fact("E", 3, 4)])
+        result = program.fixpoint(inst)
+        assert fact("Reach", 1, 4) in result
+        assert fact("Reach", 4, 1) not in result
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ReproError, match="safe Datalog"):
+            DatalogRule(atom("P", X, Y), (atom("R", X),))
+
+    def test_fixpoint_is_minimal(self):
+        program = DatalogProgram([DatalogRule(atom("P", X), (atom("R", X),))])
+        result = program.fixpoint(Instance([fact("R", 1)]))
+        assert set(result.facts()) == {fact("R", 1), fact("P", 1)}
+
+    def test_idb_relations(self):
+        program = DatalogProgram([DatalogRule(atom("P", X), (atom("R", X),))])
+        assert program.idb_relations() == {"P"}
+
+    def test_cyclic_derivations_terminate(self):
+        program = DatalogProgram(
+            [
+                DatalogRule(atom("Even", X), (atom("Zero", X),)),
+                DatalogRule(atom("Even", Y), (atom("Even", X), atom("Next2", X, Y))),
+            ]
+        )
+        inst = Instance(
+            [fact("Zero", 0)] + [fact("Next2", i, (i + 2) % 10) for i in range(0, 10, 2)]
+        )
+        result = program.fixpoint(inst)
+        assert all(fact("Even", i) in result for i in range(0, 10, 2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_cq_evaluation_matches_witness_existence(seed):
+    import random
+
+    rng = random.Random(seed)
+    inst = Instance()
+    n = rng.randint(1, 5)
+    for i in range(n):
+        if rng.random() < 0.7:
+            inst.add(fact("R", i))
+        if rng.random() < 0.7:
+            inst.add(fact("T", i))
+    for _ in range(rng.randint(0, 2 * n)):
+        inst.add(fact("S", rng.randrange(n), rng.randrange(n)))
+    q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+    assert q.holds_in(inst) == (next(q.witnesses(inst), None) is not None)

@@ -1,0 +1,186 @@
+"""Tests for existential rules, the chase, and the probabilistic chase."""
+
+import math
+
+import pytest
+
+from repro.baselines import pcc_probability_enumerate
+from repro.core import pcc_probability
+from repro.instances import Instance, fact
+from repro.queries import atom, cq, variables
+from repro.rules import (
+    ProbabilisticRule,
+    RULE_LEVEL,
+    TRIGGER_LEVEL,
+    certain_answer,
+    chase,
+    is_weakly_acyclic,
+    probabilistic_chase,
+    rule,
+)
+from repro.util import ReproError
+from repro.workloads import advisor_kb, citizenship_kb
+
+X, Y, Z = variables("x", "y", "z")
+
+
+class TestRuleStructure:
+    def test_frontier_and_existentials(self):
+        r = rule([atom("AdvisedBy", X, Y)], [atom("Author", X, Z), atom("Author", Y, Z)])
+        assert r.frontier() == {X, Y}
+        assert r.existential_variables() == {Z}
+
+    def test_guardedness(self):
+        guarded = rule([atom("R", X, Y)], [atom("P", X)])
+        assert guarded.is_guarded()
+        unguarded = rule([atom("R", X), atom("S", Y)], [atom("P", X, Y)])
+        assert not unguarded.is_guarded()
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(ReproError):
+            rule([], [atom("P", X)])
+
+
+class TestWeakAcyclicity:
+    def test_projection_rules_acyclic(self):
+        rules = [rule([atom("Citizen", X, Y)], [atom("LivesIn", X, Y)])]
+        assert is_weakly_acyclic(rules)
+
+    def test_null_feeding_cycle_detected(self):
+        # R(x,y) → ∃z R(y,z): the existential position feeds itself.
+        rules = [rule([atom("R", X, Y)], [atom("R", Y, Z)])]
+        assert not is_weakly_acyclic(rules)
+
+    def test_kb_rule_sets_acyclic(self):
+        assert is_weakly_acyclic([pr.rule for pr in citizenship_kb(2).rules])
+        assert is_weakly_acyclic([pr.rule for pr in advisor_kb(2).rules])
+
+
+class TestChase:
+    def test_simple_projection(self):
+        inst = Instance([fact("Citizen", "alice", "fr")])
+        result = chase(inst, [rule([atom("Citizen", X, Y)], [atom("LivesIn", X, Y)])])
+        assert fact("LivesIn", "alice", "fr") in result
+
+    def test_existential_invents_nulls(self):
+        inst = Instance([fact("AdvisedBy", "s", "p")])
+        result = chase(
+            inst, [rule([atom("AdvisedBy", X, Y)], [atom("Author", X, Z), atom("Author", Y, Z)])]
+        )
+        papers = [f.args[1] for f in result.by_relation("Author")]
+        assert len(papers) == 2
+        assert papers[0] == papers[1]  # same invented paper for both
+
+    def test_chase_does_not_refire_satisfied_heads(self):
+        inst = Instance([fact("AdvisedBy", "s", "p"), fact("Author", "s", "paper1"),
+                         fact("Author", "p", "paper1")])
+        result = chase(
+            inst, [rule([atom("AdvisedBy", X, Y)], [atom("Author", X, Z), atom("Author", Y, Z)])]
+        )
+        # Head already satisfied: no new nulls.
+        assert len(result.by_relation("Author")) == 2
+
+    def test_transitive_rules_terminate(self):
+        inst = Instance([fact("E", 1, 2), fact("E", 2, 3)])
+        result = chase(inst, [rule([atom("E", X, Y), atom("E", Y, Z)], [atom("E", X, Z)])])
+        assert fact("E", 1, 3) in result
+
+    def test_non_terminating_chase_raises(self):
+        inst = Instance([fact("R", 1, 2)])
+        with pytest.raises(ReproError, match="terminate"):
+            chase(inst, [rule([atom("R", X, Y)], [atom("R", Y, Z)])], max_rounds=5)
+
+    def test_certain_answer(self):
+        inst = Instance([fact("Citizen", "alice", "fr"), fact("OfficialLanguage", "fr", "french")])
+        rules = [
+            rule([atom("Citizen", X, Y)], [atom("LivesIn", X, Y)]),
+            rule(
+                [atom("LivesIn", X, Y), atom("OfficialLanguage", Y, Z)],
+                [atom("Speaks", X, Z)],
+            ),
+        ]
+        assert certain_answer(cq(atom("Speaks", "alice", "french")), inst, rules)
+
+
+class TestProbabilisticChase:
+    def test_single_rule_marginal(self):
+        inst = Instance([fact("Citizen", "alice", "fr")])
+        rules = [ProbabilisticRule(rule([atom("Citizen", X, Y)], [atom("LivesIn", X, Y)]), 0.8)]
+        pcc = probabilistic_chase(inst, rules, rounds=2)
+        assert math.isclose(
+            pcc.fact_probability_enumerate(fact("LivesIn", "alice", "fr")), 0.8
+        )
+
+    def test_chained_rules_multiply(self):
+        kb = citizenship_kb(1, countries=1, seed=3)
+        pcc = probabilistic_chase(kb.instance, kb.rules, rounds=3)
+        person_facts = kb.instance.by_relation("Citizen")
+        person, country = person_facts[0].args
+        lives = fact("LivesIn", person, country)
+        known_resident = lives in kb.instance
+        expected_lives = 1.0 if known_resident else 0.8
+        assert math.isclose(pcc.fact_probability_enumerate(lives), expected_lives)
+
+    def test_multiple_derivations_or_together(self):
+        # Two independent derivation paths for the same fact.
+        inst = Instance([fact("A", 1), fact("B", 1)])
+        rules = [
+            ProbabilisticRule(rule([atom("A", X)], [atom("C", X)]), 0.5),
+            ProbabilisticRule(rule([atom("B", X)], [atom("C", X)]), 0.5),
+        ]
+        pcc = probabilistic_chase(inst, rules, rounds=2)
+        assert math.isclose(pcc.fact_probability_enumerate(fact("C", 1)), 0.75)
+
+    def test_trigger_vs_rule_level_semantics(self):
+        # Two triggers of the same rule: independent at trigger level,
+        # perfectly correlated at rule level.
+        inst = Instance([fact("A", 1), fact("A", 2)])
+        soft = [ProbabilisticRule(rule([atom("A", X)], [atom("C", X)]), 0.5)]
+        trigger = probabilistic_chase(inst, soft, rounds=1, semantics=TRIGGER_LEVEL)
+        rule_lvl = probabilistic_chase(inst, soft, rounds=1, semantics=RULE_LEVEL)
+        q = cq(atom("C", 1), atom("C", 2))
+        p_trigger = pcc_probability_enumerate(q, trigger)
+        p_rule = pcc_probability_enumerate(q, rule_lvl)
+        assert math.isclose(p_trigger, 0.25)
+        assert math.isclose(p_rule, 0.5)
+
+    def test_uncertain_base_facts(self):
+        inst = Instance([fact("A", 1)])
+        rules = [ProbabilisticRule(rule([atom("A", X)], [atom("C", X)]), 0.5)]
+        pcc = probabilistic_chase(
+            inst, rules, rounds=1, base_probabilities={fact("A", 1): 0.5}
+        )
+        assert math.isclose(pcc.fact_probability_enumerate(fact("C", 1)), 0.25)
+
+    def test_existential_chase_produces_nulls(self):
+        kb = advisor_kb(1, seed=1)
+        pcc = probabilistic_chase(kb.instance, kb.rules, rounds=1)
+        authors = pcc.instance.by_relation("Author")
+        assert any("_z" in str(f.args[1]) for f in authors)
+
+    def test_engine_matches_enumeration_on_chased_instance(self):
+        kb = citizenship_kb(2, countries=1, seed=0)
+        pcc = probabilistic_chase(kb.instance, kb.rules, rounds=3)
+        q = cq(atom("Speaks", X, Y))
+        if len(pcc.space) <= 14:
+            assert math.isclose(
+                pcc_probability(q, pcc),
+                pcc_probability_enumerate(q, pcc),
+                abs_tol=1e-9,
+            )
+
+    def test_derived_probability_monotone_in_rounds(self):
+        inst = Instance([fact("E", 1, 2), fact("E", 2, 3), fact("E", 3, 4)])
+        rules = [
+            ProbabilisticRule(
+                rule([atom("E", X, Y), atom("E", Y, Z)], [atom("E", X, Z)]), 0.5
+            )
+        ]
+        shallow = probabilistic_chase(inst, rules, rounds=1)
+        deep = probabilistic_chase(inst, rules, rounds=2)
+        f = fact("E", 1, 4)
+        p_shallow = (
+            shallow.fact_probability_enumerate(f) if f in shallow.instance else 0.0
+        )
+        p_deep = deep.fact_probability_enumerate(f)
+        assert p_deep >= p_shallow - 1e-12

@@ -1,0 +1,209 @@
+"""Tests for semirings and the provenance-circuit agreement theorem."""
+
+import math
+import random
+
+import pytest
+
+from repro.instances import Instance, fact
+from repro.queries import atom, cq, ucq, variables
+from repro.semirings import (
+    ABSORPTIVE_SEMIRINGS,
+    NON_ABSORPTIVE_SEMIRINGS,
+    PUBLIC,
+    SECRET,
+    TOP_SECRET,
+    BooleanSemiring,
+    CountingSemiring,
+    PolynomialSemiring,
+    PosBoolSemiring,
+    SecuritySemiring,
+    TropicalSemiring,
+    ViterbiSemiring,
+    circuit_provenance,
+    default_tokens,
+    evaluate_circuit,
+    reference_provenance,
+)
+from repro.util import ReproError
+
+X, Y = variables("x", "y")
+Q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+
+
+def chain_instance(n: int = 3) -> Instance:
+    inst = Instance()
+    for i in range(n):
+        inst.add(fact("R", i))
+        inst.add(fact("T", i))
+        if i + 1 < n:
+            inst.add(fact("S", i, i + 1))
+    return inst
+
+
+class TestSemiringAxioms:
+    @pytest.mark.parametrize(
+        "semiring", ABSORPTIVE_SEMIRINGS + NON_ABSORPTIVE_SEMIRINGS, ids=lambda s: s.name
+    )
+    def test_identities(self, semiring):
+        one, zero = semiring.one(), semiring.zero()
+        sample = semiring.one()
+        assert semiring.add(sample, zero) == sample
+        assert semiring.multiply(sample, one) == sample
+        assert semiring.multiply(sample, zero) == zero
+
+    def test_tropical(self):
+        s = TropicalSemiring()
+        assert s.add(3.0, 5.0) == 3.0
+        assert s.multiply(3.0, 5.0) == 8.0
+
+    def test_security_ordering(self):
+        s = SecuritySemiring()
+        assert s.add(SECRET, PUBLIC) == PUBLIC  # easiest access among derivations
+        assert s.multiply(SECRET, TOP_SECRET) == TOP_SECRET  # need all facts
+
+    def test_posbool_absorption(self):
+        s = PosBoolSemiring()
+        a = s.variable("a")
+        ab = s.multiply(a, s.variable("b"))
+        assert s.add(a, ab) == a
+
+    def test_counting_not_absorptive(self):
+        s = CountingSemiring()
+        assert s.add(2, s.multiply(2, 3)) != 2
+
+    @pytest.mark.parametrize("semiring", ABSORPTIVE_SEMIRINGS, ids=lambda s: s.name)
+    def test_absorptivity_samples(self, semiring):
+        if isinstance(semiring, PosBoolSemiring):
+            samples = [(semiring.variable("a"), semiring.variable("b"))]
+        elif isinstance(semiring, BooleanSemiring):
+            samples = [(True, False), (True, True), (False, True)]
+        elif isinstance(semiring, SecuritySemiring):
+            samples = [(SECRET, PUBLIC), (PUBLIC, TOP_SECRET)]
+        elif isinstance(semiring, TropicalSemiring):
+            samples = [(2.0, 3.0), (0.0, 5.0)]
+        else:
+            samples = [(0.4, 0.9), (1.0, 0.2)]
+        assert semiring.is_absorptive_on(samples)
+
+
+class TestReferenceProvenance:
+    def test_boolean_matches_query(self):
+        inst = chain_instance()
+        s = BooleanSemiring()
+        value = reference_provenance(Q, inst, s, lambda f: True)
+        assert value == Q.holds_in(inst)
+
+    def test_counting_counts_homomorphisms(self):
+        inst = chain_instance(4)
+        s = CountingSemiring()
+        value = reference_provenance(Q, inst, s, lambda f: 1)
+        assert value == len(list(Q.homomorphisms(inst)))
+
+    def test_tropical_cheapest_derivation(self):
+        inst = Instance(
+            [fact("R", 1), fact("S", 1, 2), fact("T", 2), fact("R", 3), fact("S", 3, 4), fact("T", 4)]
+        )
+        costs = {f: float(i) for i, f in enumerate(inst.facts())}
+        s = TropicalSemiring()
+        value = reference_provenance(Q, inst, s, costs.__getitem__)
+        assert value == 0.0 + 1.0 + 2.0
+
+    def test_ucq_sums_disjuncts(self):
+        inst = chain_instance()
+        q = ucq(cq(atom("R", X)), cq(atom("T", X)))
+        s = CountingSemiring()
+        assert reference_provenance(q, inst, s, lambda f: 1) == 6
+
+
+class TestCircuitProvenance:
+    @pytest.mark.parametrize("semiring", ABSORPTIVE_SEMIRINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_absorptive_semirings(self, semiring, seed):
+        rng = random.Random(seed)
+        inst = Instance()
+        n = rng.randint(2, 4)
+        for i in range(n):
+            if rng.random() < 0.8:
+                inst.add(fact("R", i))
+            if rng.random() < 0.8:
+                inst.add(fact("T", i))
+        for _ in range(rng.randint(1, n + 1)):
+            inst.add(fact("S", rng.randrange(n), rng.randrange(n)))
+
+        if isinstance(semiring, PosBoolSemiring):
+            annotation = {f: semiring.variable(f.variable_name) for f in inst.facts()}
+        elif isinstance(semiring, BooleanSemiring):
+            annotation = {f: True for f in inst.facts()}
+        elif isinstance(semiring, SecuritySemiring):
+            levels = [PUBLIC, SECRET, TOP_SECRET]
+            annotation = {f: rng.choice(levels) for f in inst.facts()}
+        elif isinstance(semiring, TropicalSemiring):
+            annotation = {f: float(rng.randint(0, 9)) for f in inst.facts()}
+        else:  # viterbi, fuzzy: values in [0,1]
+            annotation = {f: round(rng.uniform(0.1, 1.0), 2) for f in inst.facts()}
+
+        reference = reference_provenance(Q, inst, semiring, annotation)
+        through_circuit = circuit_provenance(Q, inst, semiring, annotation)
+        assert through_circuit == reference or (
+            isinstance(reference, float)
+            and math.isclose(through_circuit, reference, abs_tol=1e-9)
+        )
+
+    def test_posbool_on_chain(self):
+        inst = chain_instance(3)
+        s = PosBoolSemiring()
+        annotation = {f: s.variable(f.variable_name) for f in inst.facts()}
+        value = circuit_provenance(Q, inst, s, annotation)
+        reference = reference_provenance(Q, inst, s, annotation)
+        assert value == reference
+        # Two homomorphisms on the chain → two minimal monomials.
+        assert len(reference) == 2
+
+    def test_counting_may_disagree_documented_limitation(self):
+        # ℕ[X]-style semirings are not absorptive; the circuit may overcount
+        # because automaton runs can use spare facts. We assert the circuit
+        # value dominates the true count (every hom is a run).
+        inst = chain_instance(4)
+        s = CountingSemiring()
+        annotation = {f: 1 for f in inst.facts()}
+        reference = reference_provenance(Q, inst, s, annotation)
+        through_circuit = circuit_provenance(Q, inst, s, annotation)
+        assert through_circuit >= reference
+
+    def test_non_monotone_circuit_rejected(self):
+        from repro.circuits import Circuit
+
+        c = Circuit()
+        c.set_output(c.negation(c.variable("x")))
+        with pytest.raises(ReproError, match="monotone"):
+            evaluate_circuit(c, BooleanSemiring(), lambda name: True)
+
+    def test_default_tokens_are_fact_names(self):
+        inst = chain_instance(2)
+        tokens = default_tokens(inst)
+        assert tokens[fact("R", 0)] == fact("R", 0).variable_name
+
+
+class TestPolynomialSemiring:
+    def test_polynomial_addition_merges_monomials(self):
+        s = PolynomialSemiring()
+        x = s.variable("x")
+        two_x = s.add(x, x)
+        assert s._to_dict(two_x)[frozenset({("x", 1)})] == 2
+
+    def test_polynomial_multiplication_adds_exponents(self):
+        s = PolynomialSemiring()
+        x = s.variable("x")
+        x_squared = s.multiply(x, x)
+        assert s._to_dict(x_squared)[frozenset({("x", 2)})] == 1
+
+    def test_reference_polynomial_provenance(self):
+        inst = Instance([fact("R", 1), fact("S", 1, 1), fact("T", 1)])
+        s = PolynomialSemiring()
+        annotation = {f: s.variable(f.variable_name) for f in inst.facts()}
+        value = reference_provenance(Q, inst, s, annotation)
+        # Single homomorphism, product of three distinct tokens.
+        (monomial, coefficient), = value
+        assert coefficient == 1
+        assert len(monomial) == 3

@@ -1,0 +1,56 @@
+"""Tests for shared utilities."""
+
+import pytest
+
+from repro.util import ReproError, check, fresh_name_factory, pairs, powerset, stable_rng
+
+
+class TestCheck:
+    def test_passes_silently(self):
+        check(True, "never raised")
+
+    def test_raises_repro_error(self):
+        with pytest.raises(ReproError, match="boom"):
+            check(False, "boom")
+
+
+class TestPowerset:
+    def test_empty(self):
+        assert list(powerset([])) == [()]
+
+    def test_two_elements(self):
+        assert list(powerset([1, 2])) == [(), (1,), (2,), (1, 2)]
+
+    def test_size(self):
+        assert len(list(powerset(range(5)))) == 32
+
+
+class TestPairs:
+    def test_pairs_of_three(self):
+        assert list(pairs([1, 2, 3])) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_pairs_of_one(self):
+        assert list(pairs([1])) == []
+
+
+class TestStableRng:
+    def test_same_seed_same_sequence(self):
+        a = [stable_rng(7).random() for _ in range(5)]
+        b = [stable_rng(7).random() for _ in range(5)]
+        assert a == b
+
+    def test_none_seed_is_deterministic(self):
+        assert stable_rng(None).random() == stable_rng(None).random()
+
+    def test_different_seeds_differ(self):
+        assert stable_rng(1).random() != stable_rng(2).random()
+
+
+class TestFreshNames:
+    def test_sequence(self):
+        fresh = fresh_name_factory("n")
+        assert [fresh(), fresh(), fresh()] == ["n0", "n1", "n2"]
+
+    def test_independent_factories(self):
+        f1, f2 = fresh_name_factory("a"), fresh_name_factory("a")
+        assert f1() == f2() == "a0"
