@@ -1,0 +1,116 @@
+"""E13 — compiled circuit IR vs object-graph evaluation throughput.
+
+The compile-once/evaluate-many claim, measured: build one ~10k-gate lineage
+circuit (the Theorem-1 pipeline on an R–S–T chain TID), then compare
+
+- repeated ``probability_dd``-style evaluation: the seed object-graph
+  walker (re-walks the hash-consed DAG with per-gate dicts on every call)
+  against :meth:`CompiledCircuit.probability` on the flat IR;
+- per-world Boolean evaluation: ``Circuit.evaluate`` with a fresh valuation
+  dict per world against :meth:`CompiledCircuit.evaluate_batch`.
+
+Writes ``BENCH_compiled_eval.json`` next to the repository root with the
+raw numbers so CI and future sessions can track the speedup.
+
+Run the table:  python benchmarks/bench_compiled_eval.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.circuits import compile_circuit
+from repro.circuits.dd import _probability_dd_object_graph
+from repro.core import build_lineage
+from repro.queries import atom, cq, variables
+from repro.util import stable_rng
+from repro.workloads import rst_chain_tid
+
+CHAIN_LENGTH = 200  # ~13k reachable gates, comfortably past the 10k target
+PROBABILITY_REPEATS = 20
+WORLD_COUNT = 50
+
+
+def build_circuit():
+    x, y = variables("x", "y")
+    query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+    tid = rst_chain_tid(CHAIN_LENGTH, seed=0)
+    lineage = build_lineage(tid.instance, query)
+    return lineage, tid.event_space()
+
+
+def main() -> None:
+    print("E13 — compiled circuit IR vs object-graph evaluation")
+    lineage, space = build_circuit()
+    circuit = lineage.circuit
+    gates = len(circuit.reachable_from_output())
+    print(f"lineage circuit: {gates} reachable gates,"
+          f" {len(circuit.variables())} variables")
+
+    start = time.perf_counter()
+    compiled = compile_circuit(circuit)
+    marginals = compiled.slot_marginals(space)
+    compiled.probability(marginals)  # builds the float kernel
+    compiled.evaluate_batch([[False] * len(compiled.variables())])  # bool kernel
+    compile_seconds = time.perf_counter() - start
+
+    # Repeated probability evaluation (the Theorem-1 hot path).
+    start = time.perf_counter()
+    for _ in range(PROBABILITY_REPEATS):
+        p_object = _probability_dd_object_graph(circuit, space)
+    object_seconds = (time.perf_counter() - start) / PROBABILITY_REPEATS
+    start = time.perf_counter()
+    for _ in range(PROBABILITY_REPEATS):
+        p_compiled = compiled.probability(marginals)
+    compiled_seconds = (time.perf_counter() - start) / PROBABILITY_REPEATS
+    assert abs(p_object - p_compiled) < 1e-9, "paths must agree"
+    probability_speedup = object_seconds / compiled_seconds
+
+    # Batch possible-world evaluation (the sampling hot path).
+    rng = stable_rng(0)
+    names = compiled.variables()
+    rows = [[rng.random() < 0.5 for _ in names] for _ in range(WORLD_COUNT)]
+    dict_rows = [dict(zip(names, row)) for row in rows]
+    start = time.perf_counter()
+    object_bits = [circuit.evaluate(row) for row in dict_rows]
+    object_world_seconds = (time.perf_counter() - start) / WORLD_COUNT
+    start = time.perf_counter()
+    compiled_bits = compiled.evaluate_batch(rows)
+    compiled_world_seconds = (time.perf_counter() - start) / WORLD_COUNT
+    assert object_bits == compiled_bits, "paths must agree"
+    batch_speedup = object_world_seconds / compiled_world_seconds
+
+    print(f"\none-time compile + kernel build: {compile_seconds * 1e3:.1f} ms")
+    print(f"{'path':<34} {'per call':>12} {'speedup':>9}")
+    print(f"{'probability, object graph':<34} {object_seconds * 1e3:>9.3f} ms {'1.0x':>9}")
+    print(f"{'probability, compiled IR':<34} {compiled_seconds * 1e3:>9.3f} ms"
+          f" {probability_speedup:>8.1f}x")
+    print(f"{'world eval, object graph':<34} {object_world_seconds * 1e3:>9.3f} ms {'1.0x':>9}")
+    print(f"{'world eval, compiled batch':<34} {compiled_world_seconds * 1e3:>9.3f} ms"
+          f" {batch_speedup:>8.1f}x")
+
+    result = {
+        "gates": gates,
+        "variables": len(names),
+        "probability_repeats": PROBABILITY_REPEATS,
+        "world_count": WORLD_COUNT,
+        "compile_seconds": compile_seconds,
+        "object_probability_seconds": object_seconds,
+        "compiled_probability_seconds": compiled_seconds,
+        "probability_speedup": probability_speedup,
+        "object_world_seconds": object_world_seconds,
+        "compiled_world_seconds": compiled_world_seconds,
+        "batch_speedup": batch_speedup,
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_compiled_eval.json"
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    verdict = "PASS" if probability_speedup >= 5.0 else "FAIL"
+    print(f"target: >= 5x on repeated probability evaluation — {verdict}"
+          f" ({probability_speedup:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

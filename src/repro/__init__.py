@@ -39,11 +39,16 @@ from repro.baselines import (
 )
 from repro.circuits import (
     Circuit,
+    CompiledCircuit,
+    available_engines,
+    compile_circuit,
     probability_dd,
+    set_default_engine,
     wmc_enumerate,
     wmc_message_passing,
     wmc_shannon,
 )
+from repro.circuits import probability as circuit_probability
 from repro.conditioning import ConditionedInstance, SimulatedCrowd, run_crowd_session
 from repro.core import (
     BipartiteAutomaton,
@@ -94,6 +99,7 @@ __all__ = [
     "CInstance",
     "CQAutomaton",
     "Circuit",
+    "CompiledCircuit",
     "ConditionedInstance",
     "ConjunctiveQuery",
     "DecompositionAutomaton",
@@ -117,11 +123,14 @@ __all__ = [
     "UnionOfConjunctiveQueries",
     "antichain",
     "atom",
+    "available_engines",
     "build_lineage",
     "build_provenance_circuit",
     "chain",
     "chase",
+    "circuit_probability",
     "circuit_provenance",
+    "compile_circuit",
     "cq",
     "decompose",
     "exact_treewidth",
@@ -144,6 +153,7 @@ __all__ = [
     "rule",
     "run_crowd_session",
     "safe_plan_probability",
+    "set_default_engine",
     "tid_certain",
     "tid_possible",
     "tid_probability",

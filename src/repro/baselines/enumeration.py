@@ -22,7 +22,7 @@ def _holds(query, world: Instance) -> bool:
 
     lineage = build_lineage(world, query)
     valuation = {f.variable_name: True for f in world.facts()}
-    return lineage.circuit.evaluate(valuation)
+    return lineage.compiled().evaluate(valuation)
 
 
 def tid_probability_enumerate(query, tid: TIDInstance) -> float:

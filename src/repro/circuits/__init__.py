@@ -1,10 +1,55 @@
-"""Boolean circuits, their treewidth, and weighted model counting (S2)."""
+"""Boolean circuits, their treewidth, and weighted model counting (S2).
+
+The module is organized around a **compile-once / evaluate-many** split:
+
+- :class:`Circuit` (``circuit.py``) is the *construction* arena — a mutable,
+  hash-consed gate DAG that lineage builders grow incrementally;
+- :func:`compile_circuit` (``compiled.py``) lowers a finished circuit to a
+  :class:`CompiledCircuit`: flat topologically-sorted arrays (int gate
+  kinds, CSR inputs, interned variable slots) with cached variable order,
+  moral graph, tree decompositions and binarized form. Compilation is
+  cached on the arena and invalidated by mutation, so callers just pass the
+  ``Circuit`` around and pay the lowering once;
+- :func:`probability` (``evaluation.py``) is the single dispatch point for
+  probability computation, with a registry of engines over the compiled
+  IR: ``enumerate`` (oracle), ``shannon`` (expansion baseline),
+  ``message_passing`` (the paper's junction-tree algorithm, Theorems 1–2)
+  and ``dd`` (the linear-time deterministic-decomposable pass, Theorem 1).
+
+Typical use::
+
+    from repro.circuits import compile_circuit, probability
+
+    compiled = compile_circuit(lineage.circuit)     # once
+    compiled.evaluate(world)                        # per possible world
+    compiled.evaluate_batch(sampled_worlds)         # many worlds, one buffer
+    probability(lineage.circuit, space, engine="dd")  # Theorem 1 fast path
+
+The historical entry points (``wmc_enumerate``, ``wmc_shannon``,
+``wmc_message_passing``, ``probability_dd``) remain as thin wrappers over
+the same layer.
+"""
 
 from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit, Gate, from_formula
+from repro.circuits.compiled import (
+    ENUMERATION_VARIABLE_CAP,
+    CompiledCircuit,
+    compile_circuit,
+)
 from repro.circuits.dd import (
     check_decomposability,
     check_determinism_sampled,
     probability_dd,
+)
+from repro.circuits.evaluation import (
+    available_engines,
+    default_engine,
+    force_engine,
+    forced_engine,
+    get_engine,
+    probability,
+    register_engine,
+    set_default_engine,
 )
 from repro.circuits.export import CircuitStats, circuit_stats, to_dot
 from repro.circuits.graph import circuit_width, moral_graph
@@ -20,19 +65,30 @@ __all__ = [
     "CONST",
     "Circuit",
     "CircuitStats",
+    "CompiledCircuit",
+    "ENUMERATION_VARIABLE_CAP",
     "Gate",
     "MessagePassingReport",
     "NOT",
     "OR",
     "VAR",
+    "available_engines",
     "check_decomposability",
-    "circuit_stats",
-    "to_dot",
     "check_determinism_sampled",
+    "circuit_stats",
     "circuit_width",
+    "compile_circuit",
+    "default_engine",
+    "force_engine",
+    "forced_engine",
     "from_formula",
+    "get_engine",
     "moral_graph",
+    "probability",
     "probability_dd",
+    "register_engine",
+    "set_default_engine",
+    "to_dot",
     "wmc_enumerate",
     "wmc_message_passing",
     "wmc_shannon",

@@ -53,6 +53,10 @@ class Circuit:
         self._gates: list[Gate] = []
         self._intern: dict[tuple, int] = {}
         self.output: int | None = None
+        #: Mutation counter; lets :func:`repro.circuits.compile_circuit`
+        #: cache the compiled form and recompile only after changes.
+        self.version: int = 0
+        self._compiled_cache: tuple | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -67,6 +71,7 @@ class Circuit:
         gate_id = len(self._gates)
         self._gates.append(Gate(kind, payload, inputs))
         self._intern[key] = gate_id
+        self.version += 1
         return gate_id
 
     def variable(self, name: str) -> int:

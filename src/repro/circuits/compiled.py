@@ -1,0 +1,484 @@
+"""Compile-once/evaluate-many circuit backend: a flat CSR circuit IR.
+
+The hash-consed :class:`repro.circuits.circuit.Circuit` is the right arena
+for *building* lineages, but evaluating it repeatedly (per possible world,
+per Monte-Carlo sample, per conditioning query) pays per-gate dict lookups
+and a fresh valuation dict every time. A :class:`CompiledCircuit` lowers the
+gate DAG once into flat, topologically-sorted arrays:
+
+- ``kinds`` — one small int code per gate (``K_FALSE`` … ``K_OR``);
+- ``offsets``/``indices`` — gate inputs in CSR form, as *positions* into the
+  compiled arrays rather than arena gate ids;
+- ``var_slot`` — for variable gates, the index of the interned variable
+  name, so a valuation is just a flat sequence of booleans;
+- cached variable order, moral graph, tree decompositions (per heuristic)
+  and the binarized form, so repeated message-passing runs share all the
+  structural preprocessing.
+
+Every evaluation entry point then runs a single tight bottom-up loop over
+these arrays: :meth:`CompiledCircuit.evaluate` for one world,
+:meth:`CompiledCircuit.evaluate_batch` for many worlds sharing one reusable
+buffer, :meth:`CompiledCircuit.probability` for the linear-time
+deterministic-decomposable fast path (Theorem 1), and
+:meth:`CompiledCircuit.probability_enumerate` for the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
+from repro.util import ReproError, check
+
+# Gate kind codes of the flat IR. CONST gates split into two codes so the
+# payload never needs a side table.
+K_FALSE = 0
+K_TRUE = 1
+K_VAR = 2
+K_NOT = 3
+K_AND = 4
+K_OR = 5
+
+KIND_NAMES = ("false", "true", "var", "not", "and", "or")
+
+#: Largest variable count accepted by :meth:`CompiledCircuit.probability_enumerate`.
+ENUMERATION_VARIABLE_CAP = 26
+
+#: Above this gate count the specialized Python kernels are not generated
+#: (source-compile time would dominate) and the generic array interpreter
+#: runs instead.
+CODEGEN_GATE_LIMIT = 200_000
+
+_UNBUILT = object()
+
+#: Fan-in up to which AND/OR are emitted as infix chains; larger gates use
+#: list-based reductions to keep the generated AST shallow.
+_INFIX_FAN_IN = 32
+
+
+class CompiledCircuit:
+    """An immutable, flat, topologically-sorted lowering of a :class:`Circuit`.
+
+    Positions ``0 .. size-1`` enumerate the gates reachable from the output
+    in topological order; ``output`` is the position of the output gate.
+    Construct through :func:`compile_circuit`, which caches the compiled
+    form on the source circuit.
+    """
+
+    __slots__ = (
+        "source",
+        "size",
+        "kinds",
+        "offsets",
+        "indices",
+        "var_slot",
+        "var_names",
+        "var_index",
+        "gate_ids",
+        "position_of",
+        "output",
+        "_binarized",
+        "_decompositions",
+        "_bool_kernel",
+        "_float_kernel",
+    )
+
+    def __init__(self, circuit: Circuit):
+        check(circuit.output is not None, "circuit has no output gate")
+        self.source = circuit
+        gate_ids = circuit.reachable_from_output()
+        self.gate_ids: tuple[int, ...] = tuple(gate_ids)
+        self.position_of: dict[int, int] = {
+            gid: pos for pos, gid in enumerate(gate_ids)
+        }
+        self.size = len(gate_ids)
+        kinds: list[int] = []
+        offsets: list[int] = [0]
+        indices: list[int] = []
+        var_slot: list[int] = []
+        var_names: list[str] = []
+        var_index: dict[str, int] = {}
+        for gid in gate_ids:
+            gate = circuit.gate(gid)
+            slot = -1
+            if gate.kind == VAR:
+                kind = K_VAR
+                name = gate.payload
+                slot = var_index.get(name, -1)
+                if slot < 0:
+                    slot = len(var_names)
+                    var_index[name] = slot
+                    var_names.append(name)
+            elif gate.kind == CONST:
+                kind = K_TRUE if gate.payload else K_FALSE
+            elif gate.kind == NOT:
+                kind = K_NOT
+            elif gate.kind == AND:
+                kind = K_AND
+            elif gate.kind == OR:
+                kind = K_OR
+            else:  # pragma: no cover - guarded by Circuit construction
+                raise ReproError(f"unknown gate kind {gate.kind!r}")
+            kinds.append(kind)
+            var_slot.append(slot)
+            indices.extend(self.position_of[i] for i in gate.inputs)
+            offsets.append(len(indices))
+        self.kinds = kinds
+        self.offsets = offsets
+        self.indices = indices
+        self.var_slot = var_slot
+        self.var_names: tuple[str, ...] = tuple(var_names)
+        self.var_index = var_index
+        self.output = self.position_of[circuit.output]  # type: ignore[index]
+        self._binarized: CompiledCircuit | None = None
+        self._decompositions: dict[str, object] = {}
+        self._bool_kernel = _UNBUILT
+        self._float_kernel = _UNBUILT
+
+    # ------------------------------------------------------------------ #
+    # inspection
+
+    def variables(self) -> tuple[str, ...]:
+        """Variable names in slot order (first topological occurrence)."""
+        return self.var_names
+
+    @property
+    def has_negation(self) -> bool:
+        """Whether the compiled circuit contains any NOT gate."""
+        return K_NOT in self.kinds
+
+    def inputs_of(self, position: int) -> list[int]:
+        """Input positions of the gate at ``position``."""
+        return self.indices[self.offsets[position] : self.offsets[position + 1]]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit(gates={self.size}, variables={len(self.var_names)},"
+            f" output={self.output})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # valuation plumbing
+
+    def slot_values(self, valuation) -> Sequence:
+        """Normalize a valuation to a sequence of truth values by var slot.
+
+        Accepts a mapping from variable name to bool (extra names are
+        ignored, missing names raise) or a sequence already indexed by slot.
+        """
+        if isinstance(valuation, Mapping):
+            values = []
+            for name in self.var_names:
+                if name not in valuation:
+                    raise ReproError(f"valuation is missing variable {name!r}")
+                values.append(1 if valuation[name] else 0)
+            return values
+        check(
+            len(valuation) == len(self.var_names),
+            f"valuation has {len(valuation)} entries for {len(self.var_names)} variables",
+        )
+        return valuation
+
+    def slot_marginals(self, marginals) -> Sequence[float]:
+        """Normalize marginals to a float sequence by var slot.
+
+        Accepts an :class:`repro.events.EventSpace`, a mapping from variable
+        name to probability, or a sequence indexed by slot.
+        """
+        probability = getattr(marginals, "probability", None)
+        if probability is not None:
+            return [probability(name) for name in self.var_names]
+        if isinstance(marginals, Mapping):
+            missing = [n for n in self.var_names if n not in marginals]
+            check(not missing, f"marginals are missing variables {missing!r}")
+            return [float(marginals[name]) for name in self.var_names]
+        check(
+            len(marginals) == len(self.var_names),
+            f"marginals have {len(marginals)} entries for {len(self.var_names)} variables",
+        )
+        return marginals
+
+    # ------------------------------------------------------------------ #
+    # kernel generation
+
+    def _build_kernel(self, mode: str):
+        """Specialize the circuit into one straight-line Python function.
+
+        The second lowering stage: each gate becomes a single assignment
+        over local variables (``v7 = v3 * v5``), so repeated evaluation
+        costs plain bytecode instead of an interpreted dispatch loop per
+        gate. ``mode`` is ``"bool"`` (0/1 ints, ``&``/``|``/``^``) or
+        ``"float"`` (the d-D probability pass: ``*`` at AND, ``+`` at OR).
+        Returns ``None`` above :data:`CODEGEN_GATE_LIMIT`; callers then use
+        the generic array interpreter.
+        """
+        if self.size > CODEGEN_GATE_LIMIT:
+            return None
+        as_float = mode == "float"
+        lines = ["def _kernel(s):"]
+        for pos in range(self.size):
+            kind = self.kinds[pos]
+            if kind == K_VAR:
+                slot = self.var_slot[pos]
+                expr = f"s[{slot}]" if as_float else f"1 if s[{slot}] else 0"
+            elif kind == K_TRUE:
+                expr = "1.0" if as_float else "1"
+            elif kind == K_FALSE:
+                expr = "0.0" if as_float else "0"
+            elif kind == K_NOT:
+                child = self.indices[self.offsets[pos]]
+                expr = f"1.0 - v{child}" if as_float else f"v{child} ^ 1"
+            else:
+                terms = [f"v{i}" for i in self.inputs_of(pos)]
+                if len(terms) <= _INFIX_FAN_IN:
+                    if as_float:
+                        op = " * " if kind == K_AND else " + "
+                    else:
+                        op = " & " if kind == K_AND else " | "
+                    expr = op.join(terms)
+                else:
+                    listing = ", ".join(terms)
+                    if as_float:
+                        fn = "_prod" if kind == K_AND else "sum"
+                        expr = f"{fn}([{listing}])"
+                    else:
+                        fn = "all" if kind == K_AND else "any"
+                        expr = f"1 if {fn}([{listing}]) else 0"
+            lines.append(f"    v{pos} = {expr}")
+        lines.append(f"    return v{self.output}")
+        import math
+
+        namespace: dict[str, object] = {"_prod": math.prod}
+        exec(compile("\n".join(lines), "<compiled-circuit>", "exec"), namespace)
+        return namespace["_kernel"]
+
+    def _kernel(self, mode: str):
+        if mode == "float":
+            if self._float_kernel is _UNBUILT:
+                self._float_kernel = self._build_kernel("float")
+            return self._float_kernel
+        if self._bool_kernel is _UNBUILT:
+            self._bool_kernel = self._build_kernel("bool")
+        return self._bool_kernel
+
+    # ------------------------------------------------------------------ #
+    # Boolean evaluation
+
+    def _evaluate_into(self, buffer: bytearray, slot_values: Sequence) -> int:
+        """One bottom-up pass over the flat arrays; returns the output bit."""
+        kinds = self.kinds
+        offsets = self.offsets
+        indices = self.indices
+        var_slot = self.var_slot
+        for pos in range(self.size):
+            kind = kinds[pos]
+            if kind == K_VAR:
+                value = 1 if slot_values[var_slot[pos]] else 0
+            elif kind == K_AND:
+                value = 1
+                for j in range(offsets[pos], offsets[pos + 1]):
+                    if not buffer[indices[j]]:
+                        value = 0
+                        break
+            elif kind == K_OR:
+                value = 0
+                for j in range(offsets[pos], offsets[pos + 1]):
+                    if buffer[indices[j]]:
+                        value = 1
+                        break
+            elif kind == K_NOT:
+                value = 1 - buffer[indices[offsets[pos]]]
+            else:
+                value = kind  # K_TRUE == 1, K_FALSE == 0
+            buffer[pos] = value
+        return buffer[self.output]
+
+    def evaluate(self, valuation) -> bool:
+        """Evaluate the output gate under one valuation."""
+        kernel = self._kernel("bool")
+        if kernel is not None:
+            return bool(kernel(self.slot_values(valuation)))
+        buffer = bytearray(self.size)
+        return bool(self._evaluate_into(buffer, self.slot_values(valuation)))
+
+    def evaluate_batch(self, valuations: Iterable) -> list[bool]:
+        """Evaluate many valuations through the specialized kernel.
+
+        ``valuations`` is an iterable of valuations as accepted by
+        :meth:`evaluate`; returns one boolean per valuation, in order. The
+        per-gate work is one generated bytecode statement (or, above the
+        codegen limit, one pass of the array interpreter over a single
+        reusable buffer) — no per-world dict or buffer allocation.
+        """
+        kernel = self._kernel("bool")
+        slot_values = self.slot_values
+        if kernel is not None:
+            return [bool(kernel(slot_values(valuation))) for valuation in valuations]
+        buffer = bytearray(self.size)
+        return [
+            bool(self._evaluate_into(buffer, slot_values(valuation)))
+            for valuation in valuations
+        ]
+
+    # ------------------------------------------------------------------ #
+    # probability fast paths
+
+    def probability(self, marginals) -> float:
+        """Linear-time probability for deterministic decomposable circuits.
+
+        One bottom-up float pass: ``P(OR) = Σ``, ``P(AND) = Π``,
+        ``P(NOT) = 1 − P``. Correct only on d-D circuits over independent
+        variables (Theorem 1); use the ``message_passing`` engine otherwise.
+        """
+        probs = self.slot_marginals(marginals)
+        kernel = self._kernel("float")
+        if kernel is not None:
+            return float(kernel(probs))
+        kinds = self.kinds
+        offsets = self.offsets
+        indices = self.indices
+        var_slot = self.var_slot
+        values = [0.0] * self.size
+        for pos in range(self.size):
+            kind = kinds[pos]
+            if kind == K_VAR:
+                value = probs[var_slot[pos]]
+            elif kind == K_AND:
+                value = 1.0
+                for j in range(offsets[pos], offsets[pos + 1]):
+                    value *= values[indices[j]]
+            elif kind == K_OR:
+                value = 0.0
+                for j in range(offsets[pos], offsets[pos + 1]):
+                    value += values[indices[j]]
+            elif kind == K_NOT:
+                value = 1.0 - values[indices[offsets[pos]]]
+            else:
+                value = float(kind)  # K_TRUE == 1, K_FALSE == 0
+            values[pos] = value
+        return values[self.output]
+
+    def probability_enumerate(
+        self, marginals, max_vars: int = ENUMERATION_VARIABLE_CAP
+    ) -> float:
+        """Exact probability by enumerating all variable valuations.
+
+        Iterates a reusable slot array over all ``2^n`` bitmasks — no
+        per-world dict allocation. Exponential; capped at ``max_vars``
+        (default :data:`ENUMERATION_VARIABLE_CAP`) variables.
+        """
+        n = len(self.var_names)
+        if n > max_vars:
+            raise ReproError(
+                f"enumeration oracle limited to {max_vars} variables "
+                f"(circuit has {n}; 2^{n} worlds); use the 'shannon' or "
+                "'message_passing' engine instead"
+            )
+        probs = self.slot_marginals(marginals)
+        slot_values = [0] * n
+        kernel = self._kernel("bool")
+        buffer = None if kernel is not None else bytearray(self.size)
+        total = 0.0
+        for mask in range(1 << n):
+            for i in range(n):
+                slot_values[i] = (mask >> i) & 1
+            satisfied = (
+                kernel(slot_values)
+                if kernel is not None
+                else self._evaluate_into(buffer, slot_values)
+            )
+            if satisfied:
+                weight = 1.0
+                for i in range(n):
+                    p = probs[i]
+                    weight *= p if slot_values[i] else 1.0 - p
+                total += weight
+        return total
+
+    # ------------------------------------------------------------------ #
+    # semiring evaluation
+
+    def evaluate_semiring(self, semiring, annotate) -> object:
+        """Fold the circuit in a semiring: ``⊕`` at OR, ``⊗`` at AND.
+
+        ``annotate`` maps a variable *name* to its semiring element.
+        Negation is rejected — provenance is defined for monotone circuits.
+        """
+        kinds = self.kinds
+        values: list[object] = [None] * self.size
+        for pos in range(self.size):
+            kind = kinds[pos]
+            if kind == K_VAR:
+                values[pos] = annotate(self.var_names[self.var_slot[pos]])
+            elif kind == K_AND:
+                values[pos] = semiring.multiply_all(
+                    values[i] for i in self.inputs_of(pos)
+                )
+            elif kind == K_OR:
+                values[pos] = semiring.add_all(values[i] for i in self.inputs_of(pos))
+            elif kind == K_NOT:
+                raise ReproError("provenance circuits must be monotone (no NOT gates)")
+            else:
+                values[pos] = semiring.one() if kind == K_TRUE else semiring.zero()
+        return values[self.output]
+
+    # ------------------------------------------------------------------ #
+    # cached structure for the message-passing engine
+
+    def binarized(self) -> "CompiledCircuit":
+        """The compiled form of the fan-in-≤2 rewrite, built once.
+
+        Always lowers ``source.binarized()`` — even when the source is
+        already binary — so the compiled positions stay aligned with the
+        densely renumbered arena that external decompositions (built over
+        ``circuit.binarized()`` gate ids) refer to.
+        """
+        if self._binarized is None:
+            self._binarized = compile_circuit(self.source.binarized())
+        return self._binarized
+
+    def moral_graph(self):
+        """Moral graph over compiled positions (gate–input cliques)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.size))
+        for pos in range(self.size):
+            inputs = self.inputs_of(pos)
+            for child in inputs:
+                graph.add_edge(pos, child)
+            for i, a in enumerate(inputs):
+                for b in inputs[i + 1 :]:
+                    graph.add_edge(a, b)
+        return graph
+
+    def decomposition(self, heuristic: str = "min_fill"):
+        """A tree decomposition of the moral graph, cached per heuristic."""
+        cached = self._decompositions.get(heuristic)
+        if cached is None:
+            from repro.treewidth import decompose
+
+            cached = decompose(self.moral_graph(), heuristic)
+            self._decompositions[heuristic] = cached
+        return cached
+
+
+def compile_circuit(circuit: Circuit | CompiledCircuit) -> CompiledCircuit:
+    """Lower ``circuit`` to its flat IR, caching the result on the arena.
+
+    Passing an already-compiled circuit returns it unchanged. The cache is
+    keyed on the arena's mutation version and output gate, so compiling
+    again after further construction transparently recompiles.
+    """
+    if isinstance(circuit, CompiledCircuit):
+        return circuit
+    key = (circuit.version, circuit.output)
+    cached = getattr(circuit, "_compiled_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    compiled = CompiledCircuit(circuit)
+    circuit._compiled_cache = (key, compiled)
+    return compiled

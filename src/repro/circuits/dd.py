@@ -28,7 +28,24 @@ def probability_dd(circuit: Circuit, space: EventSpace) -> float:
 
     Linear in the circuit size (unit-cost arithmetic). Correct only when the
     circuit is deterministic and decomposable and the variables are
-    independent; use :func:`repro.circuits.wmc.wmc_message_passing` otherwise.
+    independent; use the ``message_passing`` engine otherwise.
+
+    .. deprecated::
+        Thin wrapper over the ``dd`` engine of
+        :mod:`repro.circuits.evaluation`; the circuit is compiled to the
+        flat IR once (cached) and evaluated in a single array pass.
+    """
+    from repro.circuits.evaluation import probability
+
+    return probability(circuit, space, engine="dd")
+
+
+def _probability_dd_object_graph(circuit: Circuit, space: EventSpace) -> float:
+    """The seed object-graph walker, kept as the benchmark baseline.
+
+    Re-walks the hash-consed gate DAG and fills a per-gate dict on every
+    call — exactly the constant factors the compiled IR removes
+    (``benchmarks/bench_compiled_eval.py`` measures the gap).
     """
     check(circuit.output is not None, "circuit has no output gate")
     values: dict[int, float] = {}

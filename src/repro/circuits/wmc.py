@@ -1,14 +1,21 @@
-"""Weighted model counting (probability computation) on Boolean circuits.
+"""Weighted model counting on Boolean circuits — historical entry points.
+
+.. deprecated::
+    These functions are kept as thin strategy wrappers over the unified
+    evaluation layer (:mod:`repro.circuits.evaluation`): each call compiles
+    the circuit to the flat IR (cached on the arena) and dispatches to the
+    registered engine of the same name. New code should call
+    :func:`repro.circuits.evaluation.probability` directly.
 
 Three engines, in increasing sophistication:
 
-- :func:`wmc_enumerate` — brute force over variable valuations (oracle).
-- :func:`wmc_shannon` — Shannon expansion with hash-consed memoization; the
-  classic exact baseline, exponential in the worst case.
-- :func:`wmc_message_passing` — the paper's algorithm: junction-tree
-  sum-product over a tree decomposition of the circuit's moral graph
-  (Lauritzen–Spiegelhalter). Runs in time ``O(2^w · |C|)`` for width ``w``,
-  hence PTIME/linear on bounded-treewidth circuits (Theorems 1–2).
+- ``enumerate`` — brute force over variable valuations (oracle);
+- ``shannon`` — Shannon expansion with residual memoization; the classic
+  exact baseline, exponential in the worst case;
+- ``message_passing`` — the paper's algorithm: junction-tree sum-product
+  over a tree decomposition of the circuit's moral graph
+  (Lauritzen–Spiegelhalter), ``O(2^w · |C|)`` for width ``w``, hence
+  PTIME/linear on bounded-treewidth circuits (Theorems 1–2).
 
 All engines take an :class:`repro.events.EventSpace` supplying independent
 variable marginals, and return the probability that the output gate is true.
@@ -16,93 +23,27 @@ variable marginals, and return the probability that the output gate is true.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
-
-from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
-from repro.circuits.graph import moral_graph
+from repro.circuits.circuit import Circuit
+from repro.circuits.evaluation import MessagePassingReport, probability
 from repro.events import EventSpace
-from repro.treewidth import TreeDecomposition, decompose
-from repro.util import ReproError, check
+from repro.treewidth import TreeDecomposition
 
-
-def _marginals(circuit: Circuit, space: EventSpace) -> dict[str, float]:
-    return {name: space.probability(name) for name in circuit.variables()}
+__all__ = [
+    "MessagePassingReport",
+    "wmc_enumerate",
+    "wmc_message_passing",
+    "wmc_shannon",
+]
 
 
 def wmc_enumerate(circuit: Circuit, space: EventSpace) -> float:
     """Exact probability by enumerating all valuations (exponential oracle)."""
-    names = sorted(circuit.variables())
-    check(len(names) <= 24, "enumeration oracle limited to 24 variables")
-    marginals = {n: space.probability(n) for n in names}
-    total = 0.0
-    for mask in range(1 << len(names)):
-        valuation = {n: bool(mask >> i & 1) for i, n in enumerate(names)}
-        if circuit.evaluate(valuation):
-            weight = 1.0
-            for n, v in valuation.items():
-                weight *= marginals[n] if v else 1.0 - marginals[n]
-            total += weight
-    return total
+    return probability(circuit, space, engine="enumerate")
 
 
 def wmc_shannon(circuit: Circuit, space: EventSpace) -> float:
-    """Exact probability by Shannon expansion with memoization.
-
-    Variables are branched in a fixed order; restricted circuits are rebuilt
-    hash-consed so identical residual subcircuits share cache entries.
-    Exponential in the worst case — the baseline the paper's structural
-    approach is compared against.
-    """
-    marginals = _marginals(circuit, space)
-    work = circuit.pruned()
-    cache: dict[tuple, float] = {}
-
-    def probability(current: Circuit) -> float:
-        gate = current.gate(current.output)  # type: ignore[arg-type]
-        if gate.kind == CONST:
-            return 1.0 if gate.payload else 0.0
-        names = sorted(current.variables())
-        key = _canonical_key(current)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        pivot = names[0]
-        p = marginals[pivot]
-        high = probability(current.restricted({pivot: True})) if p > 0.0 else 0.0
-        low = probability(current.restricted({pivot: False})) if p < 1.0 else 0.0
-        result = p * high + (1.0 - p) * low
-        cache[key] = result
-        return result
-
-    return probability(work)
-
-
-def _canonical_key(circuit: Circuit) -> tuple:
-    """A structural key identifying the circuit reachable from the output."""
-    parts = []
-    for gid in circuit.reachable_from_output():
-        gate = circuit.gate(gid)
-        parts.append((gid, gate.kind, gate.payload, gate.inputs))
-    return tuple(parts)
-
-
-# --------------------------------------------------------------------------- #
-# Junction-tree message passing
-
-
-class MessagePassingReport:
-    """Diagnostics of a message-passing run (width actually used, bag count)."""
-
-    def __init__(self, width: int, bag_count: int, gate_count: int):
-        self.width = width
-        self.bag_count = bag_count
-        self.gate_count = gate_count
-
-    def __repr__(self) -> str:
-        return (
-            f"MessagePassingReport(width={self.width}, bags={self.bag_count},"
-            f" gates={self.gate_count})"
-        )
+    """Exact probability by Shannon expansion with memoization."""
+    return probability(circuit, space, engine="shannon")
 
 
 def wmc_message_passing(
@@ -115,147 +56,17 @@ def wmc_message_passing(
 ):
     """Exact probability via junction-tree sum-product over the circuit.
 
-    The circuit is binarized, its moral graph decomposed (unless a
-    ``decomposition`` over the binarized gate ids is supplied), and each
-    gate's consistency factor plus each variable's weight factor is assigned
-    to one bag containing its scope. A single bottom-up pass then sums, for
-    every bag, over all Boolean assignments of the bag's gates —
-    ``O(2^w)`` work per bag.
-
-    Raises :class:`ReproError` if the decomposition width exceeds
-    ``max_width`` (the run would be intractable, which is the point of the
-    paper's structural restriction).
+    A supplied ``decomposition`` must cover the gate ids of
+    ``circuit.binarized()`` (the form the factors are built on). See
+    :func:`repro.circuits.evaluation._engine_message_passing` for the
+    engine itself.
     """
-    work = circuit.binarized()
-    check(work.output is not None, "circuit has no output gate")
-    out_gate = work.gate(work.output)  # type: ignore[arg-type]
-    if out_gate.kind == CONST:
-        result = 1.0 if out_gate.payload else 0.0
-        if return_report:
-            return result, MessagePassingReport(0, 0, 1)
-        return result
-
-    gate_ids = work.reachable_from_output()
-    if decomposition is None:
-        decomposition = decompose(moral_graph(work), heuristic)
-    width = decomposition.width()
-    if width > max_width:
-        raise ReproError(
-            f"decomposition width {width} exceeds max_width={max_width}; "
-            "the circuit is not tree-like enough for exact message passing"
-        )
-
-    marginals = {}
-    for gid in gate_ids:
-        gate = work.gate(gid)
-        if gate.kind == VAR:
-            marginals[gid] = space.probability(gate.payload)  # type: ignore[arg-type]
-
-    root, children = decomposition.rooted_children()
-    bags = decomposition.bags
-
-    # Assign each gate's factors to exactly one bag containing the scope.
-    consistency_at: dict[int, list[int]] = {node: [] for node in bags}
-    weight_at: dict[int, list[int]] = {node: [] for node in bags}
-    home: dict[int, int] = {}
-    order = _postorder(root, children)
-    for gid in gate_ids:
-        gate = work.gate(gid)
-        scope = frozenset((gid,) + gate.inputs)
-        node = _bag_containing(decomposition, order, scope)
-        if node is None:
-            raise ReproError(
-                f"no bag contains gate {gid} with its inputs; invalid decomposition"
-            )
-        consistency_at[node].append(gid)
-        home[gid] = node
-        if gate.kind == VAR:
-            weight_at[node].append(gid)
-    output_home = home[work.output]  # type: ignore[index]
-
-    def factor_value(assignment: Mapping[int, bool], gid: int) -> float:
-        gate = work.gate(gid)
-        value = assignment[gid]
-        if gate.kind == VAR:
-            return 1.0  # weight applied once, via weight_at, below
-        if gate.kind == CONST:
-            return 1.0 if value == bool(gate.payload) else 0.0
-        inputs = [assignment[i] for i in gate.inputs]
-        if gate.kind == NOT:
-            expected = not inputs[0]
-        elif gate.kind == AND:
-            expected = all(inputs)
-        elif gate.kind == OR:
-            expected = any(inputs)
-        else:  # pragma: no cover
-            raise ReproError(f"unknown gate kind {gate.kind!r}")
-        return 1.0 if value == expected else 0.0
-
-    parent_of: dict[int, int | None] = {root: None}
-    for node in order:
-        for child in children[node]:
-            parent_of[child] = node
-
-    messages: dict[int, dict[tuple, float]] = {}
-    for node in order:
-        members = sorted(bags[node])
-        child_nodes = children[node]
-        separators = {
-            child: sorted(bags[node] & bags[child]) for child in child_nodes
-        }
-        table: dict[tuple, float] = {}
-        parent_sep = None
-        parent = parent_of[node]
-        if parent is not None:
-            parent_sep = sorted(bags[node] & bags[parent])
-        for mask in range(1 << len(members)):
-            assignment = {m: bool(mask >> i & 1) for i, m in enumerate(members)}
-            weight = 1.0
-            for gid in consistency_at[node]:
-                weight *= factor_value(assignment, gid)
-                if weight == 0.0:
-                    break
-            if weight == 0.0:
-                continue
-            for gid in weight_at[node]:
-                weight *= marginals[gid] if assignment[gid] else 1.0 - marginals[gid]
-            if node == output_home and not assignment[work.output]:  # type: ignore[index]
-                continue
-            for child in child_nodes:
-                key = tuple(assignment[m] for m in separators[child])
-                weight *= messages[child].get(key, 0.0)
-                if weight == 0.0:
-                    break
-            if weight == 0.0:
-                continue
-            key = tuple(assignment[m] for m in parent_sep) if parent_sep is not None else ()
-            table[key] = table.get(key, 0.0) + weight
-        messages[node] = table
-
-    result = sum(messages[root].values())
-    if return_report:
-        return result, MessagePassingReport(width, len(bags), len(gate_ids))
-    return result
-
-
-def _postorder(root: int, children: dict[int, list[int]]) -> list[int]:
-    order: list[int] = []
-    stack: list[tuple[int, bool]] = [(root, False)]
-    while stack:
-        node, expanded = stack.pop()
-        if expanded:
-            order.append(node)
-        else:
-            stack.append((node, True))
-            for child in children[node]:
-                stack.append((child, False))
-    return order
-
-
-def _bag_containing(
-    decomposition: TreeDecomposition, order: list[int], scope: frozenset
-) -> int | None:
-    for node in order:
-        if scope <= decomposition.bags[node]:
-            return node
-    return None
+    return probability(
+        circuit,
+        space,
+        engine="message_passing",
+        decomposition=decomposition,
+        heuristic=heuristic,
+        max_width=max_width,
+        return_report=return_report,
+    )

@@ -2,8 +2,9 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E12
+    python -m repro list                # list experiments E1..E13
     python -m repro run E3              # print Theorem 1's scaling table
+    python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run all             # print every table (long)
     python -m repro paper               # one-line paper identification
 
@@ -33,6 +34,7 @@ EXPERIMENTS = {
     "E10": ("bench_rules", "Probabilistic rules: the probabilistic chase"),
     "E11": ("bench_ablation_heuristics", "Decomposition-heuristic ablation"),
     "E12": ("bench_hybrid", "Partial decompositions: exact tentacles + sampled core"),
+    "E13": ("bench_compiled_eval", "Compiled circuit IR vs object-graph evaluation"),
 }
 
 
@@ -66,13 +68,24 @@ def command_list() -> None:
         print(f"{exp_id:<5} {module_name:<28} {description}")
 
 
-def command_run(target: str) -> None:
-    """Run one experiment (or 'all')."""
+def command_run(target: str, engine: str | None = None) -> None:
+    """Run one experiment (or 'all'), optionally forcing a default engine."""
+    if engine is not None:
+        from repro.circuits import available_engines, force_engine
+        from repro.util import ReproError
+
+        try:
+            force_engine(engine)
+        except ReproError:
+            raise SystemExit(
+                f"unknown engine {engine!r}; available: "
+                f"{', '.join(available_engines())}"
+            )
     targets = list(EXPERIMENTS) if target.lower() == "all" else [target.upper()]
     for exp_id in targets:
         if exp_id not in EXPERIMENTS:
             raise SystemExit(
-                f"unknown experiment {exp_id!r}; use 'list' to see E1..E12"
+                f"unknown experiment {exp_id!r}; use 'list' to see E1..E13"
             )
         module_name, _description = EXPERIMENTS[exp_id]
         print()
@@ -96,13 +109,19 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     run = sub.add_parser("run", help="run an experiment table")
-    run.add_argument("experiment", help="experiment id (E1..E12) or 'all'")
+    run.add_argument("experiment", help="experiment id (E1..E13) or 'all'")
+    run.add_argument(
+        "--engine",
+        default=None,
+        help="force one circuit-evaluation engine for the whole run "
+        "(enumerate, shannon, message_passing, dd)",
+    )
     sub.add_parser("paper", help="identify the reproduced paper")
     args = parser.parse_args(argv)
     if args.command == "list":
         command_list()
     elif args.command == "run":
-        command_run(args.experiment)
+        command_run(args.experiment, engine=args.engine)
     elif args.command == "paper":
         command_paper()
     return 0

@@ -17,7 +17,7 @@ pcc-instance and answers conditional queries as WMC ratios
 
 from __future__ import annotations
 
-from repro.circuits import Circuit, wmc_message_passing
+from repro.circuits import Circuit, probability
 from repro.core.engine import combine_with_annotations
 from repro.instances.base import Fact
 from repro.instances.pcc import PCCInstance
@@ -30,6 +30,7 @@ class ConditionedInstance:
     def __init__(self, pcc: PCCInstance):
         self.pcc = pcc
         self._constraints: list[Circuit] = []
+        self._constraint_cache: tuple[int, Circuit] | None = None
 
     def copy(self) -> "ConditionedInstance":
         """A shallow copy sharing the instance but not future observations."""
@@ -82,19 +83,32 @@ class ConditionedInstance:
     # conditional inference
 
     def constraint_circuit(self) -> Circuit:
-        """The conjunction of all recorded observations, as one circuit."""
+        """The conjunction of all recorded observations, as one circuit.
+
+        Built (and hence compiled, decomposed) once per observation count:
+        repeated conditional queries share the cached circuit, whose
+        compiled form carries the cached tree decomposition.
+        """
+        if self._constraint_cache is not None and self._constraint_cache[0] == len(
+            self._constraints
+        ):
+            return self._constraint_cache[1]
         merged = Circuit()
         outputs = []
         for constraint in self._constraints:
             translation = constraint.copy_into(merged)
             outputs.append(translation[constraint.output])
         merged.set_output(merged.and_gate(outputs) if outputs else merged.true())
+        self._constraint_cache = (len(self._constraints), merged)
         return merged
 
     def evidence_probability(self, max_width: int = 24) -> float:
         """P(observations) under the prior."""
-        return wmc_message_passing(
-            self.constraint_circuit(), self.pcc.space, max_width=max_width
+        return probability(
+            self.constraint_circuit(),
+            self.pcc.space,
+            engine="message_passing",
+            max_width=max_width,
         )
 
     def query_probability(self, query, max_width: int = 24) -> float:
@@ -111,7 +125,9 @@ class ConditionedInstance:
             lineage = build_lineage(self.pcc.instance, query)
         query_circuit = combine_with_annotations(lineage.circuit, self.pcc)
         joint = _conjoin(query_circuit, self.constraint_circuit())
-        numerator = wmc_message_passing(joint, self.pcc.space, max_width=max_width)
+        numerator = probability(
+            joint, self.pcc.space, engine="message_passing", max_width=max_width
+        )
         return numerator / evidence
 
     def fact_probability(self, f: Fact, max_width: int = 24) -> float:
@@ -125,7 +141,9 @@ class ConditionedInstance:
         )
         fact_circuit.set_output(translation[self.pcc.gate_of(f)])
         joint = _conjoin(fact_circuit, self.constraint_circuit())
-        numerator = wmc_message_passing(joint, self.pcc.space, max_width=max_width)
+        numerator = probability(
+            joint, self.pcc.space, engine="message_passing", max_width=max_width
+        )
         return numerator / evidence
 
     def __repr__(self) -> str:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.circuits import Circuit, probability_dd, wmc_message_passing
+from repro.circuits import Circuit, CompiledCircuit, compile_circuit, probability
 from repro.core.automaton import DecompositionAutomaton
 from repro.core.cq_automaton import automaton_for
 from repro.instances.base import Fact, Instance
@@ -56,9 +56,23 @@ class Lineage:
     node_count: int
     fact_variables: dict[Fact, str] = field(default_factory=dict)
 
+    def compiled(self) -> CompiledCircuit:
+        """The lineage circuit lowered to the flat IR (compiled once).
+
+        The compiled form is cached on the circuit arena, so every
+        evaluation path — probabilities, possible-world checks, sampled
+        batches — shares one lowering.
+        """
+        return compile_circuit(self.circuit)
+
     def probability_tid(self, tid: TIDInstance) -> float:
-        """Theorem 1 evaluation: linear-time pass over the d-D circuit."""
-        return probability_dd(self.circuit, tid.event_space())
+        """Theorem 1 evaluation: linear-time pass over the d-D circuit.
+
+        Dispatches through the engine registry (engine ``dd``) so a
+        process-wide :func:`repro.circuits.evaluation.force_engine`
+        override applies here too.
+        """
+        return probability(self.compiled(), tid.event_space(), engine="dd")
 
 
 def instance_decomposition(
@@ -81,16 +95,30 @@ def assign_facts_to_bags(
     """
     items_at: dict[int, list[Fact]] = {}
     bag_ids = sorted(decomposition.bags)
+    # Invert the decomposition once (constant → bags holding it) so each
+    # fact intersects the bag sets of its constants instead of scanning all
+    # bags — O(|facts| · bag-set size) instead of O(|facts| · |bags|).
+    bags_of_constant: dict[object, set[int]] = {}
+    for node, bag in decomposition.bags.items():
+        for constant in bag:
+            bags_of_constant.setdefault(constant, set()).add(node)
     for f in instance.facts():
-        needed = frozenset(f.args)
-        home = next(
-            (node for node in bag_ids if needed <= decomposition.bags[node]), None
-        )
-        if home is None:
+        candidates: set[int] | None = None
+        for constant in frozenset(f.args):
+            holding = bags_of_constant.get(constant)
+            if holding is None:
+                candidates = None
+                break
+            candidates = holding if candidates is None else candidates & holding
+            if not candidates:
+                candidates = None
+                break
+        if candidates is None and f.args:
             raise ReproError(
                 f"no bag contains the constants of {f!r}; "
                 "is the decomposition valid for this instance?"
             )
+        home = min(candidates) if candidates else bag_ids[0]
         items_at.setdefault(home, []).append(f)
     return items_at
 
@@ -206,7 +234,7 @@ def tid_probability(
     Linear in the instance for fixed query and decomposition width.
     """
     lineage = build_lineage(tid.instance, query, decomposition, heuristic)
-    return probability_dd(lineage.circuit, tid.event_space())
+    return lineage.probability_tid(tid)
 
 
 def pcc_probability(
@@ -235,9 +263,10 @@ def pcc_probability(
     else:
         lineage = build_lineage(pcc.instance, query, decomposition, heuristic)
     combined = combine_with_annotations(lineage.circuit, pcc)
-    return wmc_message_passing(
+    return probability(
         combined,
         pcc.space,
+        engine="message_passing",
         heuristic=heuristic,
         max_width=max_width,
         return_report=return_report,

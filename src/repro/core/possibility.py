@@ -34,7 +34,7 @@ def possible(query, tid: TIDInstance) -> bool:
             f.variable_name: tid.probability(f) > 0.0 for f in tid.facts()
         }
         lineage = build_lineage(tid.instance, query)
-        return lineage.circuit.evaluate(world)
+        return lineage.compiled().evaluate(world)
     lineage = build_lineage(tid.instance, query)
     return lineage.probability_tid(tid) > EPSILON
 
@@ -46,6 +46,6 @@ def certain(query, tid: TIDInstance) -> bool:
             f.variable_name: tid.probability(f) >= 1.0 for f in tid.facts()
         }
         lineage = build_lineage(tid.instance, query)
-        return lineage.circuit.evaluate(world)
+        return lineage.compiled().evaluate(world)
     lineage = build_lineage(tid.instance, query)
     return lineage.probability_tid(tid) >= 1.0 - EPSILON

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuits import Circuit, probability_dd, wmc_message_passing, wmc_shannon
+from repro.circuits import Circuit, available_engines
+from repro.circuits import probability as circuit_probability
 from repro.events import EventSpace
 from repro.prxml.model import CIE, DET, IND, MUX, REGULAR, PNode, PrXMLDocument
 from repro.prxml.patterns import TreePattern
@@ -43,7 +44,14 @@ class PrXMLLineage:
     max_states: int
 
     def probability(self, method: str = AUTO, max_width: int = 24) -> float:
-        """Evaluate the match probability with the chosen engine."""
+        """Evaluate the match probability with the chosen engine.
+
+        ``method`` is any registered engine name of
+        :mod:`repro.circuits.evaluation` (plus the ``"auto"`` default which
+        picks the Theorem-1 ``dd`` pass for local documents and junction-tree
+        message passing otherwise). The circuit is compiled once and reused
+        across calls.
+        """
         if method == AUTO:
             method = DIRECT if not self.has_global else MESSAGE_PASSING
         if method == DIRECT:
@@ -51,11 +59,13 @@ class PrXMLLineage:
                 not self.has_global,
                 "direct d-D evaluation requires a local ({ind,mux,det}) document",
             )
-            return probability_dd(self.circuit, self.space)
+            return circuit_probability(self.circuit, self.space, engine=DIRECT)
         if method == MESSAGE_PASSING:
-            return wmc_message_passing(self.circuit, self.space, max_width=max_width)
-        if method == SHANNON:
-            return wmc_shannon(self.circuit, self.space)
+            return circuit_probability(
+                self.circuit, self.space, engine=MESSAGE_PASSING, max_width=max_width
+            )
+        if method in available_engines():
+            return circuit_probability(self.circuit, self.space, engine=method)
         raise ReproError(f"unknown evaluation method {method!r}")
 
 

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from collections.abc import Callable, Mapping
 
-from repro.circuits import AND, CONST, NOT, OR, VAR, Circuit
+from repro.circuits import Circuit, compile_circuit
 from repro.instances.base import Fact, Instance
 from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.semirings.base import Semiring
-from repro.util import ReproError, check
+from repro.util import check
 
 
 def reference_provenance(
@@ -60,26 +60,12 @@ def evaluate_circuit(
 
     ``annotation`` maps *variable names* (fact variable names) to semiring
     elements. Negation gates are rejected: provenance is defined for
-    monotone queries only.
+    monotone queries only. The circuit is compiled to the flat IR once
+    (cached) and folded in a single array pass.
     """
     annotate = annotation if callable(annotation) else annotation.__getitem__
     check(circuit.output is not None, "circuit has no output gate")
-    values: dict[int, object] = {}
-    for gid in circuit.reachable_from_output():
-        gate = circuit.gate(gid)
-        if gate.kind == VAR:
-            values[gid] = annotate(gate.payload)  # type: ignore[arg-type]
-        elif gate.kind == CONST:
-            values[gid] = semiring.one() if gate.payload else semiring.zero()
-        elif gate.kind == AND:
-            values[gid] = semiring.multiply_all(values[i] for i in gate.inputs)
-        elif gate.kind == OR:
-            values[gid] = semiring.add_all(values[i] for i in gate.inputs)
-        elif gate.kind == NOT:
-            raise ReproError("provenance circuits must be monotone (no NOT gates)")
-        else:  # pragma: no cover
-            raise ReproError(f"unknown gate kind {gate.kind!r}")
-    return values[circuit.output]  # type: ignore[index]
+    return compile_circuit(circuit).evaluate_semiring(semiring, annotate)
 
 
 def circuit_provenance(

@@ -7,7 +7,11 @@ from repro.cli import EXPERIMENTS, command_list, command_run, main
 
 class TestCli:
     def test_experiment_index_complete(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+
+    def test_run_unknown_engine(self):
+        with pytest.raises(SystemExit, match="unknown engine"):
+            command_run("E1", engine="not-an-engine")
 
     def test_list_prints_all(self, capsys):
         command_list()

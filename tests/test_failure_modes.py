@@ -41,7 +41,7 @@ class TestCircuitGuards:
         c = Circuit()
         c.set_output(c.or_gate([c.variable(f"v{i}") for i in range(30)]))
         space = EventSpace({f"v{i}": 0.5 for i in range(30)})
-        with pytest.raises(ReproError, match="24 variables"):
+        with pytest.raises(ReproError, match="26 variables"):
             wmc_enumerate(c, space)
 
     def test_message_passing_unknown_event(self):
