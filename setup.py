@@ -1,10 +1,36 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the Structurally Tractable Uncertain Data reproduction.
 
-All metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-build-isolation`` on machines where PEP 517 editable
-installs are unavailable.
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) so
+``pip install -e . --no-build-isolation`` works on machines where PEP 517
+editable installs are unavailable.
+
+``numpy`` is a hard install requirement: the compiled circuit IR's batch
+kernels (``repro/circuits/compiled.py``) vectorize over it. The library
+still *imports* and passes its test suite without numpy — every batch
+entry point falls back to the scalar kernels behind a capability check —
+but installs should get the fast path by default.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-uncertain-data",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Structurally Tractable Uncertain Data' "
+        "(Amarilli, SIGMOD 2015 PhD Symposium)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

@@ -4,15 +4,26 @@ The paper positions sampling as what practice falls back to when exact
 evaluation is #P-hard ("makes it necessary in practice to approximate query
 results via sampling"), and as the partner of the exact method in the
 partial-decomposition hybrid (E12).
+
+Both estimators are vectorized when numpy is available: sampled worlds are
+drawn as ``(samples, n_vars)`` matrices and pushed through the compiled
+circuit's level-scheduled batch kernels (Monte Carlo) or checked for
+witness containment with one matrix product per chunk (Karp–Luby). Without
+numpy the scalar per-sample loops run instead, with identical estimator
+semantics.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.circuits.compiled import numpy_module
 from repro.instances.base import Fact, Instance
 from repro.instances.tid import TIDInstance
 from repro.util import check, stable_rng
+
+#: Cap on sampled worlds held in memory at once by the vectorized paths.
+SAMPLE_CHUNK = 1 << 14
 
 
 def monte_carlo_probability(
@@ -24,11 +35,12 @@ def monte_carlo_probability(
     ``O(1/sqrt(samples))`` regardless of instance structure.
 
     With ``method="lineage"`` (the default) the query's lineage circuit is
-    built and compiled *once* and the sampled worlds are evaluated as one
-    batch over the flat IR — each sample costs one array pass instead of a
-    fresh homomorphism search. ``method="worlds"`` keeps the original
-    per-world ``query.holds_in`` evaluation (works for any query object,
-    including those without lineage support).
+    built and compiled *once* and the sampled worlds are evaluated in bulk
+    over the flat IR — with numpy, thousands of worlds per level-scheduled
+    batch pass; without it, one generated-kernel call per world.
+    ``method="worlds"`` keeps the original per-world ``query.holds_in``
+    evaluation (works for any query object, including those without lineage
+    support).
     """
     check(samples > 0, "need at least one sample")
     if method == "worlds":
@@ -44,6 +56,16 @@ def monte_carlo_probability(
     compiled = build_lineage(tid.instance, query).compiled()
     space = tid.event_space()
     marginals = [space.probability(name) for name in compiled.variables()]
+    np = numpy_module()
+    if np is not None:
+        rng = np.random.default_rng(seed if seed is not None else 0)
+        probs = np.asarray(marginals, dtype=np.float64)
+        hits = 0
+        for start in range(0, samples, SAMPLE_CHUNK):
+            count = min(SAMPLE_CHUNK, samples - start)
+            worlds = rng.random((count, probs.size)) < probs
+            hits += sum(compiled.evaluate_batch(worlds))
+        return hits / samples
     rng = stable_rng(seed)
     row = [0] * len(marginals)
 
@@ -71,6 +93,11 @@ def karp_luby_probability(
     witness), then estimates the probability of the union by importance
     sampling over the witnesses. Unlike naive Monte Carlo, the relative error
     is bounded even for tiny probabilities — the classic FPRAS for DNF.
+
+    A sample counts iff its drawn witness is the *first* witness fully
+    contained in the sampled world; with numpy the containment test for a
+    whole chunk of worlds is one integer matrix product against the
+    witness-membership matrix.
     """
     check(samples > 0, "need at least one sample")
     witnesses = _dnf_witnesses(query, tid)
@@ -86,8 +113,53 @@ def karp_luby_probability(
     if total_weight == 0.0:
         return 0.0
 
+    facts = list(tid.facts())
+    np = numpy_module()
+    if np is not None:
+        hits = _karp_luby_hits_vectorized(
+            np, witnesses, weights, total_weight, facts, tid, samples, seed
+        )
+    else:
+        hits = _karp_luby_hits_scalar(
+            witnesses, weights, total_weight, facts, tid, samples, seed
+        )
+    return total_weight * hits / samples
+
+
+def _karp_luby_hits_vectorized(
+    np, witnesses, weights, total_weight, facts, tid, samples: int, seed: int
+) -> int:
+    """Hit count of the Karp–Luby trial, whole chunks of worlds at a time."""
+    fact_index = {f: i for i, f in enumerate(facts)}
+    probs = np.asarray([tid.probability(f) for f in facts], dtype=np.float64)
+    membership = np.zeros((len(witnesses), len(facts)), dtype=np.int32)
+    for w, witness in enumerate(witnesses):
+        for f in witness:
+            membership[w, fact_index[f]] = 1
+    sizes = membership.sum(axis=1)
+    cumulative = np.cumsum(np.asarray(weights, dtype=np.float64))
+    rng = np.random.default_rng(seed if seed is not None else 0)
+    hits = 0
+    for start in range(0, samples, SAMPLE_CHUNK):
+        count = min(SAMPLE_CHUNK, samples - start)
+        # Pick witnesses with probability proportional to their weight.
+        chosen = np.searchsorted(cumulative, rng.random(count) * total_weight)
+        chosen = np.minimum(chosen, len(witnesses) - 1)
+        # Sample worlds conditioned on the chosen witness being present.
+        worlds = rng.random((count, probs.size)) < probs
+        worlds |= membership[chosen].astype(bool)
+        # contained[s, w] iff every fact of witness w is in world s.
+        contained = worlds.astype(np.int32) @ membership.T == sizes
+        first = contained.argmax(axis=1)  # chosen is contained, so a True exists
+        hits += int(np.count_nonzero(first == chosen))
+    return hits
+
+
+def _karp_luby_hits_scalar(
+    witnesses, weights, total_weight, facts, tid, samples: int, seed: int
+) -> int:
+    """The per-sample loop of the Karp–Luby trial (numpy-free fallback)."""
     rng = stable_rng(seed)
-    facts = tid.facts()
     probabilities = {f: tid.probability(f) for f in facts}
     hits = 0
     for _ in range(samples):
@@ -112,7 +184,7 @@ def karp_luby_probability(
                 if index == chosen:
                     hits += 1
                 break
-    return total_weight * hits / samples
+    return hits
 
 
 def _dnf_witnesses(query, tid: TIDInstance) -> list[frozenset[Fact]]:

@@ -22,7 +22,9 @@ Typical use::
 
     compiled = compile_circuit(lineage.circuit)     # once
     compiled.evaluate(world)                        # per possible world
-    compiled.evaluate_batch(sampled_worlds)         # many worlds, one buffer
+    compiled.evaluate_batch(sampled_worlds)         # vectorized with numpy,
+                                                    # scalar kernels otherwise
+    compiled.probability_batch(marginal_rows)       # batched Theorem 1 pass
     probability(lineage.circuit, space, engine="dd")  # Theorem 1 fast path
 
 The historical entry points (``wmc_enumerate``, ``wmc_shannon``,
@@ -35,6 +37,7 @@ from repro.circuits.compiled import (
     ENUMERATION_VARIABLE_CAP,
     CompiledCircuit,
     compile_circuit,
+    numpy_available,
 )
 from repro.circuits.dd import (
     check_decomposability,
@@ -44,6 +47,8 @@ from repro.circuits.dd import (
 from repro.circuits.evaluation import (
     available_engines,
     default_engine,
+    default_engine_set,
+    engine_forced,
     force_engine,
     forced_engine,
     get_engine,
@@ -79,11 +84,14 @@ __all__ = [
     "circuit_width",
     "compile_circuit",
     "default_engine",
+    "default_engine_set",
+    "engine_forced",
     "force_engine",
     "forced_engine",
     "from_formula",
     "get_engine",
     "moral_graph",
+    "numpy_available",
     "probability",
     "probability_dd",
     "register_engine",

@@ -17,10 +17,30 @@ gate DAG once into flat, topologically-sorted arrays:
 
 Every evaluation entry point then runs a single tight bottom-up loop over
 these arrays: :meth:`CompiledCircuit.evaluate` for one world,
-:meth:`CompiledCircuit.evaluate_batch` for many worlds sharing one reusable
-buffer, :meth:`CompiledCircuit.probability` for the linear-time
-deterministic-decomposable fast path (Theorem 1), and
-:meth:`CompiledCircuit.probability_enumerate` for the brute-force oracle.
+:meth:`CompiledCircuit.evaluate_batch` for many worlds at once,
+:meth:`CompiledCircuit.probability` for the linear-time
+deterministic-decomposable fast path (Theorem 1),
+:meth:`CompiledCircuit.probability_batch` for many marginal vectors at
+once, and :meth:`CompiledCircuit.probability_enumerate` for the
+brute-force oracle.
+
+**Batch evaluation** adds a third lowering stage on top of the flat IR.
+When numpy is importable (:func:`numpy_available`), the topologically
+sorted gates are grouped into *levels* — every gate's inputs live in
+strictly earlier levels — and the CSR arrays are materialized as ``int32``
+numpy buffers. A batch of worlds is a ``(n_worlds, n_vars)`` matrix; the
+value buffer is gate-major (one row per gate, one column per world) and
+each level evaluates in a handful of vectorized operations: NOT is a
+whole-block negation, and the AND/OR gates of one fan-in are gathered as a
+``(fan_in, count, n_worlds)`` stack and collapsed with one
+``np.logical_and.reduce`` / ``np.logical_or.reduce`` (``np.multiply`` /
+``np.add`` in the float pass of
+:meth:`~CompiledCircuit.probability_batch`). Thousands of sampled worlds
+are evaluated per pass instead of one kernel call per world; batches are
+chunked so the value buffer stays within :data:`BATCH_BYTE_BUDGET` bytes.
+Without numpy every batch entry point falls back to the scalar generated
+kernels (or, above :data:`CODEGEN_GATE_LIMIT`, the array interpreter) —
+same results, one world at a time.
 """
 
 from __future__ import annotations
@@ -29,6 +49,27 @@ from collections.abc import Iterable, Mapping, Sequence
 
 from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
 from repro.util import ReproError, check
+
+try:  # capability check: the vectorized batch kernels need numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the level-scheduled numpy batch kernels are active."""
+    return _np is not None
+
+
+def numpy_module():
+    """The numpy module the batch kernels use, or ``None`` without numpy.
+
+    Consumers that build their own world matrices (sampling baselines,
+    benchmarks) go through this accessor so the capability check stays in
+    one place and tests can disable the vectorized path by monkeypatching
+    ``repro.circuits.compiled._np``.
+    """
+    return _np
 
 # Gate kind codes of the flat IR. CONST gates split into two codes so the
 # payload never needs a side table.
@@ -49,11 +90,148 @@ ENUMERATION_VARIABLE_CAP = 26
 #: runs instead.
 CODEGEN_GATE_LIMIT = 200_000
 
+#: Per-chunk cap on the ``(n_worlds, size)`` value buffer of the numpy
+#: batch kernels, in bytes; larger batches are processed in slices.
+BATCH_BYTE_BUDGET = 1 << 25
+
 _UNBUILT = object()
 
 #: Fan-in up to which AND/OR are emitted as infix chains; larger gates use
 #: list-based reductions to keep the generated AST shallow.
 _INFIX_FAN_IN = 32
+
+
+class _GroupOp:
+    """One vectorized step: all of a level's gates of one kind and fan-in.
+
+    ``rows`` is the contiguous ``(start, end)`` output-row block the
+    renumbering gave the group; ``gather`` holds the input rows — shape
+    ``(count,)`` for NOT, ``(fan_in, count)`` for AND/OR, so indexing the
+    value matrix with it stacks every gate's ``j``-th input in plane ``j``
+    and one ``ufunc.reduce`` over axis 0 evaluates the whole group.
+    (``reduceat`` over CSR segments would express the same reduction, but
+    its axis-0 inner loop measures ~80x slower than the grouped
+    ``reduce``, so the plan pre-groups by fan-in instead.)
+    """
+
+    __slots__ = ("kind", "rows", "gather")
+
+    def __init__(self, kind: int, rows: tuple[int, int], gather):
+        self.kind = kind
+        self.rows = rows
+        self.gather = gather
+
+
+class _BatchPlan:
+    """The third lowering stage: level-scheduled numpy batch arrays.
+
+    Gates are grouped into *levels* — every gate's inputs live in strictly
+    earlier levels — and renumbered into a gate-major layout: the value
+    matrix is ``(size, n_worlds)``, variables first, then constants, then
+    one contiguous row block per (level, kind, fan-in) group. Each world
+    is a column, so gathering a gate's inputs reads whole contiguous rows,
+    every scatter is a slice assignment, and each group is one gather plus
+    one reduction regardless of the world count.
+
+    The plan also materializes the compiled CSR arrays (``kinds``,
+    ``offsets``, ``indices``, ``var_slot``) as int32 numpy buffers, the
+    shareable form future sharded/multi-process batch evaluation splits
+    across workers.
+    """
+
+    __slots__ = (
+        "kinds",
+        "offsets",
+        "indices",
+        "var_slot",
+        "row_of",
+        "var_slots",
+        "const_rows",
+        "const_values",
+        "levels",
+        "output_row",
+    )
+
+    def __init__(self, compiled: "CompiledCircuit"):
+        kinds = compiled.kinds
+        offsets = compiled.offsets
+        indices = compiled.indices
+        size = compiled.size
+        self.kinds = _np.asarray(kinds, dtype=_np.int32)
+        self.offsets = _np.asarray(offsets, dtype=_np.int32)
+        self.indices = _np.asarray(indices, dtype=_np.int32)
+        self.var_slot = _np.asarray(compiled.var_slot, dtype=_np.int32)
+
+        depth = [0] * size
+        var_positions: list[int] = []
+        const_positions: list[int] = []
+        # per level: {(kind, fan_in): positions} of that level's gates
+        buckets: list[dict[tuple[int, int], list[int]]] = []
+        for pos in range(size):
+            kind = kinds[pos]
+            start, end = offsets[pos], offsets[pos + 1]
+            if kind == K_VAR:
+                var_positions.append(pos)
+                continue
+            if kind == K_TRUE or kind == K_FALSE:
+                const_positions.append(pos)
+                continue
+            level = 1 + max(depth[indices[j]] for j in range(start, end))
+            depth[pos] = level
+            while len(buckets) < level:
+                buckets.append({})
+            buckets[level - 1].setdefault((kind, end - start), []).append(pos)
+
+        # Renumber: variables, constants, then level by level, group by group.
+        row_of = _np.empty(size, dtype=_np.intp)
+        next_row = 0
+        for pos in var_positions:
+            row_of[pos] = next_row
+            next_row += 1
+        for pos in const_positions:
+            row_of[pos] = next_row
+            next_row += 1
+        grouped: list[list[tuple[int, int, list[int]]]] = []
+        for level_buckets in buckets:
+            level_groups = []
+            for (kind, fan_in), positions in sorted(level_buckets.items()):
+                start_row = next_row
+                for pos in positions:
+                    row_of[pos] = next_row
+                    next_row += 1
+                level_groups.append((kind, start_row, positions))
+            grouped.append(level_groups)
+        self.row_of = row_of
+        self.var_slots = _np.asarray(
+            [compiled.var_slot[pos] for pos in var_positions], dtype=_np.intp
+        )
+        self.const_rows = (len(var_positions), len(var_positions) + len(const_positions))
+        self.const_values = _np.asarray(
+            [kinds[pos] == K_TRUE for pos in const_positions], dtype=_np.bool_
+        )
+        levels: list[tuple[_GroupOp, ...]] = []
+        for level_groups in grouped:
+            ops = []
+            for kind, start_row, positions in level_groups:
+                rows = (start_row, start_row + len(positions))
+                if kind == K_NOT:
+                    gather = _np.asarray(
+                        [row_of[indices[offsets[pos]]] for pos in positions],
+                        dtype=_np.intp,
+                    )
+                else:
+                    # gather[j, i] = row of the j-th input of the i-th gate
+                    gather = _np.asarray(
+                        [
+                            [row_of[child] for child in indices[offsets[pos] : offsets[pos + 1]]]
+                            for pos in positions
+                        ],
+                        dtype=_np.intp,
+                    ).T
+                ops.append(_GroupOp(kind, rows, gather))
+            levels.append(tuple(ops))
+        self.levels = tuple(levels)
+        self.output_row = int(row_of[compiled.output])
 
 
 class CompiledCircuit:
@@ -77,10 +255,12 @@ class CompiledCircuit:
         "gate_ids",
         "position_of",
         "output",
+        "has_negation",
         "_binarized",
         "_decompositions",
         "_bool_kernel",
         "_float_kernel",
+        "_batch_plan",
     )
 
     def __init__(self, circuit: Circuit):
@@ -130,10 +310,14 @@ class CompiledCircuit:
         self.var_names: tuple[str, ...] = tuple(var_names)
         self.var_index = var_index
         self.output = self.position_of[circuit.output]  # type: ignore[index]
+        #: Whether any NOT gate is reachable — precomputed once here rather
+        #: than rescanning ``kinds`` on every property access.
+        self.has_negation: bool = K_NOT in kinds
         self._binarized: CompiledCircuit | None = None
         self._decompositions: dict[str, object] = {}
         self._bool_kernel = _UNBUILT
         self._float_kernel = _UNBUILT
+        self._batch_plan = _UNBUILT
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -141,11 +325,6 @@ class CompiledCircuit:
     def variables(self) -> tuple[str, ...]:
         """Variable names in slot order (first topological occurrence)."""
         return self.var_names
-
-    @property
-    def has_negation(self) -> bool:
-        """Whether the compiled circuit contains any NOT gate."""
-        return K_NOT in self.kinds
 
     def inputs_of(self, position: int) -> list[int]:
         """Input positions of the gate at ``position``."""
@@ -186,20 +365,31 @@ class CompiledCircuit:
         """Normalize marginals to a float sequence by var slot.
 
         Accepts an :class:`repro.events.EventSpace`, a mapping from variable
-        name to probability, or a sequence indexed by slot.
+        name to probability, or a sequence indexed by slot. Anything else —
+        including another circuit passed by mistake — is rejected with a
+        clear error instead of being duck-typed on a ``probability``
+        attribute.
         """
-        probability = getattr(marginals, "probability", None)
-        if probability is not None:
+        from repro.events import EventSpace
+
+        if isinstance(marginals, EventSpace):
+            probability = marginals.probability
             return [probability(name) for name in self.var_names]
         if isinstance(marginals, Mapping):
             missing = [n for n in self.var_names if n not in marginals]
             check(not missing, f"marginals are missing variables {missing!r}")
             return [float(marginals[name]) for name in self.var_names]
-        check(
-            len(marginals) == len(self.var_names),
-            f"marginals have {len(marginals)} entries for {len(self.var_names)} variables",
+        if hasattr(marginals, "__len__") and hasattr(marginals, "__getitem__"):
+            check(
+                len(marginals) == len(self.var_names),
+                f"marginals have {len(marginals)} entries for "
+                f"{len(self.var_names)} variables",
+            )
+            return marginals
+        raise ReproError(
+            f"unsupported marginals type {type(marginals).__name__}; expected an "
+            "EventSpace, a name→probability mapping, or a slot-indexed sequence"
         )
-        return marginals
 
     # ------------------------------------------------------------------ #
     # kernel generation
@@ -265,6 +455,79 @@ class CompiledCircuit:
         return self._bool_kernel
 
     # ------------------------------------------------------------------ #
+    # level-scheduled numpy batch kernels (third lowering stage)
+
+    def batch_plan(self) -> _BatchPlan | None:
+        """The level-scheduled numpy plan, built once; ``None`` without numpy."""
+        if _np is None:
+            return None
+        if self._batch_plan is _UNBUILT:
+            self._batch_plan = _BatchPlan(self)
+        return self._batch_plan
+
+    def _batch_pass(self, matrix, as_float: bool):
+        """One level-scheduled pass over a ``(n_worlds, n_vars)`` matrix.
+
+        ``matrix`` holds one row per world (bool) or per marginal vector
+        (float64), columns indexed by variable slot. Returns the output
+        values as a 1-D array, one entry per input row. Internally the
+        value matrix is gate-major — ``(size, n_worlds)``, rows in plan
+        order — so each group's gather reads contiguous rows and each
+        scatter is a slice assignment; per (level, kind, fan-in) group the
+        work is one gather plus one reduction over the stacked inputs.
+        """
+        plan = self.batch_plan()
+        n_worlds = matrix.shape[0]
+        values = _np.empty(
+            (self.size, n_worlds), dtype=_np.float64 if as_float else _np.bool_
+        )
+        n_vars = plan.var_slots.size
+        if n_vars:
+            values[:n_vars] = matrix.T[plan.var_slots]
+        const_start, const_end = plan.const_rows
+        if const_end > const_start:
+            values[const_start:const_end] = plan.const_values[:, None]
+        and_reduce = _np.multiply.reduce if as_float else _np.logical_and.reduce
+        or_reduce = _np.add.reduce if as_float else _np.logical_or.reduce
+        for level in plan.levels:
+            for op in level:
+                start, end = op.rows
+                if op.kind == K_NOT:
+                    children = values[op.gather]
+                    values[start:end] = 1.0 - children if as_float else ~children
+                else:
+                    reduce = and_reduce if op.kind == K_AND else or_reduce
+                    reduce(values[op.gather], axis=0, out=values[start:end])
+        return values[plan.output_row].copy()
+
+    def _batch_chunk(self, as_float: bool) -> int:
+        """Rows per chunk so the value buffer stays under the byte budget."""
+        itemsize = 8 if as_float else 1
+        return max(1, BATCH_BYTE_BUDGET // max(1, self.size * itemsize))
+
+    def _as_world_matrix(self, valuations):
+        """Normalize worlds to a ``(n_worlds, n_vars)`` bool matrix.
+
+        Accepts a 2-D numpy array of truth values in slot order (any dtype
+        with a sensible truthiness: ``bool``, 0/1 ints, ``np.bool_``) or an
+        iterable of per-world valuations as taken by :meth:`evaluate`. Rows
+        are copied as they are drawn, so generators that refill one shared
+        row buffer are safe.
+        """
+        n_vars = len(self.var_names)
+        if isinstance(valuations, _np.ndarray) and valuations.ndim == 2:
+            check(
+                valuations.shape[1] == n_vars,
+                f"world matrix has {valuations.shape[1]} columns for "
+                f"{n_vars} variables",
+            )
+            return valuations.astype(_np.bool_, copy=False)
+        rows = [tuple(self.slot_values(v)) for v in valuations]
+        if not rows:
+            return _np.empty((0, n_vars), dtype=_np.bool_)
+        return _np.asarray(rows, dtype=_np.bool_)
+
+    # ------------------------------------------------------------------ #
     # Boolean evaluation
 
     def _evaluate_into(self, buffer: bytearray, slot_values: Sequence) -> int:
@@ -305,14 +568,29 @@ class CompiledCircuit:
         return bool(self._evaluate_into(buffer, self.slot_values(valuation)))
 
     def evaluate_batch(self, valuations: Iterable) -> list[bool]:
-        """Evaluate many valuations through the specialized kernel.
+        """Evaluate many valuations at once; returns one boolean per world.
 
         ``valuations`` is an iterable of valuations as accepted by
-        :meth:`evaluate`; returns one boolean per valuation, in order. The
-        per-gate work is one generated bytecode statement (or, above the
-        codegen limit, one pass of the array interpreter over a single
-        reusable buffer) — no per-world dict or buffer allocation.
+        :meth:`evaluate`, or a ``(n_worlds, n_vars)`` numpy matrix in slot
+        order. With numpy available the whole batch runs through the
+        level-scheduled vectorized kernels (:meth:`batch_plan`), chunked to
+        bound memory; otherwise each world costs one generated-kernel call
+        (or, above the codegen limit, one pass of the array interpreter
+        over a single reusable buffer) — no per-world dict or buffer
+        allocation either way.
         """
+        if _np is not None:
+            matrix = self._as_world_matrix(valuations)
+            n_worlds = matrix.shape[0]
+            if n_worlds == 0:
+                return []
+            step = self._batch_chunk(as_float=False)
+            results: list[bool] = []
+            for start in range(0, n_worlds, step):
+                results.extend(
+                    self._batch_pass(matrix[start : start + step], False).tolist()
+                )
+            return results
         kernel = self._kernel("bool")
         slot_values = self.slot_values
         if kernel is not None:
@@ -361,14 +639,52 @@ class CompiledCircuit:
             values[pos] = value
         return values[self.output]
 
+    def probability_batch(self, marginals_batch) -> list[float]:
+        """The d-D probability pass of :meth:`probability`, over many rows.
+
+        ``marginals_batch`` is an iterable of marginal assignments as
+        accepted by :meth:`probability` (event spaces, mappings, slot
+        sequences), or a ``(n_rows, n_vars)`` float matrix in slot order.
+        With numpy available all rows share one level-scheduled float pass
+        (grouped ``np.multiply.reduce`` at AND, ``np.add.reduce`` at OR);
+        otherwise each row costs one scalar :meth:`probability` call. Like
+        :meth:`probability`, correct only on deterministic decomposable
+        circuits over independent variables.
+        """
+        if _np is None:
+            return [float(self.probability(row)) for row in marginals_batch]
+        n_vars = len(self.var_names)
+        if isinstance(marginals_batch, _np.ndarray) and marginals_batch.ndim == 2:
+            check(
+                marginals_batch.shape[1] == n_vars,
+                f"marginal matrix has {marginals_batch.shape[1]} columns for "
+                f"{n_vars} variables",
+            )
+            matrix = marginals_batch.astype(_np.float64, copy=False)
+        else:
+            rows = [tuple(self.slot_marginals(row)) for row in marginals_batch]
+            if not rows:
+                return []
+            matrix = _np.asarray(rows, dtype=_np.float64)
+        step = self._batch_chunk(as_float=True)
+        results: list[float] = []
+        for start in range(0, matrix.shape[0], step):
+            results.extend(
+                self._batch_pass(matrix[start : start + step], True).tolist()
+            )
+        return results
+
     def probability_enumerate(
         self, marginals, max_vars: int = ENUMERATION_VARIABLE_CAP
     ) -> float:
         """Exact probability by enumerating all variable valuations.
 
-        Iterates a reusable slot array over all ``2^n`` bitmasks — no
-        per-world dict allocation. Exponential; capped at ``max_vars``
-        (default :data:`ENUMERATION_VARIABLE_CAP`) variables.
+        With numpy available the ``2^n`` worlds are unpacked from bitmask
+        ranges into world matrices and evaluated through the batch kernels,
+        chunk by chunk; otherwise a reusable slot array iterates the masks
+        one kernel call at a time — no per-world dict allocation either
+        way. Exponential; capped at ``max_vars`` (default
+        :data:`ENUMERATION_VARIABLE_CAP`) variables.
         """
         n = len(self.var_names)
         if n > max_vars:
@@ -378,6 +694,8 @@ class CompiledCircuit:
                 "'message_passing' engine instead"
             )
         probs = self.slot_marginals(marginals)
+        if _np is not None:
+            return self._enumerate_batched(probs, n)
         slot_values = [0] * n
         kernel = self._kernel("bool")
         buffer = None if kernel is not None else bytearray(self.size)
@@ -396,6 +714,24 @@ class CompiledCircuit:
                     p = probs[i]
                     weight *= p if slot_values[i] else 1.0 - p
                 total += weight
+        return total
+
+    def _enumerate_batched(self, probs, n: int) -> float:
+        """Enumeration oracle over the numpy batch kernels, chunked."""
+        probs = _np.asarray(probs, dtype=_np.float64)
+        world_count = 1 << n
+        step = max(1, min(world_count, self._batch_chunk(as_float=False)))
+        bits = _np.arange(n, dtype=_np.uint64)
+        total = 0.0
+        for start in range(0, world_count, step):
+            masks = _np.arange(
+                start, min(start + step, world_count), dtype=_np.uint64
+            )
+            worlds = ((masks[:, None] >> bits) & 1).astype(_np.bool_)
+            satisfied = self._batch_pass(worlds, False)
+            if satisfied.any():
+                weights = _np.where(worlds[satisfied], probs, 1.0 - probs)
+                total += float(weights.prod(axis=1).sum())
         return total
 
     # ------------------------------------------------------------------ #

@@ -23,6 +23,7 @@ over this layer.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import contextmanager
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.compiled import (
@@ -99,6 +100,34 @@ def force_engine(name: str | None) -> None:
     if name is not None:
         get_engine(name)
     _FORCED_ENGINE = name
+
+
+@contextmanager
+def engine_forced(name: str | None):
+    """Scope a :func:`force_engine` override, restoring the previous one.
+
+    ``force_engine``/``set_default_engine`` are process-wide; tests and
+    experiment drivers that flip them should do so through these context
+    managers so an exception (or an early return) cannot leak the override
+    into unrelated code.
+    """
+    previous = _FORCED_ENGINE
+    force_engine(name)
+    try:
+        yield
+    finally:
+        force_engine(previous)
+
+
+@contextmanager
+def default_engine_set(name: str):
+    """Scope a :func:`set_default_engine` change, restoring the previous one."""
+    previous = _DEFAULT_ENGINE
+    set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
 
 
 def probability(

@@ -6,6 +6,7 @@ Usage::
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run all             # print every table (long)
+    python -m repro engines             # registered engines + batch backend
     python -m repro paper               # one-line paper identification
 
 The experiment implementations live in ``benchmarks/bench_*.py``; each has a
@@ -19,6 +20,7 @@ from __future__ import annotations
 import argparse
 import importlib.util
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 EXPERIMENTS = {
@@ -69,28 +71,54 @@ def command_list() -> None:
 
 
 def command_run(target: str, engine: str | None = None) -> None:
-    """Run one experiment (or 'all'), optionally forcing a default engine."""
-    if engine is not None:
-        from repro.circuits import available_engines, force_engine
-        from repro.util import ReproError
+    """Run one experiment (or 'all'), optionally forcing an engine for the run.
 
-        try:
-            force_engine(engine)
-        except ReproError:
-            raise SystemExit(
-                f"unknown engine {engine!r}; available: "
-                f"{', '.join(available_engines())}"
-            )
+    The forced engine is scoped to the run with
+    :func:`repro.circuits.engine_forced`, so embedding callers (tests, the
+    REPL) cannot leak the override into later evaluations.
+    """
+    from repro.circuits import available_engines, engine_forced
+
+    if engine is not None and engine not in available_engines():
+        raise SystemExit(
+            f"unknown engine {engine!r}; available: "
+            f"{', '.join(available_engines())}"
+        )
     targets = list(EXPERIMENTS) if target.lower() == "all" else [target.upper()]
     for exp_id in targets:
         if exp_id not in EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {exp_id!r}; use 'list' to see E1..E13"
             )
-        module_name, _description = EXPERIMENTS[exp_id]
-        print()
-        _load_main(module_name)()
-        print()
+    with engine_forced(engine) if engine is not None else nullcontext():
+        for exp_id in targets:
+            module_name, _description = EXPERIMENTS[exp_id]
+            print()
+            _load_main(module_name)()
+            print()
+
+
+def command_engines() -> None:
+    """Print the engine registry and the batch-kernel backend in use."""
+    from repro.circuits import available_engines, default_engine
+    from repro.circuits.compiled import numpy_module
+
+    print(f"{'engine':<18} role")
+    roles = {
+        "enumerate": "brute-force oracle (capped variable count)",
+        "shannon": "Shannon expansion baseline",
+        "message_passing": "junction-tree sum-product (Theorems 1-2)",
+        "dd": "linear-time deterministic-decomposable pass",
+    }
+    for name in available_engines():
+        marker = " (default)" if name == default_engine() else ""
+        print(f"{name:<18} {roles.get(name, 'custom engine')}{marker}")
+    np = numpy_module()
+    if np is not None:
+        backend = f"numpy {np.__version__} level-scheduled kernels"
+    else:
+        backend = "scalar generated kernels (numpy not installed)"
+    print(f"\nbatch evaluation backend: {backend}")
 
 
 def command_paper() -> None:
@@ -116,12 +144,15 @@ def main(argv: list[str] | None = None) -> int:
         help="force one circuit-evaluation engine for the whole run "
         "(enumerate, shannon, message_passing, dd)",
     )
+    sub.add_parser("engines", help="show evaluation engines and batch backend")
     sub.add_parser("paper", help="identify the reproduced paper")
     args = parser.parse_args(argv)
     if args.command == "list":
         command_list()
     elif args.command == "run":
         command_run(args.experiment, engine=args.engine)
+    elif args.command == "engines":
+        command_engines()
     elif args.command == "paper":
         command_paper()
     return 0

@@ -1,0 +1,25 @@
+"""Shared fixtures: keep the process-wide engine registry test-isolated."""
+
+import pytest
+
+from repro.circuits import evaluation
+
+
+@pytest.fixture(autouse=True)
+def restore_engine_globals():
+    """Restore the engine registry, default and forced engine after each test.
+
+    ``force_engine``/``set_default_engine``/``register_engine`` mutate
+    process-wide state; a test that flips them (or fails mid-flip) must not
+    leak its choice into the rest of the suite. Tests should still prefer
+    the ``engine_forced``/``default_engine_set`` context managers — this
+    fixture is the backstop.
+    """
+    engines = dict(evaluation._ENGINES)
+    default = evaluation._DEFAULT_ENGINE
+    forced = evaluation._FORCED_ENGINE
+    yield
+    evaluation._ENGINES.clear()
+    evaluation._ENGINES.update(engines)
+    evaluation._DEFAULT_ENGINE = default
+    evaluation._FORCED_ENGINE = forced

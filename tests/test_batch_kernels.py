@@ -1,0 +1,303 @@
+"""Tests for the level-scheduled numpy batch kernels and their fallbacks.
+
+Every test that exercises the numpy-free fallback masks the module's numpy
+handle (``repro.circuits.compiled._np``) with monkeypatch rather than
+uninstalling anything — the capability check reads that handle on every
+call, so this is exactly the path a numpy-less install takes.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, compile_circuit, numpy_available
+from repro.circuits import compiled as compiled_module
+from repro.events import EventSpace
+from repro.util import ReproError, stable_rng
+
+np = pytest.importorskip("numpy")
+
+
+def random_circuit(seed: int, n_vars: int = 6, steps: int = 16) -> Circuit:
+    rng = stable_rng(seed)
+    c = Circuit()
+    names = [f"v{i}" for i in range(n_vars)]
+    gates = [c.variable(n) for n in names] + [c.true(), c.false()]
+    for _ in range(rng.randint(2, steps)):
+        op = rng.choice(["and", "or", "not"])
+        if op == "not":
+            gates.append(c.negation(rng.choice(gates)))
+        else:
+            picked = rng.sample(gates, rng.randint(2, min(4, len(gates))))
+            gates.append(c.and_gate(picked) if op == "and" else c.or_gate(picked))
+    c.set_output(gates[-1])
+    return c
+
+
+def all_worlds(n_vars: int) -> list[list[int]]:
+    return [[(mask >> i) & 1 for i in range(n_vars)] for mask in range(1 << n_vars)]
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """The numpy-free install: every batch entry point must still work."""
+    monkeypatch.setattr(compiled_module, "_np", None)
+
+
+@pytest.fixture
+def no_codegen(monkeypatch):
+    """Force the array interpreter by putting every circuit over the limit."""
+    monkeypatch.setattr(compiled_module, "CODEGEN_GATE_LIMIT", 0)
+
+
+class TestCapability:
+    def test_numpy_active_in_this_environment(self):
+        assert numpy_available()
+        assert compiled_module.numpy_module() is np
+
+    def test_capability_check_is_dynamic(self, no_numpy):
+        assert not numpy_available()
+        assert compiled_module.numpy_module() is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_batch_agrees_with_scalar_kernel_and_interpreter(seed):
+    """Property: numpy batch == generated kernel == array interpreter."""
+    c = random_circuit(seed)
+    compiled = compile_circuit(c)
+    worlds = all_worlds(len(compiled.variables()))
+    batch = compiled.evaluate_batch(worlds)
+    kernel = [compiled.evaluate(w) for w in worlds]
+    assert batch == kernel
+    # The generic interpreter (the above-CODEGEN_GATE_LIMIT path).
+    buffer = bytearray(compiled.size)
+    interpreted = [bool(compiled._evaluate_into(buffer, w)) for w in worlds]
+    assert batch == interpreted
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_probability_batch_agrees_with_scalar_passes(seed):
+    """Property: probability_batch == scalar float kernel to 1e-12 per row."""
+    c = random_circuit(seed)
+    compiled = compile_circuit(c)
+    spaces = [
+        EventSpace({f"v{i}": 0.05 + 0.9 * ((i + k) % 7) / 7 for i in range(6)})
+        for k in range(4)
+    ]
+    batch = compiled.probability_batch(spaces)
+    for space, value in zip(spaces, batch):
+        assert math.isclose(value, compiled.probability(space), abs_tol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_enumeration_batch_matches_scalar_oracle(seed):
+    """Property: the batched enumeration oracle == the scalar mask loop."""
+    c = random_circuit(seed)
+    compiled = compile_circuit(c)
+    space = EventSpace({f"v{i}": 0.1 + 0.13 * i for i in range(6)})
+    batched = compiled.probability_enumerate(space)
+    saved = compiled_module._np
+    compiled_module._np = None
+    try:
+        scalar = compiled.probability_enumerate(space)
+    finally:
+        compiled_module._np = saved
+    assert math.isclose(batched, scalar, abs_tol=1e-12)
+
+
+class TestAboveCodegenLimit:
+    def test_batch_and_fallback_agree_without_generated_kernels(self, no_codegen):
+        compiled = compile_circuit(random_circuit(99))
+        assert compiled._kernel("bool") is None  # really interpreting
+        worlds = all_worlds(len(compiled.variables()))
+        with_numpy = compiled.evaluate_batch(worlds)
+        saved = compiled_module._np
+        compiled_module._np = None
+        try:
+            interpreted = compiled.evaluate_batch(worlds)
+        finally:
+            compiled_module._np = saved
+        assert with_numpy == interpreted == [compiled.evaluate(w) for w in worlds]
+
+    def test_probability_paths_without_generated_kernels(self, no_codegen):
+        compiled = compile_circuit(random_circuit(7))
+        space = EventSpace({f"v{i}": 0.3 for i in range(6)})
+        assert math.isclose(
+            compiled.probability_batch([space])[0],
+            compiled.probability(space),
+            abs_tol=1e-12,
+        )
+
+
+class TestBatchInputs:
+    def test_empty_batches(self):
+        compiled = compile_circuit(random_circuit(3))
+        assert compiled.evaluate_batch([]) == []
+        assert compiled.probability_batch([]) == []
+
+    def test_empty_batches_without_numpy(self, no_numpy):
+        compiled = compile_circuit(random_circuit(3))
+        assert compiled.evaluate_batch([]) == []
+        assert compiled.probability_batch([]) == []
+
+    def test_mixed_truth_value_dtypes(self):
+        compiled = compile_circuit(random_circuit(17))
+        n = len(compiled.variables())
+        worlds = all_worlds(n)
+        reference = compiled.evaluate_batch(worlds)  # 0/1 int rows
+        as_bool = [[bool(v) for v in row] for row in worlds]
+        as_np_bool = np.array(worlds, dtype=np.bool_)
+        as_np_int = np.array(worlds, dtype=np.int64)
+        as_np_scalar_rows = [list(row) for row in np.array(worlds, dtype=np.bool_)]
+        assert compiled.evaluate_batch(as_bool) == reference
+        assert compiled.evaluate_batch(as_np_bool) == reference
+        assert compiled.evaluate_batch(as_np_int) == reference
+        assert compiled.evaluate_batch(as_np_scalar_rows) == reference
+
+    def test_mapping_rows_and_results_are_python_bools(self):
+        compiled = compile_circuit(random_circuit(23))
+        names = compiled.variables()
+        rows = [{n: (i + j) % 2 == 0 for j, n in enumerate(names)} for i in range(4)]
+        batch = compiled.evaluate_batch(rows)
+        assert all(isinstance(b, bool) for b in batch)
+        assert batch == [compiled.evaluate(r) for r in rows]
+
+    def test_world_matrix_column_count_checked(self):
+        compiled = compile_circuit(random_circuit(5))
+        n = len(compiled.variables())
+        with pytest.raises(ReproError, match="columns"):
+            compiled.evaluate_batch(np.zeros((3, n + 1), dtype=bool))
+
+    def test_generator_reusing_one_row_buffer(self):
+        # The Monte-Carlo fallback yields one mutated list per world; the
+        # normalization must copy rows as they are drawn.
+        compiled = compile_circuit(random_circuit(29))
+        n = len(compiled.variables())
+        worlds = all_worlds(n)
+
+        def reuse():
+            row = [0] * n
+            for world in worlds:
+                row[:] = world
+                yield row
+
+        assert compiled.evaluate_batch(reuse()) == compiled.evaluate_batch(worlds)
+
+    def test_batches_larger_than_chunk_budget(self, monkeypatch):
+        # Shrink the byte budget so a small batch spans several chunks.
+        monkeypatch.setattr(compiled_module, "BATCH_BYTE_BUDGET", 1)
+        compiled = compile_circuit(random_circuit(31))
+        worlds = all_worlds(len(compiled.variables()))
+        assert compiled._batch_chunk(as_float=False) < len(worlds)
+        assert compiled.evaluate_batch(worlds) == [
+            compiled.evaluate(w) for w in worlds
+        ]
+
+
+class TestScalarFallback:
+    def test_batch_results_identical_without_numpy(self, no_numpy):
+        compiled = compile_circuit(random_circuit(41))
+        worlds = all_worlds(len(compiled.variables()))
+        assert compiled.evaluate_batch(worlds) == [
+            compiled.evaluate(w) for w in worlds
+        ]
+
+    def test_probability_batch_without_numpy(self, no_numpy):
+        compiled = compile_circuit(random_circuit(43))
+        space = EventSpace({f"v{i}": 0.4 for i in range(6)})
+        assert math.isclose(
+            compiled.probability_batch([space, space])[1],
+            compiled.probability(space),
+            abs_tol=1e-12,
+        )
+
+    def test_monte_carlo_without_numpy(self, no_numpy):
+        from repro.baselines import monte_carlo_probability, tid_probability_enumerate
+        from repro.instances import TIDInstance, fact
+        from repro.queries import atom, cq, variables
+
+        x, y = variables("x", "y")
+        query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+        tid = TIDInstance(
+            {fact("R", 1): 0.6, fact("S", 1, 2): 0.5, fact("T", 2): 0.8}
+        )
+        exact = tid_probability_enumerate(query, tid)
+        estimate = monte_carlo_probability(query, tid, samples=4000, seed=0)
+        assert abs(estimate - exact) < 0.05
+
+    def test_karp_luby_without_numpy(self, no_numpy):
+        from repro.baselines import karp_luby_probability
+        from repro.instances import TIDInstance, fact
+        from repro.queries import atom, cq, variables
+
+        x, y = variables("x", "y")
+        query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+        tid = TIDInstance({fact("R", 1): 0.3, fact("S", 1, 2): 0.5, fact("T", 2): 0.2})
+        estimate = karp_luby_probability(query, tid, samples=500, seed=2)
+        assert math.isclose(estimate, 0.3 * 0.5 * 0.2, rel_tol=1e-9)
+
+
+class TestSlotMarginals:
+    def test_event_space_detected_explicitly(self):
+        compiled = compile_circuit(random_circuit(2))
+        space = EventSpace({f"v{i}": 0.5 for i in range(6)})
+        assert compiled.slot_marginals(space) == [0.5] * len(compiled.variables())
+
+    def test_compiled_circuit_rejected_with_clear_error(self):
+        compiled = compile_circuit(random_circuit(2))
+        with pytest.raises(ReproError, match="unsupported marginals type"):
+            compiled.slot_marginals(compiled)
+
+    def test_duck_typed_probability_object_rejected(self):
+        class NotASpace:
+            def probability(self, name):  # pragma: no cover - must not be called
+                raise AssertionError("duck-typed probability must not be used")
+
+        compiled = compile_circuit(random_circuit(2))
+        with pytest.raises(ReproError, match="unsupported marginals type"):
+            compiled.slot_marginals(NotASpace())
+
+
+class TestHasNegation:
+    def test_precomputed_value_matches_kinds(self):
+        c = Circuit()
+        c.set_output(c.and_gate([c.variable("a"), c.negation(c.variable("b"))]))
+        assert compile_circuit(c).has_negation
+        monotone = Circuit()
+        monotone.set_output(
+            monotone.or_gate([monotone.variable("a"), monotone.variable("b")])
+        )
+        assert not compile_circuit(monotone).has_negation
+
+
+class TestBatchPlan:
+    def test_plan_cached_and_csr_mirrored_as_int32(self):
+        compiled = compile_circuit(random_circuit(13))
+        plan = compiled.batch_plan()
+        assert plan is compiled.batch_plan()
+        for name in ("kinds", "offsets", "indices", "var_slot"):
+            mirror = getattr(plan, name)
+            assert mirror.dtype == np.int32
+            assert mirror.tolist() == list(getattr(compiled, name))
+
+    def test_levels_topologically_consistent(self):
+        compiled = compile_circuit(random_circuit(19))
+        plan = compiled.batch_plan()
+        produced = set(range(plan.const_rows[1]))  # variables and constants
+        for level in plan.levels:
+            reads = set()
+            writes = set()
+            for op in level:
+                reads.update(int(r) for r in op.gather.ravel())
+                writes.update(range(*op.rows))
+            assert reads <= produced  # inputs come from earlier levels only
+            produced |= writes
+        assert plan.output_row in produced
+
+    def test_plan_is_none_without_numpy(self, no_numpy):
+        compiled = compile_circuit(random_circuit(13))
+        assert compiled.batch_plan() is None

@@ -23,6 +23,23 @@ class TestCli:
         assert main(["paper"]) == 0
         assert "Structurally Tractable" in capsys.readouterr().out
 
+    def test_engines_command(self, capsys):
+        from repro.circuits import numpy_available
+
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        for engine in ("enumerate", "shannon", "message_passing", "dd"):
+            assert engine in output
+        expected = "numpy" if numpy_available() else "scalar generated kernels"
+        assert expected in output
+
+    def test_forced_engine_does_not_leak_out_of_run(self, capsys):
+        from repro.circuits import forced_engine
+
+        assert main(["run", "E2", "--engine", "enumerate"]) == 0
+        capsys.readouterr()
+        assert forced_engine() is None
+
     def test_run_unknown_experiment(self):
         with pytest.raises(SystemExit):
             command_run("E99")

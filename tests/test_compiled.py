@@ -12,6 +12,8 @@ from repro.circuits import (
     available_engines,
     compile_circuit,
     default_engine,
+    default_engine_set,
+    engine_forced,
     get_engine,
     probability,
     register_engine,
@@ -213,21 +215,17 @@ class TestEngineRegistry:
             get_engine("does-not-exist")
 
     def test_custom_engine_roundtrip(self):
+        # The autouse conftest fixture restores the registry afterwards.
         register_engine("always_half", lambda compiled, space, **kw: 0.5)
-        try:
-            c = Circuit()
-            c.set_output(c.variable("x"))
-            assert probability(c, EventSpace({"x": 0.9}), engine="always_half") == 0.5
-        finally:
-            from repro.circuits import evaluation
-
-            evaluation._ENGINES.pop("always_half", None)
+        c = Circuit()
+        c.set_output(c.variable("x"))
+        assert probability(c, EventSpace({"x": 0.9}), engine="always_half") == 0.5
 
     def test_forced_engine_overrides_every_dispatch(self):
         # The CLI --engine knob: forcing must reach even consumers that pin
         # an engine explicitly (tid_probability pins "dd").
         from repro.baselines import tid_probability_enumerate
-        from repro.circuits import force_engine, forced_engine
+        from repro.circuits import forced_engine
         from repro.core import tid_probability
         from repro.instances import TIDInstance, fact
         from repro.queries import atom, cq, variables
@@ -239,29 +237,33 @@ class TestEngineRegistry:
         )
         expected = tid_probability_enumerate(query, tid)
         register_engine("sentinel", lambda compiled, space, **kw: -1.0)
-        try:
-            force_engine("sentinel")
+        with engine_forced("sentinel"):
             assert forced_engine() == "sentinel"
             assert tid_probability(query, tid) == -1.0
-            force_engine("shannon")
-            assert math.isclose(tid_probability(query, tid), expected, abs_tol=1e-9)
-        finally:
-            force_engine(None)
-            from repro.circuits import evaluation
-
-            evaluation._ENGINES.pop("sentinel", None)
+            with engine_forced("shannon"):
+                assert math.isclose(
+                    tid_probability(query, tid), expected, abs_tol=1e-9
+                )
+            assert forced_engine() == "sentinel"  # nesting restores
         assert forced_engine() is None
         assert math.isclose(tid_probability(query, tid), expected, abs_tol=1e-9)
 
+    def test_engine_forced_restores_on_error(self):
+        from repro.circuits import forced_engine
+
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine_forced("shannon"):
+                assert forced_engine() == "shannon"
+                raise RuntimeError("boom")
+        assert forced_engine() is None
+
     def test_default_engine_setting(self):
         before = default_engine()
-        try:
-            set_default_engine("shannon")
+        with default_engine_set("shannon"):
             assert default_engine() == "shannon"
             with pytest.raises(ReproError, match="unknown evaluation engine"):
                 set_default_engine("nope")
-        finally:
-            set_default_engine(before)
+        assert default_engine() == before
 
 
 class TestStructuralCaches:
