@@ -6,10 +6,17 @@ the query's Green–Karvounarakis–Tannen provenance — minimal witnesses
 (PosBool), cheapest derivation (tropical), most probable derivation
 (Viterbi), and required clearance (security).
 
+The same lineage circuit is also the *probability* carrier: the closing
+section reuses the Viterbi confidences as fact probabilities and pushes
+Monte-Carlo world samples through the compiled circuit — in bulk, with the
+sharded multi-process backend's worker-count knob and deterministic
+per-shard seeding (gracefully skipped on single-core machines; see
+``ARCHITECTURE.md`` for the pipeline).
+
 Run:  python examples/provenance_tour.py
 """
 
-from repro.instances import Instance, fact
+from repro.instances import Instance, TIDInstance, fact
 from repro.queries import atom, cq, variables
 from repro.semirings import (
     PUBLIC,
@@ -83,6 +90,42 @@ def main() -> None:
             reference_provenance(QUERY, inst, semiring, annotation)
         )
     print("\nAll circuit provenances match the reference GKT definitions.")
+    sampled_lineage_section(confidences)
+
+
+def sampled_lineage_section(confidences) -> None:
+    """From provenance to probability: bulk-evaluate the same lineage.
+
+    Treats the Viterbi confidences as independent fact probabilities (a
+    TID instance), compares the exact engine against a Monte-Carlo
+    estimate, and demonstrates the ``workers`` knob of the sharded
+    backend: fixed seed, same estimate at any worker count. Skips the
+    worker-pool half gracefully when only one core (or no numpy) is
+    available.
+    """
+    from repro.baselines import monte_carlo_probability, tid_probability_enumerate
+    from repro.circuits import capabilities
+
+    print("\nFrom provenance to probability (same lineage, sampled worlds):")
+    tid = TIDInstance({f: p for f, p in confidences.items()})
+    exact = tid_probability_enumerate(QUERY, tid)
+    estimate = monte_carlo_probability(QUERY, tid, samples=20_000, seed=7, workers=0)
+    print(f"  exact P(query) by enumeration:     {exact:.6f}")
+    print(f"  Monte Carlo (20k samples, serial): {estimate:.6f}")
+    assert abs(estimate - exact) < 0.05
+    caps = capabilities()
+    if not caps["parallel"] or caps["cpu_count"] < 2:
+        reason = (
+            "only one CPU visible" if caps["parallel"]
+            else "sharded backend unavailable (needs numpy + shared memory)"
+        )
+        print(f"  {reason} — skipping the worker-pool demo; estimates are "
+              "guaranteed bit-identical at any worker count")
+        return
+    sharded = monte_carlo_probability(QUERY, tid, samples=20_000, seed=7, workers=2)
+    print(f"  Monte Carlo (20k samples, 2 workers): {sharded:.6f}")
+    assert sharded == estimate, "fixed seed must give identical estimates"
+    print("  identical estimate on the worker pool — deterministic sharding")
 
 
 if __name__ == "__main__":

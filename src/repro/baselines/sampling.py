@@ -5,12 +5,25 @@ evaluation is #P-hard ("makes it necessary in practice to approximate query
 results via sampling"), and as the partner of the exact method in the
 partial-decomposition hybrid (E12).
 
-Both estimators are vectorized when numpy is available: sampled worlds are
-drawn as ``(samples, n_vars)`` matrices and pushed through the compiled
-circuit's level-scheduled batch kernels (Monte Carlo) or checked for
-witness containment with one matrix product per chunk (Karp–Luby). Without
-numpy the scalar per-sample loops run instead, with identical estimator
-semantics.
+Execution model — three tiers, picked automatically per install:
+
+- **numpy + workers**: both estimators run the *fused sample+evaluate*
+  shards of :mod:`repro.circuits.parallel` — the sample range is cut into
+  fixed :data:`~repro.circuits.parallel.MC_SHARD`-sized shards, each shard
+  draws its own worlds from ``default_rng((seed, shard_index))`` inside a
+  worker process, evaluates them through the compiled circuit's
+  level-scheduled batch kernels (Monte Carlo) or one containment matrix
+  product (Karp–Luby), and returns a single hit count. The full world
+  matrix never exists in any process.
+- **numpy, serial**: the same shards run in-process. Because the shard
+  decomposition and seeding are independent of the worker count, a fixed
+  seed gives *bit-identical* estimates at 0, 1, 2 or 8 workers.
+- **no numpy**: the scalar per-sample loops run instead, with identical
+  estimator semantics (different random streams, same guarantees).
+
+``workers=None`` defers to the process-wide knob
+(:func:`repro.circuits.parallel.parallel_workers`, settable via
+``REPRO_PARALLEL_WORKERS`` or the CLI ``--workers`` flag).
 """
 
 from __future__ import annotations
@@ -22,12 +35,19 @@ from repro.instances.base import Fact, Instance
 from repro.instances.tid import TIDInstance
 from repro.util import check, stable_rng
 
-#: Cap on sampled worlds held in memory at once by the vectorized paths.
+#: Cap on sampled worlds held in memory at once by the scalar-era vectorized
+#: paths; kept for backward compatibility — the fused paths shard by
+#: :data:`repro.circuits.parallel.MC_SHARD` instead.
 SAMPLE_CHUNK = 1 << 14
 
 
 def monte_carlo_probability(
-    query, tid: TIDInstance, samples: int, seed: int = 0, method: str = "lineage"
+    query,
+    tid: TIDInstance,
+    samples: int,
+    seed: int = 0,
+    method: str = "lineage",
+    workers: int | None = None,
 ) -> float:
     """Estimate P(query) by sampling worlds and evaluating the query.
 
@@ -36,11 +56,12 @@ def monte_carlo_probability(
 
     With ``method="lineage"`` (the default) the query's lineage circuit is
     built and compiled *once* and the sampled worlds are evaluated in bulk
-    over the flat IR — with numpy, thousands of worlds per level-scheduled
-    batch pass; without it, one generated-kernel call per world.
-    ``method="worlds"`` keeps the original per-world ``query.holds_in``
-    evaluation (works for any query object, including those without lineage
-    support).
+    over the flat IR — with numpy, through the fused sample+evaluate shards
+    of :func:`repro.circuits.parallel.monte_carlo_hits` (on ``workers``
+    processes when >= 2, in-process otherwise, bit-identical either way);
+    without numpy, one generated-kernel call per world. ``method="worlds"``
+    keeps the original per-world ``query.holds_in`` evaluation (works for
+    any query object, including those without lineage support).
     """
     check(samples > 0, "need at least one sample")
     if method == "worlds":
@@ -56,15 +77,12 @@ def monte_carlo_probability(
     compiled = build_lineage(tid.instance, query).compiled()
     space = tid.event_space()
     marginals = [space.probability(name) for name in compiled.variables()]
-    np = numpy_module()
-    if np is not None:
-        rng = np.random.default_rng(seed if seed is not None else 0)
-        probs = np.asarray(marginals, dtype=np.float64)
-        hits = 0
-        for start in range(0, samples, SAMPLE_CHUNK):
-            count = min(SAMPLE_CHUNK, samples - start)
-            worlds = rng.random((count, probs.size)) < probs
-            hits += sum(compiled.evaluate_batch(worlds))
+    if numpy_module() is not None:
+        from repro.circuits import parallel
+
+        hits = parallel.monte_carlo_hits(
+            compiled, marginals, samples, seed=seed, workers=workers
+        )
         return hits / samples
     rng = stable_rng(seed)
     row = [0] * len(marginals)
@@ -85,7 +103,11 @@ def required_samples(epsilon: float, delta: float) -> int:
 
 
 def karp_luby_probability(
-    query, tid: TIDInstance, samples: int, seed: int = 0
+    query,
+    tid: TIDInstance,
+    samples: int,
+    seed: int = 0,
+    workers: int | None = None,
 ) -> float:
     """Karp–Luby estimator for the probability of the query's DNF lineage.
 
@@ -95,9 +117,11 @@ def karp_luby_probability(
     is bounded even for tiny probabilities — the classic FPRAS for DNF.
 
     A sample counts iff its drawn witness is the *first* witness fully
-    contained in the sampled world; with numpy the containment test for a
-    whole chunk of worlds is one integer matrix product against the
-    witness-membership matrix.
+    contained in the sampled world. With numpy the trials run as the fused
+    shards of :func:`repro.circuits.parallel.karp_luby_hits` — witness
+    picks, conditioned worlds and the containment matrix product all happen
+    inside the shard (a worker process when ``workers >= 2``), and a fixed
+    seed gives identical estimates at any worker count.
     """
     check(samples > 0, "need at least one sample")
     witnesses = _dnf_witnesses(query, tid)
@@ -116,43 +140,22 @@ def karp_luby_probability(
     facts = list(tid.facts())
     np = numpy_module()
     if np is not None:
-        hits = _karp_luby_hits_vectorized(
-            np, witnesses, weights, total_weight, facts, tid, samples, seed
+        from repro.circuits import parallel
+
+        fact_index = {f: i for i, f in enumerate(facts)}
+        probs = np.asarray([tid.probability(f) for f in facts], dtype=np.float64)
+        membership = np.zeros((len(witnesses), len(facts)), dtype=np.int32)
+        for w, witness in enumerate(witnesses):
+            for f in witness:
+                membership[w, fact_index[f]] = 1
+        hits = parallel.karp_luby_hits(
+            membership, probs, weights, samples, seed=seed, workers=workers
         )
     else:
         hits = _karp_luby_hits_scalar(
             witnesses, weights, total_weight, facts, tid, samples, seed
         )
     return total_weight * hits / samples
-
-
-def _karp_luby_hits_vectorized(
-    np, witnesses, weights, total_weight, facts, tid, samples: int, seed: int
-) -> int:
-    """Hit count of the Karp–Luby trial, whole chunks of worlds at a time."""
-    fact_index = {f: i for i, f in enumerate(facts)}
-    probs = np.asarray([tid.probability(f) for f in facts], dtype=np.float64)
-    membership = np.zeros((len(witnesses), len(facts)), dtype=np.int32)
-    for w, witness in enumerate(witnesses):
-        for f in witness:
-            membership[w, fact_index[f]] = 1
-    sizes = membership.sum(axis=1)
-    cumulative = np.cumsum(np.asarray(weights, dtype=np.float64))
-    rng = np.random.default_rng(seed if seed is not None else 0)
-    hits = 0
-    for start in range(0, samples, SAMPLE_CHUNK):
-        count = min(SAMPLE_CHUNK, samples - start)
-        # Pick witnesses with probability proportional to their weight.
-        chosen = np.searchsorted(cumulative, rng.random(count) * total_weight)
-        chosen = np.minimum(chosen, len(witnesses) - 1)
-        # Sample worlds conditioned on the chosen witness being present.
-        worlds = rng.random((count, probs.size)) < probs
-        worlds |= membership[chosen].astype(bool)
-        # contained[s, w] iff every fact of witness w is in world s.
-        contained = worlds.astype(np.int32) @ membership.T == sizes
-        first = contained.argmax(axis=1)  # chosen is contained, so a True exists
-        hits += int(np.count_nonzero(first == chosen))
-    return hits
 
 
 def _karp_luby_hits_scalar(

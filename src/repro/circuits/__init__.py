@@ -14,7 +14,16 @@ The module is organized around a **compile-once / evaluate-many** split:
   probability computation, with a registry of engines over the compiled
   IR: ``enumerate`` (oracle), ``shannon`` (expansion baseline),
   ``message_passing`` (the paper's junction-tree algorithm, Theorems 1–2)
-  and ``dd`` (the linear-time deterministic-decomposable pass, Theorem 1).
+  and ``dd`` (the linear-time deterministic-decomposable pass, Theorem 1);
+- :mod:`repro.circuits.parallel` (``parallel.py``) shards big batch
+  evaluations across a pool of worker processes that map the compiled CSR
+  arrays from shared memory — turn it on with
+  :func:`set_parallel_workers` (or ``REPRO_PARALLEL_WORKERS``) and every
+  large ``evaluate_batch``/``probability_batch`` call and both sampling
+  baselines use it automatically, with deterministic results.
+
+The full four-stage lowering pipeline (gate DAG → flat CSR IR → leveled
+numpy batch plan → sharded workers) is documented in ``ARCHITECTURE.md``.
 
 Typical use::
 
@@ -46,15 +55,21 @@ from repro.circuits.dd import (
 )
 from repro.circuits.evaluation import (
     available_engines,
+    capabilities,
     default_engine,
     default_engine_set,
     engine_forced,
     force_engine,
     forced_engine,
     get_engine,
+    parallel_available,
+    parallel_workers,
+    parallel_workers_set,
     probability,
     register_engine,
     set_default_engine,
+    set_parallel_workers,
+    shutdown_pool,
 )
 from repro.circuits.export import CircuitStats, circuit_stats, to_dot
 from repro.circuits.graph import circuit_width, moral_graph
@@ -78,6 +93,7 @@ __all__ = [
     "OR",
     "VAR",
     "available_engines",
+    "capabilities",
     "check_decomposability",
     "check_determinism_sampled",
     "circuit_stats",
@@ -92,10 +108,15 @@ __all__ = [
     "get_engine",
     "moral_graph",
     "numpy_available",
+    "parallel_available",
+    "parallel_workers",
+    "parallel_workers_set",
     "probability",
     "probability_dd",
     "register_engine",
     "set_default_engine",
+    "set_parallel_workers",
+    "shutdown_pool",
     "to_dot",
     "wmc_enumerate",
     "wmc_message_passing",

@@ -41,6 +41,18 @@ chunked so the value buffer stays within :data:`BATCH_BYTE_BUDGET` bytes.
 Without numpy every batch entry point falls back to the scalar generated
 kernels (or, above :data:`CODEGEN_GATE_LIMIT`, the array interpreter) —
 same results, one world at a time.
+
+**Sharded multi-process evaluation** is the fourth lowering stage, in
+:mod:`repro.circuits.parallel`: the plan's int32 CSR buffers are published
+once into ``multiprocessing.shared_memory``, a persistent worker pool
+rebuilds the level schedule from them, and big world/marginal matrices are
+split into row shards evaluated on every core.
+:meth:`~CompiledCircuit.evaluate_batch` and
+:meth:`~CompiledCircuit.probability_batch` route there automatically when
+the ``parallel_workers`` knob is set and the batch is large enough
+(``parallel.should_shard``); results are bit-identical to the in-process
+kernels, and any pool failure falls back to them with a warning. The full
+pipeline is documented in ``ARCHITECTURE.md`` at the repository root.
 """
 
 from __future__ import annotations
@@ -134,12 +146,14 @@ class _BatchPlan:
     one reduction regardless of the world count.
 
     The plan also materializes the compiled CSR arrays (``kinds``,
-    ``offsets``, ``indices``, ``var_slot``) as int32 numpy buffers, the
-    shareable form future sharded/multi-process batch evaluation splits
-    across workers.
+    ``offsets``, ``indices``, ``var_slot``) as int32 numpy buffers — the
+    exact form :mod:`repro.circuits.parallel` publishes into shared memory
+    so worker processes can rebuild this plan without repickling the
+    circuit. :meth:`run` executes one pass; :meth:`run_into` chunks it.
     """
 
     __slots__ = (
+        "size",
         "kinds",
         "offsets",
         "indices",
@@ -157,6 +171,7 @@ class _BatchPlan:
         offsets = compiled.offsets
         indices = compiled.indices
         size = compiled.size
+        self.size = size
         self.kinds = _np.asarray(kinds, dtype=_np.int32)
         self.offsets = _np.asarray(offsets, dtype=_np.int32)
         self.indices = _np.asarray(indices, dtype=_np.int32)
@@ -233,6 +248,55 @@ class _BatchPlan:
         self.levels = tuple(levels)
         self.output_row = int(row_of[compiled.output])
 
+    def run(self, matrix, as_float: bool):
+        """One level-scheduled pass over a ``(n_worlds, n_vars)`` matrix.
+
+        ``matrix`` holds one row per world (bool) or per marginal vector
+        (float64), columns indexed by variable slot. Returns the output
+        values as a 1-D array, one entry per input row. Internally the
+        value matrix is gate-major — ``(size, n_worlds)``, rows in plan
+        order — so each group's gather reads contiguous rows and each
+        scatter is a slice assignment; per (level, kind, fan-in) group the
+        work is one gather plus one reduction over the stacked inputs.
+        This is the kernel the sharded workers of
+        :mod:`repro.circuits.parallel` execute after rebuilding the plan
+        from the shared CSR arrays.
+        """
+        n_worlds = matrix.shape[0]
+        values = _np.empty(
+            (self.size, n_worlds), dtype=_np.float64 if as_float else _np.bool_
+        )
+        n_vars = self.var_slots.size
+        if n_vars:
+            values[:n_vars] = matrix.T[self.var_slots]
+        const_start, const_end = self.const_rows
+        if const_end > const_start:
+            values[const_start:const_end] = self.const_values[:, None]
+        and_reduce = _np.multiply.reduce if as_float else _np.logical_and.reduce
+        or_reduce = _np.add.reduce if as_float else _np.logical_or.reduce
+        for level in self.levels:
+            for op in level:
+                start, end = op.rows
+                if op.kind == K_NOT:
+                    children = values[op.gather]
+                    values[start:end] = 1.0 - children if as_float else ~children
+                else:
+                    reduce = and_reduce if op.kind == K_AND else or_reduce
+                    reduce(values[op.gather], axis=0, out=values[start:end])
+        return values[self.output_row].copy()
+
+    def run_into(self, matrix, out, as_float: bool) -> None:
+        """Run :meth:`run` into ``out`` row range by row range.
+
+        Chunks the input so the gate-major value buffer stays under
+        :data:`BATCH_BYTE_BUDGET` bytes regardless of the batch size;
+        ``out`` must be a 1-D array with one entry per matrix row.
+        """
+        itemsize = 8 if as_float else 1
+        step = max(1, BATCH_BYTE_BUDGET // max(1, self.size * itemsize))
+        for start in range(0, matrix.shape[0], step):
+            out[start : start + step] = self.run(matrix[start : start + step], as_float)
+
 
 class CompiledCircuit:
     """An immutable, flat, topologically-sorted lowering of a :class:`Circuit`.
@@ -261,6 +325,8 @@ class CompiledCircuit:
         "_bool_kernel",
         "_float_kernel",
         "_batch_plan",
+        "_shared_plan",
+        "__weakref__",
     )
 
     def __init__(self, circuit: Circuit):
@@ -318,6 +384,7 @@ class CompiledCircuit:
         self._bool_kernel = _UNBUILT
         self._float_kernel = _UNBUILT
         self._batch_plan = _UNBUILT
+        self._shared_plan = None  # lazily published by repro.circuits.parallel
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -466,39 +533,37 @@ class CompiledCircuit:
         return self._batch_plan
 
     def _batch_pass(self, matrix, as_float: bool):
-        """One level-scheduled pass over a ``(n_worlds, n_vars)`` matrix.
+        """One level-scheduled pass over a matrix (see :meth:`_BatchPlan.run`)."""
+        return self.batch_plan().run(matrix, as_float)
 
-        ``matrix`` holds one row per world (bool) or per marginal vector
-        (float64), columns indexed by variable slot. Returns the output
-        values as a 1-D array, one entry per input row. Internally the
-        value matrix is gate-major — ``(size, n_worlds)``, rows in plan
-        order — so each group's gather reads contiguous rows and each
-        scatter is a slice assignment; per (level, kind, fan-in) group the
-        work is one gather plus one reduction over the stacked inputs.
+    def _maybe_sharded(self, matrix, as_float: bool):
+        """Route a big batch through the worker pool when the knob says so.
+
+        Returns the result array, or ``None`` to use the in-process kernels
+        — either because the parallel knob is off, the batch is too small
+        to amortize the shared-memory round trip, or the pool failed (a
+        crashed worker falls back to the serial path rather than losing
+        the batch).
         """
-        plan = self.batch_plan()
-        n_worlds = matrix.shape[0]
-        values = _np.empty(
-            (self.size, n_worlds), dtype=_np.float64 if as_float else _np.bool_
-        )
-        n_vars = plan.var_slots.size
-        if n_vars:
-            values[:n_vars] = matrix.T[plan.var_slots]
-        const_start, const_end = plan.const_rows
-        if const_end > const_start:
-            values[const_start:const_end] = plan.const_values[:, None]
-        and_reduce = _np.multiply.reduce if as_float else _np.logical_and.reduce
-        or_reduce = _np.add.reduce if as_float else _np.logical_or.reduce
-        for level in plan.levels:
-            for op in level:
-                start, end = op.rows
-                if op.kind == K_NOT:
-                    children = values[op.gather]
-                    values[start:end] = 1.0 - children if as_float else ~children
-                else:
-                    reduce = and_reduce if op.kind == K_AND else or_reduce
-                    reduce(values[op.gather], axis=0, out=values[start:end])
-        return values[plan.output_row].copy()
+        from repro.circuits import parallel
+
+        if not parallel.should_shard(matrix.shape[0]):
+            return None
+        try:
+            return parallel._sharded_matrix_pass(self, matrix, as_float, None)
+        except (ReproError, OSError):
+            # OSError covers shared-memory allocation (ENOSPC on a small
+            # /dev/shm) and process-spawn failures; the in-process kernels
+            # below need neither.
+            import warnings
+
+            warnings.warn(
+                "sharded batch evaluation failed; falling back to the "
+                "single-process kernels",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
 
     def _batch_chunk(self, as_float: bool) -> int:
         """Rows per chunk so the value buffer stays under the byte budget."""
@@ -574,23 +639,25 @@ class CompiledCircuit:
         :meth:`evaluate`, or a ``(n_worlds, n_vars)`` numpy matrix in slot
         order. With numpy available the whole batch runs through the
         level-scheduled vectorized kernels (:meth:`batch_plan`), chunked to
-        bound memory; otherwise each world costs one generated-kernel call
-        (or, above the codegen limit, one pass of the array interpreter
-        over a single reusable buffer) — no per-world dict or buffer
-        allocation either way.
+        bound memory — and row-sharded across the worker processes of
+        :mod:`repro.circuits.parallel` when the ``parallel_workers`` knob
+        is set and the batch is big enough, with identical results.
+        Without numpy each world costs one generated-kernel call (or,
+        above the codegen limit, one pass of the array interpreter over a
+        single reusable buffer) — no per-world dict or buffer allocation
+        either way.
         """
         if _np is not None:
             matrix = self._as_world_matrix(valuations)
             n_worlds = matrix.shape[0]
             if n_worlds == 0:
                 return []
-            step = self._batch_chunk(as_float=False)
-            results: list[bool] = []
-            for start in range(0, n_worlds, step):
-                results.extend(
-                    self._batch_pass(matrix[start : start + step], False).tolist()
-                )
-            return results
+            sharded = self._maybe_sharded(matrix, as_float=False)
+            if sharded is not None:
+                return sharded.tolist()
+            out = _np.empty(n_worlds, dtype=_np.bool_)
+            self.batch_plan().run_into(matrix, out, as_float=False)
+            return out.tolist()
         kernel = self._kernel("bool")
         slot_values = self.slot_values
         if kernel is not None:
@@ -646,8 +713,10 @@ class CompiledCircuit:
         accepted by :meth:`probability` (event spaces, mappings, slot
         sequences), or a ``(n_rows, n_vars)`` float matrix in slot order.
         With numpy available all rows share one level-scheduled float pass
-        (grouped ``np.multiply.reduce`` at AND, ``np.add.reduce`` at OR);
-        otherwise each row costs one scalar :meth:`probability` call. Like
+        (grouped ``np.multiply.reduce`` at AND, ``np.add.reduce`` at OR),
+        row-sharded across worker processes for big batches when the
+        ``parallel_workers`` knob is set; otherwise each row costs one
+        scalar :meth:`probability` call. Like
         :meth:`probability`, correct only on deterministic decomposable
         circuits over independent variables.
         """
@@ -666,13 +735,12 @@ class CompiledCircuit:
             if not rows:
                 return []
             matrix = _np.asarray(rows, dtype=_np.float64)
-        step = self._batch_chunk(as_float=True)
-        results: list[float] = []
-        for start in range(0, matrix.shape[0], step):
-            results.extend(
-                self._batch_pass(matrix[start : start + step], True).tolist()
-            )
-        return results
+        sharded = self._maybe_sharded(matrix, as_float=True)
+        if sharded is not None:
+            return sharded.tolist()
+        out = _np.empty(matrix.shape[0], dtype=_np.float64)
+        self.batch_plan().run_into(matrix, out, as_float=True)
+        return out.tolist()
 
     def probability_enumerate(
         self, marginals, max_vars: int = ENUMERATION_VARIABLE_CAP

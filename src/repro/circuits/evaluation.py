@@ -18,10 +18,19 @@ sampling back-ends, vectorized kernels) plug in without touching consumers.
 :func:`probability` is the front door; ``repro.circuits.wmc`` and
 ``repro.circuits.dd`` re-export the historical entry points as thin wrappers
 over this layer.
+
+Orthogonal to the engine choice is the **execution backend** the batch
+entry points run on: scalar generated kernels (always), level-scheduled
+numpy kernels (when numpy imports), and the sharded multi-process pool of
+:mod:`repro.circuits.parallel` (when the ``parallel_workers`` knob — re-
+exported here alongside :func:`capabilities` — is set to two or more).
+Engines pick *what* to compute; the backend stack picks *how fast*; see
+``ARCHITECTURE.md`` for the full lowering pipeline.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from contextlib import contextmanager
 
@@ -37,10 +46,34 @@ from repro.circuits.compiled import (
     CompiledCircuit,
     compile_circuit,
 )
+from repro.circuits.compiled import numpy_available
+from repro.circuits.parallel import (  # noqa: F401 - re-exported knobs
+    parallel_available,
+    parallel_workers,
+    parallel_workers_set,
+    set_parallel_workers,
+    shutdown_pool,
+)
 from repro.events import EventSpace
 from repro.util import ReproError, check
 
 Engine = Callable[..., float]
+
+
+def capabilities() -> dict:
+    """Execution capabilities of this install, for CLI/test introspection.
+
+    Reports whether the numpy batch kernels and the sharded multi-process
+    backend are importable, the current ``parallel_workers`` knob, and the
+    visible CPU count — everything a caller needs to decide how to run a
+    large workload (engines are listed by :func:`available_engines`).
+    """
+    return {
+        "numpy": numpy_available(),
+        "parallel": parallel_available(),
+        "parallel_workers": parallel_workers(),
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 _ENGINES: dict[str, Engine] = {}
 _DEFAULT_ENGINE = "message_passing"

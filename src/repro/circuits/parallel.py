@@ -1,0 +1,689 @@
+"""Sharded multi-process batch evaluation: the fourth lowering stage.
+
+The numpy batch kernels (:mod:`repro.circuits.compiled`, third stage) run a
+whole world matrix through one level-scheduled pass — but on a single core.
+This module shards that work across a persistent pool of worker processes:
+
+- the compiled circuit's CSR arrays (``kinds``/``offsets``/``indices``/
+  ``var_slot``) are published **once** per circuit into a
+  :mod:`multiprocessing.shared_memory` segment (:func:`plan_manifest`);
+  workers attach, rebuild the level schedule locally, and cache it, so a
+  task costs one small pickled descriptor, never a copy of the plan;
+- world/marginal matrices are placed in a per-call shared segment and split
+  into contiguous **row shards**; each worker writes its slice of the output
+  into the same segment, so no matrix crosses a pipe
+  (:func:`evaluate_batch_sharded`, :func:`probability_batch_sharded`);
+- Monte-Carlo and Karp–Luby get a **fused sample+evaluate** path
+  (:func:`monte_carlo_hits`, :func:`karp_luby_hits`): the sample range is cut
+  into fixed-size shards of :data:`MC_SHARD` draws, shard ``i`` is generated
+  *inside* a worker from ``numpy.random.default_rng((seed, i))``, evaluated
+  through the batch kernels, and reduced to a single hit count — the full
+  world matrix never exists anywhere, and the parent only sums integers.
+
+**Determinism.** The shard decomposition depends only on ``(samples,
+MC_SHARD)`` and each shard's generator only on ``(seed, shard_index)`` —
+never on the worker count or scheduling order. A fixed seed therefore gives
+*bit-identical* estimates whether the shards run in-process (``workers=0``)
+or on 1, 2 or 8 workers.
+
+**Lifecycle.** Segments are named ``repro-plan-*`` (per compiled circuit,
+unlinked when the circuit is garbage-collected) and ``repro-buf-*`` (per
+call, unlinked in a ``finally``). Everything still live is torn down by an
+``atexit`` hook (:func:`shutdown`), and :func:`active_segments` exposes the
+registry so tests can assert nothing leaked. A worker that dies (crash,
+``kill -9``) is detected: the pool is rebuilt on the next call, and a death
+*mid-run* raises :class:`~repro.util.ReproError` after per-call segments are
+released.
+
+Knob: ``workers=`` on every entry point, defaulting to the process-wide
+:func:`parallel_workers` (settable via :func:`set_parallel_workers`, the
+scoped :func:`parallel_workers_set`, the ``REPRO_PARALLEL_WORKERS``
+environment variable — an integer or ``auto`` — or the CLI ``--workers``
+flag). ``0``/``1`` mean in-process; the fused kernels run either way.
+Without numpy (or ``multiprocessing.shared_memory``) the subsystem reports
+itself unavailable and every consumer falls back to the serial paths.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import signal
+import weakref
+from contextlib import contextmanager
+
+from repro.circuits import compiled as _compiled
+from repro.circuits.compiled import numpy_module
+from repro.util import ReproError, check
+
+try:  # capability check: sharded evaluation needs POSIX shared memory
+    from multiprocessing import get_all_start_methods, get_context
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shm = None
+
+#: Fixed shard granularity (in samples) of the fused sample+evaluate paths.
+#: Part of the deterministic seeding scheme: shard ``i`` always covers draws
+#: ``[i * MC_SHARD, (i+1) * MC_SHARD)`` regardless of the worker count.
+MC_SHARD = 1 << 14
+
+#: Below this many rows the sharded matrix paths are not worth the
+#: shared-memory round trip; ``should_shard`` says no.
+PARALLEL_MIN_ROWS = 2048
+
+#: Shared-memory name prefixes: per-circuit plans vs per-call buffers.
+PLAN_PREFIX = "repro-plan-"
+BUFFER_PREFIX = "repro-buf-"
+
+_PLAN_CACHE_LIMIT = 8  # plans cached per worker before eviction
+
+
+def _workers_from_env() -> int:
+    raw = os.environ.get("REPRO_PARALLEL_WORKERS", "").strip().lower()
+    if not raw:
+        return 0
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+_WORKERS = _workers_from_env()
+
+
+def parallel_available() -> bool:
+    """Whether the sharded multi-process backend can run at all.
+
+    Requires numpy (the workers run the batch kernels) and
+    ``multiprocessing.shared_memory``. The knob below is ignored when this
+    is false — every consumer silently stays on the serial path.
+    """
+    return numpy_module() is not None and _shm is not None
+
+
+def parallel_workers() -> int:
+    """The process-wide worker count (0 = serial, the default)."""
+    return _WORKERS
+
+
+def set_parallel_workers(workers: int | None) -> None:
+    """Set the process-wide worker count; ``None`` or ``0`` mean serial."""
+    global _WORKERS
+    workers = 0 if workers is None else int(workers)
+    check(workers >= 0, f"worker count must be >= 0, got {workers}")
+    _WORKERS = workers
+
+
+@contextmanager
+def parallel_workers_set(workers: int | None):
+    """Scope a :func:`set_parallel_workers` change, restoring the previous one."""
+    previous = _WORKERS
+    set_parallel_workers(workers)
+    try:
+        yield
+    finally:
+        set_parallel_workers(previous)
+
+
+def _effective_workers(workers: int | None) -> int:
+    if not parallel_available():
+        return 0
+    return _WORKERS if workers is None else max(0, int(workers))
+
+
+def should_shard(n_rows: int, workers: int | None = None) -> bool:
+    """Whether a batch of ``n_rows`` should go through the worker pool."""
+    return n_rows >= PARALLEL_MIN_ROWS and _effective_workers(workers) >= 2
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory segments
+
+_LIVE_BUFFERS: dict[str, "SharedBuffers"] = {}
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of shared-memory segments this process currently owns."""
+    return tuple(sorted(_LIVE_BUFFERS))
+
+
+class SharedBuffers:
+    """Named numpy arrays packed into one shared-memory segment.
+
+    The parent constructs one from a ``{name: array-or-(shape, dtype)}``
+    mapping (tuples allocate uninitialized output space) and ships the
+    pickled :attr:`manifest` — segment name, metadata, and per-array
+    ``(key, dtype, shape, offset)`` entries — to workers, which map the
+    same physical pages with :meth:`attach`. The creator owns the segment:
+    :meth:`close` unlinks it and is idempotent; every live instance is
+    registered so :func:`shutdown` can sweep stragglers at exit.
+    """
+
+    def __init__(self, arrays, *, prefix: str = BUFFER_PREFIX, meta=None):
+        np = numpy_module()
+        check(_shm is not None and np is not None, "shared memory requires numpy")
+        entries = []
+        prepared = []
+        offset = 0
+        for key, value in arrays.items():
+            if isinstance(value, tuple):
+                shape, dtype = value
+                source = None
+            else:
+                source = np.ascontiguousarray(value)
+                shape, dtype = source.shape, source.dtype
+            dtype = np.dtype(dtype)
+            offset = -(-offset // 16) * 16  # 16-byte alignment per array
+            entries.append((key, dtype.str, tuple(shape), offset))
+            prepared.append((key, source, shape, dtype, offset))
+            offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        name = prefix + secrets.token_hex(8)
+        self.shm = _shm.SharedMemory(name=name, create=True, size=max(1, offset))
+        self.closed = False
+        self.arrays = {}
+        for key, source, shape, dtype, off in prepared:
+            view = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf, offset=off)
+            if source is not None:
+                view[...] = source
+            self.arrays[key] = view
+        self.manifest = (self.shm.name, dict(meta or {}), tuple(entries))
+        _LIVE_BUFFERS[self.shm.name] = self
+
+    def close(self) -> None:
+        """Release the views and unlink the segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.arrays = {}
+        _LIVE_BUFFERS.pop(self.shm.name, None)
+        try:
+            self.shm.close()
+        except BufferError:  # a caller still holds a view; unlink anyway
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+
+    @staticmethod
+    def attach(manifest):
+        """Map a manifest's segment; returns ``(shm, meta, views)``.
+
+        The caller must drop the views before closing ``shm`` (and must not
+        unlink — the creator owns the segment). Pool workers share the
+        parent's resource tracker (fork and spawn both hand the tracker fd
+        down), so the attach-side registration is a set-level no-op and the
+        name is swept exactly once, when the owner unlinks.
+        """
+        np = numpy_module()
+        name, meta, entries = manifest
+        shm = _shm.SharedMemory(name=name)
+        views = {
+            key: np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+            for key, dtype, shape, off in entries
+        }
+        return shm, meta, views
+
+
+def _plan_handle(compiled) -> SharedBuffers:
+    """The circuit's CSR arrays in shared memory, published once and cached.
+
+    The segment holds exactly the four int32 batch-plan arrays; workers
+    rebuild the level schedule from them. It is unlinked when the compiled
+    circuit is garbage-collected (or at interpreter exit via
+    :func:`shutdown`), after which a fresh call republishes.
+    """
+    np = numpy_module()
+    handle = compiled._shared_plan
+    if handle is not None and handle.closed:
+        handle = None
+    if handle is None:
+        handle = SharedBuffers(
+            {
+                "kinds": np.asarray(compiled.kinds, dtype=np.int32),
+                "offsets": np.asarray(compiled.offsets, dtype=np.int32),
+                "indices": np.asarray(compiled.indices, dtype=np.int32),
+                "var_slot": np.asarray(compiled.var_slot, dtype=np.int32),
+            },
+            prefix=PLAN_PREFIX,
+            meta={
+                "size": compiled.size,
+                "output": compiled.output,
+                "n_vars": len(compiled.var_names),
+            },
+        )
+        compiled._shared_plan = handle
+        weakref.finalize(compiled, handle.close)
+    return handle
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+
+class _PlanShell:
+    """Duck-type of ``CompiledCircuit`` that ``_BatchPlan`` lowers from."""
+
+    __slots__ = ("kinds", "offsets", "indices", "var_slot", "size", "output")
+
+    def __init__(self, meta, views):
+        self.kinds = views["kinds"].tolist()
+        self.offsets = views["offsets"].tolist()
+        self.indices = views["indices"].tolist()
+        self.var_slot = views["var_slot"].tolist()
+        self.size = int(meta["size"])
+        self.output = int(meta["output"])
+
+
+def _worker_plan(manifest, cache):
+    """A worker's level-scheduled plan for one shared circuit, cached by name."""
+    name = manifest[0]
+    plan = cache.get(name)
+    if plan is None:
+        shm, meta, views = SharedBuffers.attach(manifest)
+        try:
+            shell = _PlanShell(meta, views)
+        finally:
+            views = None
+            shm.close()
+        plan = _compiled._BatchPlan(shell)
+        while len(cache) >= _PLAN_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[name] = plan
+    return plan
+
+
+def _mc_shard_hits(np, plan, probs32, seed: int, index: int, count: int) -> int:
+    """Fused sample+evaluate for one Monte-Carlo shard: worlds never escape.
+
+    Draws ``count`` worlds from the shard's own ``default_rng((seed,
+    index))`` as a float32 comparison against the (float32-rounded)
+    marginals, runs them through the level-scheduled kernels, and returns
+    only the hit count. float32 draws halve the RNG cost of the dominant
+    step; the ≤2⁻²⁴ rounding of each marginal is far below Monte-Carlo
+    noise at any feasible sample count.
+    """
+    rng = np.random.default_rng((seed, index))
+    worlds = rng.random((count, probs32.size), dtype=np.float32) < probs32
+    hits = 0
+    step = max(1, _compiled.BATCH_BYTE_BUDGET // max(1, plan.size))
+    for start in range(0, count, step):
+        hits += int(np.count_nonzero(plan.run(worlds[start : start + step], False)))
+    return hits
+
+
+def _kl_shard_hits(
+    np, membership, sizes, probs, cumulative, total_weight, seed, index, count
+) -> int:
+    """Fused Karp–Luby trial for one shard (witness pick + world + test)."""
+    rng = np.random.default_rng((seed, index))
+    chosen = np.searchsorted(cumulative, rng.random(count) * total_weight)
+    chosen = np.minimum(chosen, len(cumulative) - 1)
+    worlds = rng.random((count, probs.size)) < probs
+    worlds |= membership[chosen].astype(bool)
+    contained = worlds.astype(np.int32) @ membership.T == sizes
+    first = contained.argmax(axis=1)  # chosen is contained, so a True exists
+    return int(np.count_nonzero(first == chosen))
+
+
+def _execute_task(np, kind, payload, plan_cache):
+    if kind == "eval":
+        plan_manifest, data_manifest, as_float, row_start, row_end = payload
+        plan = _worker_plan(plan_manifest, plan_cache)
+        shm, _meta, views = SharedBuffers.attach(data_manifest)
+        try:
+            plan.run_into(
+                views["matrix"][row_start:row_end],
+                views["out"][row_start:row_end],
+                as_float,
+            )
+        finally:
+            views = None
+            shm.close()
+        return None
+    if kind == "mc":
+        plan_manifest, probs32, seed, index, count = payload
+        plan = _worker_plan(plan_manifest, plan_cache)
+        return _mc_shard_hits(np, plan, probs32, seed, index, count)
+    if kind == "kl":
+        tables_manifest, seed, index, count = payload
+        shm, meta, views = SharedBuffers.attach(tables_manifest)
+        try:
+            membership = views["membership"]
+            return _kl_shard_hits(
+                np,
+                membership,
+                membership.sum(axis=1, dtype=np.int32),
+                views["probs"],
+                views["cumulative"],
+                meta["total_weight"],
+                seed,
+                index,
+                count,
+            )
+        finally:
+            views = None
+            membership = None
+            shm.close()
+    if kind == "exit":  # test hook: simulate a worker dying mid-run
+        os._exit(17)
+    raise ReproError(f"unknown parallel task kind {kind!r}")
+
+
+def _worker_main(tasks, results):
+    """Worker loop: pull a task, run it, push ``(id, ok, value)``.
+
+    SIGINT is ignored so a Ctrl-C lands in the parent, which tears the pool
+    down through its ``finally``/atexit path; the loop itself exits on the
+    ``None`` sentinel. Caught exceptions are reported per task (the pool
+    re-raises them as :class:`ReproError`), so one bad shard does not kill
+    the worker.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    np = numpy_module()
+    plan_cache: dict[str, object] = {}
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        task_id, kind, payload = item
+        try:
+            value = _execute_task(np, kind, payload, plan_cache)
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            results.put((task_id, False, f"{type(exc).__name__}: {exc}"))
+        else:
+            results.put((task_id, True, value))
+
+
+# --------------------------------------------------------------------------- #
+# the pool
+
+class WorkerCrashed(ReproError):
+    """A worker process died mid-run (crash, OOM kill, ``kill -9``).
+
+    Distinct from an ordinary task failure — a crashed worker leaves the
+    pool degraded, so :func:`_run_tasks` tears it down for rebuilding,
+    while a task-level error keeps the healthy pool running.
+    """
+
+
+class WorkerPool:
+    """A persistent pool of batch-kernel workers fed through one task queue.
+
+    Workers pull ``(id, kind, payload)`` tuples from a shared queue — big
+    operands travel through shared memory, only descriptors are pickled —
+    and push results to a shared result queue. :meth:`run` submits a task
+    list and blocks until every result arrived, polling worker liveness so
+    a crashed worker surfaces as :class:`WorkerCrashed` instead of a hang.
+    """
+
+    def __init__(self, size: int):
+        check(size >= 1, "worker pool needs at least one worker")
+        method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        ctx = get_context(method)
+        self.size = size
+        self.tasks = ctx.SimpleQueue()
+        self.results = ctx.Queue()
+        self.processes = [
+            ctx.Process(target=_worker_main, args=(self.tasks, self.results), daemon=True)
+            for _ in range(size)
+        ]
+        for process in self.processes:
+            process.start()
+        self._next_id = 0
+
+    def alive(self) -> bool:
+        return all(process.is_alive() for process in self.processes)
+
+    def pids(self) -> tuple[int, ...]:
+        return tuple(process.pid for process in self.processes)
+
+    def run(self, task_list) -> list:
+        """Run ``[(kind, payload), ...]``; results in submission order."""
+        import queue as _queue
+
+        ids = []
+        for kind, payload in task_list:
+            task_id = self._next_id
+            self._next_id += 1
+            ids.append(task_id)
+            self.tasks.put((task_id, kind, payload))
+        collected: dict[int, object] = {}
+        pending = set(ids)
+        while pending:
+            try:
+                task_id, ok, value = self.results.get(timeout=0.2)
+            except _queue.Empty:
+                if not self.alive():
+                    raise WorkerCrashed(
+                        "a parallel worker died mid-run; the pool will be "
+                        "rebuilt on the next call"
+                    ) from None
+                continue
+            if task_id not in pending:
+                # Stale result from an earlier aborted run (a failure made
+                # run() raise while later shards were still in flight);
+                # task ids are never reused, so just drop it.
+                continue
+            if not ok:
+                raise ReproError(f"parallel worker failed: {value}")
+            collected[task_id] = value
+            pending.discard(task_id)
+        return [collected[task_id] for task_id in ids]
+
+    def shutdown(self) -> None:
+        """Stop every worker (sentinel, then join, then terminate stragglers)."""
+        for process in self.processes:
+            if process.is_alive():
+                try:
+                    self.tasks.put(None)
+                except (OSError, ValueError):  # pragma: no cover - queue gone
+                    break
+        for process in self.processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for q in (self.tasks, self.results):
+            try:
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+
+_POOL: WorkerPool | None = None
+
+
+def _get_pool(workers: int) -> WorkerPool:
+    """The shared pool, rebuilt when the size changes or a worker died."""
+    global _POOL
+    if _POOL is not None and (_POOL.size != workers or not _POOL.alive()):
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(workers)
+    return _POOL
+
+
+def pool_processes() -> tuple[int, ...]:
+    """PIDs of the current pool's workers (empty when no pool is running)."""
+    return _POOL.pids() if _POOL is not None else ()
+
+
+def shutdown_pool() -> None:
+    """Terminate the worker pool; the next parallel call spawns a fresh one."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+def shutdown() -> None:
+    """Tear down the pool and unlink every live shared-memory segment."""
+    shutdown_pool()
+    for buffers in list(_LIVE_BUFFERS.values()):
+        buffers.close()
+
+
+atexit.register(shutdown)
+
+
+def _run_tasks(task_list, workers: int) -> list:
+    try:
+        return _get_pool(workers).run(task_list)
+    except WorkerCrashed:
+        shutdown_pool()
+        raise
+
+
+# --------------------------------------------------------------------------- #
+# sharded entry points
+
+def _row_shards(n_rows: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal row ranges, two per worker for load balance."""
+    parts = min(n_rows, max(1, workers * 2))
+    bounds = [n_rows * i // parts for i in range(parts + 1)]
+    return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+
+def _sharded_matrix_pass(compiled, matrix, as_float: bool, workers: int | None):
+    np = numpy_module()
+    check(parallel_available(), "sharded evaluation requires numpy + shared memory")
+    workers = _effective_workers(workers)
+    dtype = np.float64 if as_float else np.bool_
+    matrix = np.ascontiguousarray(matrix, dtype=dtype)
+    check(
+        matrix.ndim == 2 and matrix.shape[1] == len(compiled.var_names),
+        f"world matrix must be (n, {len(compiled.var_names)}), got {matrix.shape}",
+    )
+    n_rows = matrix.shape[0]
+    out_dtype = np.float64 if as_float else np.bool_
+    if n_rows == 0:
+        return np.empty(0, dtype=out_dtype)
+    if workers < 2:
+        out = np.empty(n_rows, dtype=out_dtype)
+        compiled.batch_plan().run_into(matrix, out, as_float)
+        return out
+    plan = _plan_handle(compiled)
+    data = SharedBuffers({"matrix": matrix, "out": ((n_rows,), out_dtype)})
+    try:
+        tasks = [
+            ("eval", (plan.manifest, data.manifest, as_float, start, end))
+            for start, end in _row_shards(n_rows, workers)
+        ]
+        _run_tasks(tasks, workers)
+        return data.arrays["out"].copy()
+    finally:
+        data.close()
+
+
+def evaluate_batch_sharded(compiled, matrix, workers: int | None = None):
+    """Boolean batch evaluation with the world matrix split across workers.
+
+    ``matrix`` is ``(n_worlds, n_vars)`` in variable-slot order; returns a
+    boolean array, one entry per row, bit-identical to
+    :meth:`~repro.circuits.compiled.CompiledCircuit.evaluate_batch` — the
+    shards run the exact same kernels on the exact same rows. With fewer
+    than two effective workers the pass runs in-process.
+    """
+    return _sharded_matrix_pass(compiled, matrix, as_float=False, workers=workers)
+
+
+def probability_batch_sharded(compiled, matrix, workers: int | None = None):
+    """The Theorem-1 float pass over row-sharded marginal matrices.
+
+    Like :func:`evaluate_batch_sharded` but for
+    :meth:`~repro.circuits.compiled.CompiledCircuit.probability_batch`
+    (correct on deterministic decomposable circuits only); returns a
+    float64 array.
+    """
+    return _sharded_matrix_pass(compiled, matrix, as_float=True, workers=workers)
+
+
+def _sample_shards(samples: int) -> list[tuple[int, int]]:
+    """``(shard_index, count)`` pairs of the fixed deterministic split."""
+    shard = MC_SHARD
+    return [
+        (index, min(shard, samples - index * shard))
+        for index in range((samples + shard - 1) // shard)
+    ]
+
+
+def monte_carlo_hits(
+    compiled, marginals, samples: int, seed: int = 0, workers: int | None = None
+) -> int:
+    """Fused sample+evaluate Monte-Carlo hit count over the lineage circuit.
+
+    Splits ``samples`` into :data:`MC_SHARD`-sized shards, draws each
+    shard's worlds from its own ``default_rng((seed, shard_index))`` and
+    evaluates them through the level-scheduled batch kernels — inside the
+    worker processes when ``workers >= 2``, in-process otherwise, with
+    bit-identical results either way. The full world matrix is never
+    materialized; only per-shard hit counts are reduced.
+    """
+    np = numpy_module()
+    check(np is not None, "fused Monte-Carlo sampling requires numpy")
+    check(samples > 0, "need at least one sample")
+    seed = 0 if seed is None else int(seed)
+    probs32 = np.asarray(marginals, dtype=np.float32)
+    shards = _sample_shards(samples)
+    workers = _effective_workers(workers)
+    if workers < 2 or len(shards) < 2 or _shm is None:
+        plan = compiled.batch_plan()
+        return sum(
+            _mc_shard_hits(np, plan, probs32, seed, index, count)
+            for index, count in shards
+        )
+    manifest = _plan_handle(compiled).manifest
+    tasks = [("mc", (manifest, probs32, seed, index, count)) for index, count in shards]
+    return sum(_run_tasks(tasks, workers))
+
+
+def karp_luby_hits(
+    membership,
+    probs,
+    weights,
+    samples: int,
+    seed: int = 0,
+    workers: int | None = None,
+) -> int:
+    """Fused Karp–Luby trial count over the witness-membership matrix.
+
+    ``membership`` is the 0/1 ``(n_witnesses, n_facts)`` matrix, ``probs``
+    the per-fact marginals, ``weights`` the per-witness weights. Uses the
+    same deterministic ``(seed, shard_index)`` scheme as
+    :func:`monte_carlo_hits`; each worker draws its shard's witness picks
+    and worlds and tests containment with one matrix product.
+    """
+    np = numpy_module()
+    check(np is not None, "fused Karp–Luby sampling requires numpy")
+    check(samples > 0, "need at least one sample")
+    seed = 0 if seed is None else int(seed)
+    membership = np.ascontiguousarray(membership, dtype=np.int32)
+    probs = np.ascontiguousarray(probs, dtype=np.float64)
+    cumulative = np.cumsum(np.asarray(weights, dtype=np.float64))
+    total_weight = float(cumulative[-1])
+    shards = _sample_shards(samples)
+    workers = _effective_workers(workers)
+    if workers < 2 or len(shards) < 2 or _shm is None:
+        sizes = membership.sum(axis=1, dtype=np.int32)
+        return sum(
+            _kl_shard_hits(
+                np, membership, sizes, probs, cumulative, total_weight,
+                seed, index, count,
+            )
+            for index, count in shards
+        )
+    tables = SharedBuffers(
+        {"membership": membership, "probs": probs, "cumulative": cumulative},
+        meta={"total_weight": total_weight},
+    )
+    try:
+        tasks = [
+            ("kl", (tables.manifest, seed, index, count)) for index, count in shards
+        ]
+        return sum(_run_tasks(tasks, workers))
+    finally:
+        tables.close()

@@ -2,12 +2,18 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E13
+    python -m repro list                # list experiments E1..E14
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
+    python -m repro run E14 --workers 4 # sharded evaluation on 4 processes
     python -m repro run all             # print every table (long)
-    python -m repro engines             # registered engines + batch backend
+    python -m repro engines             # engines + batch/parallel backends
     python -m repro paper               # one-line paper identification
+
+``--workers`` scopes the process-wide ``parallel_workers`` knob (see
+:mod:`repro.circuits.parallel`) to the run, exactly like ``--engine``
+scopes the forced engine; ``--workers 0`` forces the single-process
+kernels even when ``REPRO_PARALLEL_WORKERS`` is set.
 
 The experiment implementations live in ``benchmarks/bench_*.py``; each has a
 ``main()`` printing its table. This CLI locates them relative to the
@@ -37,6 +43,7 @@ EXPERIMENTS = {
     "E11": ("bench_ablation_heuristics", "Decomposition-heuristic ablation"),
     "E12": ("bench_hybrid", "Partial decompositions: exact tentacles + sampled core"),
     "E13": ("bench_compiled_eval", "Compiled circuit IR vs object-graph evaluation"),
+    "E14": ("bench_parallel_eval", "Sharded multi-process vs single-process batch eval"),
 }
 
 
@@ -70,37 +77,43 @@ def command_list() -> None:
         print(f"{exp_id:<5} {module_name:<28} {description}")
 
 
-def command_run(target: str, engine: str | None = None) -> None:
-    """Run one experiment (or 'all'), optionally forcing an engine for the run.
+def command_run(
+    target: str, engine: str | None = None, workers: int | None = None
+) -> None:
+    """Run one experiment (or 'all'), optionally forcing an engine or workers.
 
     The forced engine is scoped to the run with
-    :func:`repro.circuits.engine_forced`, so embedding callers (tests, the
-    REPL) cannot leak the override into later evaluations.
+    :func:`repro.circuits.engine_forced` and the worker count with
+    :func:`repro.circuits.parallel_workers_set`, so embedding callers
+    (tests, the REPL) cannot leak either override into later evaluations.
     """
-    from repro.circuits import available_engines, engine_forced
+    from repro.circuits import available_engines, engine_forced, parallel_workers_set
 
     if engine is not None and engine not in available_engines():
         raise SystemExit(
             f"unknown engine {engine!r}; available: "
             f"{', '.join(available_engines())}"
         )
+    if workers is not None and workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {workers}")
     targets = list(EXPERIMENTS) if target.lower() == "all" else [target.upper()]
     for exp_id in targets:
         if exp_id not in EXPERIMENTS:
             raise SystemExit(
-                f"unknown experiment {exp_id!r}; use 'list' to see E1..E13"
+                f"unknown experiment {exp_id!r}; use 'list' to see E1..E14"
             )
     with engine_forced(engine) if engine is not None else nullcontext():
-        for exp_id in targets:
-            module_name, _description = EXPERIMENTS[exp_id]
-            print()
-            _load_main(module_name)()
-            print()
+        with parallel_workers_set(workers) if workers is not None else nullcontext():
+            for exp_id in targets:
+                module_name, _description = EXPERIMENTS[exp_id]
+                print()
+                _load_main(module_name)()
+                print()
 
 
 def command_engines() -> None:
-    """Print the engine registry and the batch-kernel backend in use."""
-    from repro.circuits import available_engines, default_engine
+    """Print the engine registry and the batch/parallel backends in use."""
+    from repro.circuits import available_engines, capabilities, default_engine
     from repro.circuits.compiled import numpy_module
 
     print(f"{'engine':<18} role")
@@ -119,6 +132,16 @@ def command_engines() -> None:
     else:
         backend = "scalar generated kernels (numpy not installed)"
     print(f"\nbatch evaluation backend: {backend}")
+    caps = capabilities()
+    if caps["parallel"]:
+        workers = caps["parallel_workers"]
+        state = f"{workers} workers" if workers >= 2 else "off (workers=0/1)"
+        print(
+            f"sharded multi-process backend: available — {state}, "
+            f"{caps['cpu_count']} CPU(s); set REPRO_PARALLEL_WORKERS or --workers"
+        )
+    else:
+        print("sharded multi-process backend: unavailable (needs numpy + shared memory)")
 
 
 def command_paper() -> None:
@@ -144,13 +167,20 @@ def main(argv: list[str] | None = None) -> int:
         help="force one circuit-evaluation engine for the whole run "
         "(enumerate, shannon, message_passing, dd)",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard batch evaluation across this many worker processes for "
+        "the run (0 forces single-process; default: REPRO_PARALLEL_WORKERS)",
+    )
     sub.add_parser("engines", help="show evaluation engines and batch backend")
     sub.add_parser("paper", help="identify the reproduced paper")
     args = parser.parse_args(argv)
     if args.command == "list":
         command_list()
     elif args.command == "run":
-        command_run(args.experiment, engine=args.engine)
+        command_run(args.experiment, engine=args.engine, workers=args.workers)
     elif args.command == "engines":
         command_engines()
     elif args.command == "paper":

@@ -1,25 +1,35 @@
-"""Shared fixtures: keep the process-wide engine registry test-isolated."""
+"""Shared fixtures: keep process-wide evaluation state test-isolated."""
 
 import pytest
 
-from repro.circuits import evaluation
+from repro.circuits import evaluation, parallel
 
 
 @pytest.fixture(autouse=True)
 def restore_engine_globals():
-    """Restore the engine registry, default and forced engine after each test.
+    """Restore the engine registry, engine overrides and worker knob.
 
-    ``force_engine``/``set_default_engine``/``register_engine`` mutate
-    process-wide state; a test that flips them (or fails mid-flip) must not
-    leak its choice into the rest of the suite. Tests should still prefer
-    the ``engine_forced``/``default_engine_set`` context managers — this
+    ``force_engine``/``set_default_engine``/``register_engine``/
+    ``set_parallel_workers`` mutate process-wide state; a test that flips
+    them (or fails mid-flip) must not leak its choice into the rest of the
+    suite. Tests should still prefer the ``engine_forced``/
+    ``default_engine_set``/``parallel_workers_set`` context managers — this
     fixture is the backstop.
     """
     engines = dict(evaluation._ENGINES)
     default = evaluation._DEFAULT_ENGINE
     forced = evaluation._FORCED_ENGINE
+    workers = parallel._WORKERS
     yield
     evaluation._ENGINES.clear()
     evaluation._ENGINES.update(engines)
     evaluation._DEFAULT_ENGINE = default
     evaluation._FORCED_ENGINE = forced
+    parallel._WORKERS = workers
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shutdown_parallel_backend():
+    """Stop the worker pool and unlink shared memory when the suite ends."""
+    yield
+    parallel.shutdown()

@@ -7,7 +7,7 @@ from repro.cli import EXPERIMENTS, command_list, command_run, main
 
 class TestCli:
     def test_experiment_index_complete(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
 
     def test_run_unknown_engine(self):
         with pytest.raises(SystemExit, match="unknown engine"):
@@ -24,13 +24,16 @@ class TestCli:
         assert "Structurally Tractable" in capsys.readouterr().out
 
     def test_engines_command(self, capsys):
-        from repro.circuits import numpy_available
+        from repro.circuits import numpy_available, parallel_available
 
         assert main(["engines"]) == 0
         output = capsys.readouterr().out
         for engine in ("enumerate", "shannon", "message_passing", "dd"):
             assert engine in output
         expected = "numpy" if numpy_available() else "scalar generated kernels"
+        assert expected in output
+        assert "sharded multi-process backend" in output
+        expected = "available" if parallel_available() else "unavailable"
         assert expected in output
 
     def test_forced_engine_does_not_leak_out_of_run(self, capsys):
@@ -39,6 +42,18 @@ class TestCli:
         assert main(["run", "E2", "--engine", "enumerate"]) == 0
         capsys.readouterr()
         assert forced_engine() is None
+
+    def test_workers_flag_is_scoped_to_the_run(self, capsys):
+        from repro.circuits import parallel_workers
+
+        before = parallel_workers()
+        assert main(["run", "E1", "--workers", "2"]) == 0
+        capsys.readouterr()
+        assert parallel_workers() == before
+
+    def test_workers_flag_rejects_negative(self):
+        with pytest.raises(SystemExit, match="workers"):
+            command_run("E1", workers=-3)
 
     def test_run_unknown_experiment(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,305 @@
+"""Tests for the sharded multi-process batch evaluation subsystem.
+
+Covers the satellite checklist for :mod:`repro.circuits.parallel`: shared-
+memory lifecycle (no leaked segments after crashes, errors or garbage
+collection), pool reuse across calls, and bit-identical results between the
+serial path and 1/2/4 workers for fixed seeds. Worker counts above the
+machine's core count are still exercised — determinism must not depend on
+parallel hardware, only wall-clock does.
+"""
+
+import gc
+import os
+import signal
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.circuits import Circuit, compile_circuit
+from repro.circuits import compiled as compiled_module
+from repro.circuits import parallel
+from repro.util import ReproError, stable_rng
+
+pytestmark = pytest.mark.skipif(
+    not parallel.parallel_available(), reason="shared memory unavailable"
+)
+
+
+def shm_segments() -> list[str]:
+    """Our shared-memory segments as the OS sees them (Linux/CI)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-POSIX-shm host
+        return []
+    return sorted(n for n in os.listdir("/dev/shm") if n.startswith("repro-"))
+
+
+@pytest.fixture(autouse=True)
+def torn_down_pool():
+    """Each test ends with the pool stopped and no segment left behind."""
+    yield
+    parallel.shutdown()
+    assert parallel.active_segments() == ()
+    assert shm_segments() == []
+
+
+def random_circuit(seed: int, n_vars: int = 6, steps: int = 16) -> Circuit:
+    rng = stable_rng(seed)
+    c = Circuit()
+    gates = [c.variable(f"v{i}") for i in range(n_vars)] + [c.true(), c.false()]
+    for _ in range(rng.randint(4, steps)):
+        op = rng.choice(["and", "or", "not"])
+        if op == "not":
+            gates.append(c.negation(rng.choice(gates)))
+        else:
+            picked = rng.sample(gates, rng.randint(2, min(4, len(gates))))
+            gates.append(c.and_gate(picked) if op == "and" else c.or_gate(picked))
+    c.set_output(gates[-1])
+    return c
+
+
+def world_matrix(compiled, rows: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, len(compiled.variables()))) < 0.5
+
+
+class TestKnob:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+        assert parallel._workers_from_env() == 3
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "auto")
+        assert parallel._workers_from_env() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "junk")
+        assert parallel._workers_from_env() == 0
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS")
+        assert parallel._workers_from_env() == 0
+
+    def test_set_and_scope(self):
+        before = parallel.parallel_workers()
+        with parallel.parallel_workers_set(5):
+            assert parallel.parallel_workers() == 5
+            with parallel.parallel_workers_set(None):
+                assert parallel.parallel_workers() == 0
+        assert parallel.parallel_workers() == before
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            parallel.set_parallel_workers(-1)
+
+    def test_should_shard_thresholds(self):
+        with parallel.parallel_workers_set(2):
+            assert parallel.should_shard(parallel.PARALLEL_MIN_ROWS)
+            assert not parallel.should_shard(parallel.PARALLEL_MIN_ROWS - 1)
+        with parallel.parallel_workers_set(1):
+            assert not parallel.should_shard(10**6)
+
+    def test_unavailable_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(compiled_module, "_np", None)
+        assert not parallel.parallel_available()
+        assert parallel._effective_workers(4) == 0
+        assert not parallel.should_shard(10**6, workers=4)
+
+
+class TestSharedBuffers:
+    def test_roundtrip_and_attach(self):
+        arrays = {
+            "a": np.arange(7, dtype=np.int32),
+            "b": np.linspace(0.0, 1.0, 5),
+            "out": ((3,), np.bool_),
+        }
+        buffers = parallel.SharedBuffers(arrays, meta={"tag": 42})
+        try:
+            assert buffers.shm.name in parallel.active_segments()
+            shm, meta, views = parallel.SharedBuffers.attach(buffers.manifest)
+            assert meta["tag"] == 42
+            assert np.array_equal(views["a"], np.arange(7))
+            assert np.allclose(views["b"], np.linspace(0.0, 1.0, 5))
+            views["out"][:] = True  # attached view writes land in the segment
+            views = None
+            shm.close()
+            assert buffers.arrays["out"].all()
+        finally:
+            buffers.close()
+        assert buffers.shm.name not in parallel.active_segments()
+        buffers.close()  # idempotent
+
+    def test_plan_segment_unlinked_on_circuit_gc(self):
+        compiled = compile_circuit(random_circuit(3))
+        name = parallel._plan_handle(compiled).shm.name
+        assert parallel._plan_handle(compiled).shm.name == name  # cached
+        assert name in parallel.active_segments()
+        del compiled
+        gc.collect()
+        assert name not in parallel.active_segments()
+        assert name not in shm_segments()
+
+
+class TestShardedMatrixPasses:
+    def test_evaluate_batch_sharded_bit_identical(self):
+        compiled = compile_circuit(random_circuit(11))
+        matrix = world_matrix(compiled, 500)
+        serial = compiled.evaluate_batch(matrix)
+        for workers in (0, 1, 2, 4):
+            sharded = parallel.evaluate_batch_sharded(compiled, matrix, workers=workers)
+            assert sharded.dtype == np.bool_
+            assert sharded.tolist() == serial
+
+    def test_probability_batch_sharded_bit_identical(self):
+        compiled = compile_circuit(random_circuit(12))
+        rng = np.random.default_rng(1)
+        matrix = rng.random((400, len(compiled.variables())))
+        serial = compiled.probability_batch(matrix)
+        sharded = parallel.probability_batch_sharded(compiled, matrix, workers=2)
+        assert sharded.tolist() == serial  # same kernels, same rows: no tolerance
+
+    def test_empty_batch(self):
+        compiled = compile_circuit(random_circuit(13))
+        matrix = np.empty((0, len(compiled.variables())), dtype=bool)
+        assert parallel.evaluate_batch_sharded(compiled, matrix, workers=2).size == 0
+
+    def test_wrong_width_rejected(self):
+        compiled = compile_circuit(random_circuit(14))
+        with pytest.raises(ReproError, match="world matrix"):
+            parallel.evaluate_batch_sharded(
+                compiled, np.zeros((4, len(compiled.variables()) + 1), dtype=bool),
+                workers=2,
+            )
+
+    def test_evaluate_batch_routes_through_pool(self):
+        compiled = compile_circuit(random_circuit(15))
+        matrix = world_matrix(compiled, parallel.PARALLEL_MIN_ROWS + 17)
+        serial = compiled.evaluate_batch(matrix)
+        with parallel.parallel_workers_set(2):
+            assert compiled.evaluate_batch(matrix) == serial
+            assert parallel.pool_processes() != ()  # really went through the pool
+        float_matrix = np.random.default_rng(2).random(matrix.shape)
+        serial_probs = compiled.probability_batch(float_matrix)
+        with parallel.parallel_workers_set(2):
+            assert compiled.probability_batch(float_matrix) == serial_probs
+
+
+class TestFusedSampling:
+    def test_monte_carlo_identical_across_worker_counts(self, monkeypatch):
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(21))
+        marginals = [0.2 + 0.1 * (i % 5) for i in range(len(compiled.variables()))]
+        hits = {
+            workers: parallel.monte_carlo_hits(
+                compiled, marginals, samples=500, seed=9, workers=workers
+            )
+            for workers in (0, 1, 2, 4)
+        }
+        assert len(set(hits.values())) == 1
+        # and deterministic across repeated calls with a reused pool
+        assert hits[2] == parallel.monte_carlo_hits(
+            compiled, marginals, samples=500, seed=9, workers=2
+        )
+
+    def test_karp_luby_identical_across_worker_counts(self, monkeypatch):
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        membership = np.array([[1, 0, 1, 0], [0, 1, 1, 0], [1, 1, 0, 1]], dtype=np.int32)
+        probs = np.array([0.3, 0.5, 0.2, 0.4])
+        weights = [0.06, 0.1, 0.06]
+        hits = {
+            workers: parallel.karp_luby_hits(
+                membership, probs, weights, samples=400, seed=4, workers=workers
+            )
+            for workers in (0, 2, 4)
+        }
+        assert len(set(hits.values())) == 1
+
+    def test_baselines_respect_workers_argument_and_knob(self, monkeypatch):
+        from repro.baselines import karp_luby_probability, monte_carlo_probability
+        from repro.instances import TIDInstance, fact
+        from repro.queries import atom, cq, variables
+
+        monkeypatch.setattr(parallel, "MC_SHARD", 128)
+        x, y = variables("x", "y")
+        query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+        tid = TIDInstance(
+            {fact("R", 1): 0.6, fact("S", 1, 2): 0.5, fact("T", 2): 0.8,
+             fact("R", 3): 0.2, fact("S", 3, 2): 0.7}
+        )
+        serial = monte_carlo_probability(query, tid, samples=600, seed=1, workers=0)
+        assert monte_carlo_probability(query, tid, samples=600, seed=1, workers=2) == serial
+        with parallel.parallel_workers_set(2):
+            assert monte_carlo_probability(query, tid, samples=600, seed=1) == serial
+        kl_serial = karp_luby_probability(query, tid, samples=600, seed=1, workers=0)
+        assert karp_luby_probability(query, tid, samples=600, seed=1, workers=2) == kl_serial
+
+
+class TestPoolLifecycle:
+    def test_pool_reused_across_calls(self, monkeypatch):
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(31))
+        marginals = [0.5] * len(compiled.variables())
+        parallel.monte_carlo_hits(compiled, marginals, 300, seed=0, workers=2)
+        pids = parallel.pool_processes()
+        assert len(pids) == 2
+        parallel.monte_carlo_hits(compiled, marginals, 300, seed=1, workers=2)
+        assert parallel.pool_processes() == pids
+
+    def test_pool_rebuilt_after_worker_killed(self, monkeypatch):
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(32))
+        marginals = [0.4] * len(compiled.variables())
+        before = parallel.monte_carlo_hits(compiled, marginals, 400, seed=2, workers=2)
+        pids = parallel.pool_processes()
+        os.kill(pids[0], signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and parallel._POOL.alive():
+            time.sleep(0.05)
+        assert not parallel._POOL.alive()
+        # Next call notices the dead worker, rebuilds, and still agrees.
+        after = parallel.monte_carlo_hits(compiled, marginals, 400, seed=2, workers=2)
+        assert after == before
+        assert parallel.pool_processes() != pids
+
+    def test_worker_death_mid_run_raises_and_cleans(self):
+        with pytest.raises(ReproError, match="died mid-run"):
+            parallel._run_tasks([("exit", ())], workers=2)
+        assert parallel.pool_processes() == ()  # pool was shut down
+        # Per-call buffers are scoped in ``finally``: a crash while a shared
+        # matrix is in flight must not leak its segment.
+        compiled = compile_circuit(random_circuit(33))
+        matrix = world_matrix(compiled, 300)
+        original_run = parallel.WorkerPool.run
+
+        def run_then_die(pool, tasks):
+            original_run(pool, tasks)
+            raise ReproError("simulated mid-collection failure")
+
+        parallel.WorkerPool.run = run_then_die
+        try:
+            with pytest.raises(ReproError, match="simulated"):
+                parallel.evaluate_batch_sharded(compiled, matrix, workers=2)
+        finally:
+            parallel.WorkerPool.run = original_run
+        assert [n for n in parallel.active_segments()
+                if n.startswith(parallel.BUFFER_PREFIX)] == []
+
+    def test_worker_error_propagates_without_killing_pool(self):
+        with pytest.raises(ReproError, match="worker failed"):
+            parallel._run_tasks([("no-such-kind", ())], workers=2)
+
+    def test_failed_run_does_not_poison_the_next_one(self, monkeypatch):
+        # A failing shard makes run() raise while sibling shards are still
+        # in flight; their late results must not surface in the next call.
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(34))
+        marginals = [0.5] * len(compiled.variables())
+        manifest = parallel._plan_handle(compiled).manifest
+        probs32 = np.asarray(marginals, dtype=np.float32)
+        good = ("mc", (manifest, probs32, 0, 0, 64))
+        with pytest.raises(ReproError, match="worker failed"):
+            parallel._run_tasks([("no-such-kind", ()), good, good, good], workers=2)
+        time.sleep(0.3)  # let the leftover shards finish and enqueue results
+        expected = parallel.monte_carlo_hits(compiled, marginals, 300, seed=5, workers=0)
+        assert parallel.monte_carlo_hits(
+            compiled, marginals, 300, seed=5, workers=2
+        ) == expected
+
+    def test_shutdown_is_idempotent(self):
+        parallel.shutdown()
+        parallel.shutdown()
+        assert parallel.pool_processes() == ()
