@@ -15,7 +15,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-uncertain-data",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Structurally Tractable Uncertain Data' "
         "(Amarilli, SIGMOD 2015 PhD Symposium)"
@@ -31,6 +31,9 @@ setup(
         "test": ["pytest", "hypothesis"],
     },
     entry_points={
-        "console_scripts": ["repro=repro.cli:main"],
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-worker=repro.cli:worker_main",
+        ],
     },
 )

@@ -23,7 +23,13 @@ Execution model — three tiers, picked automatically per install:
 
 ``workers=None`` defers to the process-wide knob
 (:func:`repro.circuits.parallel.parallel_workers`, settable via
-``REPRO_PARALLEL_WORKERS`` or the CLI ``--workers`` flag).
+``REPRO_PARALLEL_WORKERS`` or the CLI ``--workers`` flag). Layered above
+the pool, ``hosts=`` routes the same shards to remote workers over TCP
+(:mod:`repro.circuits.distributed`); ``hosts=None`` defers to the
+process-wide :func:`repro.circuits.distributed.distributed_hosts` knob
+(``REPRO_DISTRIBUTED_HOSTS`` / CLI ``--hosts``), and because the shard
+decomposition and seeding never change, a fixed seed estimates to the
+same value in-process, on the pool, and across hosts.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ def monte_carlo_probability(
     seed: int = 0,
     method: str = "lineage",
     workers: int | None = None,
+    hosts=None,
 ) -> float:
     """Estimate P(query) by sampling worlds and evaluating the query.
 
@@ -58,10 +65,14 @@ def monte_carlo_probability(
     built and compiled *once* and the sampled worlds are evaluated in bulk
     over the flat IR — with numpy, through the fused sample+evaluate shards
     of :func:`repro.circuits.parallel.monte_carlo_hits` (on ``workers``
-    processes when >= 2, in-process otherwise, bit-identical either way);
-    without numpy, one generated-kernel call per world. ``method="worlds"``
-    keeps the original per-world ``query.holds_in`` evaluation (works for
-    any query object, including those without lineage support).
+    processes when >= 2, in-process otherwise, bit-identical either way) —
+    or, when ``hosts`` (or the process-wide ``distributed_hosts`` knob)
+    names remote workers, the same shards stream over TCP through
+    :func:`repro.circuits.distributed.monte_carlo_hits`, still
+    bit-identical; without numpy, one generated-kernel call per world.
+    ``method="worlds"`` keeps the original per-world ``query.holds_in``
+    evaluation (works for any query object, including those without
+    lineage support).
     """
     check(samples > 0, "need at least one sample")
     if method == "worlds":
@@ -78,10 +89,10 @@ def monte_carlo_probability(
     space = tid.event_space()
     marginals = [space.probability(name) for name in compiled.variables()]
     if numpy_module() is not None:
-        from repro.circuits import parallel
+        from repro.circuits import distributed
 
-        hits = parallel.monte_carlo_hits(
-            compiled, marginals, samples, seed=seed, workers=workers
+        hits = distributed.monte_carlo_hits(
+            compiled, marginals, samples, seed=seed, hosts=hosts, workers=workers
         )
         return hits / samples
     rng = stable_rng(seed)
@@ -108,6 +119,7 @@ def karp_luby_probability(
     samples: int,
     seed: int = 0,
     workers: int | None = None,
+    hosts=None,
 ) -> float:
     """Karp–Luby estimator for the probability of the query's DNF lineage.
 
@@ -120,8 +132,9 @@ def karp_luby_probability(
     contained in the sampled world. With numpy the trials run as the fused
     shards of :func:`repro.circuits.parallel.karp_luby_hits` — witness
     picks, conditioned worlds and the containment matrix product all happen
-    inside the shard (a worker process when ``workers >= 2``), and a fixed
-    seed gives identical estimates at any worker count.
+    inside the shard (a worker process when ``workers >= 2``, a remote host
+    when ``hosts`` names one), and a fixed seed gives identical estimates
+    at any worker or host count.
     """
     check(samples > 0, "need at least one sample")
     witnesses = _dnf_witnesses(query, tid)
@@ -140,7 +153,7 @@ def karp_luby_probability(
     facts = list(tid.facts())
     np = numpy_module()
     if np is not None:
-        from repro.circuits import parallel
+        from repro.circuits import distributed
 
         fact_index = {f: i for i, f in enumerate(facts)}
         probs = np.asarray([tid.probability(f) for f in facts], dtype=np.float64)
@@ -148,8 +161,9 @@ def karp_luby_probability(
         for w, witness in enumerate(witnesses):
             for f in witness:
                 membership[w, fact_index[f]] = 1
-        hits = parallel.karp_luby_hits(
-            membership, probs, weights, samples, seed=seed, workers=workers
+        hits = distributed.karp_luby_hits(
+            membership, probs, weights, samples, seed=seed, hosts=hosts,
+            workers=workers,
         )
     else:
         hits = _karp_luby_hits_scalar(

@@ -20,10 +20,19 @@ The module is organized around a **compile-once / evaluate-many** split:
   arrays from shared memory — turn it on with
   :func:`set_parallel_workers` (or ``REPRO_PARALLEL_WORKERS``) and every
   large ``evaluate_batch``/``probability_batch`` call and both sampling
-  baselines use it automatically, with deterministic results.
+  baselines use it automatically, with deterministic results;
+- :mod:`repro.circuits.distributed` (``distributed.py``) fans the same
+  deterministic shards out to remote workers over TCP: the plan travels
+  once per connection in a versioned, checksummed wire format
+  (:func:`plan_to_bytes` / :func:`plan_from_bytes`), shards are retried on
+  worker loss, and a fixed seed gives bit-identical estimates at any host
+  count — turn it on with :func:`set_distributed_hosts` (or
+  ``REPRO_DISTRIBUTED_HOSTS``) and start workers with
+  ``python -m repro serve``.
 
-The full four-stage lowering pipeline (gate DAG → flat CSR IR → leveled
-numpy batch plan → sharded workers) is documented in ``ARCHITECTURE.md``.
+The full five-stage lowering pipeline (gate DAG → flat CSR IR → leveled
+numpy batch plan → sharded workers → distributed hosts) is documented in
+``ARCHITECTURE.md``.
 
 Typical use::
 
@@ -58,6 +67,8 @@ from repro.circuits.evaluation import (
     capabilities,
     default_engine,
     default_engine_set,
+    distributed_hosts,
+    distributed_hosts_set,
     engine_forced,
     force_engine,
     forced_engine,
@@ -65,9 +76,12 @@ from repro.circuits.evaluation import (
     parallel_available,
     parallel_workers,
     parallel_workers_set,
+    plan_from_bytes,
+    plan_to_bytes,
     probability,
     register_engine,
     set_default_engine,
+    set_distributed_hosts,
     set_parallel_workers,
     shutdown_pool,
 )
@@ -101,6 +115,8 @@ __all__ = [
     "compile_circuit",
     "default_engine",
     "default_engine_set",
+    "distributed_hosts",
+    "distributed_hosts_set",
     "engine_forced",
     "force_engine",
     "forced_engine",
@@ -111,10 +127,13 @@ __all__ = [
     "parallel_available",
     "parallel_workers",
     "parallel_workers_set",
+    "plan_from_bytes",
+    "plan_to_bytes",
     "probability",
     "probability_dd",
     "register_engine",
     "set_default_engine",
+    "set_distributed_hosts",
     "set_parallel_workers",
     "shutdown_pool",
     "to_dot",

@@ -51,8 +51,16 @@ split into row shards evaluated on every core.
 :meth:`~CompiledCircuit.probability_batch` route there automatically when
 the ``parallel_workers`` knob is set and the batch is large enough
 (``parallel.should_shard``); results are bit-identical to the in-process
-kernels, and any pool failure falls back to them with a warning. The full
-pipeline is documented in ``ARCHITECTURE.md`` at the repository root.
+kernels, and any pool failure falls back to them with a warning.
+
+**Distributed execution** is the fifth stage, in
+:mod:`repro.circuits.distributed`: :meth:`CompiledCircuit.wire_bytes`
+serializes the plan to a versioned, checksummed wire format, and an asyncio
+coordinator streams the same deterministic shards to remote worker
+processes over TCP (knob: ``distributed_hosts`` /
+``REPRO_DISTRIBUTED_HOSTS``), retrying on worker loss — again with
+bit-identical results. The full pipeline is documented in
+``ARCHITECTURE.md`` at the repository root.
 """
 
 from __future__ import annotations
@@ -107,6 +115,26 @@ CODEGEN_GATE_LIMIT = 200_000
 BATCH_BYTE_BUDGET = 1 << 25
 
 _UNBUILT = object()
+
+
+def gate_levels(kinds, offsets, indices) -> list[int]:
+    """Per-gate level of the schedule: inputs live in strictly lower levels.
+
+    Variables and constants sit at level 0; every other gate one past its
+    deepest input. This is the schedule :class:`_BatchPlan` groups by and
+    the one :mod:`repro.circuits.distributed` ships (and re-verifies) in
+    the wire format, so both derive it from this single definition.
+    """
+    depth = [0] * len(kinds)
+    for pos in range(len(kinds)):
+        kind = kinds[pos]
+        if kind == K_VAR or kind == K_TRUE or kind == K_FALSE:
+            continue
+        start, end = offsets[pos], offsets[pos + 1]
+        depth[pos] = 1 + max(
+            (depth[indices[j]] for j in range(start, end)), default=0
+        )
+    return depth
 
 #: Fan-in up to which AND/OR are emitted as infix chains; larger gates use
 #: list-based reductions to keep the generated AST shallow.
@@ -177,7 +205,7 @@ class _BatchPlan:
         self.indices = _np.asarray(indices, dtype=_np.int32)
         self.var_slot = _np.asarray(compiled.var_slot, dtype=_np.int32)
 
-        depth = [0] * size
+        depth = gate_levels(kinds, offsets, indices)
         var_positions: list[int] = []
         const_positions: list[int] = []
         # per level: {(kind, fan_in): positions} of that level's gates
@@ -191,8 +219,7 @@ class _BatchPlan:
             if kind == K_TRUE or kind == K_FALSE:
                 const_positions.append(pos)
                 continue
-            level = 1 + max(depth[indices[j]] for j in range(start, end))
-            depth[pos] = level
+            level = depth[pos]
             while len(buckets) < level:
                 buckets.append({})
             buckets[level - 1].setdefault((kind, end - start), []).append(pos)
@@ -326,6 +353,7 @@ class CompiledCircuit:
         "_float_kernel",
         "_batch_plan",
         "_shared_plan",
+        "_wire_cache",
         "__weakref__",
     )
 
@@ -385,6 +413,7 @@ class CompiledCircuit:
         self._float_kernel = _UNBUILT
         self._batch_plan = _UNBUILT
         self._shared_plan = None  # lazily published by repro.circuits.parallel
+        self._wire_cache = None  # lazily packed by repro.circuits.distributed
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -536,18 +565,43 @@ class CompiledCircuit:
         """One level-scheduled pass over a matrix (see :meth:`_BatchPlan.run`)."""
         return self.batch_plan().run(matrix, as_float)
 
-    def _maybe_sharded(self, matrix, as_float: bool):
-        """Route a big batch through the worker pool when the knob says so.
+    def wire_bytes(self) -> bytes:
+        """This circuit's plan in the versioned wire format, packed once.
 
-        Returns the result array, or ``None`` to use the in-process kernels
-        — either because the parallel knob is off, the batch is too small
-        to amortize the shared-memory round trip, or the pool failed (a
-        crashed worker falls back to the serial path rather than losing
-        the batch).
+        The stage-5 export hook: the blob
+        (:func:`repro.circuits.distributed.plan_to_bytes`) carries the int32
+        CSR buffers, the level schedule and the plan metadata, and round-trips
+        through :func:`repro.circuits.distributed.plan_from_bytes` on any
+        host — with or without numpy on either side.
         """
-        from repro.circuits import parallel
+        from repro.circuits import distributed
 
-        if not parallel.should_shard(matrix.shape[0]):
+        return distributed.plan_to_bytes(self)
+
+    def _maybe_sharded(self, matrix, as_float: bool):
+        """Route a big batch to distributed hosts or the worker pool.
+
+        The knob ladder, top down: distributed hosts (stage 5) when the
+        ``distributed_hosts`` knob names workers and the batch is large
+        enough; the multi-process pool (stage 4) when ``parallel_workers``
+        says so; otherwise ``None`` — the caller's in-process kernels.
+        Either backend failing falls through to the next tier (warned once
+        per process) rather than losing the batch.
+        """
+        from repro.circuits import distributed, parallel
+
+        n_rows = matrix.shape[0]
+        if distributed.should_distribute(n_rows):
+            try:
+                return distributed._distributed_matrix_pass(
+                    self, matrix, as_float, None
+                )
+            except (ReproError, OSError):
+                parallel.warn_serial_fallback(
+                    "distributed batch evaluation failed; falling back to "
+                    "the local execution tiers"
+                )
+        if not parallel.should_shard(n_rows):
             return None
         try:
             return parallel._sharded_matrix_pass(self, matrix, as_float, None)
@@ -555,13 +609,9 @@ class CompiledCircuit:
             # OSError covers shared-memory allocation (ENOSPC on a small
             # /dev/shm) and process-spawn failures; the in-process kernels
             # below need neither.
-            import warnings
-
-            warnings.warn(
+            parallel.warn_serial_fallback(
                 "sharded batch evaluation failed; falling back to the "
-                "single-process kernels",
-                RuntimeWarning,
-                stacklevel=3,
+                "single-process kernels"
             )
             return None
 

@@ -1,0 +1,1160 @@
+"""Distributed shard execution over wire-serialized circuit plans: stage 5.
+
+The sharded worker pool (:mod:`repro.circuits.parallel`, fourth stage) is
+bounded by one machine. This module fans the *same* deterministic shards out
+over TCP so any number of hosts can chew on one batch or Monte-Carlo run:
+
+- **Wire format** — :func:`plan_to_bytes` / :func:`plan_from_bytes` pack a
+  compiled circuit's int32 CSR buffers, its level schedule, and the metadata
+  a worker needs (``size``/``output``/``n_vars``) into a self-describing,
+  versioned, CRC-checksummed binary blob (layout table in
+  ``ARCHITECTURE.md``). Corrupted, truncated, or wrong-version payloads are
+  rejected with :class:`~repro.util.ReproError` before any evaluation can
+  happen. Packing and unpacking work with or without numpy (the pure-python
+  path uses :mod:`array`), so a numpy-less host can still decode and
+  evaluate a plan with the scalar interpreter.
+- **Protocol** — length-prefixed frames over TCP (``uint32`` length, one
+  message-kind byte, a JSON header, a binary blob). A coordinator publishes
+  the plan (and, for Karp–Luby, the witness tables) **once per connection**,
+  then streams tiny shard descriptors; workers answer with hit counts or
+  output slices. :class:`WorkerServer` is the worker side; the CLI exposes
+  it as ``repro-worker serve`` / ``python -m repro serve``.
+- **Coordinator** — an :mod:`asyncio` driver per call: it connects to every
+  host in the routing knob, pumps shard descriptors over each connection,
+  **retries a shard on worker disconnect** (on another worker, or locally
+  when none remain), and merges results in deterministic shard order. The
+  shard decomposition and seeding are exactly those of
+  :mod:`repro.circuits.parallel` — ``(seed, shard_index, count)`` — so a
+  fixed seed gives **bit-identical estimates at 0, 1, 2 or N hosts**, and
+  identical again after a serialize/deserialize round trip of the plan.
+
+Knob: ``hosts=`` on the entry points (and on the sampling baselines),
+defaulting to the process-wide :func:`distributed_hosts` (set with
+:func:`set_distributed_hosts`, the scoped :func:`distributed_hosts_set`,
+the ``REPRO_DISTRIBUTED_HOSTS`` environment variable — a comma-separated
+``host:port`` list — or the CLI ``--hosts`` flag). An empty host list means
+"stay local": every entry point then defers to the worker pool / in-process
+kernels, so the five execution tiers degrade gracefully top to bottom.
+Unreachable hosts are warned about once per process and skipped; a run
+whose every worker dies still completes locally with identical results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import struct
+import sys
+import warnings
+import zlib
+from contextlib import contextmanager
+
+from repro.circuits import compiled as _compiled
+from repro.circuits import parallel as _parallel
+from repro.circuits.compiled import numpy_module
+from repro.util import ReproError, check
+
+# --------------------------------------------------------------------------- #
+# wire format: versioned, checksummed plan serialization
+
+#: Magic bytes opening every wire blob (``R``\ epro ``C``\ ircuit ``P``\ lan).
+WIRE_MAGIC = b"RCP1"
+
+#: Version of the wire layout; bumped on any incompatible change.
+WIRE_VERSION = 1
+
+#: Fixed wire header: magic, version, flags, crc32(meta+payload), meta
+#: length, payload length — little-endian, 24 bytes.
+_HEADER = struct.Struct("<4sHHIIQ")
+
+#: Section type codes: ``i`` int32, ``f`` float32, ``d`` float64.
+_DTYPES = {"i": ("<i4", 4), "f": ("<f4", 4), "d": ("<f8", 8)}
+
+#: Hard cap on a single protocol frame / wire blob (guards a corrupt length
+#: prefix from allocating unbounded memory).
+MAX_FRAME_BYTES = 1 << 31
+
+
+def _values_to_bytes(typecode: str, values) -> bytes:
+    """Little-endian bytes of a flat numeric sequence, with or without numpy."""
+    np = numpy_module()
+    dtype, itemsize = _DTYPES[typecode]
+    if np is not None:
+        return np.ascontiguousarray(values, dtype=dtype).reshape(-1).tobytes()
+    import array
+
+    arr = array.array(typecode, [v for v in values])
+    check(arr.itemsize == itemsize, f"platform array('{typecode}') width unsupported")
+    if sys.byteorder == "big":  # pragma: no cover - little-endian dev hosts
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _values_from_bytes(typecode: str, raw: bytes) -> list:
+    """Inverse of :func:`_values_to_bytes`; always returns a python list."""
+    np = numpy_module()
+    dtype, itemsize = _DTYPES[typecode]
+    check(len(raw) % itemsize == 0, "wire section length is not a whole item count")
+    if np is not None:
+        return np.frombuffer(raw, dtype=dtype).tolist()
+    import array
+
+    arr = array.array(typecode)
+    arr.frombytes(raw)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian dev hosts
+        arr.byteswap()
+    return arr.tolist()
+
+
+def _pack_blob(meta: dict, sections: list[tuple[str, str, object]]) -> bytes:
+    """Pack named numeric sections + JSON metadata into one checksummed blob.
+
+    ``sections`` is ``[(name, typecode, values), ...]``; the JSON header
+    gains a ``sections`` entry of ``[name, typecode, offset, nbytes]`` rows
+    so the blob is self-describing — a reader needs nothing but this module.
+    """
+    payload_parts: list[bytes] = []
+    directory = []
+    offset = 0
+    for name, typecode, values in sections:
+        raw = _values_to_bytes(typecode, values)
+        directory.append([name, typecode, offset, len(raw)])
+        payload_parts.append(raw)
+        offset += len(raw)
+    payload = b"".join(payload_parts)
+    meta = dict(meta, sections=directory)
+    meta_bytes = json.dumps(meta, separators=(",", ":"), sort_keys=True).encode()
+    crc = zlib.crc32(payload, zlib.crc32(meta_bytes)) & 0xFFFFFFFF
+    header = _HEADER.pack(
+        WIRE_MAGIC, WIRE_VERSION, 0, crc, len(meta_bytes), len(payload)
+    )
+    return header + meta_bytes + payload
+
+
+def _unpack_blob(data: bytes) -> tuple[dict, dict[str, list]]:
+    """Validate and unpack a :func:`_pack_blob` blob; raises on any damage."""
+    check(isinstance(data, (bytes, bytearray, memoryview)), "wire payload must be bytes")
+    data = bytes(data)
+    check(
+        len(data) >= _HEADER.size,
+        f"wire payload truncated: {len(data)} bytes is shorter than the header",
+    )
+    magic, version, _flags, crc, meta_len, payload_len = _HEADER.unpack_from(data)
+    check(magic == WIRE_MAGIC, f"not a circuit-plan wire payload (magic {magic!r})")
+    check(
+        version == WIRE_VERSION,
+        f"unsupported wire version {version} (this build speaks {WIRE_VERSION})",
+    )
+    expected = _HEADER.size + meta_len + payload_len
+    check(
+        len(data) == expected,
+        f"wire payload truncated or padded: expected {expected} bytes, got {len(data)}",
+    )
+    meta_bytes = data[_HEADER.size : _HEADER.size + meta_len]
+    payload = data[_HEADER.size + meta_len :]
+    actual = zlib.crc32(payload, zlib.crc32(meta_bytes)) & 0xFFFFFFFF
+    check(actual == crc, "wire payload corrupt: checksum mismatch")
+    try:
+        meta = json.loads(meta_bytes)
+    except ValueError as exc:  # pragma: no cover - crc catches random damage
+        raise ReproError(f"wire metadata is not valid JSON: {exc}") from None
+    out: dict[str, list] = {}
+    for name, typecode, offset, nbytes in meta.pop("sections"):
+        check(typecode in _DTYPES, f"unknown wire section type {typecode!r}")
+        check(
+            0 <= offset and offset + nbytes <= len(payload),
+            f"wire section {name!r} overruns the payload",
+        )
+        out[name] = _values_from_bytes(typecode, payload[offset : offset + nbytes])
+    return meta, out
+
+
+def plan_to_bytes(compiled) -> bytes:
+    """Serialize a compiled circuit's batch plan to the versioned wire format.
+
+    Packs the four int32 CSR buffers, the per-gate level schedule
+    (:func:`repro.circuits.compiled.gate_levels` — redundant with the CSR
+    arrays, carried as an integrity check a receiver re-verifies), and the
+    ``size``/``output``/``n_vars`` metadata. The result is cached on the
+    compiled circuit, so repeated connections reuse one encoding.
+    """
+    compiled = _compiled.compile_circuit(compiled)
+    cached = compiled._wire_cache
+    if cached is None:
+        levels = _compiled.gate_levels(
+            compiled.kinds, compiled.offsets, compiled.indices
+        )
+        cached = _pack_blob(
+            {
+                "kind": "plan",
+                "size": compiled.size,
+                "output": compiled.output,
+                "n_vars": len(compiled.var_names),
+            },
+            [
+                ("kinds", "i", compiled.kinds),
+                ("offsets", "i", compiled.offsets),
+                ("indices", "i", compiled.indices),
+                ("var_slot", "i", compiled.var_slot),
+                ("levels", "i", levels),
+            ],
+        )
+        compiled._wire_cache = cached
+    return cached
+
+
+def plan_checksum(plan_bytes: bytes) -> str:
+    """Stable identifier of a wire plan (workers cache decoded plans by it)."""
+    return f"{zlib.crc32(plan_bytes) & 0xFFFFFFFF:08x}-{len(plan_bytes)}"
+
+
+class WirePlan:
+    """A circuit plan decoded from the wire, ready to evaluate shards.
+
+    Holds the CSR arrays as plain python lists (so a numpy-less worker can
+    interpret them) and lowers them to the level-scheduled
+    :class:`~repro.circuits.compiled._BatchPlan` on first use when numpy is
+    importable. The level schedule shipped in the payload is re-verified
+    against the CSR arrays on construction — a plan that decodes is a plan
+    that evaluates.
+    """
+
+    __slots__ = ("size", "output", "n_vars", "kinds", "offsets", "indices",
+                 "var_slot", "levels", "_plan")
+
+    def __init__(self, meta: dict, sections: dict[str, list]):
+        self.size = int(meta["size"])
+        self.output = int(meta["output"])
+        self.n_vars = int(meta["n_vars"])
+        for name in ("kinds", "offsets", "indices", "var_slot", "levels"):
+            check(name in sections, f"wire plan is missing the {name!r} section")
+            setattr(self, name, sections[name])
+        self._validate()
+        self._plan = None
+
+    def _validate(self) -> None:
+        size = self.size
+        check(size >= 1, "wire plan has no gates")
+        check(
+            len(self.kinds) == size
+            and len(self.var_slot) == size
+            and len(self.levels) == size
+            and len(self.offsets) == size + 1,
+            "wire plan sections disagree about the gate count",
+        )
+        check(0 <= self.output < size, "wire plan output gate out of range")
+        check(self.offsets[0] == 0 and self.offsets[-1] == len(self.indices),
+              "wire plan CSR offsets are inconsistent")
+        for pos in range(size):
+            check(
+                self.offsets[pos] <= self.offsets[pos + 1],
+                "wire plan CSR offsets are not monotone",
+            )
+            kind = self.kinds[pos]
+            check(0 <= kind <= _compiled.K_OR, f"wire plan has unknown gate kind {kind}")
+            if kind == _compiled.K_VAR:
+                check(
+                    0 <= self.var_slot[pos] < self.n_vars,
+                    "wire plan variable slot out of range",
+                )
+        for child in self.indices:
+            check(0 <= child < size, "wire plan gate input out of range")
+        expected = _compiled.gate_levels(self.kinds, self.offsets, self.indices)
+        check(
+            expected == list(self.levels),
+            "wire plan corrupt: level schedule does not match the CSR arrays",
+        )
+
+    # -- evaluation ------------------------------------------------------- #
+
+    def batch_plan(self):
+        """The level-scheduled numpy plan, built once; ``None`` without numpy."""
+        if numpy_module() is None:
+            return None
+        if self._plan is None:
+            self._plan = _compiled._BatchPlan(self)
+        return self._plan
+
+    def _interpret_row(self, slot_values, as_float: bool):
+        """One scalar bottom-up pass over the CSR arrays (numpy-less path)."""
+        kinds, offsets, indices, var_slot = (
+            self.kinds, self.offsets, self.indices, self.var_slot,
+        )
+        values: list = [0] * self.size
+        for pos in range(self.size):
+            kind = kinds[pos]
+            if kind == _compiled.K_VAR:
+                value = slot_values[var_slot[pos]]
+                value = float(value) if as_float else (1 if value else 0)
+            elif kind == _compiled.K_AND:
+                value = 1.0 if as_float else 1
+                for j in range(offsets[pos], offsets[pos + 1]):
+                    if as_float:
+                        value *= values[indices[j]]
+                    elif not values[indices[j]]:
+                        value = 0
+                        break
+            elif kind == _compiled.K_OR:
+                value = 0.0 if as_float else 0
+                for j in range(offsets[pos], offsets[pos + 1]):
+                    if as_float:
+                        value += values[indices[j]]
+                    elif values[indices[j]]:
+                        value = 1
+                        break
+            elif kind == _compiled.K_NOT:
+                child = values[indices[offsets[pos]]]
+                value = 1.0 - child if as_float else 1 - child
+            else:
+                value = float(kind) if as_float else kind  # K_TRUE==1, K_FALSE==0
+            values[pos] = value
+        return values[self.output]
+
+    def run_rows(self, rows, as_float: bool) -> list:
+        """Evaluate an iterable of slot-value rows, one output per row."""
+        rows = [list(row) for row in rows]  # copies rows drawn from shared buffers
+        plan = self.batch_plan()
+        if plan is not None:
+            np = numpy_module()
+            dtype = np.float64 if as_float else np.bool_
+            matrix = np.asarray(rows, dtype=dtype)
+            if matrix.ndim != 2:  # empty batch, or zero-variable circuit
+                matrix = matrix.reshape(len(rows), self.n_vars)
+            out = np.empty(matrix.shape[0], dtype=dtype)
+            plan.run_into(matrix, out, as_float)
+            return out.tolist()
+        return [self._interpret_row(row, as_float) for row in rows]
+
+    def mc_shard_hits(self, probs, seed: int, index: int, count: int) -> int:
+        """Hit count of one deterministic ``(seed, index, count)`` MC shard.
+
+        With numpy this is exactly
+        :func:`repro.circuits.parallel._mc_shard_hits` on the decoded plan —
+        bit-identical to the in-process and pool paths. Without numpy a
+        scalar loop with its own deterministic stream runs instead (same
+        estimator, different draws — matching the documented no-numpy tier).
+        """
+        np = numpy_module()
+        if np is not None:
+            probs32 = np.asarray(probs, dtype=np.float32)
+            return _parallel._mc_shard_hits(
+                np, self.batch_plan(), probs32, seed, index, count
+            )
+        import random
+
+        rng = random.Random((int(seed) << 32) ^ int(index))
+        hits = 0
+        row = [0] * self.n_vars
+        for _ in range(count):
+            for i, p in enumerate(probs):
+                row[i] = 1 if rng.random() < p else 0
+            if self._interpret_row(row, as_float=False):
+                hits += 1
+        return hits
+
+
+def plan_from_bytes(data: bytes) -> WirePlan:
+    """Decode, verify and lower a :func:`plan_to_bytes` payload.
+
+    Raises :class:`~repro.util.ReproError` for anything that is not a
+    byte-exact, current-version plan: wrong magic, unsupported version,
+    truncation, checksum mismatch, or internally inconsistent sections
+    (including a level schedule that disagrees with the CSR arrays).
+    """
+    meta, sections = _unpack_blob(data)
+    check(meta.get("kind") == "plan", "wire payload is not a circuit plan")
+    return WirePlan(meta, sections)
+
+
+def _tables_to_bytes(membership_rows, n_facts, probs, cumulative, total_weight):
+    """Pack Karp–Luby witness tables with the same framing as plans."""
+    flat = []
+    for row in membership_rows:
+        flat.extend(int(v) for v in row)
+    return _pack_blob(
+        {
+            "kind": "tables",
+            "n_witnesses": len(membership_rows),
+            "n_facts": n_facts,
+            "total_weight": float(total_weight),
+        },
+        [
+            ("membership", "i", flat),
+            ("probs", "d", probs),
+            ("cumulative", "d", cumulative),
+        ],
+    )
+
+
+class WireTables:
+    """Decoded Karp–Luby witness tables (membership matrix + weights)."""
+
+    __slots__ = ("n_witnesses", "n_facts", "total_weight", "membership",
+                 "probs", "cumulative")
+
+    def __init__(self, meta: dict, sections: dict[str, list]):
+        self.n_witnesses = int(meta["n_witnesses"])
+        self.n_facts = int(meta["n_facts"])
+        self.total_weight = float(meta["total_weight"])
+        check(
+            len(sections["membership"]) == self.n_witnesses * self.n_facts
+            and len(sections["probs"]) == self.n_facts
+            and len(sections["cumulative"]) == self.n_witnesses,
+            "wire tables sections disagree about their shape",
+        )
+        self.membership = sections["membership"]
+        self.probs = sections["probs"]
+        self.cumulative = sections["cumulative"]
+
+    def kl_shard_hits(self, seed: int, index: int, count: int) -> int:
+        np = numpy_module()
+        if np is not None:
+            membership = np.asarray(self.membership, dtype=np.int32).reshape(
+                self.n_witnesses, self.n_facts
+            )
+            return _parallel._kl_shard_hits(
+                np,
+                membership,
+                membership.sum(axis=1, dtype=np.int32),
+                np.asarray(self.probs, dtype=np.float64),
+                np.asarray(self.cumulative, dtype=np.float64),
+                self.total_weight,
+                seed,
+                index,
+                count,
+            )
+        import bisect
+        import random
+
+        rng = random.Random((int(seed) << 32) ^ int(index))
+        n_facts = self.n_facts
+        rows = [
+            self.membership[w * n_facts : (w + 1) * n_facts]
+            for w in range(self.n_witnesses)
+        ]
+        hits = 0
+        for _ in range(count):
+            chosen = min(
+                bisect.bisect_left(self.cumulative, rng.random() * self.total_weight),
+                self.n_witnesses - 1,
+            )
+            world = [1 if rng.random() < p else 0 for p in self.probs]
+            for i, member in enumerate(rows[chosen]):
+                if member:
+                    world[i] = 1
+            for w, row in enumerate(rows):
+                if all(world[i] for i, member in enumerate(row) if member):
+                    if w == chosen:
+                        hits += 1
+                    break
+        return hits
+
+
+def tables_from_bytes(data: bytes) -> WireTables:
+    meta, sections = _unpack_blob(data)
+    check(meta.get("kind") == "tables", "wire payload is not a witness table set")
+    return WireTables(meta, sections)
+
+
+# --------------------------------------------------------------------------- #
+# routing knob
+
+def _hosts_from_env() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_DISTRIBUTED_HOSTS", "")
+    hosts = []
+    for part in raw.replace(";", ",").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            _parse_hostport(part)
+        except ReproError:
+            return ()  # one malformed entry disables the knob rather than half-working
+        hosts.append(part)
+    return tuple(hosts)
+
+
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    host, sep, port = str(spec).strip().rpartition(":")
+    check(bool(sep) and bool(host), f"host spec {spec!r} is not host:port")
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise ReproError(f"host spec {spec!r} has a non-integer port") from None
+    check(0 < port_number < 65536, f"host spec {spec!r} port out of range")
+    return host, port_number
+
+
+_HOSTS: tuple[str, ...] = _hosts_from_env()
+
+
+def distributed_hosts() -> tuple[str, ...]:
+    """The process-wide worker host list (empty = stay local, the default)."""
+    return _HOSTS
+
+
+def set_distributed_hosts(hosts) -> None:
+    """Set the process-wide host list.
+
+    Accepts ``None`` (clear), a comma-separated ``"host:port,host:port"``
+    string, or an iterable of ``host:port`` strings; every entry is
+    validated up front.
+    """
+    global _HOSTS
+    if hosts is None:
+        _HOSTS = ()
+        return
+    if isinstance(hosts, str):
+        hosts = [part for part in hosts.replace(";", ",").split(",") if part.strip()]
+    normalized = []
+    for spec in hosts:
+        _parse_hostport(spec)
+        normalized.append(str(spec).strip())
+    _HOSTS = tuple(normalized)
+
+
+@contextmanager
+def distributed_hosts_set(hosts):
+    """Scope a :func:`set_distributed_hosts` change, restoring the previous."""
+    previous = _HOSTS
+    set_distributed_hosts(hosts)
+    try:
+        yield
+    finally:
+        set_distributed_hosts(previous)
+
+
+def effective_hosts(hosts) -> tuple[str, ...]:
+    """Resolve a per-call ``hosts`` argument against the process-wide knob.
+
+    ``None`` defers to :func:`distributed_hosts`; an explicit empty list (or
+    ``()``) forces local execution regardless of the knob.
+    """
+    if hosts is None:
+        return _HOSTS
+    if isinstance(hosts, str):
+        hosts = [part for part in hosts.replace(";", ",").split(",") if part.strip()]
+    return tuple(str(spec).strip() for spec in hosts)
+
+
+def should_distribute(n_rows: int, hosts=None) -> bool:
+    """Whether a matrix batch of ``n_rows`` should go over the wire."""
+    return bool(effective_hosts(hosts)) and n_rows >= _parallel.PARALLEL_MIN_ROWS
+
+
+_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message + " (warning once per process)", RuntimeWarning, stacklevel=3)
+
+
+# --------------------------------------------------------------------------- #
+# protocol framing
+
+MSG_HELLO = 1
+MSG_PLAN = 2
+MSG_TABLES = 3
+MSG_TASK = 4
+MSG_RESULT = 5
+MSG_ERROR = 6
+MSG_SHUTDOWN = 7
+
+#: Seconds allowed for a TCP connect + handshake before a host is skipped.
+CONNECT_TIMEOUT = 5.0
+
+#: Upper bound on one matrix shard's payload, so a frame always fits the
+#: uint32 length prefix with room to spare and workers never buffer more
+#: than this per task.
+MAX_SHARD_BYTES = 1 << 26
+
+
+async def _send_message(writer, kind: int, meta: dict, blob: bytes = b"") -> None:
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode()
+    payload = struct.pack("<BI", kind, len(meta_bytes)) + meta_bytes + blob
+    check(
+        len(payload) <= MAX_FRAME_BYTES,
+        f"protocol frame of {len(payload)} bytes exceeds the wire limit",
+    )
+    writer.write(struct.pack("<I", len(payload)) + payload)
+    await writer.drain()
+
+
+async def _read_message(reader) -> tuple[int, dict, bytes]:
+    raw = await reader.readexactly(4)
+    (length,) = struct.unpack("<I", raw)
+    if not 5 <= length <= MAX_FRAME_BYTES:
+        raise ReproError(f"protocol frame length {length} out of bounds")
+    payload = await reader.readexactly(length)
+    kind, meta_len = struct.unpack_from("<BI", payload)
+    if 5 + meta_len > length:
+        raise ReproError("protocol frame header overruns the frame")
+    meta = json.loads(payload[5 : 5 + meta_len])
+    return kind, meta, payload[5 + meta_len :]
+
+
+#: Exceptions that mean "this connection is gone", triggering a shard retry.
+_CONNECTION_ERRORS = (
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+    TimeoutError,
+    OSError,
+)
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+
+_WORKER_CACHE_LIMIT = 8
+
+
+class WorkerServer:
+    """The worker side of the protocol: serve shards over localhost/TCP.
+
+    One instance serves any number of coordinator connections; decoded
+    plans and witness tables are cached per process by checksum, so a
+    coordinator reconnecting (or several coordinators sharing one circuit)
+    pays the decode once. ``max_tasks`` is a fault-injection hook for tests
+    and drills: the process dies abruptly (``os._exit``) when asked to run
+    task ``max_tasks + 1``, simulating a mid-run crash.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_tasks: int | None = None):
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced by the bound port on start
+        self.max_tasks = max_tasks
+        self._executed = 0
+        self._plans: dict[str, WirePlan] = {}
+        self._tables: dict[str, WireTables] = {}
+        self._server = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _cache_put(self, cache: dict, key: str, value) -> None:
+        while len(cache) >= _WORKER_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            await _send_message(
+                writer, MSG_HELLO,
+                {"version": WIRE_VERSION, "pid": os.getpid(),
+                 "numpy": numpy_module() is not None},
+            )
+            while True:
+                kind, meta, blob = await _read_message(reader)
+                if kind == MSG_SHUTDOWN:
+                    break
+                if kind == MSG_PLAN:
+                    key = meta["checksum"]
+                    if key not in self._plans:
+                        self._cache_put(self._plans, key, plan_from_bytes(blob))
+                elif kind == MSG_TABLES:
+                    key = meta["checksum"]
+                    if key not in self._tables:
+                        self._cache_put(self._tables, key, tables_from_bytes(blob))
+                elif kind == MSG_TASK:
+                    if self.max_tasks is not None and self._executed >= self.max_tasks:
+                        os._exit(17)  # fault injection: die instead of answering
+                    self._executed += 1
+                    try:
+                        rmeta, rblob = self._execute(meta, blob)
+                    except Exception as exc:  # noqa: BLE001 - reported to coordinator
+                        await _send_message(
+                            writer, MSG_ERROR,
+                            {"id": meta.get("id"),
+                             "message": f"{type(exc).__name__}: {exc}"},
+                        )
+                    else:
+                        await _send_message(writer, MSG_RESULT, rmeta, rblob)
+                else:
+                    raise ReproError(f"unexpected protocol message kind {kind}")
+        except _CONNECTION_ERRORS:
+            pass  # coordinator went away; nothing to answer
+        except ReproError:
+            pass  # malformed stream; drop the connection
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except _CONNECTION_ERRORS:  # pragma: no cover - teardown race
+                pass
+
+    def _execute(self, meta: dict, blob: bytes) -> tuple[dict, bytes]:
+        op = meta["op"]
+        task_id = meta["id"]
+        if op == "mc":
+            plan = self._plans.get(meta["plan"])
+            check(plan is not None, "task references a plan this worker never got")
+            probs = _values_from_bytes("f", blob)
+            hits = plan.mc_shard_hits(probs, meta["seed"], meta["index"], meta["count"])
+            return {"id": task_id, "hits": hits}, b""
+        if op == "kl":
+            tables = self._tables.get(meta["tables"])
+            check(tables is not None, "task references tables this worker never got")
+            hits = tables.kl_shard_hits(meta["seed"], meta["index"], meta["count"])
+            return {"id": task_id, "hits": hits}, b""
+        if op == "eval":
+            plan = self._plans.get(meta["plan"])
+            check(plan is not None, "task references a plan this worker never got")
+            as_float = bool(meta["as_float"])
+            rows = int(meta["rows"])
+            itemsize = 8 if as_float else 1
+            check(
+                len(blob) == rows * plan.n_vars * itemsize,
+                "eval task blob does not match its row count",
+            )
+            np = numpy_module()
+            if np is not None:
+                dtype = np.float64 if as_float else np.bool_
+                matrix = np.frombuffer(blob, dtype=dtype).reshape(rows, plan.n_vars)
+                out = np.empty(rows, dtype=dtype)
+                plan.batch_plan().run_into(matrix, out, as_float)
+                return {"id": task_id}, out.tobytes()
+            values = (
+                _values_from_bytes("d", blob)
+                if as_float
+                else [1 if b else 0 for b in blob]
+            )
+            n = plan.n_vars
+            out_rows = plan.run_rows(
+                [values[r * n : (r + 1) * n] for r in range(rows)], as_float
+            )
+            if as_float:
+                return {"id": task_id}, _values_to_bytes("d", out_rows)
+            return {"id": task_id}, bytes(1 if v else 0 for v in out_rows)
+        raise ReproError(f"unknown distributed task op {op!r}")
+
+
+class LocalWorker:
+    """A ``repro serve`` worker subprocess spawned by :func:`spawn_local_worker`."""
+
+    __slots__ = ("process", "host", "port")
+
+    def __init__(self, process, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def wait_dead(self, timeout: float = 10.0) -> int:
+        """Block until the process exits; returns its exit code."""
+        return self.process.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        """Terminate the worker and reap it (idempotent, escalates to kill)."""
+        import subprocess
+
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def spawn_local_worker(max_tasks: int | None = None,
+                       startup_timeout: float = 30.0) -> LocalWorker:
+    """Start a localhost shard worker subprocess and wait until it is ready.
+
+    Runs ``python -m repro serve --port 0`` (the OS picks the port, so any
+    number can coexist) with this process's ``repro`` package on the
+    child's path, and blocks until the worker prints its
+    ``repro-worker listening on host:port`` readiness line. The caller owns
+    teardown (:meth:`LocalWorker.stop`). Tests and benchmarks share this
+    one implementation of the spawn/readiness/teardown dance; ``max_tasks``
+    passes the fault-injection hook through.
+    """
+    import re
+    import subprocess
+    import time
+    from pathlib import Path
+
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    if max_tasks is not None:
+        command += ["--max-tasks", str(max_tasks)]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + startup_timeout
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"listening on ([\w.\-]+):(\d+)", line)
+        if match:
+            return LocalWorker(process, match.group(1), int(match.group(2)))
+    process.kill()
+    process.wait(timeout=5.0)
+    raise ReproError(f"worker never became ready (last output: {line!r})")
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side
+
+async def _open_worker(hostport: str, payloads):
+    host, port = _parse_hostport(hostport)
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), CONNECT_TIMEOUT
+    )
+    try:
+        kind, meta, _blob = await asyncio.wait_for(
+            _read_message(reader), CONNECT_TIMEOUT
+        )
+        if kind != MSG_HELLO or meta.get("version") != WIRE_VERSION:
+            raise ReproError(
+                f"worker {hostport} speaks protocol "
+                f"{meta.get('version')!r}, not {WIRE_VERSION}"
+            )
+        for msg_kind, msg_meta, msg_blob in payloads:
+            await _send_message(writer, msg_kind, msg_meta, msg_blob)
+    except BaseException:
+        writer.close()
+        raise
+    return reader, writer
+
+
+async def _coordinate(hosts, payloads, tasks, results: dict) -> None:
+    """Pump ``tasks`` over every reachable host; fill ``results`` by id.
+
+    Hosts are connected **concurrently** (one slow or blackholed host costs
+    one ``CONNECT_TIMEOUT`` overall, not one per host); each connection
+    gets the plan/tables payloads once, then tasks one at a time. A task's
+    ``blob`` may be a zero-argument callable, built only at send time, so
+    big matrix shards never exist all at once. A connection failure — or a
+    worker *refusing* a shard with ``MSG_ERROR`` — requeues the in-flight
+    shard for the next worker and drops that connection (retried result
+    values are deterministic, so a shard that was silently completed before
+    a disconnect re-executes to the same answer); tasks still unassigned
+    when every connection has failed are left for the caller's local
+    fallback, which also surfaces any real per-shard error. Results land
+    keyed by task id, so no shard can be counted twice and the merge order
+    is the caller's.
+    """
+    from collections import deque
+
+    queue = deque(range(len(tasks)))
+    attempts = await asyncio.gather(
+        *(_open_worker(hostport, payloads) for hostport in hosts),
+        return_exceptions=True,
+    )
+    connections = []
+    for hostport, outcome in zip(hosts, attempts):
+        if isinstance(outcome, BaseException):
+            if not isinstance(outcome, _CONNECTION_ERRORS + (ReproError,)):
+                raise outcome
+            _warn_once(
+                f"connect:{hostport}",
+                f"distributed worker {hostport} unreachable ({outcome}); "
+                "continuing without it",
+            )
+        else:
+            connections.append(outcome)
+    if not connections:
+        return
+
+    async def pump(reader, writer) -> None:
+        while True:
+            try:
+                slot = queue.popleft()
+            except IndexError:
+                break
+            task_id, meta, blob = tasks[slot]
+            if task_id in results:
+                continue
+            try:
+                payload = blob() if callable(blob) else blob
+                await _send_message(writer, MSG_TASK, meta, payload)
+                kind, rmeta, rblob = await _read_message(reader)
+            except _CONNECTION_ERRORS:
+                queue.appendleft(slot)  # retried elsewhere, or locally
+                _warn_once(
+                    "worker-died",
+                    "a distributed worker disconnected mid-run; its shard "
+                    "was requeued",
+                )
+                return
+            if kind != MSG_RESULT or rmeta.get("id") != task_id:
+                # MSG_ERROR (e.g. a cache-evicted plan on a shared worker)
+                # or a mismatched stream: this worker cannot run the shard,
+                # but another one — or the local fallback — can.
+                queue.appendleft(slot)
+                detail = rmeta.get("message") if kind == MSG_ERROR else "bad reply"
+                _warn_once(
+                    "worker-refused",
+                    f"a distributed worker refused a shard ({detail}); "
+                    "it was requeued",
+                )
+                return
+            results[task_id] = (rmeta, rblob)
+        try:
+            await _send_message(writer, MSG_SHUTDOWN, {})
+        except _CONNECTION_ERRORS:  # pragma: no cover - worker already gone
+            pass
+
+    outcomes = await asyncio.gather(
+        *(pump(reader, writer) for reader, writer in connections),
+        return_exceptions=True,
+    )
+    for reader, writer in connections:
+        try:
+            writer.close()
+        except _CONNECTION_ERRORS:  # pragma: no cover - teardown race
+            pass
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            raise outcome
+
+
+def _run_distributed(hosts, payloads, tasks, run_local) -> list:
+    """Execute wire tasks over ``hosts``, completing any remainder locally.
+
+    ``tasks`` is ``[(task_id, meta, blob), ...]`` (``blob`` may be a
+    callable, materialized per send); returns the per-task
+    ``(result_meta, result_blob)`` pairs in task order — the deterministic
+    merge order — regardless of which host (or the local fallback) ran each
+    shard. Never loses a shard: anything the workers did not finish is
+    evaluated in-process through ``run_local(meta)``. Safe to call from a
+    thread that is itself inside an event loop: coordination then runs on a
+    private loop in a helper thread instead of ``asyncio.run`` (which would
+    refuse to nest).
+    """
+    results: dict = {}
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        asyncio.run(_coordinate(hosts, payloads, tasks, results))
+    else:
+        import threading
+
+        failure: list[BaseException] = []
+
+        def _runner() -> None:
+            try:
+                asyncio.run(_coordinate(hosts, payloads, tasks, results))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failure.append(exc)
+
+        thread = threading.Thread(target=_runner, daemon=True)
+        thread.start()
+        thread.join()
+        if failure:
+            raise failure[0]
+    for task_id, meta, _blob in tasks:
+        if task_id not in results:
+            results[task_id] = run_local(meta)
+    return [results[task_id] for task_id, _meta, _blob in tasks]
+
+
+# --------------------------------------------------------------------------- #
+# entry points
+
+def _plan_payload(compiled) -> tuple[bytes, str]:
+    plan_bytes = plan_to_bytes(compiled)
+    return plan_bytes, plan_checksum(plan_bytes)
+
+
+def monte_carlo_hits(compiled, marginals, samples: int, seed: int = 0,
+                     hosts=None, workers: int | None = None) -> int:
+    """Monte-Carlo hit count, fanned out over distributed workers.
+
+    The ``hosts=`` layer above :func:`repro.circuits.parallel.monte_carlo_hits`:
+    the same ``(seed, shard_index, count)`` shard decomposition is streamed
+    to remote workers that rebuilt the plan from its wire form, and the
+    per-shard hit counts are summed in shard order — bit-identical to the
+    in-process and pool paths for a fixed seed. With no effective hosts the
+    call simply defers to the pool entry point (honouring ``workers=``).
+    """
+    hosts = effective_hosts(hosts)
+    if not hosts:
+        return _parallel.monte_carlo_hits(
+            compiled, marginals, samples, seed=seed, workers=workers
+        )
+    check(samples > 0, "need at least one sample")
+    compiled = _compiled.compile_circuit(compiled)
+    seed = 0 if seed is None else int(seed)
+    probs_blob = _values_to_bytes("f", list(marginals))
+    plan_bytes, checksum = _plan_payload(compiled)
+    decoded = plan_from_bytes(plan_bytes)  # local shards run the same wire plan
+
+    tasks = [
+        (
+            slot,
+            {"id": slot, "op": "mc", "plan": checksum,
+             "seed": seed, "index": index, "count": count},
+            probs_blob,
+        )
+        for slot, (index, count) in enumerate(_parallel._sample_shards(samples))
+    ]
+
+    def run_local(meta):
+        probs = _values_from_bytes("f", probs_blob)
+        hits = decoded.mc_shard_hits(probs, meta["seed"], meta["index"], meta["count"])
+        return {"hits": hits}, b""
+
+    results = _run_distributed(
+        hosts, [(MSG_PLAN, {"checksum": checksum}, plan_bytes)], tasks, run_local
+    )
+    return sum(int(meta["hits"]) for meta, _blob in results)
+
+
+def karp_luby_hits(membership, probs, weights, samples: int, seed: int = 0,
+                   hosts=None, workers: int | None = None) -> int:
+    """Karp–Luby trial count over distributed workers (see
+    :func:`repro.circuits.parallel.karp_luby_hits` for the semantics)."""
+    hosts = effective_hosts(hosts)
+    if not hosts:
+        return _parallel.karp_luby_hits(
+            membership, probs, weights, samples, seed=seed, workers=workers
+        )
+    check(samples > 0, "need at least one sample")
+    seed = 0 if seed is None else int(seed)
+    membership_rows = [list(row) for row in membership]
+    n_facts = len(membership_rows[0]) if membership_rows else 0
+    probs_list = [float(p) for p in probs]
+    cumulative = []
+    total = 0.0
+    for weight in weights:
+        total += float(weight)
+        cumulative.append(total)
+    tables_bytes = _tables_to_bytes(
+        membership_rows, n_facts, probs_list, cumulative, total
+    )
+    checksum = plan_checksum(tables_bytes)
+    decoded = tables_from_bytes(tables_bytes)
+
+    tasks = [
+        (
+            slot,
+            {"id": slot, "op": "kl", "tables": checksum,
+             "seed": seed, "index": index, "count": count},
+            b"",
+        )
+        for slot, (index, count) in enumerate(_parallel._sample_shards(samples))
+    ]
+
+    def run_local(meta):
+        return {"hits": decoded.kl_shard_hits(
+            meta["seed"], meta["index"], meta["count"]
+        )}, b""
+
+    results = _run_distributed(
+        hosts, [(MSG_TABLES, {"checksum": checksum}, tables_bytes)], tasks, run_local
+    )
+    return sum(int(meta["hits"]) for meta, _blob in results)
+
+
+def _distributed_matrix_pass(compiled, matrix, as_float: bool, hosts):
+    np = numpy_module()
+    check(np is not None, "distributed matrix passes require numpy")
+    hosts = effective_hosts(hosts)
+    compiled = _compiled.compile_circuit(compiled)
+    dtype = np.float64 if as_float else np.bool_
+    matrix = np.ascontiguousarray(matrix, dtype=dtype)
+    check(
+        matrix.ndim == 2 and matrix.shape[1] == len(compiled.var_names),
+        f"world matrix must be (n, {len(compiled.var_names)}), got {matrix.shape}",
+    )
+    n_rows = matrix.shape[0]
+    out = np.empty(n_rows, dtype=dtype)
+    if n_rows == 0:
+        return out
+    if not hosts:
+        compiled.batch_plan().run_into(matrix, out, as_float)
+        return out
+    plan_bytes, checksum = _plan_payload(compiled)
+    # Shard by host count, then re-split so no single shard's payload can
+    # exceed MAX_SHARD_BYTES: frames stay far under the wire limit and a
+    # worker never buffers more than one bounded slice. Blobs are callables
+    # materialized per send, so the matrix is never duplicated wholesale.
+    row_bytes = max(1, int(matrix.shape[1]) * matrix.dtype.itemsize)
+    max_rows = max(1, MAX_SHARD_BYTES // row_bytes)
+    shards: list[tuple[int, int]] = []
+    for start, end in _parallel._row_shards(n_rows, max(1, len(hosts))):
+        for split in range(start, end, max_rows):
+            shards.append((split, min(split + max_rows, end)))
+    tasks = [
+        (
+            slot,
+            {"id": slot, "op": "eval", "plan": checksum, "as_float": as_float,
+             "start": start, "rows": end - start},
+            (lambda start=start, end=end: matrix[start:end].tobytes()),
+        )
+        for slot, (start, end) in enumerate(shards)
+    ]
+
+    def run_local(meta):
+        start = meta["start"]
+        rows = meta["rows"]
+        shard_out = np.empty(rows, dtype=dtype)
+        compiled.batch_plan().run_into(matrix[start : start + rows], shard_out, as_float)
+        return meta, shard_out.tobytes()
+
+    results = _run_distributed(
+        hosts, [(MSG_PLAN, {"checksum": checksum}, plan_bytes)], tasks, run_local
+    )
+    for (slot, meta, _blob), (rmeta, rblob) in zip(tasks, results):
+        start = meta["start"]
+        rows = meta["rows"]
+        check(
+            len(rblob) == rows * out.dtype.itemsize,
+            "distributed eval result has the wrong length",
+        )
+        out[start : start + rows] = np.frombuffer(rblob, dtype=dtype)
+    return out
+
+
+def evaluate_batch_distributed(compiled, matrix, hosts=None):
+    """Boolean batch evaluation with row shards streamed to remote workers.
+
+    The stage-5 analogue of
+    :func:`repro.circuits.parallel.evaluate_batch_sharded`: same kernels on
+    the same rows (after a wire round trip of the plan), so the result is
+    bit-identical to the local paths. With no effective hosts the pass runs
+    in-process.
+    """
+    return _distributed_matrix_pass(compiled, matrix, as_float=False, hosts=hosts)
+
+
+def probability_batch_distributed(compiled, matrix, hosts=None):
+    """The Theorem-1 float pass with row shards streamed to remote workers."""
+    return _distributed_matrix_pass(compiled, matrix, as_float=True, hosts=hosts)

@@ -47,6 +47,13 @@ from repro.circuits.compiled import (
     compile_circuit,
 )
 from repro.circuits.compiled import numpy_available
+from repro.circuits.distributed import (  # noqa: F401 - re-exported knobs
+    distributed_hosts,
+    distributed_hosts_set,
+    plan_from_bytes,
+    plan_to_bytes,
+    set_distributed_hosts,
+)
 from repro.circuits.parallel import (  # noqa: F401 - re-exported knobs
     parallel_available,
     parallel_workers,
@@ -64,14 +71,16 @@ def capabilities() -> dict:
     """Execution capabilities of this install, for CLI/test introspection.
 
     Reports whether the numpy batch kernels and the sharded multi-process
-    backend are importable, the current ``parallel_workers`` knob, and the
-    visible CPU count — everything a caller needs to decide how to run a
-    large workload (engines are listed by :func:`available_engines`).
+    backend are importable, the current ``parallel_workers`` and
+    ``distributed_hosts`` knobs, and the visible CPU count — everything a
+    caller needs to decide how to run a large workload (engines are listed
+    by :func:`available_engines`).
     """
     return {
         "numpy": numpy_available(),
         "parallel": parallel_available(),
         "parallel_workers": parallel_workers(),
+        "distributed_hosts": list(distributed_hosts()),
         "cpu_count": os.cpu_count() or 1,
     }
 

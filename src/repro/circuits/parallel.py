@@ -139,6 +139,34 @@ def should_shard(n_rows: int, workers: int | None = None) -> bool:
     return n_rows >= PARALLEL_MIN_ROWS and _effective_workers(workers) >= 2
 
 
+_SERIAL_FALLBACK_WARNED = False
+
+
+def warn_serial_fallback(message: str, stacklevel: int = 4) -> None:
+    """Warn that a parallel tier degraded to a slower one — once per process.
+
+    Large runs hit the degraded path on *every* batch (a dead pool stays
+    dead until the next rebuild), so a per-call warning used to flood the
+    output; the first occurrence carries all the signal. Tests reset the
+    latch via :func:`reset_serial_fallback_warning`.
+    """
+    global _SERIAL_FALLBACK_WARNED
+    if _SERIAL_FALLBACK_WARNED:
+        return
+    _SERIAL_FALLBACK_WARNED = True
+    import warnings
+
+    warnings.warn(
+        message + " (warning once per process)", RuntimeWarning, stacklevel=stacklevel
+    )
+
+
+def reset_serial_fallback_warning() -> None:
+    """Re-arm :func:`warn_serial_fallback` (test isolation hook)."""
+    global _SERIAL_FALLBACK_WARNED
+    _SERIAL_FALLBACK_WARNED = False
+
+
 # --------------------------------------------------------------------------- #
 # shared-memory segments
 

@@ -2,18 +2,27 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E14
+    python -m repro list                # list experiments E1..E15
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run E14 --workers 4 # sharded evaluation on 4 processes
     python -m repro run all             # print every table (long)
     python -m repro engines             # engines + batch/parallel backends
     python -m repro paper               # one-line paper identification
+    python -m repro serve --port 7761   # become a distributed shard worker
+    python -m repro dist-eval --hosts 127.0.0.1:7761,127.0.0.1:7762
 
 ``--workers`` scopes the process-wide ``parallel_workers`` knob (see
 :mod:`repro.circuits.parallel`) to the run, exactly like ``--engine``
 scopes the forced engine; ``--workers 0`` forces the single-process
-kernels even when ``REPRO_PARALLEL_WORKERS`` is set.
+kernels even when ``REPRO_PARALLEL_WORKERS`` is set. ``--hosts`` scopes
+the ``distributed_hosts`` knob the same way, routing big batches and both
+sampling baselines over TCP to ``repro serve`` workers
+(:mod:`repro.circuits.distributed`). The ``repro-worker`` console script
+is the same CLI with ``serve`` as its natural home: start N of those, hand
+their ``host:port`` list to one coordinating process, and a single
+Monte-Carlo or batch-probability run fans out across all of them with
+bit-identical results.
 
 The experiment implementations live in ``benchmarks/bench_*.py``; each has a
 ``main()`` printing its table. This CLI locates them relative to the
@@ -44,6 +53,7 @@ EXPERIMENTS = {
     "E12": ("bench_hybrid", "Partial decompositions: exact tentacles + sampled core"),
     "E13": ("bench_compiled_eval", "Compiled circuit IR vs object-graph evaluation"),
     "E14": ("bench_parallel_eval", "Sharded multi-process vs single-process batch eval"),
+    "E15": ("bench_distributed_eval", "Distributed shard execution over localhost workers"),
 }
 
 
@@ -78,16 +88,27 @@ def command_list() -> None:
 
 
 def command_run(
-    target: str, engine: str | None = None, workers: int | None = None
+    target: str,
+    engine: str | None = None,
+    workers: int | None = None,
+    hosts: str | None = None,
 ) -> None:
-    """Run one experiment (or 'all'), optionally forcing an engine or workers.
+    """Run one experiment (or 'all'), optionally forcing an engine or backend.
 
     The forced engine is scoped to the run with
-    :func:`repro.circuits.engine_forced` and the worker count with
-    :func:`repro.circuits.parallel_workers_set`, so embedding callers
-    (tests, the REPL) cannot leak either override into later evaluations.
+    :func:`repro.circuits.engine_forced`, the worker count with
+    :func:`repro.circuits.parallel_workers_set`, and the distributed host
+    list with :func:`repro.circuits.distributed_hosts_set`, so embedding
+    callers (tests, the REPL) cannot leak any override into later
+    evaluations.
     """
-    from repro.circuits import available_engines, engine_forced, parallel_workers_set
+    from repro.circuits import (
+        available_engines,
+        distributed_hosts_set,
+        engine_forced,
+        parallel_workers_set,
+    )
+    from repro.util import ReproError
 
     if engine is not None and engine not in available_engines():
         raise SystemExit(
@@ -96,19 +117,29 @@ def command_run(
         )
     if workers is not None and workers < 0:
         raise SystemExit(f"--workers must be >= 0, got {workers}")
+    if hosts is not None:
+        from repro.circuits.distributed import _parse_hostport
+
+        try:
+            for spec in hosts.replace(";", ",").split(","):
+                if spec.strip():
+                    _parse_hostport(spec)
+        except ReproError as exc:
+            raise SystemExit(f"--hosts: {exc}") from None
     targets = list(EXPERIMENTS) if target.lower() == "all" else [target.upper()]
     for exp_id in targets:
         if exp_id not in EXPERIMENTS:
             raise SystemExit(
-                f"unknown experiment {exp_id!r}; use 'list' to see E1..E14"
+                f"unknown experiment {exp_id!r}; use 'list' to see E1..E15"
             )
     with engine_forced(engine) if engine is not None else nullcontext():
         with parallel_workers_set(workers) if workers is not None else nullcontext():
-            for exp_id in targets:
-                module_name, _description = EXPERIMENTS[exp_id]
-                print()
-                _load_main(module_name)()
-                print()
+            with distributed_hosts_set(hosts) if hosts is not None else nullcontext():
+                for exp_id in targets:
+                    module_name, _description = EXPERIMENTS[exp_id]
+                    print()
+                    _load_main(module_name)()
+                    print()
 
 
 def command_engines() -> None:
@@ -142,6 +173,13 @@ def command_engines() -> None:
         )
     else:
         print("sharded multi-process backend: unavailable (needs numpy + shared memory)")
+    hosts = caps["distributed_hosts"]
+    if hosts:
+        print(f"distributed backend: routing to {len(hosts)} host(s): "
+              + ", ".join(hosts))
+    else:
+        print("distributed backend: off (no hosts; set REPRO_DISTRIBUTED_HOSTS "
+              "or --hosts, start workers with 'repro serve')")
 
 
 def command_paper() -> None:
@@ -152,6 +190,84 @@ def command_paper() -> None:
     )
 
 
+def command_serve(
+    host: str = "127.0.0.1", port: int = 0, max_tasks: int | None = None
+) -> None:
+    """Run a distributed shard worker until interrupted.
+
+    Listens on ``host:port`` (port 0 picks an ephemeral one), prints a
+    single ``repro-worker listening on host:port`` readiness line, and then
+    serves shard tasks from any coordinator that connects (see
+    :mod:`repro.circuits.distributed`). ``--max-tasks`` is the
+    fault-injection hook used by the test suite and resilience drills: the
+    process dies abruptly when asked to run one task more.
+    """
+    import asyncio
+
+    from repro.circuits.distributed import WorkerServer
+
+    async def _serve() -> None:
+        server = WorkerServer(host=host, port=port, max_tasks=max_tasks)
+        await server.start()
+        print(f"repro-worker listening on {server.host}:{server.port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+
+
+def command_dist_eval(
+    hosts: str | None = None, samples: int = 100_000, seed: int = 0
+) -> None:
+    """One distributed Monte-Carlo run, checked against the local estimate.
+
+    The smallest end-to-end proof of the stage-5 pipeline: build the R–S–T
+    chain lineage, serialize the plan, fan the sample shards out to
+    ``--hosts``, and assert the merged estimate is bit-identical to the
+    in-process one. With no hosts the run stays local and says so.
+    """
+    from repro.circuits import compile_circuit, distributed_hosts
+    from repro.circuits import distributed, parallel
+    from repro.circuits.compiled import numpy_module
+    from repro.core import build_lineage
+    from repro.queries import atom, cq, variables
+    from repro.util import ReproError
+    from repro.workloads import rst_chain_tid
+
+    if numpy_module() is None:
+        raise SystemExit("dist-eval needs numpy (the batch kernels) on this host")
+    host_list = distributed.effective_hosts(hosts)
+    x, y = variables("x", "y")
+    query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+    tid = rst_chain_tid(60, probability=0.15, seed=0)
+    compiled = compile_circuit(build_lineage(tid.instance, query).circuit)
+    space = tid.event_space()
+    marginals = [space.probability(n) for n in compiled.variables()]
+    plan_bytes = compiled.wire_bytes()
+    print(f"lineage circuit: {compiled.size} gates, "
+          f"{len(compiled.variables())} variables; wire plan {len(plan_bytes)} bytes")
+    local_hits = parallel.monte_carlo_hits(compiled, marginals, samples, seed=seed)
+    print(f"in-process estimate:  {local_hits / samples:.6f} "
+          f"({local_hits}/{samples} hits)")
+    if not host_list:
+        print("no --hosts given (and REPRO_DISTRIBUTED_HOSTS unset) — "
+              "start workers with 'repro serve' to distribute this run")
+        return
+    try:
+        remote_hits = distributed.monte_carlo_hits(
+            compiled, marginals, samples, seed=seed, hosts=host_list
+        )
+    except ReproError as exc:
+        raise SystemExit(f"distributed run failed: {exc}") from None
+    print(f"distributed estimate: {remote_hits / samples:.6f} "
+          f"across {len(host_list)} host(s)")
+    if remote_hits != local_hits:
+        raise SystemExit("distributed estimate diverged from the local one")
+    print("bit-identical with the in-process estimate — determinism verified")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -160,7 +276,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     run = sub.add_parser("run", help="run an experiment table")
-    run.add_argument("experiment", help="experiment id (E1..E13) or 'all'")
+    run.add_argument("experiment", help="experiment id (E1..E15) or 'all'")
     run.add_argument(
         "--engine",
         default=None,
@@ -174,17 +290,78 @@ def main(argv: list[str] | None = None) -> int:
         help="shard batch evaluation across this many worker processes for "
         "the run (0 forces single-process; default: REPRO_PARALLEL_WORKERS)",
     )
+    run.add_argument(
+        "--hosts",
+        default=None,
+        help="route big batches and sampling to these 'host:port,host:port' "
+        "distributed workers for the run (default: REPRO_DISTRIBUTED_HOSTS)",
+    )
     sub.add_parser("engines", help="show evaluation engines and batch backend")
     sub.add_parser("paper", help="identify the reproduced paper")
+    _add_worker_parsers(sub)
     args = parser.parse_args(argv)
     if args.command == "list":
         command_list()
     elif args.command == "run":
-        command_run(args.experiment, engine=args.engine, workers=args.workers)
+        command_run(
+            args.experiment, engine=args.engine, workers=args.workers,
+            hosts=args.hosts,
+        )
     elif args.command == "engines":
         command_engines()
     elif args.command == "paper":
         command_paper()
+    elif args.command == "serve":
+        command_serve(host=args.host, port=args.port, max_tasks=args.max_tasks)
+    elif args.command == "dist-eval":
+        command_dist_eval(hosts=args.hosts, samples=args.samples, seed=args.seed)
+    return 0
+
+
+def _add_worker_parsers(sub) -> None:
+    """The ``serve`` / ``dist-eval`` subcommands, shared with ``repro-worker``."""
+    serve = sub.add_parser("serve", help="run a distributed shard worker")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (0 = ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="fault-injection hook: crash when asked to run one more task",
+    )
+    dist = sub.add_parser(
+        "dist-eval", help="run one distributed Monte-Carlo evaluation"
+    )
+    dist.add_argument(
+        "--hosts", default=None,
+        help="'host:port,host:port' worker list "
+        "(default: REPRO_DISTRIBUTED_HOSTS)",
+    )
+    dist.add_argument("--samples", type=int, default=100_000)
+    dist.add_argument("--seed", type=int, default=0)
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-worker`` console script.
+
+    The same parser as ``python -m repro`` restricted to the distributed
+    subcommands, so a worker box needs exactly one command:
+    ``repro-worker serve --port 7761``. One process coordinates (any
+    evaluation call with ``hosts=`` set, or ``repro-worker dist-eval``) and
+    N serve.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Distributed shard worker for the circuit pipeline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_worker_parsers(sub)
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        command_serve(host=args.host, port=args.port, max_tasks=args.max_tasks)
+    else:
+        command_dist_eval(hosts=args.hosts, samples=args.samples, seed=args.seed)
     return 0
 
 

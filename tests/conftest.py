@@ -1,31 +1,62 @@
-"""Shared fixtures: keep process-wide evaluation state test-isolated."""
+"""Shared fixtures: process-wide knob isolation + distributed worker lifecycle.
+
+Two jobs live here:
+
+- keep the process-wide evaluation state (engine registry, forced engine,
+  worker/host knobs, warn-once latches) test-isolated, so a test that flips
+  a knob — or fails mid-flip — cannot leak it into the rest of the suite;
+- manage localhost distributed workers for the socket tests: ephemeral TCP
+  ports, subprocess spawn with a readiness wait, and guaranteed teardown so
+  no test can leak a listening socket or an orphan worker process.
+
+Tests that open sockets or spawn worker subprocesses carry the
+``distributed`` marker (registered below) so numpy-free or sandboxed CI
+jobs can deselect them with ``-m "not distributed"``.
+"""
+
+import socket
 
 import pytest
 
-from repro.circuits import evaluation, parallel
+from repro.circuits import distributed, evaluation, parallel
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "distributed: test uses localhost TCP sockets and/or worker "
+        "subprocesses (deselect with -m 'not distributed')",
+    )
 
 
 @pytest.fixture(autouse=True)
 def restore_engine_globals():
-    """Restore the engine registry, engine overrides and worker knob.
+    """Restore the engine registry, engine overrides and backend knobs.
 
     ``force_engine``/``set_default_engine``/``register_engine``/
-    ``set_parallel_workers`` mutate process-wide state; a test that flips
-    them (or fails mid-flip) must not leak its choice into the rest of the
-    suite. Tests should still prefer the ``engine_forced``/
-    ``default_engine_set``/``parallel_workers_set`` context managers — this
-    fixture is the backstop.
+    ``set_parallel_workers``/``set_distributed_hosts`` mutate process-wide
+    state; so do the warn-once latches of the degraded-path warnings. Tests
+    should still prefer the ``engine_forced``/``default_engine_set``/
+    ``parallel_workers_set``/``distributed_hosts_set`` context managers —
+    this fixture is the backstop.
     """
     engines = dict(evaluation._ENGINES)
     default = evaluation._DEFAULT_ENGINE
     forced = evaluation._FORCED_ENGINE
     workers = parallel._WORKERS
+    hosts = distributed._HOSTS
+    warned = set(distributed._WARNED)
+    serial_warned = parallel._SERIAL_FALLBACK_WARNED
     yield
     evaluation._ENGINES.clear()
     evaluation._ENGINES.update(engines)
     evaluation._DEFAULT_ENGINE = default
     evaluation._FORCED_ENGINE = forced
     parallel._WORKERS = workers
+    distributed._HOSTS = hosts
+    distributed._WARNED.clear()
+    distributed._WARNED.update(warned)
+    parallel._SERIAL_FALLBACK_WARNED = serial_warned
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -33,3 +64,44 @@ def shutdown_parallel_backend():
     """Stop the worker pool and unlink shared memory when the suite ends."""
     yield
     parallel.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# distributed worker lifecycle
+
+@pytest.fixture
+def unused_tcp_port():
+    """An ephemeral localhost TCP port that was free a moment ago."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture
+def worker_factory():
+    """Spawn localhost workers with guaranteed teardown, one test at a time.
+
+    Yields a ``factory(max_tasks=None) -> LocalWorker`` built on
+    :func:`repro.circuits.distributed.spawn_local_worker` (the same spawn/
+    readiness-wait/teardown implementation the benchmarks use); every
+    spawned worker — including ones the test deliberately crashed — is
+    reaped when the test ends, whether it passed or not.
+    """
+    spawned: list[distributed.LocalWorker] = []
+
+    def factory(max_tasks: int | None = None) -> distributed.LocalWorker:
+        handle = distributed.spawn_local_worker(max_tasks=max_tasks)
+        spawned.append(handle)
+        return handle
+
+    yield factory
+    for handle in spawned:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def module_worker():
+    """One healthy worker shared by a whole test module (spawned once)."""
+    handle = distributed.spawn_local_worker()
+    yield handle
+    handle.stop()

@@ -7,7 +7,7 @@ from repro.cli import EXPERIMENTS, command_list, command_run, main
 
 class TestCli:
     def test_experiment_index_complete(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
 
     def test_run_unknown_engine(self):
         with pytest.raises(SystemExit, match="unknown engine"):
@@ -35,6 +35,7 @@ class TestCli:
         assert "sharded multi-process backend" in output
         expected = "available" if parallel_available() else "unavailable"
         assert expected in output
+        assert "distributed backend" in output
 
     def test_forced_engine_does_not_leak_out_of_run(self, capsys):
         from repro.circuits import forced_engine
@@ -73,3 +74,53 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDistributedCli:
+    def test_hosts_flag_rejects_malformed_spec(self):
+        from repro.cli import command_run
+
+        with pytest.raises(SystemExit, match="--hosts"):
+            command_run("E1", hosts="not-a-hostport")
+
+    def test_hosts_flag_is_scoped_to_the_run(self, capsys):
+        from repro.circuits import distributed_hosts
+
+        before = distributed_hosts()
+        # Port 1 is never listened on; the run must fall back to local
+        # execution (warning once) and leave the knob untouched afterwards.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(["run", "E1", "--hosts", "127.0.0.1:1"]) == 0
+        capsys.readouterr()
+        assert distributed_hosts() == before
+
+    def test_dist_eval_without_hosts_stays_local(self, capsys):
+        pytest.importorskip("numpy")
+        from repro.circuits import distributed
+
+        with distributed.distributed_hosts_set(()):
+            assert main(["dist-eval", "--samples", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "in-process estimate" in output
+        assert "start workers" in output
+
+    @pytest.mark.distributed
+    def test_dist_eval_against_real_worker(self, capsys, worker_factory):
+        pytest.importorskip("numpy")
+        worker = worker_factory()
+        from repro.cli import worker_main
+
+        assert worker_main(
+            ["dist-eval", "--hosts", worker.address, "--samples", "2000"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "determinism verified" in output
+
+    def test_worker_main_requires_command(self):
+        from repro.cli import worker_main
+
+        with pytest.raises(SystemExit):
+            worker_main([])

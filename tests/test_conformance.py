@@ -1,0 +1,258 @@
+"""Cross-engine conformance matrix: one scenario corpus, every execution path.
+
+The pipeline promises that *where* a batch executes never changes *what* it
+computes: the scalar generated kernels, the array interpreter, the
+level-scheduled numpy kernels, the multi-process shared-memory pool, and
+the distributed TCP workers must all agree on every circuit shape we
+support — including negation, shared subcircuits, and the empty/singleton
+degenerate worlds that per-path test files historically each re-asserted in
+their own ad-hoc way. This module replaces those scattered agreement
+asserts with one parametrized matrix:
+
+    scenario corpus  ×  {scalar, interpreter, numpy-batch, multiprocess,
+                         distributed}
+
+For Boolean evaluation the paths must agree **exactly**; for the
+probability pass the scalar kernels may associate float operations
+differently from the vectorized ones, so cross-backend rows use a 1e-12
+tolerance while the vectorized tiers (numpy / pool / wire) are compared
+bit-for-bit.
+
+The multiprocess and distributed columns need numpy (and the distributed
+one real sockets, hence the ``distributed`` marker); the scalar columns run
+everywhere, so the numpy-free CI job still covers the corpus.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, compile_circuit
+from repro.circuits import compiled as compiled_module
+from repro.circuits import distributed, parallel
+from repro.events import EventSpace
+
+
+# --------------------------------------------------------------------------- #
+# the scenario corpus
+
+def _negation_heavy() -> Circuit:
+    c = Circuit()
+    a, b, d = c.variable("a"), c.variable("b"), c.variable("d")
+    inner = c.or_gate([c.negation(a), c.and_gate([b, c.negation(d)])])
+    c.set_output(c.and_gate([c.negation(inner), c.or_gate([a, d])]))
+    return c
+
+def _shared_subcircuit() -> Circuit:
+    # One AND gate feeding three parents: the DAG (not tree) case where a
+    # naive per-path lowering could double-count the shared node.
+    c = Circuit()
+    x, y, z = c.variable("x"), c.variable("y"), c.variable("z")
+    shared = c.and_gate([x, y])
+    left = c.or_gate([shared, z])
+    right = c.and_gate([shared, c.negation(z)])
+    c.set_output(c.or_gate([left, right, shared]))
+    return c
+
+def _empty_world() -> Circuit:
+    # No variables at all: the output folds entirely from constants.
+    c = Circuit()
+    c.set_output(c.or_gate([c.and_gate([c.true(), c.true()]), c.false()]))
+    return c
+
+def _singleton_world() -> Circuit:
+    c = Circuit()
+    c.set_output(c.negation(c.variable("only")))
+    return c
+
+def _wide_gates() -> Circuit:
+    c = Circuit()
+    vs = [c.variable(f"w{i}") for i in range(8)]
+    c.set_output(c.or_gate([c.and_gate(vs[:5]), c.and_gate(vs[3:]), vs[7]]))
+    return c
+
+def _deep_chain() -> Circuit:
+    c = Circuit()
+    acc = c.variable("c0")
+    for i in range(1, 7):
+        v = c.variable(f"c{i}")
+        acc = c.or_gate([c.and_gate([acc, v]), c.negation(acc)])
+    c.set_output(acc)
+    return c
+
+
+SCENARIOS = {
+    "negation": _negation_heavy,
+    "shared-subcircuit": _shared_subcircuit,
+    "empty-world": _empty_world,
+    "singleton-world": _singleton_world,
+    "wide-gates": _wide_gates,
+    "deep-chain": _deep_chain,
+}
+
+
+def scenario_fixture_data(name):
+    compiled = compile_circuit(SCENARIOS[name]())
+    n = len(compiled.variables())
+    worlds = [
+        [(mask >> i) & 1 for i in range(n)] for mask in range(1 << n)
+    ]
+    marginal_rows = [
+        [0.05 + 0.9 * ((i + k) % 7) / 7 for i in range(n)] for k in range(4)
+    ]
+    return compiled, worlds, marginal_rows
+
+
+# --------------------------------------------------------------------------- #
+# execution paths: each returns (bool results, float results)
+
+def _path_scalar_kernel(compiled, worlds, marginal_rows, monkeypatch, _worker):
+    monkeypatch.setattr(compiled_module, "_np", None)
+    evaluated = compiled.evaluate_batch(worlds)
+    probabilities = compiled.probability_batch(marginal_rows)
+    return [bool(v) for v in evaluated], probabilities
+
+def _path_interpreter(compiled, worlds, marginal_rows, monkeypatch, _worker):
+    monkeypatch.setattr(compiled_module, "_np", None)
+    monkeypatch.setattr(compiled_module, "CODEGEN_GATE_LIMIT", 0)
+    fresh = compiled_module.CompiledCircuit(compiled.source)  # uncached kernels
+    evaluated = fresh.evaluate_batch(worlds)
+    probabilities = fresh.probability_batch(marginal_rows)
+    return [bool(v) for v in evaluated], probabilities
+
+def _path_numpy_batch(compiled, worlds, marginal_rows, _monkeypatch, _worker):
+    pytest.importorskip("numpy")
+    return (
+        compiled.evaluate_batch(worlds),
+        compiled.probability_batch(marginal_rows),
+    )
+
+def _path_multiprocess(compiled, worlds, marginal_rows, _monkeypatch, _worker):
+    np = pytest.importorskip("numpy")
+    if not parallel.parallel_available():
+        pytest.skip("shared memory unavailable")
+    n = len(compiled.variables())
+    world_matrix = np.asarray(worlds, dtype=np.bool_).reshape(len(worlds), n)
+    marginal_matrix = np.asarray(marginal_rows, dtype=np.float64).reshape(
+        len(marginal_rows), n
+    )
+    evaluated = parallel.evaluate_batch_sharded(compiled, world_matrix, workers=2)
+    probabilities = parallel.probability_batch_sharded(
+        compiled, marginal_matrix, workers=2
+    )
+    return evaluated.tolist(), probabilities.tolist()
+
+def _path_distributed(compiled, worlds, marginal_rows, _monkeypatch, worker):
+    np = pytest.importorskip("numpy")
+    n = len(compiled.variables())
+    world_matrix = np.asarray(worlds, dtype=np.bool_).reshape(len(worlds), n)
+    marginal_matrix = np.asarray(marginal_rows, dtype=np.float64).reshape(
+        len(marginal_rows), n
+    )
+    hosts = (worker.address,)
+    evaluated = distributed.evaluate_batch_distributed(
+        compiled, world_matrix, hosts=hosts
+    )
+    probabilities = distributed.probability_batch_distributed(
+        compiled, marginal_matrix, hosts=hosts
+    )
+    return evaluated.tolist(), probabilities.tolist()
+
+
+#: path name -> (runner, exact-float agreement with the numpy tier?)
+PATHS = {
+    "scalar-kernel": (_path_scalar_kernel, False),
+    "interpreter": (_path_interpreter, False),
+    "numpy-batch": (_path_numpy_batch, True),
+    "multiprocess": (_path_multiprocess, True),
+    "distributed": (_path_distributed, True),
+}
+
+
+def _reference(compiled, worlds, marginal_rows):
+    """The per-world scalar oracle every path is held to."""
+    evaluated = [compiled.evaluate(w) for w in worlds]
+    probabilities = [compiled.probability(row) for row in marginal_rows]
+    return evaluated, probabilities
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize(
+    "path",
+    [
+        "scalar-kernel",
+        "interpreter",
+        "numpy-batch",
+        "multiprocess",
+        pytest.param("distributed", marks=pytest.mark.distributed),
+    ],
+)
+def test_path_agrees_with_scalar_oracle(scenario, path, monkeypatch, request):
+    compiled, worlds, marginal_rows = scenario_fixture_data(scenario)
+    worker = (
+        request.getfixturevalue("module_worker") if path == "distributed" else None
+    )
+    runner, exact = PATHS[path]
+    evaluated, probabilities = runner(
+        compiled, worlds, marginal_rows, monkeypatch, worker
+    )
+    expected_eval, expected_probs = _reference(compiled, worlds, marginal_rows)
+    assert evaluated == expected_eval
+    assert len(probabilities) == len(expected_probs)
+    for got, want in zip(probabilities, expected_probs):
+        assert math.isclose(got, want, abs_tol=1e-12)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_vectorized_tiers_agree_bitwise(scenario, request):
+    """numpy / pool / wire run the same kernels: equality, no tolerance."""
+    pytest.importorskip("numpy")
+    compiled, worlds, marginal_rows = scenario_fixture_data(scenario)
+    base_eval, base_probs = _path_numpy_batch(
+        compiled, worlds, marginal_rows, None, None
+    )
+    if parallel.parallel_available():
+        np = pytest.importorskip("numpy")
+        n = len(compiled.variables())
+        world_matrix = np.asarray(worlds, dtype=np.bool_).reshape(len(worlds), n)
+        for workers in (0, 1, 2, 4):
+            sharded = parallel.evaluate_batch_sharded(
+                compiled, world_matrix, workers=workers
+            )
+            assert sharded.dtype == np.bool_
+            assert sharded.tolist() == base_eval
+        pool_eval, pool_probs = _path_multiprocess(
+            compiled, worlds, marginal_rows, None, None
+        )
+        assert pool_eval == base_eval
+        assert pool_probs == base_probs
+    # The wire plan (serialize → deserialize) reruns the same level schedule.
+    plan = distributed.plan_from_bytes(compiled.wire_bytes())
+    assert plan.run_rows(worlds, as_float=False) == base_eval
+    assert plan.run_rows(marginal_rows, as_float=True) == base_probs
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_empty_batches_everywhere(scenario):
+    """Zero-row batches are a fixed point of every path."""
+    compiled, _worlds, _rows = scenario_fixture_data(scenario)
+    assert compiled.evaluate_batch([]) == []
+    assert compiled.probability_batch([]) == []
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_probability_engines_agree_on_corpus(scenario):
+    """The registered engines agree with brute force on every scenario."""
+    from repro.circuits import probability
+
+    compiled, _worlds, _rows = scenario_fixture_data(scenario)
+    n = len(compiled.variables())
+    space = EventSpace(
+        {name: 0.1 + 0.8 * i / max(1, n)
+         for i, name in enumerate(compiled.variables())}
+    )
+    oracle = compiled.probability_enumerate(space)
+    for engine in ("enumerate", "shannon", "message_passing"):
+        assert math.isclose(
+            probability(compiled, space, engine=engine), oracle, abs_tol=1e-9
+        ), engine

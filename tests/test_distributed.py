@@ -1,0 +1,470 @@
+"""Tests for distributed shard execution over wire-serialized plans.
+
+Three layers, matching :mod:`repro.circuits.distributed`:
+
+- the **wire format** — property-tested round trips (random circuits →
+  serialize → deserialize → identical batch results), and rejection of
+  corrupted, truncated, wrong-magic, wrong-version and
+  inconsistent-schedule payloads. These tests need no sockets and no
+  numpy, so they run everywhere;
+- the **routing knob** — env parsing, scoping, per-call overrides;
+- the **coordinator/worker protocol** — real localhost worker
+  subprocesses (spawned through the ``conftest`` lifecycle fixtures):
+  bit-identical estimates at 0/1/2 workers, mid-run fault injection with
+  shard retry and no duplicate or lost shards, and graceful local
+  fallback when every host is unreachable. These carry the
+  ``distributed`` marker so socket-free CI jobs can deselect them.
+"""
+
+import math
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, compile_circuit
+from repro.circuits import compiled as compiled_module
+from repro.circuits import distributed, parallel
+from repro.util import ReproError, stable_rng
+
+
+def random_circuit(seed: int, n_vars: int = 6, steps: int = 16) -> Circuit:
+    rng = stable_rng(seed)
+    c = Circuit()
+    gates = [c.variable(f"v{i}") for i in range(n_vars)] + [c.true(), c.false()]
+    for _ in range(rng.randint(4, steps)):
+        op = rng.choice(["and", "or", "not"])
+        if op == "not":
+            gates.append(c.negation(rng.choice(gates)))
+        else:
+            picked = rng.sample(gates, rng.randint(2, min(4, len(gates))))
+            gates.append(c.and_gate(picked) if op == "and" else c.or_gate(picked))
+    c.set_output(gates[-1])
+    return c
+
+
+def all_worlds(n_vars: int) -> list[list[int]]:
+    return [[(mask >> i) & 1 for i in range(n_vars)] for mask in range(1 << n_vars)]
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    monkeypatch.setattr(compiled_module, "_np", None)
+
+
+# --------------------------------------------------------------------------- #
+# wire format
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_wire_round_trip_preserves_batch_results(seed):
+    """Property: serialize → deserialize → identical evaluation results."""
+    compiled = compile_circuit(random_circuit(seed))
+    plan = distributed.plan_from_bytes(compiled.wire_bytes())
+    assert plan.size == compiled.size
+    assert plan.output == compiled.output
+    assert plan.kinds == list(compiled.kinds)
+    assert plan.offsets == list(compiled.offsets)
+    assert plan.indices == list(compiled.indices)
+    assert plan.var_slot == list(compiled.var_slot)
+    worlds = all_worlds(len(compiled.variables()))
+    assert plan.run_rows(worlds, as_float=False) == compiled.evaluate_batch(worlds)
+    n = len(compiled.variables())
+    probs = [0.05 + 0.9 * i / max(1, n) for i in range(n)]
+    got = plan.run_rows([probs], as_float=True)[0]
+    assert math.isclose(got, compiled.probability(probs), abs_tol=1e-12)
+
+
+class TestWireFormat:
+    def test_wire_bytes_cached_on_compiled_circuit(self):
+        compiled = compile_circuit(random_circuit(5))
+        assert compiled.wire_bytes() is compiled.wire_bytes()
+        assert distributed.plan_to_bytes(compiled) is compiled.wire_bytes()
+
+    def test_round_trip_without_numpy(self, no_numpy):
+        compiled = compile_circuit(random_circuit(9))
+        blob = distributed.plan_to_bytes(compiled)
+        plan = distributed.plan_from_bytes(blob)
+        assert plan.kinds == list(compiled.kinds)
+        worlds = all_worlds(len(compiled.variables()))
+        assert plan.run_rows(worlds, as_float=False) == [
+            bool(v) for v in compiled.evaluate_batch(worlds)
+        ]
+
+    def test_cross_backend_payloads_are_identical(self, monkeypatch):
+        """numpy and pure-python packing produce byte-identical plans."""
+        pytest.importorskip("numpy")
+        with_numpy = distributed.plan_to_bytes(compile_circuit(random_circuit(13)))
+        monkeypatch.setattr(compiled_module, "_np", None)
+        without_numpy = distributed.plan_to_bytes(
+            compile_circuit(random_circuit(13))
+        )
+        assert with_numpy == without_numpy
+
+    def test_truncated_payload_rejected(self):
+        blob = compile_circuit(random_circuit(3)).wire_bytes()
+        for cut in (0, 3, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(ReproError, match="truncated"):
+                distributed.plan_from_bytes(blob[:cut])
+
+    def test_wrong_magic_rejected(self):
+        blob = compile_circuit(random_circuit(3)).wire_bytes()
+        with pytest.raises(ReproError, match="magic"):
+            distributed.plan_from_bytes(b"XXXX" + blob[4:])
+
+    def test_wrong_version_rejected(self):
+        blob = compile_circuit(random_circuit(3)).wire_bytes()
+        tampered = blob[:4] + bytes([99, 0]) + blob[6:]
+        with pytest.raises(ReproError, match="unsupported wire version 99"):
+            distributed.plan_from_bytes(tampered)
+
+    def test_corrupted_payload_rejected_by_checksum(self):
+        blob = compile_circuit(random_circuit(3)).wire_bytes()
+        # Flip one byte in the binary payload (well past the JSON header).
+        position = len(blob) - 5
+        tampered = blob[:position] + bytes([blob[position] ^ 0xFF]) + blob[position + 1:]
+        with pytest.raises(ReproError, match="checksum"):
+            distributed.plan_from_bytes(tampered)
+
+    def test_corrupted_metadata_rejected_by_checksum(self):
+        blob = compile_circuit(random_circuit(3)).wire_bytes()
+        position = distributed._HEADER.size + 2  # inside the JSON header
+        tampered = blob[:position] + bytes([blob[position] ^ 0x01]) + blob[position + 1:]
+        with pytest.raises(ReproError, match="checksum"):
+            distributed.plan_from_bytes(tampered)
+
+    def test_inconsistent_level_schedule_rejected(self):
+        """A checksum-valid payload whose schedule lies is still rejected."""
+        compiled = compile_circuit(random_circuit(3))
+        levels = compiled_module.gate_levels(
+            compiled.kinds, compiled.offsets, compiled.indices
+        )
+        assert max(levels) > 0  # the tamper below must change something
+        levels[-1] += 1
+        forged = distributed._pack_blob(
+            {
+                "kind": "plan",
+                "size": compiled.size,
+                "output": compiled.output,
+                "n_vars": len(compiled.variables()),
+            },
+            [
+                ("kinds", "i", compiled.kinds),
+                ("offsets", "i", compiled.offsets),
+                ("indices", "i", compiled.indices),
+                ("var_slot", "i", compiled.var_slot),
+                ("levels", "i", levels),
+            ],
+        )
+        with pytest.raises(ReproError, match="level schedule"):
+            distributed.plan_from_bytes(forged)
+
+    def test_non_plan_payload_rejected(self):
+        tables = distributed._tables_to_bytes([[1, 0]], 2, [0.5, 0.5], [0.5], 0.5)
+        with pytest.raises(ReproError, match="not a circuit plan"):
+            distributed.plan_from_bytes(tables)
+
+    def test_checksum_identifies_payloads(self):
+        a = compile_circuit(random_circuit(3)).wire_bytes()
+        b = compile_circuit(random_circuit(4)).wire_bytes()
+        assert distributed.plan_checksum(a) == distributed.plan_checksum(a)
+        assert distributed.plan_checksum(a) != distributed.plan_checksum(b)
+
+
+# --------------------------------------------------------------------------- #
+# routing knob
+
+class TestHostsKnob:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISTRIBUTED_HOSTS", "h1:7001, h2:7002")
+        assert distributed._hosts_from_env() == ("h1:7001", "h2:7002")
+        monkeypatch.setenv("REPRO_DISTRIBUTED_HOSTS", "")
+        assert distributed._hosts_from_env() == ()
+        monkeypatch.setenv("REPRO_DISTRIBUTED_HOSTS", "not-a-hostport")
+        assert distributed._hosts_from_env() == ()
+
+    def test_set_and_scope(self):
+        with distributed.distributed_hosts_set("a:1,b:2"):
+            assert distributed.distributed_hosts() == ("a:1", "b:2")
+            with distributed.distributed_hosts_set(None):
+                assert distributed.distributed_hosts() == ()
+            assert distributed.distributed_hosts() == ("a:1", "b:2")
+
+    def test_rejects_malformed_hosts(self):
+        with pytest.raises(ReproError, match="host:port"):
+            distributed.set_distributed_hosts(["nohost"])
+        with pytest.raises(ReproError, match="port"):
+            distributed.set_distributed_hosts(["h:notaport"])
+        with pytest.raises(ReproError, match="port"):
+            distributed.set_distributed_hosts(["h:99999"])
+
+    def test_effective_hosts_override_semantics(self):
+        with distributed.distributed_hosts_set("a:1"):
+            assert distributed.effective_hosts(None) == ("a:1",)
+            assert distributed.effective_hosts(()) == ()  # explicit opt-out
+            assert distributed.effective_hosts("b:2") == ("b:2",)
+
+    def test_should_distribute_thresholds(self):
+        with distributed.distributed_hosts_set("a:1"):
+            assert distributed.should_distribute(parallel.PARALLEL_MIN_ROWS)
+            assert not distributed.should_distribute(parallel.PARALLEL_MIN_ROWS - 1)
+        with distributed.distributed_hosts_set(None):
+            assert not distributed.should_distribute(10**6)
+
+    def test_no_hosts_defers_to_parallel_entry_points(self):
+        pytest.importorskip("numpy")
+        compiled = compile_circuit(random_circuit(21))
+        marginals = [0.3] * len(compiled.variables())
+        with distributed.distributed_hosts_set(None):
+            assert distributed.monte_carlo_hits(
+                compiled, marginals, 500, seed=1
+            ) == parallel.monte_carlo_hits(compiled, marginals, 500, seed=1, workers=0)
+
+
+# --------------------------------------------------------------------------- #
+# coordinator + real localhost workers
+
+@pytest.mark.distributed
+class TestDistributedExecution:
+    @pytest.fixture(autouse=True)
+    def _need_numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_monte_carlo_bit_identical_at_0_1_2_workers(
+        self, worker_factory, monkeypatch
+    ):
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(31))
+        marginals = [0.2 + 0.1 * (i % 5) for i in range(len(compiled.variables()))]
+        serial = parallel.monte_carlo_hits(compiled, marginals, 700, seed=9, workers=0)
+        one = worker_factory()
+        hits_1 = distributed.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, hosts=(one.address,)
+        )
+        two = worker_factory()
+        hits_2 = distributed.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, hosts=(one.address, two.address)
+        )
+        assert serial == hits_1 == hits_2
+        # and again through a second serialize/deserialize of the plan
+        compiled._wire_cache = None
+        assert distributed.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, hosts=(one.address, two.address)
+        ) == serial
+
+    def test_karp_luby_bit_identical_across_hosts(self, worker_factory, monkeypatch):
+        np = pytest.importorskip("numpy")
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        membership = np.array(
+            [[1, 0, 1, 0], [0, 1, 1, 0], [1, 1, 0, 1]], dtype=np.int32
+        )
+        probs = np.array([0.3, 0.5, 0.2, 0.4])
+        weights = [0.06, 0.1, 0.06]
+        serial = parallel.karp_luby_hits(
+            membership, probs, weights, 400, seed=4, workers=0
+        )
+        worker = worker_factory()
+        assert distributed.karp_luby_hits(
+            membership, probs, weights, 400, seed=4, hosts=(worker.address,)
+        ) == serial
+
+    def test_matrix_passes_bit_identical(self, module_worker):
+        np = pytest.importorskip("numpy")
+        compiled = compile_circuit(random_circuit(33))
+        n = len(compiled.variables())
+        worlds = np.random.default_rng(0).random((500, n)) < 0.5
+        serial = compiled.evaluate_batch(worlds)
+        dist = distributed.evaluate_batch_distributed(
+            compiled, worlds, hosts=(module_worker.address,)
+        )
+        assert dist.dtype == np.bool_
+        assert dist.tolist() == serial
+        marginal_rows = np.random.default_rng(1).random((400, n))
+        assert distributed.probability_batch_distributed(
+            compiled, marginal_rows, hosts=(module_worker.address,)
+        ).tolist() == compiled.probability_batch(marginal_rows)
+
+    def test_empty_batch(self, module_worker):
+        np = pytest.importorskip("numpy")
+        compiled = compile_circuit(random_circuit(34))
+        matrix = np.empty((0, len(compiled.variables())), dtype=bool)
+        out = distributed.evaluate_batch_distributed(
+            compiled, matrix, hosts=(module_worker.address,)
+        )
+        assert out.size == 0
+
+    def test_evaluate_batch_routes_through_hosts_knob(self, module_worker):
+        np = pytest.importorskip("numpy")
+        compiled = compile_circuit(random_circuit(35))
+        n = len(compiled.variables())
+        matrix = np.random.default_rng(2).random(
+            (parallel.PARALLEL_MIN_ROWS + 17, n)
+        ) < 0.5
+        with distributed.distributed_hosts_set(()):
+            serial = compiled.evaluate_batch(matrix)
+        with distributed.distributed_hosts_set((module_worker.address,)):
+            assert compiled.evaluate_batch(matrix) == serial
+
+    def test_sampling_baselines_take_hosts(self, module_worker, monkeypatch):
+        from repro.baselines import karp_luby_probability, monte_carlo_probability
+        from repro.instances import TIDInstance, fact
+        from repro.queries import atom, cq, variables
+
+        monkeypatch.setattr(parallel, "MC_SHARD", 128)
+        x, y = variables("x", "y")
+        query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+        tid = TIDInstance(
+            {fact("R", 1): 0.6, fact("S", 1, 2): 0.5, fact("T", 2): 0.8,
+             fact("R", 3): 0.2, fact("S", 3, 2): 0.7}
+        )
+        serial = monte_carlo_probability(
+            query, tid, samples=600, seed=1, workers=0, hosts=()
+        )
+        assert monte_carlo_probability(
+            query, tid, samples=600, seed=1, hosts=(module_worker.address,)
+        ) == serial
+        with distributed.distributed_hosts_set((module_worker.address,)):
+            assert monte_carlo_probability(query, tid, samples=600, seed=1) == serial
+        kl_serial = karp_luby_probability(
+            query, tid, samples=600, seed=1, workers=0, hosts=()
+        )
+        assert karp_luby_probability(
+            query, tid, samples=600, seed=1, hosts=(module_worker.address,)
+        ) == kl_serial
+
+    def test_worker_killed_mid_run_is_retried_without_loss(
+        self, worker_factory, monkeypatch
+    ):
+        """Fault injection: a worker dies mid-run; shards are retried.
+
+        The dying worker crashes (``os._exit``) the moment it is asked to
+        run its first task; the coordinator must requeue that shard onto
+        the healthy worker. ``_run_distributed`` returns exactly one result
+        per shard, each equal to its locally computed value — no shard is
+        lost, none is counted twice — and the merged estimate is
+        bit-identical to the serial one.
+        """
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(36))
+        marginals = [0.4] * len(compiled.variables())
+        samples = 700  # 11 shards at MC_SHARD=64
+        shards = parallel._sample_shards(samples)
+        assert len(shards) > 2
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, samples, seed=2, workers=0
+        )
+        dying = worker_factory(max_tasks=0)
+        healthy = worker_factory()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            hits = distributed.monte_carlo_hits(
+                compiled, marginals, samples, seed=2,
+                hosts=(dying.address, healthy.address),
+            )
+        assert hits == serial
+        assert dying.wait_dead() == 17  # really crashed, mid-run
+        assert healthy.alive()
+
+    def test_no_duplicate_or_lost_shards_under_fault(
+        self, worker_factory, monkeypatch
+    ):
+        """Every shard is answered exactly once even when a worker dies."""
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(37))
+        marginals = [0.5] * len(compiled.variables())
+        shards = parallel._sample_shards(640)  # 10 shards
+        plan_bytes = compiled.wire_bytes()
+        checksum = distributed.plan_checksum(plan_bytes)
+        probs_blob = distributed._values_to_bytes("f", marginals)
+        decoded = distributed.plan_from_bytes(plan_bytes)
+        tasks = [
+            (slot, {"id": slot, "op": "mc", "plan": checksum,
+                    "seed": 2, "index": index, "count": count}, probs_blob)
+            for slot, (index, count) in enumerate(shards)
+        ]
+        local_calls = []
+
+        def run_local(meta):
+            local_calls.append(meta["index"])
+            probs = distributed._values_from_bytes("f", probs_blob)
+            return {"hits": decoded.mc_shard_hits(
+                probs, meta["seed"], meta["index"], meta["count"]
+            )}, b""
+
+        dying = worker_factory(max_tasks=3)
+        healthy = worker_factory()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results = distributed._run_distributed(
+                (dying.address, healthy.address),
+                [(distributed.MSG_PLAN, {"checksum": checksum}, plan_bytes)],
+                tasks,
+                run_local,
+            )
+        assert len(results) == len(shards)  # exactly one result per shard
+        expected = [
+            run_local({"seed": 2, "index": index, "count": count})[0]["hits"]
+            for index, count in shards
+        ]
+        assert [int(meta["hits"]) for meta, _blob in results] == expected
+
+    def test_all_workers_unreachable_falls_back_locally(self, unused_tcp_port):
+        compiled = compile_circuit(random_circuit(38))
+        marginals = [0.35] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 500, seed=3, workers=0
+        )
+        dead = f"127.0.0.1:{unused_tcp_port}"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            hits = distributed.monte_carlo_hits(
+                compiled, marginals, 500, seed=3, hosts=(dead,)
+            )
+            # second call: the unreachable-host warning fired once only
+            distributed.monte_carlo_hits(
+                compiled, marginals, 500, seed=3, hosts=(dead,)
+            )
+        assert hits == serial
+        unreachable = [w for w in caught if "unreachable" in str(w.message)]
+        assert len(unreachable) == 1
+
+    def test_usable_from_inside_a_running_event_loop(self, module_worker):
+        """An async caller (web handler, notebook) can still distribute.
+
+        ``asyncio.run`` refuses to nest, so the coordinator must detect a
+        running loop and coordinate on a private loop in a helper thread —
+        with the same bit-identical result.
+        """
+        import asyncio
+
+        compiled = compile_circuit(random_circuit(40))
+        marginals = [0.45] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 300, seed=8, workers=0
+        )
+
+        async def coordinate_from_coroutine():
+            return distributed.monte_carlo_hits(
+                compiled, marginals, 300, seed=8, hosts=(module_worker.address,)
+            )
+
+        assert asyncio.run(coordinate_from_coroutine()) == serial
+
+    def test_worker_survives_garbage_then_serves(self, worker_factory):
+        """A malformed frame drops the connection but not the worker."""
+        import socket as socket_module
+
+        worker = worker_factory()
+        with socket_module.create_connection(
+            ("127.0.0.1", worker.port), timeout=5
+        ) as sock:
+            sock.sendall(b"\xff\xff\xff\xff garbage that is not a frame")
+        compiled = compile_circuit(random_circuit(39))
+        marginals = [0.5] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 300, seed=7, workers=0
+        )
+        assert distributed.monte_carlo_hits(
+            compiled, marginals, 300, seed=7, hosts=(worker.address,)
+        ) == serial
+        assert worker.alive()

@@ -135,22 +135,10 @@ class TestSharedBuffers:
 
 
 class TestShardedMatrixPasses:
-    def test_evaluate_batch_sharded_bit_identical(self):
-        compiled = compile_circuit(random_circuit(11))
-        matrix = world_matrix(compiled, 500)
-        serial = compiled.evaluate_batch(matrix)
-        for workers in (0, 1, 2, 4):
-            sharded = parallel.evaluate_batch_sharded(compiled, matrix, workers=workers)
-            assert sharded.dtype == np.bool_
-            assert sharded.tolist() == serial
-
-    def test_probability_batch_sharded_bit_identical(self):
-        compiled = compile_circuit(random_circuit(12))
-        rng = np.random.default_rng(1)
-        matrix = rng.random((400, len(compiled.variables())))
-        serial = compiled.probability_batch(matrix)
-        sharded = parallel.probability_batch_sharded(compiled, matrix, workers=2)
-        assert sharded.tolist() == serial  # same kernels, same rows: no tolerance
+    # Bit-identical agreement of the sharded passes with the in-process
+    # kernels (at 0/1/2/4 workers, over the whole scenario corpus) lives in
+    # the cross-engine conformance matrix (tests/test_conformance.py);
+    # this class keeps the pool-specific routing and failure behaviour.
 
     def test_empty_batch(self):
         compiled = compile_circuit(random_circuit(13))
@@ -166,16 +154,21 @@ class TestShardedMatrixPasses:
             )
 
     def test_evaluate_batch_routes_through_pool(self):
+        from repro.circuits import distributed
+
         compiled = compile_circuit(random_circuit(15))
         matrix = world_matrix(compiled, parallel.PARALLEL_MIN_ROWS + 17)
-        serial = compiled.evaluate_batch(matrix)
-        with parallel.parallel_workers_set(2):
-            assert compiled.evaluate_batch(matrix) == serial
-            assert parallel.pool_processes() != ()  # really went through the pool
-        float_matrix = np.random.default_rng(2).random(matrix.shape)
-        serial_probs = compiled.probability_batch(float_matrix)
-        with parallel.parallel_workers_set(2):
-            assert compiled.probability_batch(float_matrix) == serial_probs
+        # Pin the distributed knob off: it outranks the pool, and this test
+        # asserts specifically that the *pool* tier handled the batch.
+        with distributed.distributed_hosts_set(()):
+            serial = compiled.evaluate_batch(matrix)
+            with parallel.parallel_workers_set(2):
+                assert compiled.evaluate_batch(matrix) == serial
+                assert parallel.pool_processes() != ()  # really went through the pool
+            float_matrix = np.random.default_rng(2).random(matrix.shape)
+            serial_probs = compiled.probability_batch(float_matrix)
+            with parallel.parallel_workers_set(2):
+                assert compiled.probability_batch(float_matrix) == serial_probs
 
 
 class TestFusedSampling:
@@ -303,3 +296,47 @@ class TestPoolLifecycle:
         parallel.shutdown()
         parallel.shutdown()
         assert parallel.pool_processes() == ()
+
+
+class TestSerialFallbackWarning:
+    def test_warns_once_per_process(self, recwarn):
+        # A pool that is unavailable on every call must not spam a warning
+        # per batch: the latch fires once, then stays quiet until re-armed.
+        parallel.reset_serial_fallback_warning()
+        parallel.warn_serial_fallback("backend degraded")
+        parallel.warn_serial_fallback("backend degraded")
+        parallel.warn_serial_fallback("backend degraded again")
+        messages = [str(w.message) for w in recwarn.list
+                    if "degraded" in str(w.message)]
+        assert len(messages) == 1
+        assert "once per process" in messages[0]
+        parallel.reset_serial_fallback_warning()
+        parallel.warn_serial_fallback("backend degraded later")
+        assert sum(
+            "degraded" in str(w.message) for w in recwarn.list
+        ) == 2  # re-armed explicitly: exactly one more
+
+    def test_failing_backend_warns_once_through_evaluate_batch(self, monkeypatch):
+        # Route big batches at a pool that always fails: every call must
+        # still return correct results, and only the first may warn.
+        import warnings as warnings_module
+
+        from repro.circuits import distributed
+
+        compiled = compile_circuit(random_circuit(16))
+        matrix = world_matrix(compiled, parallel.PARALLEL_MIN_ROWS + 3)
+        with distributed.distributed_hosts_set(()):  # pin the pool tier on
+            serial = compiled.evaluate_batch(matrix)
+
+            def broken_pass(*_args, **_kwargs):
+                raise ReproError("injected pool failure")
+
+            monkeypatch.setattr(parallel, "_sharded_matrix_pass", broken_pass)
+            parallel.reset_serial_fallback_warning()
+            with parallel.parallel_workers_set(2):
+                with warnings_module.catch_warnings(record=True) as caught:
+                    warnings_module.simplefilter("always")
+                    assert compiled.evaluate_batch(matrix) == serial
+                    assert compiled.evaluate_batch(matrix) == serial
+        relevant = [w for w in caught if "falling back" in str(w.message)]
+        assert len(relevant) == 1
