@@ -16,7 +16,6 @@ import networkx as nx
 import pytest
 
 from repro.circuits import moral_graph, wmc_message_passing
-from repro.core import build_lineage
 from repro.queries import atom, cq, variables
 from repro.treewidth import HEURISTICS, decompose, exact_treewidth
 from repro.workloads import cycle_tid, partial_ktree_tid, rst_chain_tid

@@ -9,7 +9,14 @@ Monte-Carlo workload of E14 is fanned out to real ``repro serve`` worker
   kernels with ``workers=0``: the local reference every distributed row
   must match bit for bit;
 - **distributed, 1 / 2 workers** — the same shards streamed to localhost
-  worker processes that rebuilt the plan from its wire form.
+  worker processes that rebuilt the plan from its wire form;
+- **amortization** — the headline of the persistent runtime: the same
+  small workload issued cold (``reset_pool`` first, so the call pays TCP
+  connect + hello + plan publish, the old per-call baseline) versus
+  issued again over the warm :class:`~repro.circuits.distributed.HostPool`
+  (connections alive, plan digest-confirmed on every worker) — the repeat
+  call must show the setup cost gone, on any machine, because it is
+  overhead elimination rather than parallel speedup.
 
 The bench also records the wire-format footprint (plan bytes for the
 benchmark circuit, serialize + deserialize wall time) and a row-sharded
@@ -121,6 +128,72 @@ def main() -> None:
         except (ReproError, OSError) as exc:
             print(f"could not spawn localhost workers ({exc}); "
                   "recording the local reference only")
+
+        if len(workers) == 2:
+            # Amortization — measured FIRST, while the workers have never
+            # seen this plan, so the cold call pays the full per-call
+            # baseline the pre-persistent protocol paid on *every* call:
+            # TCP connect + hello + plan transfer + decode/verify. The
+            # reconnect row resets the pool between calls (connections
+            # re-opened, but the workers answer PLAN_HAVE, so the plan
+            # does not cross the wire again); the warm row repeats over
+            # live pooled connections. One small shard of samples keeps
+            # the setup cost a visible fraction of the call.
+            hosts = [worker.address for worker in workers]
+            amort_samples = 4096
+            local_ref = parallel.monte_carlo_hits(
+                compiled, probs, amort_samples, seed=SEED, workers=0
+            )
+            start = time.perf_counter()
+            first_hits = distributed.monte_carlo_hits(
+                compiled, probs, amort_samples, seed=SEED, hosts=hosts
+            )
+            first_seconds = time.perf_counter() - start
+
+            def reconnect_call():
+                distributed.reset_pool()
+                return distributed.monte_carlo_hits(
+                    compiled, probs, amort_samples, seed=SEED, hosts=hosts
+                )
+
+            reconnect_seconds, reconnect_hits = _timed(reconnect_call)
+            stats_before = distributed.pool_stats()
+            warm_seconds, warm_hits = _timed(
+                lambda: distributed.monte_carlo_hits(
+                    compiled, probs, amort_samples, seed=SEED, hosts=hosts
+                ),
+                repeats=5,
+            )
+            stats_after = distributed.pool_stats()
+            assert local_ref == first_hits == reconnect_hits == warm_hits, (
+                "amortized calls must stay bit-identical"
+            )
+            republished = (
+                stats_after["plans_published"] - stats_before["plans_published"]
+            )
+            assert republished == 0, (
+                f"warm calls must not re-publish the plan ({republished} did)"
+            )
+            amortized_speedup = first_seconds / warm_seconds
+            print(f"\namortization ({amort_samples} samples, 2 workers):")
+            print(f"{'first call (connect + plan publish)':<38} "
+                  f"{first_seconds * 1e3:>8.1f} ms")
+            print(f"{'reconnect each call (digest hit)':<38} "
+                  f"{reconnect_seconds * 1e3:>8.1f} ms "
+                  f"{first_seconds / reconnect_seconds:>8.2f}x")
+            print(f"{'persistent pool, warm repeat':<38} "
+                  f"{warm_seconds * 1e3:>8.1f} ms "
+                  f"{amortized_speedup:>8.2f}x")
+            result["amortization"] = {
+                "samples": amort_samples,
+                "first_call_seconds": first_seconds,
+                "reconnect_call_seconds": reconnect_seconds,
+                "persistent_repeat_seconds": warm_seconds,
+                "overhead_eliminated_seconds": first_seconds - warm_seconds,
+                "amortized_speedup": amortized_speedup,
+                "plans_republished_during_warm_repeats": republished,
+            }
+
         host_lists = [
             [worker.address for worker in workers[:count]]
             for count in range(1, len(workers) + 1)
@@ -179,7 +252,9 @@ def main() -> None:
         "all rows ran on one machine, so the distributed timings measure "
         "protocol + scheduling overhead on localhost, not multi-host "
         "scaling; estimates are asserted bit-identical across 0/1/2 workers "
-        "after a serialize/deserialize round trip of the plan"
+        "after a serialize/deserialize round trip of the plan; the "
+        "amortization rows isolate the persistent-pool win (connect + plan "
+        "publish eliminated on warm calls), which holds on any CPU count"
     )
     out_path = _REPO_ROOT / "BENCH_distributed_eval.json"
     out_path.write_text(json.dumps(result, indent=2) + "\n")

@@ -1,0 +1,187 @@
+"""Gate the benchmark JSONs against their committed trajectory.
+
+CI regenerates ``BENCH_*.json`` on every push, but until this check the
+fresh numbers were only *uploaded*, never *compared* — a perf regression
+could merge silently as long as the benches still ran. This script closes
+that hole: each job snapshots the committed JSONs into a baseline
+directory before running its bench, then calls this checker, which fails
+the job when a headline metric drops below an explicit tolerance.
+
+Two kinds of metric are distinguished deliberately:
+
+- **gated** — correctness booleans (estimates bit-identical across
+  worker/host counts) and machine-independent wins (the persistent-pool
+  amortization, which eliminates protocol overhead rather than exploiting
+  cores) fail the job when they regress;
+- **report-only** — wall-clock parallel/batch speedups, which on the known
+  1-CPU CI containers honestly collapse to ~1x and swing run to run, are
+  printed with their committed counterpart but never fail the job. The
+  tolerance column keeps them visible so a future multicore runner can
+  flip them to gated.
+
+Usage::
+
+    python benchmarks/check_regression.py --baseline .bench-baseline \
+        BENCH_distributed_eval.json            # one file
+    python benchmarks/check_regression.py      # every known file
+
+Exit status 0 means every gated metric held; 1 means at least one
+regressed (or a bench stopped emitting a headline metric entirely).
+Metrics present in the fresh file but absent from the committed baseline
+are treated as newly introduced and pass with a note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (file, dotted metric path, mode, threshold).
+#:
+#: Modes: ``ratio`` gates ``fresh >= threshold * committed`` (a guard
+#: against losing an already-achieved speedup), ``min`` gates an absolute
+#: floor, ``max`` an absolute ceiling, ``true`` a correctness boolean, and
+#: ``report`` prints without gating (known 1-CPU-container metrics).
+HEADLINES: list[tuple[str, str, str, float | None]] = [
+    ("BENCH_compiled_eval.json", "batch_speedup", "ratio", 0.2),
+    ("BENCH_compiled_eval.json", "probability_batch_speedup", "ratio", 0.3),
+    ("BENCH_compiled_eval.json", "kernel_batch_speedup", "report", None),
+    ("BENCH_parallel_eval.json", "estimates_identical_across_worker_counts",
+     "true", None),
+    ("BENCH_parallel_eval.json", "speedup_at_4_workers", "report", None),
+    ("BENCH_parallel_eval.json", "fused_kernel_speedup", "report", None),
+    ("BENCH_distributed_eval.json", "estimates_identical_across_host_counts",
+     "true", None),
+    ("BENCH_distributed_eval.json", "amortization.amortized_speedup",
+     "min", 1.2),
+    ("BENCH_distributed_eval.json",
+     "amortization.plans_republished_during_warm_repeats", "max", 0),
+    ("BENCH_distributed_eval.json", "plan_wire_bytes", "report", None),
+]
+
+
+def _lookup(blob: dict, dotted: str):
+    value = blob
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def _format(value) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def check_file(name: str, fresh_dir: Path, baseline_dir: Path,
+               report_only: bool) -> list[str]:
+    """Check one bench file; returns the list of failure descriptions."""
+    failures: list[str] = []
+    fresh_path = fresh_dir / name
+    if not fresh_path.exists():
+        return [f"{name}: fresh benchmark output missing at {fresh_path}"]
+    fresh = json.loads(fresh_path.read_text())
+    baseline_path = baseline_dir / name
+    committed = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else None
+    )
+    if committed is None:
+        print(f"{name}: no committed baseline at {baseline_path}; "
+              "reporting fresh values only")
+    for file_name, metric, mode, threshold in HEADLINES:
+        if file_name != name:
+            continue
+        fresh_value = _lookup(fresh, metric)
+        committed_value = _lookup(committed, metric) if committed else None
+        label = f"{name}:{metric}"
+        if fresh_value is None:
+            failures.append(f"{label}: missing from the fresh benchmark output")
+            continue
+        if mode != "report" and committed is not None and committed_value is None:
+            print(f"  {label} = {_format(fresh_value)} "
+                  "(newly introduced metric; nothing committed to gate against)")
+            continue
+        effective_mode = "report" if report_only and mode != "true" else mode
+        verdict, detail = _judge(
+            effective_mode, fresh_value, committed_value, threshold
+        )
+        print(f"  {label}: fresh {_format(fresh_value)}"
+              + (f" vs committed {_format(committed_value)}"
+                 if committed_value is not None else "")
+              + f" — {detail}")
+        if not verdict:
+            failures.append(f"{label}: {detail}")
+    return failures
+
+
+def _judge(mode: str, fresh, committed, threshold) -> tuple[bool, str]:
+    if mode == "report":
+        return True, "report-only (not gated; see module docstring)"
+    if mode == "true":
+        ok = bool(fresh)
+        return ok, "holds" if ok else "correctness flag regressed to falsy"
+    if mode == "min":
+        ok = float(fresh) >= float(threshold)
+        return ok, (f"gated at >= {threshold}" if ok
+                    else f"below the {threshold} floor")
+    if mode == "max":
+        ok = float(fresh) <= float(threshold)
+        return ok, (f"gated at <= {threshold}" if ok
+                    else f"above the {threshold} ceiling")
+    if mode == "ratio":
+        floor = float(threshold) * float(committed)
+        ok = float(fresh) >= floor
+        return ok, (f"gated at >= {threshold}x committed ({floor:.4g})" if ok
+                    else f"dropped below {threshold}x committed ({floor:.4g})")
+    raise ValueError(f"unknown gate mode {mode!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*",
+        default=sorted({name for name, *_rest in HEADLINES}),
+        help="bench JSONs to check (default: every known one)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path(".bench-baseline"),
+        help="directory holding the committed BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, default=Path(__file__).resolve().parents[1],
+        help="directory holding the freshly generated BENCH_*.json files "
+        "(default: the repository root)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="never fail on speedup gates (correctness booleans still gate)",
+    )
+    args = parser.parse_args(argv)
+    known = {name for name, *_rest in HEADLINES}
+    failures: list[str] = []
+    for name in args.files:
+        if name not in known:
+            failures.append(f"{name}: no headline metrics registered "
+                            f"(known: {', '.join(sorted(known))})")
+            continue
+        print(f"checking {name}")
+        failures.extend(
+            check_file(name, args.fresh, args.baseline, args.report_only)
+        )
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall gated benchmark metrics held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,6 +198,14 @@ def distributed_example() -> None:
     it; the cross-host part runs only when ``REPRO_DISTRIBUTED_HOSTS``
     names live workers (it asserts the distributed estimate is
     bit-identical to the local one, exactly like the worker-pool demo).
+
+    Connections persist between calls: the process-wide host pool keeps
+    them open, so a second call here pays neither the TCP setup nor the
+    plan transfer (the worker confirms the plan digest instead). To
+    require authentication, export the same shared secret on both sides —
+    ``REPRO_DISTRIBUTED_SECRET=...`` for the coordinator and ``repro
+    serve --secret ...`` (or the same variable) for every worker; workers
+    then refuse any connection that cannot answer their HMAC challenge.
     """
     from repro.baselines import monte_carlo_probability
     from repro.circuits import (
@@ -243,6 +251,14 @@ def distributed_example() -> None:
     print(f"Monte Carlo (40k samples), {len(hosts)} host(s):    {remote:.6f}")
     assert remote == serial, "fixed seed must give identical estimates"
     print("identical estimates across hosts — determinism verified")
+    repeat = monte_carlo_probability(query, tid, samples=40_000, seed=11)
+    assert repeat == serial
+    from repro.circuits import pool_stats
+
+    stats = pool_stats()
+    print(f"persistent pool: {len(stats['open_connections'])} connection(s) "
+          f"reused, {stats['plans_published']} plan transfer(s) total "
+          "(repeat calls skip connect + publish)")
 
 
 if __name__ == "__main__":

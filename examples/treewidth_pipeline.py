@@ -18,12 +18,11 @@ from repro import (
     tid_probability,
     variables,
 )
-from repro.circuits import check_decomposability, check_determinism_sampled, circuit_width
+from repro.circuits import check_decomposability, check_determinism_sampled
 from repro.core import build_lineage
 from repro.core.hybrid import hybrid_stconn, monte_carlo_stconn
 from repro.events import var
 from repro.instances import PCInstance, fact, pcc_from_pc
-from repro.treewidth import build_nice_tree
 from repro.workloads import core_and_tentacles_tid, partial_ktree_tid, rst_chain_tid
 
 X, Y = variables("x", "y")

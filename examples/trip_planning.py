@@ -11,7 +11,7 @@ Run:  python examples/trip_planning.py
 
 from repro.conditioning import ConditionedInstance, SimulatedCrowd, run_crowd_session
 from repro.core import answer_probabilities, certain, possible
-from repro.instances import TIDInstance, fact, pcc_from_pc
+from repro.instances import TIDInstance, pcc_from_pc
 from repro.queries import atom, cq, variables
 from repro.workloads import ALL_TRIPS, TRIP_MEL_PDX, table1_pc_instance
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
 
-from repro.automata.trees import LEAF, BinaryTree
+from repro.automata.trees import BinaryTree
 from repro.util import check
 
 State = Hashable
@@ -52,9 +52,9 @@ class TreeAutomaton:
         lefts = self.reachable_states(tree.left)  # type: ignore[arg-type]
         rights = self.reachable_states(tree.right)  # type: ignore[arg-type]
         result: set = set()
-        for l in lefts:
-            for r in rights:
-                result |= self._step(tree.symbol, l, r)
+        for left in lefts:
+            for right in rights:
+                result |= self._step(tree.symbol, left, right)
         return frozenset(result)
 
     def accepts(self, tree: BinaryTree) -> bool:
@@ -98,9 +98,9 @@ class TreeAutomaton:
                         if key in rules:
                             continue
                         out: set = set()
-                        for l in left:
-                            for r in right:
-                                out |= self._step(symbol, l, r)
+                        for left_state in left:
+                            for right_state in right:
+                                out |= self._step(symbol, left_state, right_state)
                         target = frozenset(out)
                         rules[key] = frozenset({target})
                         if target not in states:
@@ -169,9 +169,9 @@ class TreeAutomaton:
         while changed:
             changed = False
             for symbol in alphabet:
-                for l in list(reachable):
-                    for r in list(reachable):
-                        for out in self._step(symbol, l, r):
+                for left in list(reachable):
+                    for right in list(reachable):
+                        for out in self._step(symbol, left, right):
                             if out not in reachable:
                                 reachable.add(out)
                                 changed = True

@@ -69,6 +69,8 @@ from repro.circuits.evaluation import (
     default_engine_set,
     distributed_hosts,
     distributed_hosts_set,
+    distributed_secret,
+    distributed_secret_set,
     engine_forced,
     force_engine,
     forced_engine,
@@ -78,10 +80,13 @@ from repro.circuits.evaluation import (
     parallel_workers_set,
     plan_from_bytes,
     plan_to_bytes,
+    pool_stats,
     probability,
     register_engine,
+    reset_pool,
     set_default_engine,
     set_distributed_hosts,
+    set_distributed_secret,
     set_parallel_workers,
     shutdown_pool,
 )
@@ -117,6 +122,8 @@ __all__ = [
     "default_engine_set",
     "distributed_hosts",
     "distributed_hosts_set",
+    "distributed_secret",
+    "distributed_secret_set",
     "engine_forced",
     "force_engine",
     "forced_engine",
@@ -129,11 +136,14 @@ __all__ = [
     "parallel_workers_set",
     "plan_from_bytes",
     "plan_to_bytes",
+    "pool_stats",
     "probability",
     "probability_dd",
     "register_engine",
+    "reset_pool",
     "set_default_engine",
     "set_distributed_hosts",
+    "set_distributed_secret",
     "set_parallel_workers",
     "shutdown_pool",
     "to_dot",

@@ -354,6 +354,7 @@ class CompiledCircuit:
         "_batch_plan",
         "_shared_plan",
         "_wire_cache",
+        "_wire_digest",
         "__weakref__",
     )
 
@@ -414,6 +415,7 @@ class CompiledCircuit:
         self._batch_plan = _UNBUILT
         self._shared_plan = None  # lazily published by repro.circuits.parallel
         self._wire_cache = None  # lazily packed by repro.circuits.distributed
+        self._wire_digest = None  # content digest of _wire_cache, cached with it
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -577,6 +579,20 @@ class CompiledCircuit:
         from repro.circuits import distributed
 
         return distributed.plan_to_bytes(self)
+
+    def plan_digest(self) -> str:
+        """Content digest of :meth:`wire_bytes`, computed once per circuit.
+
+        The identity the distributed runtime keys its caches on: workers
+        cache decoded plans by it and the coordinator's ``PLAN_OFFER``
+        handshake sends it instead of the plan, so a plan crosses the wire
+        at most once per worker per circuit.
+        """
+        if self._wire_digest is None:
+            from repro.circuits import distributed
+
+            self._wire_digest = distributed.plan_checksum(self.wire_bytes())
+        return self._wire_digest
 
     def _maybe_sharded(self, matrix, as_float: bool):
         """Route a big batch to distributed hosts or the worker pool.

@@ -19,14 +19,29 @@ over TCP so any number of hosts can chew on one batch or Monte-Carlo run:
   then streams tiny shard descriptors; workers answer with hit counts or
   output slices. :class:`WorkerServer` is the worker side; the CLI exposes
   it as ``repro-worker serve`` / ``python -m repro serve``.
-- **Coordinator** — an :mod:`asyncio` driver per call: it connects to every
-  host in the routing knob, pumps shard descriptors over each connection,
-  **retries a shard on worker disconnect** (on another worker, or locally
-  when none remain), and merges results in deterministic shard order. The
-  shard decomposition and seeding are exactly those of
-  :mod:`repro.circuits.parallel` — ``(seed, shard_index, count)`` — so a
-  fixed seed gives **bit-identical estimates at 0, 1, 2 or N hosts**, and
-  identical again after a serialize/deserialize round trip of the plan.
+- **Persistent runtime** — a module-level :class:`HostPool` owns one
+  authenticated TCP connection per worker host, kept open **across**
+  ``evaluate_batch``/``probability_batch``/sampling calls on a dedicated
+  event-loop thread. Plans cross the wire at most once per worker per
+  circuit: the coordinator offers a content digest first
+  (``PLAN_OFFER`` → ``PLAN_HAVE``/``PLAN_NEED``) and ships the blob only
+  on ``PLAN_NEED``. Shard dispatch is a **work-stealing queue**: an idle
+  connection pulls the next ``(seed, shard_index, count)`` descriptor, and
+  when the queue runs dry it re-runs descriptors still in flight on slower
+  hosts, so one slow host never gates the merge — determinism is
+  untouched because a shard's content depends only on its descriptor and
+  results merge keyed by shard id (first answer wins). Idle connections
+  are health-checked with a ``PING`` heartbeat before reuse and
+  transparently reconnected, so a bounced worker rejoins the pool (and is
+  re-sent any plan it lost). **A shard is retried on worker disconnect**
+  (on another worker, or locally when none remain), exactly as before.
+- **Auth** — optional shared-secret authentication: a worker started with
+  a secret (``repro serve --secret …`` or ``REPRO_DISTRIBUTED_SECRET``)
+  embeds a random challenge in its ``HELLO`` and requires an HMAC-SHA256
+  response before serving anything; coordinators take the secret from
+  :func:`distributed_secret` (same environment variable). This
+  authenticates peers on a trusted network — it is not transport
+  encryption; front workers with TLS/SSH tunnels for hostile networks.
 
 Knob: ``hosts=`` on the entry points (and on the sampling baselines),
 defaulting to the process-wide :func:`distributed_hosts` (set with
@@ -37,17 +52,27 @@ the ``REPRO_DISTRIBUTED_HOSTS`` environment variable — a comma-separated
 kernels, so the five execution tiers degrade gracefully top to bottom.
 Unreachable hosts are warned about once per process and skipped; a run
 whose every worker dies still completes locally with identical results.
+:func:`pool_stats` exposes the runtime's counters (connects, reconnects,
+digest hits, plans published, steals, per-host task counts);
+:func:`reset_pool` drops the persistent connections (the per-call baseline
+benchmarks measure against).
 """
 
 from __future__ import annotations
 
 import asyncio
+import atexit
+import hashlib
+import hmac as hmac_module
 import json
 import os
+import secrets as secrets_module
 import struct
 import sys
+import threading
 import warnings
 import zlib
+from collections import deque
 from contextlib import contextmanager
 
 from repro.circuits import compiled as _compiled
@@ -63,6 +88,15 @@ WIRE_MAGIC = b"RCP1"
 
 #: Version of the wire layout; bumped on any incompatible change.
 WIRE_VERSION = 1
+
+#: Version of the *connection* protocol, carried in HELLO and checked by
+#: the coordinator — distinct from the blob layout version above so either
+#: can move alone. Bumped to 2 when the digest handshake (PLAN_OFFER /
+#: PLAN_HAVE / PLAN_NEED) and the AUTH challenge became part of every
+#: conversation: a version-1 peer would not merely miss features, it would
+#: drop the connection on the first unknown frame, so mismatches must fail
+#: loudly at hello time instead.
+PROTOCOL_VERSION = 2
 
 #: Fixed wire header: magic, version, flags, crc32(meta+payload), meta
 #: length, payload length — little-endian, 24 bytes.
@@ -205,8 +239,14 @@ def plan_to_bytes(compiled) -> bytes:
 
 
 def plan_checksum(plan_bytes: bytes) -> str:
-    """Stable identifier of a wire plan (workers cache decoded plans by it)."""
-    return f"{zlib.crc32(plan_bytes) & 0xFFFFFFFF:08x}-{len(plan_bytes)}"
+    """Content digest of a wire payload (workers cache decoded plans by it).
+
+    SHA-256 over the exact bytes, truncated to 128 bits of hex — strong
+    enough that the ``PLAN_HAVE``/``PLAN_NEED`` handshake can treat digest
+    equality as payload equality (the CRC in the header only guards
+    transport damage, not cache identity).
+    """
+    return hashlib.sha256(plan_bytes).hexdigest()[:32]
 
 
 class WirePlan:
@@ -543,6 +583,51 @@ def should_distribute(n_rows: int, hosts=None) -> bool:
     return bool(effective_hosts(hosts)) and n_rows >= _parallel.PARALLEL_MIN_ROWS
 
 
+_SECRET: str | None = os.environ.get("REPRO_DISTRIBUTED_SECRET") or None
+
+
+def distributed_secret() -> str | None:
+    """The shared worker-auth secret (``None`` = unauthenticated, the default)."""
+    return _SECRET
+
+
+def set_distributed_secret(secret: str | None) -> None:
+    """Set the process-wide shared secret used to answer worker challenges.
+
+    Both sides read ``REPRO_DISTRIBUTED_SECRET`` at import; this overrides
+    it for the coordinator side. ``None`` or ``""`` clear the secret. A
+    worker without a secret accepts any coordinator; a worker *with* one
+    rejects every connection that cannot answer its HMAC challenge.
+    """
+    global _SECRET
+    _SECRET = str(secret) if secret else None
+
+
+@contextmanager
+def distributed_secret_set(secret: str | None):
+    """Scope a :func:`set_distributed_secret` change, restoring the previous."""
+    global _SECRET
+    previous = _SECRET
+    set_distributed_secret(secret)
+    try:
+        yield
+    finally:
+        _SECRET = previous
+
+
+def auth_response(secret: str, challenge_hex: str) -> str:
+    """The HMAC-SHA256 answer to a worker's hello challenge.
+
+    The worker sends a random ``challenge`` (hex) in its ``HELLO``; the
+    coordinator must reply with ``HMAC(secret, challenge_bytes)`` before
+    anything else. Challenge-response keeps the secret itself off the wire
+    and makes every handshake transcript single-use.
+    """
+    return hmac_module.new(
+        secret.encode(), bytes.fromhex(challenge_hex), hashlib.sha256
+    ).hexdigest()
+
+
 _WARNED: set[str] = set()
 
 
@@ -563,9 +648,32 @@ MSG_TASK = 4
 MSG_RESULT = 5
 MSG_ERROR = 6
 MSG_SHUTDOWN = 7
+MSG_PING = 8
+MSG_PONG = 9
+MSG_PLAN_OFFER = 10
+MSG_PLAN_HAVE = 11
+MSG_PLAN_NEED = 12
+MSG_AUTH = 13
+MSG_AUTH_OK = 14
 
 #: Seconds allowed for a TCP connect + handshake before a host is skipped.
 CONNECT_TIMEOUT = 5.0
+
+#: Seconds a pooled idle connection gets to answer the PING heartbeat
+#: before it is declared dead and reconnected.
+HEARTBEAT_TIMEOUT = 2.0
+
+#: Matrix passes cut their rows into this many shards per host so the
+#: stealing queue has slack to rebalance between hosts of unequal speed.
+STEAL_SHARDS_PER_HOST = 4
+
+#: Minimum seconds a shard must have been in flight before an idle
+#: connection may steal (re-run) it. The effective grace per connection is
+#: ``max(STEAL_GRACE, 2 × its own observed per-shard latency)``, so
+#: homogeneous hosts finishing within a whisker of each other do not
+#: duplicate the tail shard of every call — stealing fires for genuine
+#: stragglers only.
+STEAL_GRACE = 0.05
 
 #: Upper bound on one matrix shard's payload, so a frame always fits the
 #: uint32 length prefix with room to spare and workers never buffer more
@@ -617,18 +725,28 @@ class WorkerServer:
     """The worker side of the protocol: serve shards over localhost/TCP.
 
     One instance serves any number of coordinator connections; decoded
-    plans and witness tables are cached per process by checksum, so a
-    coordinator reconnecting (or several coordinators sharing one circuit)
-    pays the decode once. ``max_tasks`` is a fault-injection hook for tests
-    and drills: the process dies abruptly (``os._exit``) when asked to run
-    task ``max_tasks + 1``, simulating a mid-run crash.
+    plans and witness tables are cached per process by content digest, so
+    a coordinator reconnecting (or several coordinators sharing one
+    circuit) pays the decode once — and, via the ``PLAN_OFFER`` →
+    ``PLAN_HAVE``/``PLAN_NEED`` handshake, the *transfer* once too.
+
+    ``secret`` arms shared-secret authentication: the hello carries a
+    random challenge and the first client message must be a valid
+    ``MSG_AUTH`` HMAC response or the connection is refused. ``max_tasks``
+    is a fault-injection hook for tests and drills: the process dies
+    abruptly (``os._exit``) when asked to run task ``max_tasks + 1``,
+    simulating a mid-run crash. ``delay`` sleeps before every task — the
+    slow-host hook the work-stealing tests and drills use.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 max_tasks: int | None = None):
+                 max_tasks: int | None = None, secret: str | None = None,
+                 delay: float = 0.0):
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port on start
         self.max_tasks = max_tasks
+        self.secret = str(secret) if secret else None
+        self.delay = float(delay or 0.0)
         self._executed = 0
         self._plans: dict[str, WirePlan] = {}
         self._tables: dict[str, WireTables] = {}
@@ -657,16 +775,46 @@ class WorkerServer:
 
     async def _handle(self, reader, writer) -> None:
         try:
-            await _send_message(
-                writer, MSG_HELLO,
-                {"version": WIRE_VERSION, "pid": os.getpid(),
-                 "numpy": numpy_module() is not None},
-            )
+            hello = {
+                "version": PROTOCOL_VERSION,
+                "wire": WIRE_VERSION,
+                "pid": os.getpid(),
+                "numpy": numpy_module() is not None,
+                "auth": self.secret is not None,
+            }
+            challenge = None
+            if self.secret is not None:
+                challenge = secrets_module.token_hex(16)
+                hello["challenge"] = challenge
+            await _send_message(writer, MSG_HELLO, hello)
+            if challenge is not None:
+                kind, meta, _blob = await asyncio.wait_for(
+                    _read_message(reader), CONNECT_TIMEOUT
+                )
+                expected = auth_response(self.secret, challenge)
+                if kind != MSG_AUTH or not hmac_module.compare_digest(
+                    str(meta.get("mac", "")), expected
+                ):
+                    await _send_message(
+                        writer, MSG_ERROR, {"message": "authentication failed"}
+                    )
+                    return
+                await _send_message(writer, MSG_AUTH_OK, {"pid": os.getpid()})
             while True:
                 kind, meta, blob = await _read_message(reader)
                 if kind == MSG_SHUTDOWN:
                     break
-                if kind == MSG_PLAN:
+                if kind == MSG_PING:
+                    await _send_message(writer, MSG_PONG, {"pid": os.getpid()})
+                elif kind == MSG_PLAN_OFFER:
+                    key = meta["checksum"]
+                    cache = self._tables if meta.get("kind") == "tables" else self._plans
+                    await _send_message(
+                        writer,
+                        MSG_PLAN_HAVE if key in cache else MSG_PLAN_NEED,
+                        {"checksum": key},
+                    )
+                elif kind == MSG_PLAN:
                     key = meta["checksum"]
                     if key not in self._plans:
                         self._cache_put(self._plans, key, plan_from_bytes(blob))
@@ -678,6 +826,8 @@ class WorkerServer:
                     if self.max_tasks is not None and self._executed >= self.max_tasks:
                         os._exit(17)  # fault injection: die instead of answering
                     self._executed += 1
+                    if self.delay > 0:  # slow-host drill hook
+                        await asyncio.sleep(self.delay)
                     try:
                         rmeta, rblob = self._execute(meta, blob)
                     except Exception as exc:  # noqa: BLE001 - reported to coordinator
@@ -784,16 +934,20 @@ class LocalWorker:
 
 
 def spawn_local_worker(max_tasks: int | None = None,
-                       startup_timeout: float = 30.0) -> LocalWorker:
+                       startup_timeout: float = 30.0, port: int = 0,
+                       secret: str | None = None,
+                       delay: float | None = None) -> LocalWorker:
     """Start a localhost shard worker subprocess and wait until it is ready.
 
-    Runs ``python -m repro serve --port 0`` (the OS picks the port, so any
-    number can coexist) with this process's ``repro`` package on the
-    child's path, and blocks until the worker prints its
+    Runs ``python -m repro serve`` (``port=0`` lets the OS pick, so any
+    number can coexist; a fixed port lets tests bounce a worker and
+    relaunch it at the same address) with this process's ``repro`` package
+    on the child's path, and blocks until the worker prints its
     ``repro-worker listening on host:port`` readiness line. The caller owns
     teardown (:meth:`LocalWorker.stop`). Tests and benchmarks share this
     one implementation of the spawn/readiness/teardown dance; ``max_tasks``
-    passes the fault-injection hook through.
+    (crash after N tasks), ``secret`` (require auth) and ``delay`` (sleep
+    before each task) pass the drill hooks through.
     """
     import re
     import subprocess
@@ -807,9 +961,13 @@ def spawn_local_worker(max_tasks: int | None = None,
     env["PYTHONPATH"] = package_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    command = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    command = [sys.executable, "-m", "repro", "serve", "--port", str(port)]
     if max_tasks is not None:
         command += ["--max-tasks", str(max_tasks)]
+    if secret is not None:
+        command += ["--secret", str(secret)]
+    if delay is not None:
+        command += ["--delay", str(delay)]
     process = subprocess.Popen(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
@@ -829,120 +987,503 @@ def spawn_local_worker(max_tasks: int | None = None,
 
 
 # --------------------------------------------------------------------------- #
-# coordinator side
+# coordinator side: the persistent host pool
 
-async def _open_worker(hostport: str, payloads):
-    host, port = _parse_hostport(hostport)
-    reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(host, port), CONNECT_TIMEOUT
-    )
-    try:
-        kind, meta, _blob = await asyncio.wait_for(
-            _read_message(reader), CONNECT_TIMEOUT
-        )
-        if kind != MSG_HELLO or meta.get("version") != WIRE_VERSION:
-            raise ReproError(
-                f"worker {hostport} speaks protocol "
-                f"{meta.get('version')!r}, not {WIRE_VERSION}"
-            )
-        for msg_kind, msg_meta, msg_blob in payloads:
-            await _send_message(writer, msg_kind, msg_meta, msg_blob)
-    except BaseException:
-        writer.close()
-        raise
-    return reader, writer
+class _Conn:
+    """One pooled worker connection plus what that worker is known to hold."""
+
+    __slots__ = ("hostport", "reader", "writer", "published", "pid")
+
+    def __init__(self, hostport: str, reader, writer, pid):
+        self.hostport = hostport
+        self.reader = reader
+        self.writer = writer
+        self.published: set[str] = set()  # digests confirmed on this worker
+        self.pid = pid
 
 
-async def _coordinate(hosts, payloads, tasks, results: dict) -> None:
-    """Pump ``tasks`` over every reachable host; fill ``results`` by id.
+class _StealQueue:
+    """The work-stealing shard queue one coordinated call pumps from.
 
-    Hosts are connected **concurrently** (one slow or blackholed host costs
-    one ``CONNECT_TIMEOUT`` overall, not one per host); each connection
-    gets the plan/tables payloads once, then tasks one at a time. A task's
-    ``blob`` may be a zero-argument callable, built only at send time, so
-    big matrix shards never exist all at once. A connection failure — or a
-    worker *refusing* a shard with ``MSG_ERROR`` — requeues the in-flight
-    shard for the next worker and drops that connection (retried result
-    values are deterministic, so a shard that was silently completed before
-    a disconnect re-executes to the same answer); tasks still unassigned
-    when every connection has failed are left for the caller's local
-    fallback, which also surfaces any real per-shard error. Results land
-    keyed by task id, so no shard can be counted twice and the merge order
-    is the caller's.
+    Connections pull the next pending slot when idle; once the pending
+    deque runs dry, an idle connection *steals* a slot still in flight on
+    another (presumably slower) connection and re-runs it. Shard contents
+    are pure functions of their descriptors and results are recorded
+    first-answer-wins by task id, so a steal can never change the merged
+    value — it only stops a slow host from gating the merge. ``ran`` (per
+    connection) caps each slot at one execution per connection, which
+    bounds total work at ``shards × hosts`` even in pathological cases,
+    and a slot only becomes stealable after ``min_age`` seconds in flight
+    (:data:`STEAL_GRACE`-based), so near-simultaneous finishers do not
+    re-run each other's tail shards for nothing.
     """
-    from collections import deque
 
-    queue = deque(range(len(tasks)))
-    attempts = await asyncio.gather(
-        *(_open_worker(hostport, payloads) for hostport in hosts),
-        return_exceptions=True,
-    )
-    connections = []
-    for hostport, outcome in zip(hosts, attempts):
-        if isinstance(outcome, BaseException):
-            if not isinstance(outcome, _CONNECTION_ERRORS + (ReproError,)):
-                raise outcome
+    __slots__ = ("_pending", "_inflight", "_stats")
+
+    def __init__(self, n_tasks: int, stats: dict):
+        self._pending = deque(range(n_tasks))
+        self._inflight: dict[int, float] = {}  # slot -> first-dispatch time
+        self._stats = stats
+
+    def take(
+        self, ran: set[int], now: float = 0.0, min_age: float = 0.0
+    ) -> tuple[int | None, float | None]:
+        """``(slot, None)`` to run, ``(None, seconds)`` to retry after a
+        wait (in-flight work exists but is younger than ``min_age``), or
+        ``(None, None)`` when nothing is left for this connection."""
+        if self._pending:
+            slot = self._pending.popleft()
+            self._inflight[slot] = now
+            return slot, None
+        best = None
+        soonest: float | None = None
+        for slot, started in self._inflight.items():
+            if slot in ran:
+                continue
+            age = now - started
+            if age >= min_age:
+                if best is None or started < self._inflight[best]:
+                    best = slot  # steal the longest-suffering shard first
+            else:
+                remaining = min_age - age
+                soonest = remaining if soonest is None else min(soonest, remaining)
+        if best is not None:
+            self._stats["steals"] += 1
+            return best, None  # original dispatch time kept: age keeps growing
+        return None, soonest
+
+    def release(self, slot: int) -> None:
+        """Put a failed slot back for some other connection (or the local
+        fallback) to run."""
+        self._inflight.pop(slot, None)
+        self._pending.append(slot)
+
+    def done(self, slot: int) -> None:
+        self._inflight.pop(slot, None)
+
+
+def _fresh_stats() -> dict:
+    return {
+        "calls": 0,
+        "connects": 0,
+        "reconnects": 0,
+        "heartbeat_failures": 0,
+        "plan_offers": 0,
+        "plan_cache_hits": 0,
+        "plans_published": 0,
+        "publishes_skipped": 0,
+        "tasks_completed": 0,
+        "steals": 0,
+        "per_host_tasks": {},
+    }
+
+
+class HostPool:
+    """Persistent coordinator runtime: connections that outlive calls.
+
+    One instance per process (module-level :data:`_HOST_POOL`). All socket
+    I/O runs on a dedicated daemon thread's event loop, so entry points can
+    block on :meth:`run` from plain synchronous code *and* from inside a
+    running event loop (a web handler, a notebook) without nesting
+    ``asyncio.run``. Connections are keyed by ``host:port`` and reused
+    across calls; before reuse an idle connection is health-checked with a
+    ``PING`` heartbeat and transparently re-opened if the worker bounced —
+    the fresh connection re-publishes whatever plans the new worker
+    process is missing (the digest handshake makes that exact). Counters
+    are exposed by :meth:`stats`; they are only ever mutated on the pool
+    thread.
+    """
+
+    def __init__(self):
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._start_lock = threading.Lock()
+        self._conns: dict[str, _Conn] = {}
+        self._host_locks: dict[str, asyncio.Lock] = {}
+        self._ever_connected: set[str] = set()
+        self._stats = _fresh_stats()
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._start_lock:
+            if self._loop is not None and self._thread is not None \
+                    and self._thread.is_alive():
+                return self._loop
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="repro-host-pool", daemon=True
+            )
+            thread.start()
+            self._loop, self._thread = loop, thread
+            return loop
+
+    def _submit(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._ensure_loop())
+
+    def reset(self) -> None:
+        """Drop every pooled connection (politely), keeping the stats.
+
+        The next call reconnects from scratch — this is the per-call
+        baseline the amortization benchmark measures against, and the
+        test hook for exercising the worker-side plan cache across
+        connections.
+        """
+        if self._loop is None:
+            return
+        self._submit(self._close_connections()).result()
+
+    def close(self) -> None:
+        """Tear the runtime down: connections, then the loop thread."""
+        if self._loop is None:
+            return
+        self._submit(self._close_connections()).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+        self._host_locks = {}
+
+    async def _close_connections(self) -> None:
+        for conn in list(self._conns.values()):
+            try:
+                await _send_message(conn.writer, MSG_SHUTDOWN, {})
+            except _CONNECTION_ERRORS:
+                pass
+            self._discard(conn)
+
+    def stats(self) -> dict:
+        """A snapshot of the runtime counters plus the open connections.
+
+        Counters (and the connection dict) are mutated on the pool thread,
+        so the snapshot is taken there too — a caller iterating them
+        directly could race a resize mid-call. With no loop running yet
+        the pool is idle and the direct copy is safe.
+        """
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            return self._submit(self._snapshot()).result()
+        return self._snapshot_now()
+
+    async def _snapshot(self) -> dict:
+        return self._snapshot_now()
+
+    def _snapshot_now(self) -> dict:
+        snapshot = dict(self._stats)
+        snapshot["per_host_tasks"] = dict(self._stats["per_host_tasks"])
+        snapshot["open_connections"] = sorted(self._conns)
+        return snapshot
+
+    # -- connection management (pool thread only) ------------------------- #
+
+    def _discard(self, conn: _Conn) -> None:
+        if self._conns.get(conn.hostport) is conn:
+            del self._conns[conn.hostport]
+        try:
+            conn.writer.close()
+        except Exception:  # pragma: no cover - teardown race
+            pass
+
+    async def _heartbeat(self, conn: _Conn) -> bool:
+        try:
+            await _send_message(conn.writer, MSG_PING, {})
+            kind, _meta, _blob = await asyncio.wait_for(
+                _read_message(conn.reader), HEARTBEAT_TIMEOUT
+            )
+            return kind == MSG_PONG
+        except _CONNECTION_ERRORS:
+            return False
+
+    async def _connect(self, hostport: str) -> _Conn:
+        host, port = _parse_hostport(hostport)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), CONNECT_TIMEOUT
+        )
+        try:
+            kind, meta, _blob = await asyncio.wait_for(
+                _read_message(reader), CONNECT_TIMEOUT
+            )
+            if kind != MSG_HELLO or meta.get("version") != PROTOCOL_VERSION:
+                raise ReproError(
+                    f"worker {hostport} speaks protocol "
+                    f"{meta.get('version')!r}, not {PROTOCOL_VERSION}"
+                )
+            challenge = meta.get("challenge")
+            if challenge is not None:
+                secret = _SECRET
+                if secret is None:
+                    raise ReproError(
+                        f"worker {hostport} requires authentication and no "
+                        "shared secret is set (REPRO_DISTRIBUTED_SECRET)"
+                    )
+                await _send_message(
+                    writer, MSG_AUTH, {"mac": auth_response(secret, challenge)}
+                )
+                akind, ameta, _ablob = await asyncio.wait_for(
+                    _read_message(reader), CONNECT_TIMEOUT
+                )
+                if akind != MSG_AUTH_OK:
+                    raise ReproError(
+                        f"worker {hostport} rejected authentication "
+                        f"({ameta.get('message', 'denied')})"
+                    )
+        except BaseException:
+            writer.close()
+            raise
+        conn = _Conn(hostport, reader, writer, meta.get("pid"))
+        self._stats["connects"] += 1
+        if hostport in self._ever_connected:
+            self._stats["reconnects"] += 1
+        self._ever_connected.add(hostport)
+        self._conns[hostport] = conn
+        return conn
+
+    async def _acquire(self, hostport: str, payloads) -> _Conn | None:
+        """A healthy connection with ``payloads`` published, or ``None``.
+
+        Reuses the pooled connection when its heartbeat answers; otherwise
+        reconnects (a bounced worker rejoining the pool). Failures warn
+        once per host per process and return ``None`` — the caller's other
+        hosts, or the local fallback, absorb the work.
+        """
+        conn = self._conns.get(hostport)
+        if conn is not None and not await self._heartbeat(conn):
+            self._stats["heartbeat_failures"] += 1
+            self._discard(conn)
+            conn = None
+        try:
+            if conn is None:
+                conn = await self._connect(hostport)
+            await self._publish(conn, payloads)
+        except _CONNECTION_ERRORS + (ReproError,) as exc:
+            if conn is not None:
+                self._discard(conn)
             _warn_once(
                 f"connect:{hostport}",
-                f"distributed worker {hostport} unreachable ({outcome}); "
+                f"distributed worker {hostport} unreachable ({exc}); "
                 "continuing without it",
             )
-        else:
-            connections.append(outcome)
-    if not connections:
-        return
+            return None
+        return conn
 
-    async def pump(reader, writer) -> None:
-        while True:
-            try:
-                slot = queue.popleft()
-            except IndexError:
-                break
-            task_id, meta, blob = tasks[slot]
-            if task_id in results:
+    async def _publish(self, conn: _Conn, payloads) -> None:
+        """Digest handshake: ship each payload at most once per worker.
+
+        A digest already confirmed on this connection is skipped outright;
+        otherwise the worker is offered the digest and only answers
+        ``PLAN_NEED`` when its process-wide cache lacks it — so a plan
+        crosses the wire once per worker per circuit, not once per call,
+        and a reconnect to a live worker costs two tiny frames.
+        """
+        for msg_kind, msg_meta, msg_blob in payloads:
+            digest = msg_meta["checksum"]
+            if digest in conn.published:
+                self._stats["publishes_skipped"] += 1
                 continue
-            try:
-                payload = blob() if callable(blob) else blob
-                await _send_message(writer, MSG_TASK, meta, payload)
-                kind, rmeta, rblob = await _read_message(reader)
-            except _CONNECTION_ERRORS:
-                queue.appendleft(slot)  # retried elsewhere, or locally
-                _warn_once(
-                    "worker-died",
-                    "a distributed worker disconnected mid-run; its shard "
-                    "was requeued",
+            self._stats["plan_offers"] += 1
+            await _send_message(
+                conn.writer, MSG_PLAN_OFFER,
+                {"checksum": digest,
+                 "kind": "tables" if msg_kind == MSG_TABLES else "plan"},
+            )
+            kind, meta, _blob = await _read_message(conn.reader)
+            if kind == MSG_PLAN_HAVE and meta.get("checksum") == digest:
+                self._stats["plan_cache_hits"] += 1
+            elif kind == MSG_PLAN_NEED and meta.get("checksum") == digest:
+                await _send_message(conn.writer, msg_kind, msg_meta, msg_blob)
+                self._stats["plans_published"] += 1
+            else:
+                raise ReproError(
+                    f"worker {conn.hostport} answered a plan offer with "
+                    f"message kind {kind}"
                 )
-                return
-            if kind != MSG_RESULT or rmeta.get("id") != task_id:
-                # MSG_ERROR (e.g. a cache-evicted plan on a shared worker)
-                # or a mismatched stream: this worker cannot run the shard,
-                # but another one — or the local fallback — can.
-                queue.appendleft(slot)
-                detail = rmeta.get("message") if kind == MSG_ERROR else "bad reply"
-                _warn_once(
-                    "worker-refused",
-                    f"a distributed worker refused a shard ({detail}); "
-                    "it was requeued",
-                )
-                return
-            results[task_id] = (rmeta, rblob)
-        try:
-            await _send_message(writer, MSG_SHUTDOWN, {})
-        except _CONNECTION_ERRORS:  # pragma: no cover - worker already gone
-            pass
+            conn.published.add(digest)
 
-    outcomes = await asyncio.gather(
-        *(pump(reader, writer) for reader, writer in connections),
-        return_exceptions=True,
-    )
-    for reader, writer in connections:
+    # -- coordinated calls ------------------------------------------------ #
+
+    def run(self, hosts, payloads, tasks) -> dict:
+        """Coordinate ``tasks`` over ``hosts``; returns ``{task_id: result}``.
+
+        Blocks the calling thread until the workers have done what they
+        can; anything missing from the returned dict is the caller's to
+        run locally. Thread-safe: concurrent calls interleave on the pool
+        loop, serialized per host by a host lock.
+        """
+        if not hosts or not tasks:
+            return {}
+        return self._submit(self._run(tuple(hosts), payloads, tasks)).result()
+
+    async def _run(self, hosts, payloads, tasks) -> dict:
+        self._stats["calls"] += 1
+        results: dict = {}
+        complete = asyncio.Event()
+        queue = _StealQueue(len(tasks), self._stats)
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(hostport, payloads, queue, tasks, results, complete)
+            )
+            for hostport in dict.fromkeys(hosts)  # dedupe, keep order
+        ]
+        waiter = asyncio.ensure_future(complete.wait())
+        all_pumps = asyncio.ensure_future(
+            asyncio.gather(*pumps, return_exceptions=True)
+        )
+        # Wake when the pumps are all done OR every result is already in —
+        # whichever comes first. In the second case, cancel stragglers
+        # still blocked on a slow or wedged worker (their shard was
+        # already answered by a steal); a cancelled pump discards its
+        # connection, so no stale RESULT frame can be misread later.
+        await asyncio.wait((all_pumps, waiter), return_when=asyncio.FIRST_COMPLETED)
+        for pump in pumps:
+            if not pump.done():
+                pump.cancel()
+        waiter.cancel()
+        outcomes = await all_pumps
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, asyncio.CancelledError
+            ):
+                raise outcome
+        return results
+
+    async def _pump(self, hostport, payloads, queue, tasks, results, complete):
+        """One host's task loop for one call: pull, send, record, steal.
+
+        Tracks its own per-task latency so the stealing grace scales with
+        the connection's real speed (a fast host may steal a shard that
+        has been in flight for twice its own per-shard time; a slow one
+        effectively never steals). ``dirty`` marks the moments a frame may
+        be half-way through the socket — only then does a cancellation
+        (every result already in via a steal) have to cost the pooled
+        connection.
+        """
+        lock = self._host_locks.setdefault(hostport, asyncio.Lock())
+        loop = asyncio.get_running_loop()
+        conn = None
+        dirty = False
         try:
-            writer.close()
-        except _CONNECTION_ERRORS:  # pragma: no cover - teardown race
-            pass
-    for outcome in outcomes:
-        if isinstance(outcome, BaseException):
-            raise outcome
+            async with lock:
+                dirty = True  # _acquire exchanges heartbeat/auth/plan frames
+                conn = await self._acquire(hostport, payloads)
+                dirty = False
+                if conn is None:
+                    return
+                ran: set[int] = set()
+                rejoined = False
+                latency_total = 0.0
+                latency_count = 0
+                while len(results) < len(tasks):
+                    min_age = STEAL_GRACE if latency_count == 0 else max(
+                        STEAL_GRACE, 2.0 * latency_total / latency_count
+                    )
+                    slot, retry_in = queue.take(ran, loop.time(), min_age)
+                    if slot is None:
+                        if retry_in is None:
+                            break
+                        # In-flight work exists but is too young to steal:
+                        # give its owner a beat, then look again.
+                        await asyncio.sleep(min(retry_in, STEAL_GRACE))
+                        continue
+                    task_id, meta, blob = tasks[slot]
+                    if task_id in results:
+                        queue.done(slot)
+                        continue
+                    ran.add(slot)
+                    started = loop.time()
+                    try:
+                        payload = blob() if callable(blob) else blob
+                        dirty = True
+                        await _send_message(conn.writer, MSG_TASK, meta, payload)
+                        kind, rmeta, rblob = await _read_message(conn.reader)
+                        dirty = False
+                    except _CONNECTION_ERRORS:
+                        dirty = False
+                        queue.release(slot)
+                        ran.discard(slot)
+                        self._discard(conn)
+                        conn = None
+                        _warn_once(
+                            "worker-died",
+                            "a distributed worker disconnected mid-run; its "
+                            "shard was requeued",
+                        )
+                        if rejoined:
+                            return
+                        rejoined = True  # one rejoin attempt per host per call
+                        dirty = True
+                        conn = await self._acquire(hostport, payloads)
+                        dirty = False
+                        if conn is None:
+                            return
+                        continue
+                    if kind != MSG_RESULT or rmeta.get("id") != task_id:
+                        # MSG_ERROR (e.g. a cache-evicted plan on a shared
+                        # worker) or a mismatched stream: requeue the shard
+                        # and drop the connection so the next call
+                        # re-publishes from a clean slate.
+                        queue.release(slot)
+                        detail = (
+                            rmeta.get("message") if kind == MSG_ERROR
+                            else "bad reply"
+                        )
+                        _warn_once(
+                            "worker-refused",
+                            f"a distributed worker refused a shard ({detail}); "
+                            "it was requeued",
+                        )
+                        self._discard(conn)
+                        return
+                    queue.done(slot)
+                    latency_total += loop.time() - started
+                    latency_count += 1
+                    if task_id not in results:  # first answer wins on steals
+                        results[task_id] = (rmeta, rblob)
+                        self._stats["tasks_completed"] += 1
+                        per_host = self._stats["per_host_tasks"]
+                        per_host[hostport] = per_host.get(hostport, 0) + 1
+                    if len(results) >= len(tasks):
+                        complete.set()
+        except asyncio.CancelledError:
+            # Cancelled with a frame possibly half-exchanged (mid-task or
+            # mid-handshake): the connection has unread bytes in flight and
+            # cannot be pooled. A cancel between frames keeps it.
+            if conn is not None and dirty:
+                self._discard(conn)
+            raise
+
+
+_HOST_POOL = HostPool()
+
+
+def host_pool() -> HostPool:
+    """The process-wide persistent coordinator runtime."""
+    return _HOST_POOL
+
+
+def pool_stats() -> dict:
+    """Counters of the persistent runtime (see :meth:`HostPool.stats`)."""
+    return _HOST_POOL.stats()
+
+
+def reset_pool() -> None:
+    """Drop the pooled worker connections; the next call reconnects."""
+    _HOST_POOL.reset()
+
+
+def close_pool() -> None:
+    """Close the persistent runtime entirely (connections + loop thread).
+
+    Distinct from :func:`repro.circuits.parallel.shutdown_pool` (the
+    multi-process pool); this one tears down the TCP runtime. Registered
+    at exit; safe to call repeatedly — the next coordinated call simply
+    starts a fresh runtime.
+    """
+    _HOST_POOL.close()
+
+
+atexit.register(close_pool)
 
 
 def _run_distributed(hosts, payloads, tasks, run_local) -> list:
@@ -953,32 +1494,12 @@ def _run_distributed(hosts, payloads, tasks, run_local) -> list:
     ``(result_meta, result_blob)`` pairs in task order — the deterministic
     merge order — regardless of which host (or the local fallback) ran each
     shard. Never loses a shard: anything the workers did not finish is
-    evaluated in-process through ``run_local(meta)``. Safe to call from a
-    thread that is itself inside an event loop: coordination then runs on a
-    private loop in a helper thread instead of ``asyncio.run`` (which would
-    refuse to nest).
+    evaluated in-process through ``run_local(meta)``. Coordination runs on
+    the persistent :class:`HostPool` (its own loop thread), so this is
+    safe to call from plain code and from inside a running event loop
+    alike.
     """
-    results: dict = {}
-    try:
-        asyncio.get_running_loop()
-    except RuntimeError:
-        asyncio.run(_coordinate(hosts, payloads, tasks, results))
-    else:
-        import threading
-
-        failure: list[BaseException] = []
-
-        def _runner() -> None:
-            try:
-                asyncio.run(_coordinate(hosts, payloads, tasks, results))
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                failure.append(exc)
-
-        thread = threading.Thread(target=_runner, daemon=True)
-        thread.start()
-        thread.join()
-        if failure:
-            raise failure[0]
+    results = _HOST_POOL.run(hosts, payloads, tasks)
     for task_id, meta, _blob in tasks:
         if task_id not in results:
             results[task_id] = run_local(meta)
@@ -990,7 +1511,7 @@ def _run_distributed(hosts, payloads, tasks, run_local) -> list:
 
 def _plan_payload(compiled) -> tuple[bytes, str]:
     plan_bytes = plan_to_bytes(compiled)
-    return plan_bytes, plan_checksum(plan_bytes)
+    return plan_bytes, compiled.plan_digest()
 
 
 def monte_carlo_hits(compiled, marginals, samples: int, seed: int = 0,
@@ -1102,14 +1623,19 @@ def _distributed_matrix_pass(compiled, matrix, as_float: bool, hosts):
         compiled.batch_plan().run_into(matrix, out, as_float)
         return out
     plan_bytes, checksum = _plan_payload(compiled)
-    # Shard by host count, then re-split so no single shard's payload can
-    # exceed MAX_SHARD_BYTES: frames stay far under the wire limit and a
-    # worker never buffers more than one bounded slice. Blobs are callables
-    # materialized per send, so the matrix is never duplicated wholesale.
+    # Shard into STEAL_SHARDS_PER_HOST pieces per host (slack for the
+    # stealing queue to rebalance), then re-split so no single shard's
+    # payload can exceed MAX_SHARD_BYTES: frames stay far under the wire
+    # limit and a worker never buffers more than one bounded slice. Blobs
+    # are callables materialized per send, so the matrix is never
+    # duplicated wholesale. Output values are per-row, so the shard
+    # granularity cannot change the merged result.
     row_bytes = max(1, int(matrix.shape[1]) * matrix.dtype.itemsize)
     max_rows = max(1, MAX_SHARD_BYTES // row_bytes)
     shards: list[tuple[int, int]] = []
-    for start, end in _parallel._row_shards(n_rows, max(1, len(hosts))):
+    for start, end in _parallel._row_shards(
+        n_rows, max(1, len(hosts)), parts_per_worker=STEAL_SHARDS_PER_HOST
+    ):
         for split in range(start, end, max_rows):
             shards.append((split, min(split + max_rows, end)))
     tasks = [

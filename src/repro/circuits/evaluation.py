@@ -50,9 +50,14 @@ from repro.circuits.compiled import numpy_available
 from repro.circuits.distributed import (  # noqa: F401 - re-exported knobs
     distributed_hosts,
     distributed_hosts_set,
+    distributed_secret,
+    distributed_secret_set,
     plan_from_bytes,
     plan_to_bytes,
+    pool_stats,
+    reset_pool,
     set_distributed_hosts,
+    set_distributed_secret,
 )
 from repro.circuits.parallel import (  # noqa: F401 - re-exported knobs
     parallel_available,
@@ -72,15 +77,18 @@ def capabilities() -> dict:
 
     Reports whether the numpy batch kernels and the sharded multi-process
     backend are importable, the current ``parallel_workers`` and
-    ``distributed_hosts`` knobs, and the visible CPU count — everything a
-    caller needs to decide how to run a large workload (engines are listed
-    by :func:`available_engines`).
+    ``distributed_hosts`` knobs, whether worker authentication is armed,
+    a snapshot of the persistent host pool's counters, and the visible
+    CPU count — everything a caller needs to decide how to run a large
+    workload (engines are listed by :func:`available_engines`).
     """
     return {
         "numpy": numpy_available(),
         "parallel": parallel_available(),
         "parallel_workers": parallel_workers(),
         "distributed_hosts": list(distributed_hosts()),
+        "distributed_auth": distributed_secret() is not None,
+        "distributed_pool": pool_stats(),
         "cpu_count": os.cpu_count() or 1,
     }
 

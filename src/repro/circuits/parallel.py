@@ -569,9 +569,16 @@ def _run_tasks(task_list, workers: int) -> list:
 # --------------------------------------------------------------------------- #
 # sharded entry points
 
-def _row_shards(n_rows: int, workers: int) -> list[tuple[int, int]]:
-    """Contiguous near-equal row ranges, two per worker for load balance."""
-    parts = min(n_rows, max(1, workers * 2))
+def _row_shards(
+    n_rows: int, workers: int, parts_per_worker: int = 2
+) -> list[tuple[int, int]]:
+    """Contiguous near-equal row ranges, ``parts_per_worker`` per worker.
+
+    Two per worker suffices for the homogeneous local pool; the
+    distributed tier asks for more so its work-stealing queue has slack to
+    rebalance between hosts of unequal speed.
+    """
+    parts = min(n_rows, max(1, workers * parts_per_worker))
     bounds = [n_rows * i // parts for i in range(parts + 1)]
     return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
 

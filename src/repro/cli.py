@@ -10,6 +10,7 @@ Usage::
     python -m repro engines             # engines + batch/parallel backends
     python -m repro paper               # one-line paper identification
     python -m repro serve --port 7761   # become a distributed shard worker
+    python -m repro serve --port 7761 --secret swordfish   # require auth
     python -m repro dist-eval --hosts 127.0.0.1:7761,127.0.0.1:7762
 
 ``--workers`` scopes the process-wide ``parallel_workers`` knob (see
@@ -174,12 +175,20 @@ def command_engines() -> None:
     else:
         print("sharded multi-process backend: unavailable (needs numpy + shared memory)")
     hosts = caps["distributed_hosts"]
+    auth = " (auth armed)" if caps["distributed_auth"] else ""
     if hosts:
         print(f"distributed backend: routing to {len(hosts)} host(s): "
-              + ", ".join(hosts))
+              + ", ".join(hosts) + auth)
     else:
         print("distributed backend: off (no hosts; set REPRO_DISTRIBUTED_HOSTS "
-              "or --hosts, start workers with 'repro serve')")
+              "or --hosts, start workers with 'repro serve')" + auth)
+    pool = caps["distributed_pool"]
+    print("persistent host pool: "
+          f"{len(pool['open_connections'])} open connection(s), "
+          f"{pool['calls']} coordinated call(s), "
+          f"{pool['plans_published']} plan(s) published, "
+          f"{pool['plan_cache_hits'] + pool['publishes_skipped']} digest hit(s), "
+          f"{pool['steals']} steal(s)")
 
 
 def command_paper() -> None:
@@ -191,25 +200,40 @@ def command_paper() -> None:
 
 
 def command_serve(
-    host: str = "127.0.0.1", port: int = 0, max_tasks: int | None = None
+    host: str = "127.0.0.1", port: int = 0, max_tasks: int | None = None,
+    secret: str | None = None, delay: float = 0.0,
 ) -> None:
     """Run a distributed shard worker until interrupted.
 
     Listens on ``host:port`` (port 0 picks an ephemeral one), prints a
     single ``repro-worker listening on host:port`` readiness line, and then
     serves shard tasks from any coordinator that connects (see
-    :mod:`repro.circuits.distributed`). ``--max-tasks`` is the
-    fault-injection hook used by the test suite and resilience drills: the
-    process dies abruptly when asked to run one task more.
+    :mod:`repro.circuits.distributed`). ``--secret`` (default: the
+    ``REPRO_DISTRIBUTED_SECRET`` environment variable) arms shared-secret
+    authentication: every connection must answer the worker's HMAC
+    challenge or is refused. ``--max-tasks`` is the fault-injection hook
+    used by the test suite and resilience drills: the process dies
+    abruptly when asked to run one task more. ``--delay`` makes the worker
+    artificially slow (the work-stealing drill hook).
     """
     import asyncio
+    import os
 
     from repro.circuits.distributed import WorkerServer
 
+    if secret is None:
+        secret = os.environ.get("REPRO_DISTRIBUTED_SECRET") or None
+
     async def _serve() -> None:
-        server = WorkerServer(host=host, port=port, max_tasks=max_tasks)
+        server = WorkerServer(
+            host=host, port=port, max_tasks=max_tasks, secret=secret, delay=delay
+        )
         await server.start()
-        print(f"repro-worker listening on {server.host}:{server.port}", flush=True)
+        auth_note = " (auth required)" if secret else ""
+        print(
+            f"repro-worker listening on {server.host}:{server.port}{auth_note}",
+            flush=True,
+        )
         await server.serve_forever()
 
     try:
@@ -219,16 +243,23 @@ def command_serve(
 
 
 def command_dist_eval(
-    hosts: str | None = None, samples: int = 100_000, seed: int = 0
+    hosts: str | None = None, samples: int = 100_000, seed: int = 0,
+    secret: str | None = None,
 ) -> None:
-    """One distributed Monte-Carlo run, checked against the local estimate.
+    """Two distributed Monte-Carlo runs, checked against the local estimate.
 
     The smallest end-to-end proof of the stage-5 pipeline: build the R–S–T
     chain lineage, serialize the plan, fan the sample shards out to
     ``--hosts``, and assert the merged estimate is bit-identical to the
-    in-process one. With no hosts the run stays local and says so.
+    in-process one. The run repeats once over the **persistent host pool**
+    — the second call reuses the authenticated connections and skips the
+    plan transfer (the digest handshake), so its wall time shows the
+    amortized steady state — and finishes with the pool's counters. With
+    no hosts the run stays local and says so.
     """
-    from repro.circuits import compile_circuit, distributed_hosts
+    import time
+
+    from repro.circuits import compile_circuit
     from repro.circuits import distributed, parallel
     from repro.circuits.compiled import numpy_module
     from repro.core import build_lineage
@@ -247,7 +278,8 @@ def command_dist_eval(
     marginals = [space.probability(n) for n in compiled.variables()]
     plan_bytes = compiled.wire_bytes()
     print(f"lineage circuit: {compiled.size} gates, "
-          f"{len(compiled.variables())} variables; wire plan {len(plan_bytes)} bytes")
+          f"{len(compiled.variables())} variables; wire plan {len(plan_bytes)} "
+          f"bytes, digest {compiled.plan_digest()}")
     local_hits = parallel.monte_carlo_hits(compiled, marginals, samples, seed=seed)
     print(f"in-process estimate:  {local_hits / samples:.6f} "
           f"({local_hits}/{samples} hits)")
@@ -255,16 +287,35 @@ def command_dist_eval(
         print("no --hosts given (and REPRO_DISTRIBUTED_HOSTS unset) — "
               "start workers with 'repro serve' to distribute this run")
         return
-    try:
-        remote_hits = distributed.monte_carlo_hits(
-            compiled, marginals, samples, seed=seed, hosts=host_list
-        )
-    except ReproError as exc:
-        raise SystemExit(f"distributed run failed: {exc}") from None
-    print(f"distributed estimate: {remote_hits / samples:.6f} "
-          f"across {len(host_list)} host(s)")
-    if remote_hits != local_hits:
-        raise SystemExit("distributed estimate diverged from the local one")
+    with distributed.distributed_secret_set(
+        secret
+    ) if secret is not None else nullcontext():
+        timings = []
+        for attempt in ("first (connect + publish)", "repeat (pool reuse)"):
+            start = time.perf_counter()
+            try:
+                remote_hits = distributed.monte_carlo_hits(
+                    compiled, marginals, samples, seed=seed, hosts=host_list
+                )
+            except ReproError as exc:
+                raise SystemExit(f"distributed run failed: {exc}") from None
+            timings.append(time.perf_counter() - start)
+            print(f"distributed estimate, {attempt}: "
+                  f"{remote_hits / samples:.6f} across {len(host_list)} host(s) "
+                  f"in {timings[-1] * 1e3:.1f} ms")
+            if remote_hits != local_hits:
+                raise SystemExit("distributed estimate diverged from the local one")
+    if timings[1] > 0:
+        print(f"repeat-call amortization: {timings[0] / timings[1]:.2f}x "
+              "(plan publish + connect eliminated)")
+    stats = distributed.pool_stats()
+    print("pool stats: "
+          f"{len(stats['open_connections'])} open connection(s), "
+          f"{stats['connects']} connect(s) ({stats['reconnects']} reconnect(s)), "
+          f"{stats['plans_published']} plan(s) published, "
+          f"{stats['plan_cache_hits'] + stats['publishes_skipped']} digest hit(s), "
+          f"{stats['tasks_completed']} shard(s) completed, "
+          f"{stats['steals']} steal(s)")
     print("bit-identical with the in-process estimate — determinism verified")
 
 
@@ -312,9 +363,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "paper":
         command_paper()
     elif args.command == "serve":
-        command_serve(host=args.host, port=args.port, max_tasks=args.max_tasks)
+        command_serve(
+            host=args.host, port=args.port, max_tasks=args.max_tasks,
+            secret=args.secret, delay=args.delay,
+        )
     elif args.command == "dist-eval":
-        command_dist_eval(hosts=args.hosts, samples=args.samples, seed=args.seed)
+        command_dist_eval(
+            hosts=args.hosts, samples=args.samples, seed=args.seed,
+            secret=args.secret,
+        )
     return 0
 
 
@@ -327,16 +384,31 @@ def _add_worker_parsers(sub) -> None:
         help="TCP port to listen on (0 = ephemeral, printed on startup)",
     )
     serve.add_argument(
+        "--secret", default=None,
+        help="require coordinators to answer an HMAC challenge with this "
+        "shared secret (default: REPRO_DISTRIBUTED_SECRET)",
+    )
+    serve.add_argument(
         "--max-tasks", type=int, default=None,
         help="fault-injection hook: crash when asked to run one more task",
     )
+    serve.add_argument(
+        "--delay", type=float, default=0.0,
+        help="drill hook: sleep this many seconds before each task "
+        "(simulates a slow host for work-stealing drills)",
+    )
     dist = sub.add_parser(
-        "dist-eval", help="run one distributed Monte-Carlo evaluation"
+        "dist-eval", help="run a checked distributed Monte-Carlo evaluation"
     )
     dist.add_argument(
         "--hosts", default=None,
         help="'host:port,host:port' worker list "
         "(default: REPRO_DISTRIBUTED_HOSTS)",
+    )
+    dist.add_argument(
+        "--secret", default=None,
+        help="shared secret for authenticated workers "
+        "(default: REPRO_DISTRIBUTED_SECRET)",
     )
     dist.add_argument("--samples", type=int, default=100_000)
     dist.add_argument("--seed", type=int, default=0)
@@ -359,9 +431,15 @@ def worker_main(argv: list[str] | None = None) -> int:
     _add_worker_parsers(sub)
     args = parser.parse_args(argv)
     if args.command == "serve":
-        command_serve(host=args.host, port=args.port, max_tasks=args.max_tasks)
+        command_serve(
+            host=args.host, port=args.port, max_tasks=args.max_tasks,
+            secret=args.secret, delay=args.delay,
+        )
     else:
-        command_dist_eval(hosts=args.hosts, samples=args.samples, seed=args.seed)
+        command_dist_eval(
+            hosts=args.hosts, samples=args.samples, seed=args.seed,
+            secret=args.secret,
+        )
     return 0
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.circuits import Circuit, CompiledCircuit, compile_circuit, probability
-from repro.core.automaton import DecompositionAutomaton
 from repro.core.cq_automaton import automaton_for
 from repro.instances.base import Fact, Instance
 from repro.instances.pcc import PCCInstance
@@ -374,7 +373,9 @@ def build_provenance_circuit(
             circuit=merged,
             nice_tree=first.nice_tree,
             decomposition=first.decomposition,
-            max_profile_size=max(l.max_profile_size for l in disjunct_lineages),
+            max_profile_size=max(
+                lin.max_profile_size for lin in disjunct_lineages
+            ),
             node_count=first.node_count,
             fact_variables={f: f.variable_name for f in instance.facts()},
         )

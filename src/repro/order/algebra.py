@@ -26,7 +26,6 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.order.posets import LabeledPoset
-from repro.util import check
 
 
 def selection(poset: LabeledPoset, predicate: Callable[[object], bool]) -> LabeledPoset:

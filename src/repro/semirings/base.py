@@ -12,7 +12,6 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.util import check
 
 
 class Semiring:

@@ -7,8 +7,6 @@ practice min-degree and min-fill are the workhorse heuristics (and what
 
 from __future__ import annotations
 
-import heapq
-
 import networkx as nx
 
 from repro.treewidth.decomposition import TreeDecomposition, Vertex, from_elimination_order

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.instances.base import Fact, fact
+from repro.instances.base import fact
 from repro.instances.tid import TIDInstance
 from repro.treewidth import TreeDecomposition
 from repro.util import check, stable_rng

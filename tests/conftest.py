@@ -45,6 +45,7 @@ def restore_engine_globals():
     forced = evaluation._FORCED_ENGINE
     workers = parallel._WORKERS
     hosts = distributed._HOSTS
+    secret = distributed._SECRET
     warned = set(distributed._WARNED)
     serial_warned = parallel._SERIAL_FALLBACK_WARNED
     yield
@@ -54,6 +55,7 @@ def restore_engine_globals():
     evaluation._FORCED_ENGINE = forced
     parallel._WORKERS = workers
     distributed._HOSTS = hosts
+    distributed._SECRET = secret
     distributed._WARNED.clear()
     distributed._WARNED.update(warned)
     parallel._SERIAL_FALLBACK_WARNED = serial_warned
@@ -61,9 +63,15 @@ def restore_engine_globals():
 
 @pytest.fixture(scope="session", autouse=True)
 def shutdown_parallel_backend():
-    """Stop the worker pool and unlink shared memory when the suite ends."""
+    """Stop the pools (process + TCP) and shared memory when the suite ends.
+
+    The persistent :class:`~repro.circuits.distributed.HostPool` is left
+    running *between* tests on purpose — connection reuse across calls is
+    the behaviour under test — and torn down once here.
+    """
     yield
     parallel.shutdown()
+    distributed.close_pool()
 
 
 # --------------------------------------------------------------------------- #
@@ -81,16 +89,24 @@ def unused_tcp_port():
 def worker_factory():
     """Spawn localhost workers with guaranteed teardown, one test at a time.
 
-    Yields a ``factory(max_tasks=None) -> LocalWorker`` built on
+    Yields a ``factory(max_tasks=None, port=0, secret=None, delay=None) ->
+    LocalWorker`` built on
     :func:`repro.circuits.distributed.spawn_local_worker` (the same spawn/
     readiness-wait/teardown implementation the benchmarks use); every
     spawned worker — including ones the test deliberately crashed — is
-    reaped when the test ends, whether it passed or not.
+    reaped when the test ends, whether it passed or not. ``port`` lets a
+    test bounce a worker and relaunch it at the same address; ``secret``
+    arms authentication; ``delay`` makes the worker artificially slow.
     """
     spawned: list[distributed.LocalWorker] = []
 
-    def factory(max_tasks: int | None = None) -> distributed.LocalWorker:
-        handle = distributed.spawn_local_worker(max_tasks=max_tasks)
+    def factory(
+        max_tasks: int | None = None, port: int = 0,
+        secret: str | None = None, delay: float | None = None,
+    ) -> distributed.LocalWorker:
+        handle = distributed.spawn_local_worker(
+            max_tasks=max_tasks, port=port, secret=secret, delay=delay
+        )
         spawned.append(handle)
         return handle
 

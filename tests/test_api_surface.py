@@ -1,7 +1,5 @@
 """Coverage of remaining public-API surface: export utilities, edge cases."""
 
-import math
-
 import pytest
 
 from repro.circuits import Circuit, circuit_stats, to_dot

@@ -4,7 +4,6 @@ import pytest
 
 from repro.automata import (
     BinaryTree,
-    LEAF,
     PatternAutomaton,
     TreeAutomaton,
     decode_world,
@@ -21,9 +20,9 @@ def parity_automaton() -> TreeAutomaton:
     """Accepts binary trees with an even number of 'a' symbols."""
     rules = {}
     for symbol, flip in (("a", 1), ("b", 0)):
-        for l in (0, 1):
-            for r in (0, 1):
-                rules[(symbol, l, r)] = {(l + r + flip) % 2}
+        for left in (0, 1):
+            for right in (0, 1):
+                rules[(symbol, left, right)] = {(left + right + flip) % 2}
     return TreeAutomaton({0}, rules, {0})
 
 

@@ -10,7 +10,7 @@ their own ad-hoc way. This module replaces those scattered agreement
 asserts with one parametrized matrix:
 
     scenario corpus  ×  {scalar, interpreter, numpy-batch, multiprocess,
-                         distributed}
+                         distributed, persistent-pool}
 
 For Boolean evaluation the paths must agree **exactly**; for the
 probability pass the scalar kernels may associate float operations
@@ -19,8 +19,11 @@ tolerance while the vectorized tiers (numpy / pool / wire) are compared
 bit-for-bit.
 
 The multiprocess and distributed columns need numpy (and the distributed
-one real sockets, hence the ``distributed`` marker); the scalar columns run
-everywhere, so the numpy-free CI job still covers the corpus.
+ones real sockets, hence the ``distributed`` marker); the scalar columns run
+everywhere, so the numpy-free CI job still covers the corpus. The
+``persistent-pool`` column repeats its passes over the warm
+:class:`~repro.circuits.distributed.HostPool` and additionally asserts the
+second round reused the connection and skipped the plan transfer.
 """
 
 import math
@@ -159,6 +162,42 @@ def _path_distributed(compiled, worlds, marginal_rows, _monkeypatch, worker):
     return evaluated.tolist(), probabilities.tolist()
 
 
+def _path_persistent_pool(compiled, worlds, marginal_rows, _monkeypatch, worker):
+    """The sixth path: repeat calls over the warm persistent HostPool.
+
+    Runs both passes twice against the same worker; the second round must
+    reuse the pooled connection (no new connect) and skip the plan bytes
+    (the digest handshake), while returning exactly the first round's —
+    and every other tier's — values.
+    """
+    np = pytest.importorskip("numpy")
+    n = len(compiled.variables())
+    world_matrix = np.asarray(worlds, dtype=np.bool_).reshape(len(worlds), n)
+    marginal_matrix = np.asarray(marginal_rows, dtype=np.float64).reshape(
+        len(marginal_rows), n
+    )
+    hosts = (worker.address,)
+    first_eval = distributed.evaluate_batch_distributed(
+        compiled, world_matrix, hosts=hosts
+    )
+    first_probs = distributed.probability_batch_distributed(
+        compiled, marginal_matrix, hosts=hosts
+    )
+    stats_before = distributed.pool_stats()
+    evaluated = distributed.evaluate_batch_distributed(
+        compiled, world_matrix, hosts=hosts
+    )
+    probabilities = distributed.probability_batch_distributed(
+        compiled, marginal_matrix, hosts=hosts
+    )
+    stats_after = distributed.pool_stats()
+    assert stats_after["connects"] == stats_before["connects"]
+    assert stats_after["plans_published"] == stats_before["plans_published"]
+    assert evaluated.tolist() == first_eval.tolist()
+    assert probabilities.tolist() == first_probs.tolist()
+    return evaluated.tolist(), probabilities.tolist()
+
+
 #: path name -> (runner, exact-float agreement with the numpy tier?)
 PATHS = {
     "scalar-kernel": (_path_scalar_kernel, False),
@@ -166,6 +205,7 @@ PATHS = {
     "numpy-batch": (_path_numpy_batch, True),
     "multiprocess": (_path_multiprocess, True),
     "distributed": (_path_distributed, True),
+    "persistent-pool": (_path_persistent_pool, True),
 }
 
 
@@ -185,12 +225,15 @@ def _reference(compiled, worlds, marginal_rows):
         "numpy-batch",
         "multiprocess",
         pytest.param("distributed", marks=pytest.mark.distributed),
+        pytest.param("persistent-pool", marks=pytest.mark.distributed),
     ],
 )
 def test_path_agrees_with_scalar_oracle(scenario, path, monkeypatch, request):
     compiled, worlds, marginal_rows = scenario_fixture_data(scenario)
     worker = (
-        request.getfixturevalue("module_worker") if path == "distributed" else None
+        request.getfixturevalue("module_worker")
+        if path in ("distributed", "persistent-pool")
+        else None
     )
     runner, exact = PATHS[path]
     evaluated, probabilities = runner(

@@ -14,7 +14,6 @@ from repro.baselines import (
 from repro.circuits import (
     check_decomposability,
     check_determinism_sampled,
-    probability_dd,
 )
 from repro.core import (
     BipartiteAutomaton,
@@ -29,7 +28,7 @@ from repro.core import (
     tid_probability,
 )
 from repro.events import var
-from repro.instances import Instance, PCInstance, TIDInstance, fact, pcc_from_pc
+from repro.instances import PCInstance, TIDInstance, fact, pcc_from_pc
 from repro.queries import atom, cq, ucq, variables
 
 X, Y, Z = variables("x", "y", "z")

@@ -1,19 +1,29 @@
 """Tests for distributed shard execution over wire-serialized plans.
 
-Three layers, matching :mod:`repro.circuits.distributed`:
+Four layers, matching :mod:`repro.circuits.distributed`:
 
 - the **wire format** — property-tested round trips (random circuits →
   serialize → deserialize → identical batch results), and rejection of
   corrupted, truncated, wrong-magic, wrong-version and
   inconsistent-schedule payloads. These tests need no sockets and no
   numpy, so they run everywhere;
-- the **routing knob** — env parsing, scoping, per-call overrides;
+- the **routing knobs** — env parsing, scoping, per-call overrides, and
+  the shared-secret knob;
 - the **coordinator/worker protocol** — real localhost worker
   subprocesses (spawned through the ``conftest`` lifecycle fixtures):
   bit-identical estimates at 0/1/2 workers, mid-run fault injection with
   shard retry and no duplicate or lost shards, and graceful local
-  fallback when every host is unreachable. These carry the
-  ``distributed`` marker so socket-free CI jobs can deselect them.
+  fallback when every host is unreachable;
+- the **persistent runtime** — connection reuse across calls, the
+  ``PLAN_OFFER``/``PLAN_HAVE``/``PLAN_NEED`` digest handshake (plan
+  crosses the wire once per worker per circuit), HMAC authentication
+  (wrong secret rejected, right secret served), heartbeat-detected worker
+  bounce with rejoin on the same port, and work stealing keeping a slow
+  host from gating the merge while staying bit-identical to the 0-host
+  oracle.
+
+Socket tests carry the ``distributed`` marker so socket-free CI jobs can
+deselect them.
 """
 
 import math
@@ -468,3 +478,271 @@ class TestDistributedExecution:
             compiled, marginals, 300, seed=7, hosts=(worker.address,)
         ) == serial
         assert worker.alive()
+
+
+# --------------------------------------------------------------------------- #
+# the persistent runtime: auth, digest handshake, reconnect, stealing
+
+class TestAuthKnob:
+    """Socket-free coverage of the shared-secret knob and the HMAC."""
+
+    def test_secret_set_and_scope(self):
+        with distributed.distributed_secret_set("hunter2"):
+            assert distributed.distributed_secret() == "hunter2"
+            with distributed.distributed_secret_set(None):
+                assert distributed.distributed_secret() is None
+            assert distributed.distributed_secret() == "hunter2"
+
+    def test_empty_secret_clears(self):
+        with distributed.distributed_secret_set(""):
+            assert distributed.distributed_secret() is None
+
+    def test_auth_response_is_keyed_hmac(self):
+        import hashlib
+        import hmac
+
+        challenge = "00ff" * 16
+        expected = hmac.new(
+            b"s3cret", bytes.fromhex(challenge), hashlib.sha256
+        ).hexdigest()
+        assert distributed.auth_response("s3cret", challenge) == expected
+        # a different secret or challenge yields a different MAC
+        assert distributed.auth_response("other", challenge) != expected
+        assert distributed.auth_response("s3cret", "ab" * 16) != expected
+
+
+class TestStealQueue:
+    def test_steal_queue_caps_each_slot_at_one_run_per_connection(self):
+        """Stealing re-runs in-flight slots but can never loop forever."""
+        stats = {"steals": 0}
+        queue = distributed._StealQueue(2, stats)
+        ran_a, ran_b = set(), set()
+        assert queue.take(ran_a, now=0.0) == (0, None)
+        ran_a.add(0)
+        assert queue.take(ran_b, now=0.0) == (1, None)
+        ran_b.add(1)
+        # Pending is dry: each connection may steal the other's slot once.
+        assert queue.take(ran_a, now=1.0) == (1, None)
+        ran_a.add(1)
+        assert queue.take(ran_b, now=1.0) == (0, None)
+        ran_b.add(0)
+        assert queue.take(ran_a, now=2.0) == (None, None)
+        assert queue.take(ran_b, now=2.0) == (None, None)
+        assert stats["steals"] == 2
+        # A released slot becomes takeable again, even by a connection that
+        # already ran it (it was never answered).
+        queue.release(0)
+        ran_a.discard(0)
+        assert queue.take(ran_a, now=2.0) == (0, None)
+
+    def test_steal_queue_grace_defers_young_inflight_shards(self):
+        """A shard younger than min_age is not stolen — the caller is told
+        how long to wait; once aged (or released) it becomes stealable,
+        oldest first."""
+        stats = {"steals": 0}
+        queue = distributed._StealQueue(2, stats)
+        assert queue.take(set(), now=0.0) == (0, None)
+        assert queue.take(set(), now=1.0) == (1, None)
+        thief: set[int] = set()
+        # Both in flight, both too young for a 5s grace at t=2.
+        slot, retry_in = queue.take(thief, now=2.0, min_age=5.0)
+        assert slot is None
+        assert retry_in == 3.0  # slot 0 (dispatched at t=0) ages out first
+        assert stats["steals"] == 0
+        # At t=5 slot 0 is 5s old: stealable; slot 1 (4s old) still is not.
+        assert queue.take(thief, now=5.0, min_age=5.0) == (0, None)
+        assert stats["steals"] == 1
+
+
+@pytest.mark.distributed
+class TestPersistentRuntime:
+    @pytest.fixture(autouse=True)
+    def _need_numpy(self):
+        pytest.importorskip("numpy")
+
+    def _mc(self, compiled, marginals, hosts, samples=700, seed=9):
+        return distributed.monte_carlo_hits(
+            compiled, marginals, samples, seed=seed, hosts=hosts
+        )
+
+    def test_connection_and_plan_reused_across_calls(self, worker_factory):
+        """Digest cache hit: call 2..N pay neither connect nor plan bytes."""
+        worker = worker_factory()
+        compiled = compile_circuit(random_circuit(50))
+        marginals = [0.3] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, workers=0
+        )
+        before = distributed.pool_stats()
+        results = [self._mc(compiled, marginals, (worker.address,))
+                   for _ in range(3)]
+        after = distributed.pool_stats()
+        assert results == [serial] * 3
+        assert after["connects"] - before["connects"] == 1
+        assert after["plans_published"] - before["plans_published"] == 1
+        assert after["publishes_skipped"] - before["publishes_skipped"] >= 2
+
+    def test_digest_cache_miss_publishes_each_new_circuit(self, worker_factory):
+        """Different circuits have different digests: each ships once."""
+        worker = worker_factory()
+        first = compile_circuit(random_circuit(51))
+        second = compile_circuit(random_circuit(52))
+        assert first.plan_digest() != second.plan_digest()
+        before = distributed.pool_stats()
+        for compiled in (first, second, first, second):
+            marginals = [0.4] * len(compiled.variables())
+            assert self._mc(
+                compiled, marginals, (worker.address,)
+            ) == parallel.monte_carlo_hits(
+                compiled, marginals, 700, seed=9, workers=0
+            )
+        after = distributed.pool_stats()
+        assert after["plans_published"] - before["plans_published"] == 2
+
+    def test_worker_side_cache_answers_plan_have_after_reconnect(
+        self, worker_factory
+    ):
+        """PLAN_HAVE: a reconnect to a live worker re-sends no plan bytes."""
+        worker = worker_factory()
+        compiled = compile_circuit(random_circuit(53))
+        marginals = [0.5] * len(compiled.variables())
+        first = self._mc(compiled, marginals, (worker.address,))
+        distributed.reset_pool()  # drop the TCP connection, not the worker
+        before = distributed.pool_stats()
+        second = self._mc(compiled, marginals, (worker.address,))
+        after = distributed.pool_stats()
+        assert first == second
+        assert after["connects"] - before["connects"] == 1
+        assert after["reconnects"] - before["reconnects"] == 1
+        assert after["plan_cache_hits"] - before["plan_cache_hits"] == 1
+        assert after["plans_published"] - before["plans_published"] == 0
+
+    def test_wrong_secret_rejected_and_falls_back_locally(self, worker_factory):
+        """HMAC rejection: the worker refuses, the call completes locally."""
+        worker = worker_factory(secret="right-secret")
+        compiled = compile_circuit(random_circuit(54))
+        marginals = [0.35] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, workers=0
+        )
+        before = distributed.pool_stats()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with distributed.distributed_secret_set("wrong-secret"):
+                hits = self._mc(compiled, marginals, (worker.address,))
+        after = distributed.pool_stats()
+        assert hits == serial
+        assert after["connects"] == before["connects"]  # handshake refused
+        assert any(
+            "authentication" in str(w.message) for w in caught
+        ), [str(w.message) for w in caught]
+        assert worker.alive()  # refusing a bad coordinator is non-fatal
+
+    def test_missing_secret_rejected_too(self, worker_factory):
+        worker = worker_factory(secret="right-secret")
+        compiled = compile_circuit(random_circuit(55))
+        marginals = [0.45] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, workers=0
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with distributed.distributed_secret_set(None):
+                assert self._mc(
+                    compiled, marginals, (worker.address,)
+                ) == serial
+        assert any("secret" in str(w.message) for w in caught)
+
+    def test_correct_secret_is_served(self, worker_factory):
+        worker = worker_factory(secret="right-secret")
+        compiled = compile_circuit(random_circuit(56))
+        marginals = [0.55] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, workers=0
+        )
+        before = distributed.pool_stats()
+        with distributed.distributed_secret_set("right-secret"):
+            assert self._mc(compiled, marginals, (worker.address,)) == serial
+        after = distributed.pool_stats()
+        assert after["tasks_completed"] > before["tasks_completed"]
+
+    def test_bounced_worker_rejoins_the_pool(
+        self, worker_factory, unused_tcp_port
+    ):
+        """Kill + relaunch on the same port: heartbeat detects the bounce,
+        the pool reconnects, and the digest handshake re-publishes the plan
+        the fresh process is missing — with bit-identical results before
+        and after."""
+        compiled = compile_circuit(random_circuit(57))
+        marginals = [0.25] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, workers=0
+        )
+        first_worker = worker_factory(port=unused_tcp_port)
+        assert self._mc(
+            compiled, marginals, (first_worker.address,)
+        ) == serial
+        first_worker.stop()  # bounce: same port, brand-new process
+        second_worker = worker_factory(port=unused_tcp_port)
+        assert second_worker.address == first_worker.address
+        before = distributed.pool_stats()
+        assert self._mc(
+            compiled, marginals, (second_worker.address,)
+        ) == serial
+        after = distributed.pool_stats()
+        assert after["heartbeat_failures"] - before["heartbeat_failures"] == 1
+        assert after["reconnects"] - before["reconnects"] == 1
+        # the relaunched process had no plan cache: the plan shipped again
+        assert after["plans_published"] - before["plans_published"] == 1
+
+    def test_slow_worker_does_not_gate_the_merge(
+        self, worker_factory, monkeypatch
+    ):
+        """Work stealing: a deliberately slow host is out-pulled by the
+        fast one (and its in-flight tail stolen), while the merged estimate
+        stays bit-identical to the 0-host oracle."""
+        monkeypatch.setattr(parallel, "MC_SHARD", 64)
+        compiled = compile_circuit(random_circuit(58))
+        marginals = [0.4] * len(compiled.variables())
+        samples = 64 * 10
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, samples, seed=6, workers=0
+        )
+        slow = worker_factory(delay=0.3)
+        fast = worker_factory()
+        before = distributed.pool_stats()
+        hits = distributed.monte_carlo_hits(
+            compiled, marginals, samples, seed=6,
+            hosts=(slow.address, fast.address),
+        )
+        after = distributed.pool_stats()
+        assert hits == serial
+        slow_tasks = (
+            after["per_host_tasks"].get(slow.address, 0)
+            - before["per_host_tasks"].get(slow.address, 0)
+        )
+        fast_tasks = (
+            after["per_host_tasks"].get(fast.address, 0)
+            - before["per_host_tasks"].get(fast.address, 0)
+        )
+        assert fast_tasks > slow_tasks
+        assert slow_tasks + fast_tasks == 10  # every shard answered once
+
+    def test_matrix_pass_shards_finely_for_stealing(self, module_worker):
+        """Matrix passes cut more shards than hosts so stealing has slack,
+        without changing the merged rows."""
+        np = pytest.importorskip("numpy")
+        compiled = compile_circuit(random_circuit(59))
+        n = len(compiled.variables())
+        worlds = np.random.default_rng(3).random((600, n)) < 0.5
+        serial = compiled.evaluate_batch(worlds)
+        before = distributed.pool_stats()
+        dist = distributed.evaluate_batch_distributed(
+            compiled, worlds, hosts=(module_worker.address,)
+        )
+        after = distributed.pool_stats()
+        assert dist.tolist() == serial
+        assert (
+            after["tasks_completed"] - before["tasks_completed"]
+            == distributed.STEAL_SHARDS_PER_HOST
+        )

@@ -9,7 +9,6 @@ from repro.events import (
     FALSE,
     TRUE,
     EventSpace,
-    Var,
     conj,
     disj,
     literal,

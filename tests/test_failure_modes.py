@@ -5,7 +5,6 @@ subsystem into its documented failure modes and assert the error type and
 message content.
 """
 
-import networkx as nx
 import pytest
 
 from repro.circuits import Circuit, wmc_enumerate, wmc_message_passing
@@ -18,7 +17,7 @@ from repro.order import LabeledPoset, chain
 from repro.prxml import PrXMLDocument, mux, regular
 from repro.queries import atom, cq, variables
 from repro.rules import chase, probabilistic_chase, rule, ProbabilisticRule
-from repro.treewidth import TreeDecomposition, build_nice_tree, decompose
+from repro.treewidth import TreeDecomposition, build_nice_tree
 from repro.util import ReproError
 
 X, Y = variables("x", "y")

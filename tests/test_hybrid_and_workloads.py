@@ -13,7 +13,6 @@ from repro.core.hybrid import (
     peel,
     reduce_for_stconn,
 )
-from repro.instances import fact
 from repro.workloads import (
     core_and_tentacles_tid,
     cycle_tid,

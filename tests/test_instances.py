@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.events import EventSpace, TRUE, var
+from repro.events import TRUE, var
 from repro.instances import (
     CInstance,
     Fact,

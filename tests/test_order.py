@@ -13,14 +13,12 @@ from repro.order import (
     concat,
     count_linear_extensions,
     count_linear_extensions_sp,
-    extension_labels,
     interleavings,
     is_linear_extension,
     is_possible_world,
     is_realizable_order,
     is_series_parallel,
     iter_linear_extensions,
-    membership_backtracking,
     NotSeriesParallel,
     possible_worlds,
     poset_from_intervals,

@@ -19,7 +19,6 @@ from repro.semirings import (
     PosBoolSemiring,
     SecuritySemiring,
     TropicalSemiring,
-    ViterbiSemiring,
     circuit_provenance,
     default_tokens,
     evaluate_circuit,
