@@ -91,6 +91,16 @@ def compiled_circuit_example() -> None:
     (``repro.circuits.numpy_available()`` tells you which is active).
     ``probability_batch`` is the matching bulk form of the Theorem 1
     linear-time probability pass, one result per marginal assignment.
+
+    The compile itself has fast paths too (see "The compile path" in
+    ``ARCHITECTURE.md``): repeated ``compile_circuit`` calls on an
+    unchanged arena are memoized; after appending to the arena,
+    :func:`repro.circuits.recompile` patches the previous lowering in
+    time proportional to the edit; and setting ``REPRO_PLAN_CACHE_DIR``
+    (or ``repro.circuits.plancache.set_plan_cache_dir``) persists
+    lowerings on disk so a *new process* compiling the same circuit —
+    a restarted service, a CI re-run, a bounced ``repro-worker`` —
+    rebuilds the plan from the cache with zero lowering passes.
     """
     print()
     print("=" * 70)

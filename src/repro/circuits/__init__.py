@@ -28,7 +28,13 @@ The module is organized around a **compile-once / evaluate-many** split:
   worker loss, and a fixed seed gives bit-identical estimates at any host
   count — turn it on with :func:`set_distributed_hosts` (or
   ``REPRO_DISTRIBUTED_HOSTS``) and start workers with
-  ``python -m repro serve``.
+  ``python -m repro serve``;
+- :mod:`repro.circuits.plancache` (``plancache.py``) persists lowered plans
+  on disk so identical circuits skip lowering across processes — point
+  :func:`set_plan_cache_dir` (or ``REPRO_PLAN_CACHE_DIR``) at a directory
+  and both cold compiles and the distributed plan handshake reuse cached
+  entries; :func:`recompile` additionally patches a previously compiled
+  circuit in O(|edit|) after incremental arena growth.
 
 The full five-stage lowering pipeline (gate DAG → flat CSR IR → leveled
 numpy batch plan → sharded workers → distributed hosts) is documented in
@@ -55,7 +61,10 @@ from repro.circuits.compiled import (
     ENUMERATION_VARIABLE_CAP,
     CompiledCircuit,
     compile_circuit,
+    compile_stats,
     numpy_available,
+    recompile,
+    reset_compile_stats,
 )
 from repro.circuits.dd import (
     check_decomposability,
@@ -91,6 +100,13 @@ from repro.circuits.evaluation import (
     shutdown_pool,
 )
 from repro.circuits.export import CircuitStats, circuit_stats, to_dot
+from repro.circuits.plancache import (
+    plan_cache_dir,
+    plan_cache_dir_set,
+    plan_cache_stats,
+    reset_plan_cache_stats,
+    set_plan_cache_dir,
+)
 from repro.circuits.graph import circuit_width, moral_graph
 from repro.circuits.wmc import (
     MessagePassingReport,
@@ -118,6 +134,7 @@ __all__ = [
     "circuit_stats",
     "circuit_width",
     "compile_circuit",
+    "compile_stats",
     "default_engine",
     "default_engine_set",
     "distributed_hosts",
@@ -134,17 +151,24 @@ __all__ = [
     "parallel_available",
     "parallel_workers",
     "parallel_workers_set",
+    "plan_cache_dir",
+    "plan_cache_dir_set",
+    "plan_cache_stats",
     "plan_from_bytes",
     "plan_to_bytes",
     "pool_stats",
     "probability",
     "probability_dd",
+    "recompile",
     "register_engine",
+    "reset_compile_stats",
+    "reset_plan_cache_stats",
     "reset_pool",
     "set_default_engine",
     "set_distributed_hosts",
     "set_distributed_secret",
     "set_parallel_workers",
+    "set_plan_cache_dir",
     "shutdown_pool",
     "to_dot",
     "wmc_enumerate",

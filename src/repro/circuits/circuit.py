@@ -12,6 +12,7 @@ by integer ids; building the same gate twice returns the same id
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
@@ -24,6 +25,24 @@ NOT = "not"
 CONST = "const"
 
 _KINDS = frozenset({VAR, AND, OR, NOT, CONST})
+
+# Gate kind codes of the flat compiled IR (see ``compiled.py``, which
+# re-exports them). They are maintained incrementally on the arena so the
+# vectorized lowering can read the whole circuit as four flat numeric
+# arrays instead of touching every ``Gate`` object again.
+K_FALSE = 0
+K_TRUE = 1
+K_VAR = 2
+K_NOT = 3
+K_AND = 4
+K_OR = 5
+
+_KIND_CODE = {VAR: K_VAR, NOT: K_NOT, AND: K_AND, OR: K_OR}
+
+# The lowering reinterprets these buffers as little-endian int32/int8; all
+# supported CPython platforms satisfy this (checked once at import).
+check(array("i").itemsize == 4, "platform array('i') is not 32-bit")
+check(array("b").itemsize == 1, "platform array('b') is not 8-bit")
 
 
 @dataclass(frozen=True)
@@ -56,7 +75,28 @@ class Circuit:
         #: Mutation counter; lets :func:`repro.circuits.compile_circuit`
         #: cache the compiled form and recompile only after changes.
         self.version: int = 0
-        self._compiled_cache: tuple | None = None
+        #: ``(version, output) -> CompiledCircuit`` memo maintained by
+        #: :func:`repro.circuits.compile_circuit` (bounded, insertion-LRU).
+        self._compiled_cache: dict = {}
+        # Flat mirrors of the gate list, appended in lockstep by ``_add``:
+        # one kind code and variable slot per gate, plus the inputs in CSR
+        # form. The vectorized lowering and the plan-cache fingerprint read
+        # these directly — no per-gate Python objects on the hot path.
+        self._kind_codes = array("b")
+        self._var_slots = array("i")
+        self._inputs_flat = array("i")
+        self._input_offsets = array("i", [0])
+        #: Per-gate level of the evaluation schedule, maintained
+        #: incrementally: a gate's level depends only on its input cone
+        #: (leaves at 0, everything else one past its deepest input), so it
+        #: never changes after the append-only arena creates the gate. The
+        #: lowering gathers its level schedule from here instead of running
+        #: a depth pass over the whole circuit.
+        self._gate_levels = array("i")
+        #: Interned variable names by arena slot (creation order, which is
+        #: also first-topological-occurrence order for any output).
+        self._slot_names: list[str] = []
+        self._slot_of_name: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -71,6 +111,29 @@ class Circuit:
         gate_id = len(self._gates)
         self._gates.append(Gate(kind, payload, inputs))
         self._intern[key] = gate_id
+        slot = -1
+        if kind == VAR:
+            # Hash-consing guarantees one VAR gate per name, so the slot is
+            # fresh exactly when the gate is.
+            slot = len(self._slot_names)
+            self._slot_of_name[payload] = slot  # type: ignore[index]
+            self._slot_names.append(payload)  # type: ignore[arg-type]
+            code = K_VAR
+        elif kind == CONST:
+            code = K_TRUE if payload else K_FALSE
+        else:
+            code = _KIND_CODE[kind]
+        self._kind_codes.append(code)
+        self._var_slots.append(slot)
+        self._inputs_flat.extend(inputs)
+        self._input_offsets.append(len(self._inputs_flat))
+        levels = self._gate_levels
+        if code <= K_VAR:
+            levels.append(0)
+        else:
+            levels.append(
+                1 + max((levels[g] for g in inputs), default=0)
+            )
         self.version += 1
         return gate_id
 

@@ -67,7 +67,20 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit
+from repro.circuits.circuit import (
+    AND,
+    CONST,
+    K_AND,
+    K_FALSE,
+    K_NOT,
+    K_OR,
+    K_TRUE,
+    K_VAR,
+    NOT,
+    OR,
+    VAR,
+    Circuit,
+)
 from repro.util import ReproError, check
 
 try:  # capability check: the vectorized batch kernels need numpy
@@ -91,14 +104,9 @@ def numpy_module():
     """
     return _np
 
-# Gate kind codes of the flat IR. CONST gates split into two codes so the
-# payload never needs a side table.
-K_FALSE = 0
-K_TRUE = 1
-K_VAR = 2
-K_NOT = 3
-K_AND = 4
-K_OR = 5
+# Gate kind codes of the flat IR (defined on the arena in ``circuit.py``,
+# which maintains them incrementally; re-exported here for compatibility).
+# CONST gates split into two codes so the payload never needs a side table.
 
 KIND_NAMES = ("false", "true", "var", "not", "and", "or")
 
@@ -114,7 +122,113 @@ CODEGEN_GATE_LIMIT = 200_000
 #: batch kernels, in bytes; larger batches are processed in slices.
 BATCH_BYTE_BUDGET = 1 << 25
 
+#: Below this gate count lowering stays on the plain Python passes even
+#: with numpy available — per-call array overhead beats them on tiny
+#: circuits, and the Python path is the reference the vectorized one is
+#: pinned against.
+VECTOR_MIN_GATES = 512
+
+#: Iteration bound of the level-synchronous wavefront passes (one
+#: iteration per circuit level). Deeper-than-this circuits are
+#: pathologically chain-shaped for the frontier approach, so they fall
+#: back to the per-gate Python pass instead of paying per-level overhead.
+_WAVEFRONT_CAP = 8192
+
 _UNBUILT = object()
+
+#: Process-wide lowering counters: how often a full lowering ran, how many
+#: compiles were answered from the arena memo / the delta-recompile fast
+#: path / the on-disk plan cache. Read by :func:`compile_stats` (the CI
+#: plan-cache job asserts on them) and reset by tests via
+#: :func:`reset_compile_stats`.
+_STATS = {
+    "lowerings": 0,
+    "arena_cache_hits": 0,
+    "delta_recompiles": 0,
+    "delta_fallbacks": 0,
+    "disk_cache_hits": 0,
+}
+
+#: Folded-in totals from before each :func:`reset_compile_stats` call, so
+#: ``compile_stats(lifetime=True)`` survives test-isolation resets — the
+#: CI plan-cache job compares whole-suite totals across two runs.
+_LIFETIME = dict.fromkeys(_STATS, 0)
+
+
+def compile_stats(lifetime: bool = False) -> dict:
+    """A snapshot of the process-wide compile counters.
+
+    With ``lifetime=True`` the counts span the whole process, including
+    everything zeroed by intervening :func:`reset_compile_stats` calls.
+    """
+    if lifetime:
+        return {key: _STATS[key] + _LIFETIME[key] for key in _STATS}
+    return dict(_STATS)
+
+
+def reset_compile_stats() -> None:
+    """Zero the compile counters (test isolation); totals are kept."""
+    for key in _STATS:
+        _LIFETIME[key] += _STATS[key]
+        _STATS[key] = 0
+
+
+def _csr_gather(starts, counts):
+    """Flat element indices of many CSR ranges: ``concat(arange(s, s+c))``.
+
+    The workhorse of the wavefront passes: given per-range start offsets
+    and lengths it returns the indices of every element of every range,
+    in range order, without a Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64)
+    cum = _np.cumsum(counts)
+    shift = _np.repeat(
+        starts.astype(_np.int64) - _np.concatenate(([0], cum[:-1])), counts
+    )
+    return shift + _np.arange(total, dtype=_np.int64)
+
+
+def _levels_np(kinds, offsets, indices):
+    """Vectorized :func:`gate_levels` over int32 arrays; ``None`` on cap.
+
+    Level-synchronous Kahn wavefront: leaves seed level 0, and a gate is
+    scheduled the round after its last input — which is exactly
+    ``1 + max(input levels)``. Each round retires one whole level with a
+    handful of array ops; circuits deeper than :data:`_WAVEFRONT_CAP`
+    return ``None`` and the caller uses the per-gate Python pass.
+    """
+    size = kinds.shape[0]
+    lengths = offsets[1:] - offsets[:-1]
+    # Parent CSR (who consumes each gate), built by one stable argsort.
+    owners = _np.repeat(_np.arange(size, dtype=_np.int32), lengths)
+    parents_sorted = owners[_np.argsort(indices, kind="stable")]
+    parent_counts = _np.bincount(indices, minlength=size)
+    parent_offsets = _np.concatenate(([0], _np.cumsum(parent_counts)))
+    depth = _np.zeros(size, dtype=_np.int32)
+    remaining = lengths.copy()
+    frontier = _np.flatnonzero(lengths == 0)
+    level = 0
+    while frontier.size:
+        level += 1
+        if level > _WAVEFRONT_CAP:
+            return None
+        touched = parents_sorted[
+            _csr_gather(parent_offsets[frontier], parent_counts[frontier])
+        ]
+        if touched.size == 0:
+            break
+        hits = _np.bincount(touched, minlength=size)
+        remaining -= hits
+        frontier = _np.flatnonzero((hits > 0) & (remaining == 0))
+        depth[frontier] = level
+    # Degenerate zero-input op gates (impossible from a Circuit, legal in a
+    # hand-built CSR) sit at level 1, matching the Python pass.
+    nonleaf_empty = (kinds >= K_NOT) & (lengths == 0)
+    if nonleaf_empty.any():
+        depth[nonleaf_empty] = 1
+    return depth
 
 
 def gate_levels(kinds, offsets, indices) -> list[int]:
@@ -123,8 +237,18 @@ def gate_levels(kinds, offsets, indices) -> list[int]:
     Variables and constants sit at level 0; every other gate one past its
     deepest input. This is the schedule :class:`_BatchPlan` groups by and
     the one :mod:`repro.circuits.distributed` ships (and re-verifies) in
-    the wire format, so both derive it from this single definition.
+    the wire format, so both derive it from this single definition. Large
+    inputs take a vectorized wavefront pass when numpy is available; the
+    Python loop below is the definition both must match.
     """
+    if _np is not None and len(kinds) >= VECTOR_MIN_GATES:
+        arr = _levels_np(
+            _np.asarray(kinds, dtype=_np.int32),
+            _np.asarray(offsets, dtype=_np.int32),
+            _np.asarray(indices, dtype=_np.int32),
+        )
+        if arr is not None:
+            return arr.tolist()
     depth = [0] * len(kinds)
     for pos in range(len(kinds)):
         kind = kinds[pos]
@@ -135,6 +259,117 @@ def gate_levels(kinds, offsets, indices) -> list[int]:
             (depth[indices[j]] for j in range(start, end)), default=0
         )
     return depth
+
+
+def levels_consistent(kinds, offsets, indices, levels) -> bool:
+    """Whether ``levels`` is exactly :func:`gate_levels` of the CSR arrays.
+
+    The arrays must already have passed :func:`check_plan_arrays`, which
+    guarantees topological input references — then the level schedule is
+    the unique fixed point of "one past the deepest input", so verifying
+    the local equation at every gate against the *candidate* levels proves
+    the whole schedule. That makes validation one O(edges) pass
+    (``maximum.reduceat`` over the non-empty CSR segments, which are
+    contiguous in ``indices``) instead of re-running the wavefront — the
+    cost that used to dominate loading a cached or wire-shipped plan.
+    """
+    size = len(kinds)
+    if len(levels) != size:
+        return False
+    if _np is not None and size >= VECTOR_MIN_GATES:
+        akinds = _np.asarray(kinds, dtype=_np.int32)
+        aoffsets = _np.asarray(offsets, dtype=_np.int64)
+        aindices = _np.asarray(indices, dtype=_np.int64)
+        alevels = _np.asarray(levels, dtype=_np.int64)
+        # Degenerate zero-input op gates sit at level 1 (the python pass's
+        # ``default=0`` branch); leaves at 0; everything else is checked
+        # against its inputs below.
+        expected = _np.ones(size, dtype=_np.int64)
+        expected[akinds <= K_VAR] = 0
+        nonempty = _np.flatnonzero(aoffsets[1:] > aoffsets[:-1])
+        if nonempty.size:
+            expected[nonempty] = (
+                _np.maximum.reduceat(alevels[aindices], aoffsets[nonempty]) + 1
+            )
+        return bool(_np.array_equal(expected, alevels))
+    return gate_levels(list(kinds), list(offsets), list(indices)) == list(levels)
+
+
+def check_plan_arrays(*, size, kinds, offsets, indices, var_slot, n_vars,
+                      output) -> None:
+    """Structural validation of one flat CSR lowering; raises on damage.
+
+    The shared gatekeeper for plans that arrive from outside this process —
+    the wire format and the on-disk plan cache: consistent lengths, an
+    in-range output, monotone offsets, known gate kinds, leaf gates without
+    inputs, in-range variable slots, and strictly topological input
+    references (every input position below its gate's). Vectorized when
+    numpy is available; the Python loops below are the same checks.
+    """
+    check(size >= 1, "plan has no gates")
+    check(
+        len(kinds) == size
+        and len(var_slot) == size
+        and len(offsets) == size + 1,
+        "plan sections disagree about the gate count",
+    )
+    check(0 <= output < size, "plan output gate out of range")
+    check(
+        offsets[0] == 0 and offsets[-1] == len(indices),
+        "plan CSR offsets are inconsistent",
+    )
+    if _np is not None and size >= VECTOR_MIN_GATES:
+        akinds = _np.asarray(kinds, dtype=_np.int64)
+        aoffsets = _np.asarray(offsets, dtype=_np.int64)
+        aindices = _np.asarray(indices, dtype=_np.int64)
+        avar_slot = _np.asarray(var_slot, dtype=_np.int64)
+        lengths = aoffsets[1:] - aoffsets[:-1]
+        check(bool((lengths >= 0).all()), "plan CSR offsets are not monotone")
+        check(
+            bool(((akinds >= K_FALSE) & (akinds <= K_OR)).all()),
+            "plan has an unknown gate kind",
+        )
+        leaf = akinds <= K_VAR
+        check(
+            bool((lengths[leaf] == 0).all()),
+            "plan leaf gate has inputs",
+        )
+        var_mask = akinds == K_VAR
+        check(
+            bool(
+                ((avar_slot[var_mask] >= 0) & (avar_slot[var_mask] < n_vars)).all()
+            ),
+            "plan variable slot out of range",
+        )
+        owners = _np.repeat(_np.arange(size, dtype=_np.int64), lengths)
+        check(
+            bool(((aindices >= 0) & (aindices < owners)).all()),
+            "plan gate input does not precede its gate",
+        )
+        return
+    for pos in range(size):
+        check(
+            offsets[pos] <= offsets[pos + 1],
+            "plan CSR offsets are not monotone",
+        )
+        kind = kinds[pos]
+        check(K_FALSE <= kind <= K_OR, f"plan has unknown gate kind {kind}")
+        if kind <= K_VAR:
+            check(
+                offsets[pos] == offsets[pos + 1],
+                "plan leaf gate has inputs",
+            )
+        if kind == K_VAR:
+            check(
+                0 <= var_slot[pos] < n_vars,
+                "plan variable slot out of range",
+            )
+        for j in range(offsets[pos], offsets[pos + 1]):
+            check(
+                0 <= indices[j] < pos,
+                "plan gate input does not precede its gate",
+            )
+
 
 #: Fan-in up to which AND/OR are emitted as infix chains; larger gates use
 #: list-based reductions to keep the generated AST shallow.
@@ -195,84 +430,101 @@ class _BatchPlan:
     )
 
     def __init__(self, compiled: "CompiledCircuit"):
-        kinds = compiled.kinds
-        offsets = compiled.offsets
-        indices = compiled.indices
         size = compiled.size
         self.size = size
-        self.kinds = _np.asarray(kinds, dtype=_np.int32)
-        self.offsets = _np.asarray(offsets, dtype=_np.int32)
-        self.indices = _np.asarray(indices, dtype=_np.int32)
-        self.var_slot = _np.asarray(compiled.var_slot, dtype=_np.int32)
+        arrays = getattr(compiled, "_np32", None)
+        if arrays is not None:
+            kinds, offsets, indices, var_slot = arrays
+        else:
+            kinds = _np.asarray(compiled.kinds, dtype=_np.int32)
+            offsets = _np.asarray(compiled.offsets, dtype=_np.int32)
+            indices = _np.asarray(compiled.indices, dtype=_np.int32)
+            var_slot = _np.asarray(compiled.var_slot, dtype=_np.int32)
+        self.kinds = kinds
+        self.offsets = offsets
+        self.indices = indices
+        self.var_slot = var_slot
 
-        depth = gate_levels(kinds, offsets, indices)
-        var_positions: list[int] = []
-        const_positions: list[int] = []
-        # per level: {(kind, fan_in): positions} of that level's gates
-        buckets: list[dict[tuple[int, int], list[int]]] = []
-        for pos in range(size):
-            kind = kinds[pos]
-            start, end = offsets[pos], offsets[pos + 1]
-            if kind == K_VAR:
-                var_positions.append(pos)
-                continue
-            if kind == K_TRUE or kind == K_FALSE:
-                const_positions.append(pos)
-                continue
-            level = depth[pos]
-            while len(buckets) < level:
-                buckets.append({})
-            buckets[level - 1].setdefault((kind, end - start), []).append(pos)
+        # The level schedule: reuse the lowering's cached copy when the
+        # source carries one (CompiledCircuit / WirePlan), else derive it.
+        depth = None
+        lister = getattr(compiled, "levels_list", None)
+        if lister is not None:
+            depth = _np.asarray(lister(), dtype=_np.int32)
+        else:
+            shipped = getattr(compiled, "levels", None)
+            if isinstance(shipped, (list, tuple)):
+                depth = _np.asarray(shipped, dtype=_np.int32)
+        if depth is None:
+            if size >= VECTOR_MIN_GATES:
+                depth = _levels_np(kinds, offsets, indices)
+            if depth is None:
+                depth = _np.asarray(
+                    gate_levels(
+                        kinds.tolist(), offsets.tolist(), indices.tolist()
+                    ),
+                    dtype=_np.int32,
+                )
 
-        # Renumber: variables, constants, then level by level, group by group.
+        # Renumber: variables, constants, then level by level, group by
+        # group — one stable lexsort; ties keep topological order, exactly
+        # like the historical per-gate bucketing.
+        lengths = offsets[1:] - offsets[:-1]
+        var_positions = _np.flatnonzero(kinds == K_VAR)
+        const_positions = _np.flatnonzero(
+            (kinds == K_TRUE) | (kinds == K_FALSE)
+        )
+        op_positions = _np.flatnonzero(kinds >= K_NOT)
+        order = _np.lexsort(
+            (lengths[op_positions], kinds[op_positions], depth[op_positions])
+        )
+        sorted_ops = op_positions[order]
+        n_vars = var_positions.size
+        n_consts = const_positions.size
+        leaf_rows = n_vars + n_consts
         row_of = _np.empty(size, dtype=_np.intp)
-        next_row = 0
-        for pos in var_positions:
-            row_of[pos] = next_row
-            next_row += 1
-        for pos in const_positions:
-            row_of[pos] = next_row
-            next_row += 1
-        grouped: list[list[tuple[int, int, list[int]]]] = []
-        for level_buckets in buckets:
-            level_groups = []
-            for (kind, fan_in), positions in sorted(level_buckets.items()):
-                start_row = next_row
-                for pos in positions:
-                    row_of[pos] = next_row
-                    next_row += 1
-                level_groups.append((kind, start_row, positions))
-            grouped.append(level_groups)
+        row_of[var_positions] = _np.arange(n_vars)
+        row_of[const_positions] = n_vars + _np.arange(n_consts)
+        row_of[sorted_ops] = leaf_rows + _np.arange(sorted_ops.size)
         self.row_of = row_of
-        self.var_slots = _np.asarray(
-            [compiled.var_slot[pos] for pos in var_positions], dtype=_np.intp
-        )
-        self.const_rows = (len(var_positions), len(var_positions) + len(const_positions))
-        self.const_values = _np.asarray(
-            [kinds[pos] == K_TRUE for pos in const_positions], dtype=_np.bool_
-        )
-        levels: list[tuple[_GroupOp, ...]] = []
-        for level_groups in grouped:
-            ops = []
-            for kind, start_row, positions in level_groups:
-                rows = (start_row, start_row + len(positions))
-                if kind == K_NOT:
-                    gather = _np.asarray(
-                        [row_of[indices[offsets[pos]]] for pos in positions],
-                        dtype=_np.intp,
-                    )
-                else:
-                    # gather[j, i] = row of the j-th input of the i-th gate
-                    gather = _np.asarray(
-                        [
-                            [row_of[child] for child in indices[offsets[pos] : offsets[pos + 1]]]
-                            for pos in positions
-                        ],
-                        dtype=_np.intp,
-                    ).T
-                ops.append(_GroupOp(kind, rows, gather))
-            levels.append(tuple(ops))
-        self.levels = tuple(levels)
+        self.var_slots = var_slot[var_positions].astype(_np.intp)
+        self.const_rows = (int(n_vars), int(leaf_rows))
+        self.const_values = kinds[const_positions] == K_TRUE
+
+        # Group boundaries over the sorted (level, kind, fan-in) keys; each
+        # group's gather is one fancy-index over a broadcast offset block.
+        op_depth = depth[sorted_ops]
+        op_kind = kinds[sorted_ops]
+        op_fan = lengths[sorted_ops]
+        if sorted_ops.size:
+            cuts = (
+                _np.flatnonzero(
+                    (op_depth[1:] != op_depth[:-1])
+                    | (op_kind[1:] != op_kind[:-1])
+                    | (op_fan[1:] != op_fan[:-1])
+                )
+                + 1
+            )
+            starts = _np.concatenate(([0], cuts))
+            ends = _np.concatenate((cuts, [sorted_ops.size]))
+            n_levels = int(op_depth[-1])
+        else:
+            starts = ends = _np.empty(0, dtype=_np.intp)
+            n_levels = 0
+        buckets: list[list[_GroupOp]] = [[] for _ in range(n_levels)]
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            positions = sorted_ops[start:end]
+            kind = int(op_kind[start])
+            rows = (int(leaf_rows + start), int(leaf_rows + end))
+            if kind == K_NOT:
+                gather = row_of[indices[offsets[positions]]]
+            else:
+                # gather[j, i] = row of the j-th input of the i-th gate
+                fan_in = int(op_fan[start])
+                block = offsets[positions][:, None] + _np.arange(fan_in)
+                gather = row_of[indices[block]].T
+            buckets[int(op_depth[start]) - 1].append(_GroupOp(kind, rows, gather))
+        self.levels = tuple(tuple(ops) for ops in buckets)
         self.output_row = int(row_of[compiled.output])
 
     def run(self, matrix, as_float: bool):
@@ -337,16 +589,21 @@ class CompiledCircuit:
     __slots__ = (
         "source",
         "size",
-        "kinds",
-        "offsets",
-        "indices",
-        "var_slot",
+        "_kinds",
+        "_offsets",
+        "_indices",
+        "_var_slot",
         "var_names",
-        "var_index",
-        "gate_ids",
-        "position_of",
         "output",
         "has_negation",
+        "arena_version",
+        "arena_size",
+        "_gate_ids",
+        "_position_of",
+        "_var_index",
+        "_levels",
+        "_levels32",
+        "_np32",
         "_binarized",
         "_decompositions",
         "_bool_kernel",
@@ -360,12 +617,50 @@ class CompiledCircuit:
 
     def __init__(self, circuit: Circuit):
         check(circuit.output is not None, "circuit has no output gate")
+        self._init_lazy()
         self.source = circuit
+        lowered = (
+            _np is not None
+            and len(circuit) >= VECTOR_MIN_GATES
+            and getattr(circuit, "_kind_codes", None) is not None
+            and self._lower_vector(circuit)
+        )
+        if not lowered:
+            self._lower_python(circuit)
+        self.arena_version = circuit.version
+        self.arena_size = len(circuit)
+        _STATS["lowerings"] += 1
+
+    def _init_lazy(self) -> None:
+        """Fresh derived-state caches (shared by every construction path)."""
+        # The CSR lists; ``None`` means "materialize from _np32 on demand"
+        # (the vectorized paths never pay ``tolist`` unless a scalar
+        # consumer actually asks for the lists).
+        self._kinds = None
+        self._offsets = None
+        self._indices = None
+        self._var_slot = None
+        self._gate_ids = None  # tuple, or an int64 array from _lower_vector
+        self._position_of = None
+        self._var_index = None
+        self._levels = None  # per-gate level schedule (gate_levels), cached
+        self._levels32 = None  # same schedule as an int32 array, if cheaper
+        self._np32 = None  # (kinds, offsets, indices, var_slot) as int32
+        self._binarized: CompiledCircuit | None = None
+        self._decompositions: dict[str, object] = {}
+        self._bool_kernel = _UNBUILT
+        self._float_kernel = _UNBUILT
+        self._batch_plan = _UNBUILT
+        self._shared_plan = None  # lazily published by repro.circuits.parallel
+        self._wire_cache = None  # lazily packed by repro.circuits.distributed
+        self._wire_digest = None  # content digest of _wire_cache, cached with it
+
+    def _lower_python(self, circuit: Circuit) -> None:
+        """The reference per-gate lowering (numpy-free, and small circuits)."""
         gate_ids = circuit.reachable_from_output()
-        self.gate_ids: tuple[int, ...] = tuple(gate_ids)
-        self.position_of: dict[int, int] = {
-            gid: pos for pos, gid in enumerate(gate_ids)
-        }
+        self._gate_ids = tuple(gate_ids)
+        position_of: dict[int, int] = {gid: pos for pos, gid in enumerate(gate_ids)}
+        self._position_of = position_of
         self.size = len(gate_ids)
         kinds: list[int] = []
         offsets: list[int] = [0]
@@ -396,29 +691,256 @@ class CompiledCircuit:
                 raise ReproError(f"unknown gate kind {gate.kind!r}")
             kinds.append(kind)
             var_slot.append(slot)
-            indices.extend(self.position_of[i] for i in gate.inputs)
+            indices.extend(position_of[i] for i in gate.inputs)
             offsets.append(len(indices))
-        self.kinds = kinds
-        self.offsets = offsets
-        self.indices = indices
-        self.var_slot = var_slot
+        self._kinds = kinds
+        self._offsets = offsets
+        self._indices = indices
+        self._var_slot = var_slot
         self.var_names: tuple[str, ...] = tuple(var_names)
-        self.var_index = var_index
-        self.output = self.position_of[circuit.output]  # type: ignore[index]
+        self._var_index = var_index
+        self.output = position_of[circuit.output]  # type: ignore[index]
         #: Whether any NOT gate is reachable — precomputed once here rather
         #: than rescanning ``kinds`` on every property access.
         self.has_negation: bool = K_NOT in kinds
-        self._binarized: CompiledCircuit | None = None
-        self._decompositions: dict[str, object] = {}
-        self._bool_kernel = _UNBUILT
-        self._float_kernel = _UNBUILT
-        self._batch_plan = _UNBUILT
-        self._shared_plan = None  # lazily published by repro.circuits.parallel
-        self._wire_cache = None  # lazily packed by repro.circuits.distributed
-        self._wire_digest = None  # content digest of _wire_cache, cached with it
+
+    def _lower_vector(self, circuit: Circuit) -> bool:
+        """Array-pass lowering over the arena's flat mirrors (numpy).
+
+        Reachability is a frontier BFS from the output, topological order
+        is gate-id order (creation order), CSR remapping is one boolean
+        edge mask plus an inverse-permutation gather, and variable
+        interning is a rank map over the arena's (already first-occurrence
+        ordered) slot numbers. Produces exactly the arrays of
+        :meth:`_lower_python`; returns ``False`` (caller falls back) for
+        wavefront-hostile shapes, i.e. depth beyond :data:`_WAVEFRONT_CAP`.
+        """
+        n = len(circuit)
+        akinds = _np.frombuffer(circuit._kind_codes, dtype=_np.int8)
+        avar_slots = _np.frombuffer(circuit._var_slots, dtype=_np.int32)
+        ainputs = (
+            _np.frombuffer(circuit._inputs_flat, dtype=_np.int32)
+            if len(circuit._inputs_flat)
+            else _np.empty(0, dtype=_np.int32)
+        )
+        aoffsets = _np.frombuffer(circuit._input_offsets, dtype=_np.int32)
+        lengths = aoffsets[1:] - aoffsets[:-1]
+        reach = _np.zeros(n, dtype=_np.bool_)
+        fresh = _np.zeros(n, dtype=_np.bool_)
+        reach[circuit.output] = True
+        frontier = _np.asarray([circuit.output], dtype=_np.int64)
+        rounds = 0
+        cumsum = _np.cumsum
+        repeat = _np.repeat
+        arange = _np.arange
+        flatnonzero = _np.flatnonzero
+        while frontier.size:
+            rounds += 1
+            if rounds > _WAVEFRONT_CAP:
+                return False
+            # Inlined _csr_gather (keeps the per-round call count down —
+            # the loop runs once per cone level).
+            counts = lengths[frontier]
+            cum = cumsum(counts)
+            total = int(cum[-1])
+            if total == 0:
+                break
+            shift = repeat(aoffsets[frontier] - cum + counts, counts)
+            children = ainputs[shift + arange(total, dtype=_np.int64)]
+            children = children[~reach[children]]
+            if children.size == 0:
+                break
+            reach[children] = True
+            # Dedup without sorting: scatter into a scratch mask, read the
+            # set bits back out, clear them for the next round.
+            fresh[children] = True
+            frontier = flatnonzero(fresh)
+            fresh[frontier] = False
+        gate_ids = _np.flatnonzero(reach)
+        size = int(gate_ids.size)
+        pos_of = _np.zeros(n, dtype=_np.int32)
+        pos_of[gate_ids] = _np.arange(size, dtype=_np.int32)
+        kinds32 = akinds[gate_ids].astype(_np.int32)
+        counts = lengths[gate_ids]
+        offsets32 = _np.zeros(size + 1, dtype=_np.int32)
+        _np.cumsum(counts, out=offsets32[1:])
+        indices32 = pos_of[ainputs[_np.repeat(reach, lengths)]]
+        var_mask = kinds32 == K_VAR
+        arena_slots = avar_slots[gate_ids[var_mask]]  # increasing: see _add
+        slot_rank = _np.full(len(circuit._slot_names), -1, dtype=_np.int32)
+        slot_rank[arena_slots] = _np.arange(arena_slots.size, dtype=_np.int32)
+        var_slot32 = _np.full(size, -1, dtype=_np.int32)
+        var_slot32[var_mask] = slot_rank[arena_slots]
+        slot_names = circuit._slot_names
+        self.size = size
+        # The lists stay unmaterialized (the properties build them from
+        # ``_np32`` if a scalar consumer asks); the level schedule is a
+        # single gather from the arena's incrementally maintained levels.
+        self.var_names = tuple(slot_names[s] for s in arena_slots.tolist())
+        self.output = int(pos_of[circuit.output])
+        self.has_negation = bool((kinds32 == K_NOT).any())
+        self._gate_ids = gate_ids
+        self._np32 = (kinds32, offsets32, indices32, var_slot32)
+        self._levels32 = _np.frombuffer(
+            circuit._gate_levels, dtype=_np.int32
+        )[gate_ids]
+        return True
+
+    @classmethod
+    def _from_arrays(
+        cls, circuit: Circuit, *, size, kinds, offsets, indices, var_slot,
+        var_names, levels, gate_ids, output,
+    ) -> "CompiledCircuit":
+        """Rebuild a lowering from stored arrays (the on-disk plan cache).
+
+        Everything is structurally validated (:func:`check_plan_arrays`
+        plus a level-schedule match and arena-range checks on
+        ``gate_ids``), so a corrupt cache entry raises
+        :class:`~repro.util.ReproError` instead of producing a plan that
+        silently disagrees with a fresh compile.
+        """
+        check(circuit.output is not None, "circuit has no output gate")
+        check_plan_arrays(
+            size=size, kinds=kinds, offsets=offsets, indices=indices,
+            var_slot=var_slot, n_vars=len(var_names), output=output,
+        )
+        check(
+            levels_consistent(kinds, offsets, indices, levels),
+            "cached plan level schedule does not match its CSR arrays",
+        )
+        if _np is not None:
+            ids = _np.asarray(gate_ids, dtype=_np.int64)
+            ids_ok = (
+                ids.size == size
+                and bool((ids[1:] > ids[:-1]).all())
+                and 0 <= int(ids[0])
+                and int(ids[-1]) < len(circuit)
+            )
+        else:
+            ids_ok = (
+                len(gate_ids) == size
+                and all(a < b for a, b in zip(gate_ids, gate_ids[1:]))
+                and 0 <= gate_ids[0]
+                and gate_ids[-1] < len(circuit)
+            )
+        check(ids_ok, "cached plan gate ids do not fit the arena")
+        check(
+            gate_ids[output] == circuit.output,
+            "cached plan output does not match the arena output",
+        )
+        compiled = cls.__new__(cls)
+        compiled._init_lazy()
+        compiled.source = circuit
+        compiled.size = size
+        compiled.var_names = tuple(var_names)
+        compiled.output = int(output)
+        compiled.arena_version = circuit.version
+        compiled.arena_size = len(circuit)
+        # ``tolist`` keeps the elements python ints whatever sequence type
+        # the decoder handed over (ndarray, array.array, list).
+        compiled._gate_ids = tuple(
+            gate_ids.tolist() if hasattr(gate_ids, "tolist") else gate_ids
+        )
+        compiled._levels = (
+            levels.tolist() if hasattr(levels, "tolist") else list(levels)
+        )
+        if _np is not None:
+            kinds32 = _np.asarray(kinds, dtype=_np.int32)
+            compiled._np32 = (
+                kinds32,
+                _np.asarray(offsets, dtype=_np.int32),
+                _np.asarray(indices, dtype=_np.int32),
+                _np.asarray(var_slot, dtype=_np.int32),
+            )
+            compiled.has_negation = bool((kinds32 == K_NOT).any())
+        else:
+            compiled._kinds = list(kinds)
+            compiled._offsets = list(offsets)
+            compiled._indices = list(indices)
+            compiled._var_slot = list(var_slot)
+            compiled.has_negation = K_NOT in compiled._kinds
+        return compiled
 
     # ------------------------------------------------------------------ #
     # inspection
+
+    @property
+    def kinds(self) -> list[int]:
+        """Gate kind codes by position (list, materialized on demand)."""
+        value = self._kinds
+        if value is None:
+            value = self._kinds = self._np32[0].tolist()
+        return value
+
+    @property
+    def offsets(self) -> list[int]:
+        """CSR input offsets, one past the last gate (materialized lazily)."""
+        value = self._offsets
+        if value is None:
+            value = self._offsets = self._np32[1].tolist()
+        return value
+
+    @property
+    def indices(self) -> list[int]:
+        """CSR input positions, flat (materialized lazily)."""
+        value = self._indices
+        if value is None:
+            value = self._indices = self._np32[2].tolist()
+        return value
+
+    @property
+    def var_slot(self) -> list[int]:
+        """Variable slot per position, ``-1`` off VAR gates (lazy)."""
+        value = self._var_slot
+        if value is None:
+            value = self._var_slot = self._np32[3].tolist()
+        return value
+
+    @property
+    def gate_ids(self) -> tuple[int, ...]:
+        """Arena gate ids by compiled position (ascending), built lazily."""
+        ids = self._gate_ids
+        if type(ids) is not tuple:
+            ids = self._gate_ids = tuple(ids.tolist())
+        return ids
+
+    @property
+    def position_of(self) -> dict[int, int]:
+        """Arena gate id → compiled position, built lazily."""
+        mapping = self._position_of
+        if mapping is None:
+            mapping = self._position_of = {
+                gid: pos for pos, gid in enumerate(self.gate_ids)
+            }
+        return mapping
+
+    @property
+    def var_index(self) -> dict[str, int]:
+        """Variable name → slot, built lazily (inverse of ``var_names``)."""
+        mapping = self._var_index
+        if mapping is None:
+            mapping = self._var_index = {
+                name: slot for slot, name in enumerate(self.var_names)
+            }
+        return mapping
+
+    def levels_list(self) -> list[int]:
+        """The :func:`gate_levels` schedule of this lowering, computed once.
+
+        Shared by the batch plan, the wire encoding and delta
+        recompilation, which patches it in O(|delta|) instead of
+        recomputing.
+        """
+        if self._levels is None:
+            if self._levels32 is not None:
+                self._levels = self._levels32.tolist()
+            elif self._np32 is not None:
+                arr = _levels_np(*self._np32[:3])
+                if arr is not None:
+                    self._levels = arr.tolist()
+            if self._levels is None:
+                self._levels = gate_levels(self.kinds, self.offsets, self.indices)
+        return self._levels
 
     def variables(self) -> tuple[str, ...]:
         """Variable names in slot order (first topological occurrence)."""
@@ -936,19 +1458,237 @@ class CompiledCircuit:
         return cached
 
 
+#: Entries kept in the per-arena ``(version, output)`` compile memo; small,
+#: because each entry pins a full lowering alive for the arena's lifetime.
+ARENA_CACHE_LIMIT = 8
+
+#: Dirty cones larger than this fraction of the predecessor abandon the
+#: delta path — a full vectorized lowering is cheaper than patching most
+#: of the arrays row by row in Python.
+_DELTA_MAX_FRACTION = 0.5
+
+
+def _arena_memo(circuit: Circuit) -> dict | None:
+    """The arena's ``(version, output) -> CompiledCircuit`` memo (LRU)."""
+    memo = getattr(circuit, "_compiled_cache", None)
+    if not isinstance(memo, dict):
+        memo = {}
+        try:
+            circuit._compiled_cache = memo
+        except AttributeError:  # pragma: no cover - exotic circuit subclass
+            return None
+    return memo
+
+
+def _delta_lower(prev: CompiledCircuit, circuit: Circuit) -> CompiledCircuit | None:
+    """Patch ``prev``'s arrays into a lowering of the edited ``circuit``.
+
+    The hash-consed arena is append-only, so an edit can only add gates
+    and move the output. The fast path applies when the old lowering is a
+    *prefix* of the new one: every old gate stays reachable (the old
+    output is in the new output's cone) and every dirty gate — the new
+    output's cone minus the old reachable set — has a gate id above every
+    old one. Then the new topological order is exactly ``old positions ++
+    sorted(dirty)``: the CSR/level/var arrays survive verbatim and only
+    the appended rows are computed, in O(|delta|) gate visits. Returns
+    ``None`` when the conditions fail (output moved into the past, an old
+    gate became newly reachable, or the cone is a large fraction of the
+    circuit) — the caller does a fresh full lowering instead.
+    """
+    from bisect import bisect_left
+
+    out = circuit.output
+    old_ids = prev.gate_ids
+    old_n = prev.size
+    max_old = old_ids[-1]
+    old_out_id = old_ids[prev.output]
+    limit = max(64, int(old_n * _DELTA_MAX_FRACTION))
+    seen: set[int] = set()
+    dirty: list[int] = []
+    stack = [out]
+    old_out_seen = False
+    while stack:
+        gid = stack.pop()
+        if gid in seen:
+            continue
+        seen.add(gid)
+        if gid <= max_old:
+            at = bisect_left(old_ids, gid)
+            if at < old_n and old_ids[at] == gid:
+                # Boundary: this cone is already lowered; stop descending.
+                if gid == old_out_id:
+                    old_out_seen = True
+                continue
+        dirty.append(gid)
+        if len(dirty) > limit:
+            return None
+        stack.extend(circuit.gate(gid).inputs)
+    if not old_out_seen:
+        return None
+    if not dirty:
+        # The output is an old gate whose cone contains the old output —
+        # by acyclicity that makes it *the* old output: same lowering.
+        return prev
+    dirty.sort()
+    if dirty[0] <= max_old:
+        return None
+
+    kind_codes = circuit._kind_codes
+    var_slots = circuit._var_slots
+    slot_names = circuit._slot_names
+    arena_levels = circuit._gate_levels
+    old_levels = prev.levels_list()
+    position: dict[int, int] = {}
+    add_kinds: list[int] = []
+    add_indices: list[int] = []
+    add_offsets: list[int] = []
+    add_var_slot: list[int] = []
+    new_names: list[str] = []
+    prev_np = prev._np32
+    running = (
+        int(prev_np[1][-1]) if prev_np is not None else prev.offsets[-1]
+    )
+    has_negation = prev.has_negation
+    n_old_vars = len(prev.var_names)
+
+    for i, gid in enumerate(dirty):
+        position[gid] = old_n + i
+    for gid in dirty:
+        kind = kind_codes[gid]
+        add_kinds.append(kind)
+        slot = -1
+        if kind == K_VAR:
+            # A dirty VAR gate is a genuinely new name: hash-consing keeps
+            # one gate per name, and old names' gates are all old gates.
+            slot = n_old_vars + len(new_names)
+            new_names.append(slot_names[var_slots[gid]])
+        elif kind == K_NOT:
+            has_negation = True
+        add_var_slot.append(slot)
+        inputs = circuit.gate(gid).inputs
+        for child in inputs:
+            at = position.get(child)
+            add_indices.append(
+                at if at is not None else bisect_left(old_ids, child)
+            )
+        running += len(inputs)
+        add_offsets.append(running)
+    # The level of a gate depends only on its input cone, so the arena's
+    # incrementally maintained levels are already the compiled levels.
+    add_levels = [arena_levels[gid] for gid in dirty]
+
+    compiled = CompiledCircuit.__new__(CompiledCircuit)
+    compiled._init_lazy()
+    compiled.source = circuit
+    compiled.size = old_n + len(dirty)
+    if _np is not None and prev_np is not None:
+        old_kinds32, old_offsets32, old_indices32, old_var32 = prev_np
+        compiled._np32 = (
+            _np.concatenate([old_kinds32, _np.asarray(add_kinds, _np.int32)]),
+            _np.concatenate([old_offsets32, _np.asarray(add_offsets, _np.int32)]),
+            _np.concatenate([old_indices32, _np.asarray(add_indices, _np.int32)]),
+            _np.concatenate([old_var32, _np.asarray(add_var_slot, _np.int32)]),
+        )
+        # Lists stay lazy: the surviving prefix is only re-materialized if
+        # a scalar consumer asks, keeping the patch O(|delta|).
+    else:
+        compiled._kinds = prev.kinds + add_kinds
+        compiled._offsets = prev.offsets + add_offsets
+        compiled._indices = prev.indices + add_indices
+        compiled._var_slot = prev.var_slot + add_var_slot
+    compiled.var_names = prev.var_names + tuple(new_names)
+    compiled.output = position[out] if out in position else bisect_left(old_ids, out)
+    compiled.has_negation = has_negation
+    compiled.arena_version = circuit.version
+    compiled.arena_size = len(circuit)
+    compiled._gate_ids = old_ids + tuple(dirty)
+    compiled._levels = old_levels + add_levels
+    _STATS["delta_recompiles"] += 1
+    return compiled
+
+
+def _compile_cached(circuit: Circuit, prev: CompiledCircuit | None) -> CompiledCircuit:
+    """The shared compile path: memo, delta, disk cache, full lowering.
+
+    The delta patch comes before the disk cache on purpose: patching the
+    predecessor's arrays is O(|edit|) and beats even a cache hit (which
+    still reads, checksums and re-validates the whole lowering) — and a
+    grown arena's fingerprint would usually miss anyway.
+    """
+    check(circuit.output is not None, "circuit has no output gate")
+    key = (circuit.version, circuit.output)
+    memo = _arena_memo(circuit)
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            _STATS["arena_cache_hits"] += 1
+            # Move to the LRU tail so flipping between outputs keeps both.
+            del memo[key]
+            memo[key] = hit
+            return hit
+    compiled = None
+    from repro.circuits import plancache
+
+    if prev is None and memo:
+        prev = max(memo.values(), key=lambda c: c.arena_version)
+    if prev is not None and prev.source is circuit:
+        compiled = _delta_lower(prev, circuit)
+        if compiled is None:
+            _STATS["delta_fallbacks"] += 1
+    if compiled is None:
+        fingerprint = None
+        if plancache.enabled() and len(circuit) >= plancache.min_gates():
+            fingerprint = plancache.arena_fingerprint(circuit)
+        if fingerprint is not None:
+            compiled = plancache.load_compiled(circuit, fingerprint)
+            if compiled is not None:
+                _STATS["disk_cache_hits"] += 1
+        if compiled is None:
+            compiled = CompiledCircuit(circuit)
+            if fingerprint is not None:
+                plancache.store_compiled(compiled, fingerprint)
+    if memo is not None:
+        memo[key] = compiled
+        while len(memo) > ARENA_CACHE_LIMIT:
+            memo.pop(next(iter(memo)))
+    return compiled
+
+
 def compile_circuit(circuit: Circuit | CompiledCircuit) -> CompiledCircuit:
     """Lower ``circuit`` to its flat IR, caching the result on the arena.
 
-    Passing an already-compiled circuit returns it unchanged. The cache is
-    keyed on the arena's mutation version and output gate, so compiling
-    again after further construction transparently recompiles.
+    Passing an already-compiled circuit returns it unchanged. Compiles are
+    memoized per ``(arena version, output)`` — flipping ``set_output``
+    between gates returns each output's own lowering, never a stale one —
+    and a recompile of a grown arena takes the O(|delta|) patch path of
+    :func:`recompile` against the newest memoized predecessor. With
+    ``REPRO_PLAN_CACHE_DIR`` set, lowerings round-trip through the
+    persistent on-disk cache (:mod:`repro.circuits.plancache`), so fresh
+    processes skip lowering entirely.
     """
     if isinstance(circuit, CompiledCircuit):
         return circuit
-    key = (circuit.version, circuit.output)
-    cached = getattr(circuit, "_compiled_cache", None)
-    if cached is not None and cached[0] == key:
-        return cached[1]
-    compiled = CompiledCircuit(circuit)
-    circuit._compiled_cache = (key, compiled)
-    return compiled
+    return _compile_cached(circuit, None)
+
+
+def recompile(old: CompiledCircuit, circuit: Circuit | CompiledCircuit) -> CompiledCircuit:
+    """Relower ``circuit`` reusing ``old``, patching only the dirty cone.
+
+    ``old`` must be a previous lowering of the *same arena*; appended
+    gates and a moved output are patched in O(|delta|) — the surviving
+    prefix of the kind/CSR/level/variable arrays is shared, and the
+    derived caches (``wire_bytes``/``plan_digest``/``batch_plan``/kernels)
+    start fresh on the returned object so nothing stale leaks. When the
+    edit is not an append (or ``old`` lowers a different arena) this falls
+    back to a full — still vectorized — compile; either way the result is
+    gate-for-gate identical to ``compile_circuit(circuit)`` on a cold
+    arena, and is entered into the same arena memo.
+    """
+    check(
+        isinstance(old, CompiledCircuit),
+        "recompile needs the previous CompiledCircuit",
+    )
+    if isinstance(circuit, CompiledCircuit):
+        return circuit
+    prev = old if old.source is circuit else None
+    return _compile_cached(circuit, prev)

@@ -125,20 +125,29 @@ def _values_to_bytes(typecode: str, values) -> bytes:
     return arr.tobytes()
 
 
-def _values_from_bytes(typecode: str, raw: bytes) -> list:
-    """Inverse of :func:`_values_to_bytes`; always returns a python list."""
+def _values_from_bytes(typecode: str, raw: bytes, arrays: bool = False):
+    """Inverse of :func:`_values_to_bytes`.
+
+    Returns a python list by default (what the numpy-less wire interpreter
+    indexes). With ``arrays=True`` the caller gets the cheapest flat
+    sequence instead — a numpy array when available, else an
+    ``array.array`` — skipping the ``tolist`` round-trip; the plan cache
+    loads through this so a disk hit never materializes python lists.
+    """
     np = numpy_module()
     dtype, itemsize = _DTYPES[typecode]
     check(len(raw) % itemsize == 0, "wire section length is not a whole item count")
     if np is not None:
-        return np.frombuffer(raw, dtype=dtype).tolist()
+        values = np.frombuffer(raw, dtype=dtype)
+        # ``copy`` detaches from (and drops the reference pinning) the blob.
+        return values.copy() if arrays else values.tolist()
     import array
 
     arr = array.array(typecode)
     arr.frombytes(raw)
     if sys.byteorder == "big":  # pragma: no cover - little-endian dev hosts
         arr.byteswap()
-    return arr.tolist()
+    return arr if arrays else arr.tolist()
 
 
 def _pack_blob(meta: dict, sections: list[tuple[str, str, object]]) -> bytes:
@@ -166,8 +175,12 @@ def _pack_blob(meta: dict, sections: list[tuple[str, str, object]]) -> bytes:
     return header + meta_bytes + payload
 
 
-def _unpack_blob(data: bytes) -> tuple[dict, dict[str, list]]:
-    """Validate and unpack a :func:`_pack_blob` blob; raises on any damage."""
+def _unpack_blob(data: bytes, arrays: bool = False) -> tuple[dict, dict]:
+    """Validate and unpack a :func:`_pack_blob` blob; raises on any damage.
+
+    ``arrays=True`` is forwarded to :func:`_values_from_bytes` — sections
+    come back as flat arrays instead of python lists.
+    """
     check(isinstance(data, (bytes, bytearray, memoryview)), "wire payload must be bytes")
     data = bytes(data)
     check(
@@ -200,7 +213,9 @@ def _unpack_blob(data: bytes) -> tuple[dict, dict[str, list]]:
             0 <= offset and offset + nbytes <= len(payload),
             f"wire section {name!r} overruns the payload",
         )
-        out[name] = _values_from_bytes(typecode, payload[offset : offset + nbytes])
+        out[name] = _values_from_bytes(
+            typecode, payload[offset : offset + nbytes], arrays
+        )
     return meta, out
 
 
@@ -216,8 +231,17 @@ def plan_to_bytes(compiled) -> bytes:
     compiled = _compiled.compile_circuit(compiled)
     cached = compiled._wire_cache
     if cached is None:
-        levels = _compiled.gate_levels(
-            compiled.kinds, compiled.offsets, compiled.indices
+        levels = compiled.levels_list()
+        arrays = compiled._np32
+        kinds, offsets, indices, var_slot = (
+            arrays
+            if arrays is not None
+            else (
+                compiled.kinds,
+                compiled.offsets,
+                compiled.indices,
+                compiled.var_slot,
+            )
         )
         cached = _pack_blob(
             {
@@ -227,14 +251,20 @@ def plan_to_bytes(compiled) -> bytes:
                 "n_vars": len(compiled.var_names),
             },
             [
-                ("kinds", "i", compiled.kinds),
-                ("offsets", "i", compiled.offsets),
-                ("indices", "i", compiled.indices),
-                ("var_slot", "i", compiled.var_slot),
+                ("kinds", "i", kinds),
+                ("offsets", "i", offsets),
+                ("indices", "i", indices),
+                ("var_slot", "i", var_slot),
                 ("levels", "i", levels),
             ],
         )
         compiled._wire_cache = cached
+        if compiled._wire_digest is None:
+            compiled._wire_digest = plan_checksum(cached)
+        from repro.circuits import plancache
+
+        if plancache.enabled() and compiled.size >= plancache.min_gates():
+            plancache.store_plan_blob(compiled._wire_digest, cached)
     return cached
 
 
@@ -275,34 +305,19 @@ class WirePlan:
 
     def _validate(self) -> None:
         size = self.size
-        check(size >= 1, "wire plan has no gates")
         check(
-            len(self.kinds) == size
-            and len(self.var_slot) == size
-            and len(self.levels) == size
-            and len(self.offsets) == size + 1,
+            len(self.levels) == size,
             "wire plan sections disagree about the gate count",
         )
-        check(0 <= self.output < size, "wire plan output gate out of range")
-        check(self.offsets[0] == 0 and self.offsets[-1] == len(self.indices),
-              "wire plan CSR offsets are inconsistent")
-        for pos in range(size):
-            check(
-                self.offsets[pos] <= self.offsets[pos + 1],
-                "wire plan CSR offsets are not monotone",
-            )
-            kind = self.kinds[pos]
-            check(0 <= kind <= _compiled.K_OR, f"wire plan has unknown gate kind {kind}")
-            if kind == _compiled.K_VAR:
-                check(
-                    0 <= self.var_slot[pos] < self.n_vars,
-                    "wire plan variable slot out of range",
-                )
-        for child in self.indices:
-            check(0 <= child < size, "wire plan gate input out of range")
-        expected = _compiled.gate_levels(self.kinds, self.offsets, self.indices)
+        _compiled.check_plan_arrays(
+            size=size, kinds=self.kinds, offsets=self.offsets,
+            indices=self.indices, var_slot=self.var_slot,
+            n_vars=self.n_vars, output=self.output,
+        )
         check(
-            expected == list(self.levels),
+            _compiled.levels_consistent(
+                self.kinds, self.offsets, self.indices, self.levels
+            ),
             "wire plan corrupt: level schedule does not match the CSR arrays",
         )
 
@@ -405,6 +420,29 @@ def plan_from_bytes(data: bytes) -> WirePlan:
     meta, sections = _unpack_blob(data)
     check(meta.get("kind") == "plan", "wire payload is not a circuit plan")
     return WirePlan(meta, sections)
+
+
+def _plan_from_disk(digest: str) -> WirePlan | None:
+    """Decode a plan from the persistent cache, or ``None`` (best-effort).
+
+    The digest pins the exact payload bytes, so a blob that loads but does
+    not decode is a damaged entry: it is dropped from the cache and
+    reported as a miss rather than trusted.
+    """
+    from repro.circuits import plancache
+
+    if not plancache.enabled():
+        return None
+    blob = plancache.load_plan_blob(digest)
+    if blob is None:
+        return None
+    try:
+        return plan_from_bytes(blob)
+    except ReproError:
+        plancache._drop_corrupt(
+            plancache._entry_path(digest, plancache.PLAN_SUFFIX)
+        )
+        return None
 
 
 def _tables_to_bytes(membership_rows, n_facts, probs, cumulative, total_weight):
@@ -809,15 +847,28 @@ class WorkerServer:
                 elif kind == MSG_PLAN_OFFER:
                     key = meta["checksum"]
                     cache = self._tables if meta.get("kind") == "tables" else self._plans
+                    have = key in cache
+                    if not have and cache is self._plans:
+                        # A fresh worker can answer PLAN_HAVE from the
+                        # persistent disk cache: the plan then never
+                        # crosses the wire at all.
+                        plan = _plan_from_disk(key)
+                        if plan is not None:
+                            self._cache_put(self._plans, key, plan)
+                            have = True
                     await _send_message(
                         writer,
-                        MSG_PLAN_HAVE if key in cache else MSG_PLAN_NEED,
+                        MSG_PLAN_HAVE if have else MSG_PLAN_NEED,
                         {"checksum": key},
                     )
                 elif kind == MSG_PLAN:
                     key = meta["checksum"]
                     if key not in self._plans:
                         self._cache_put(self._plans, key, plan_from_bytes(blob))
+                        from repro.circuits import plancache
+
+                        if plancache.enabled():
+                            plancache.store_plan_blob(key, bytes(blob))
                 elif kind == MSG_TABLES:
                     key = meta["checksum"]
                     if key not in self._tables:

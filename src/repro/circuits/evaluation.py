@@ -46,7 +46,12 @@ from repro.circuits.compiled import (
     CompiledCircuit,
     compile_circuit,
 )
-from repro.circuits.compiled import numpy_available
+from repro.circuits.compiled import (  # noqa: F401 - re-exported knobs
+    compile_stats,
+    numpy_available,
+    recompile,
+    reset_compile_stats,
+)
 from repro.circuits.distributed import (  # noqa: F401 - re-exported knobs
     distributed_hosts,
     distributed_hosts_set,
@@ -65,6 +70,12 @@ from repro.circuits.parallel import (  # noqa: F401 - re-exported knobs
     parallel_workers_set,
     set_parallel_workers,
     shutdown_pool,
+)
+from repro.circuits.plancache import (  # noqa: F401 - re-exported knobs
+    plan_cache_dir,
+    plan_cache_dir_set,
+    plan_cache_stats,
+    set_plan_cache_dir,
 )
 from repro.events import EventSpace
 from repro.util import ReproError, check
@@ -89,6 +100,9 @@ def capabilities() -> dict:
         "distributed_hosts": list(distributed_hosts()),
         "distributed_auth": distributed_secret() is not None,
         "distributed_pool": pool_stats(),
+        "plan_cache_dir": plan_cache_dir(),
+        "plan_cache": plan_cache_stats(),
+        "compile": compile_stats(),
         "cpu_count": os.cpu_count() or 1,
     }
 

@@ -2,12 +2,14 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E15
+    python -m repro list                # list experiments E1..E17
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run E14 --workers 4 # sharded evaluation on 4 processes
     python -m repro run all             # print every table (long)
     python -m repro engines             # engines + batch/parallel backends
+    python -m repro cache               # inspect the persistent plan cache
+    python -m repro cache --clear       # empty the persistent plan cache
     python -m repro paper               # one-line paper identification
     python -m repro serve --port 7761   # become a distributed shard worker
     python -m repro serve --port 7761 --secret swordfish   # require auth
@@ -55,6 +57,7 @@ EXPERIMENTS = {
     "E13": ("bench_compiled_eval", "Compiled circuit IR vs object-graph evaluation"),
     "E14": ("bench_parallel_eval", "Sharded multi-process vs single-process batch eval"),
     "E15": ("bench_distributed_eval", "Distributed shard execution over localhost workers"),
+    "E17": ("bench_compile_path", "Compile path: vectorized lowering, delta recompile, plan cache"),
 }
 
 
@@ -131,7 +134,7 @@ def command_run(
     for exp_id in targets:
         if exp_id not in EXPERIMENTS:
             raise SystemExit(
-                f"unknown experiment {exp_id!r}; use 'list' to see E1..E15"
+                f"unknown experiment {exp_id!r}; use 'list' to see E1..E17"
             )
     with engine_forced(engine) if engine is not None else nullcontext():
         with parallel_workers_set(workers) if workers is not None else nullcontext():
@@ -189,6 +192,36 @@ def command_engines() -> None:
           f"{pool['plans_published']} plan(s) published, "
           f"{pool['plan_cache_hits'] + pool['publishes_skipped']} digest hit(s), "
           f"{pool['steals']} steal(s)")
+    cache_dir = caps["plan_cache_dir"]
+    if cache_dir:
+        print(f"plan cache: on at {cache_dir} "
+              "('repro cache' for contents, 'repro cache --clear' to empty)")
+    else:
+        print("plan cache: off (set REPRO_PLAN_CACHE_DIR to persist "
+              "compiled plans across runs)")
+
+
+def command_cache(clear: bool = False) -> None:
+    """Print the persistent plan cache's contents, or empty it."""
+    from repro.circuits import plancache
+
+    directory = plancache.plan_cache_dir()
+    if directory is None:
+        print("plan cache: off (set REPRO_PLAN_CACHE_DIR to enable)")
+        return
+    if clear:
+        removed = plancache.clear()
+        print(f"plan cache: removed {removed} entries from {directory}")
+        return
+    entries = plancache.entries()
+    total = sum(size for _, size, _ in entries)
+    limit = plancache.plan_cache_limit_bytes()
+    print(f"plan cache: {directory}")
+    print(f"{len(entries)} entries, {total} bytes "
+          f"(limit {limit}; REPRO_PLAN_CACHE_LIMIT_BYTES)")
+    for name, size, _ in entries:
+        kind = "lowering" if name.endswith(plancache.CIRC_SUFFIX) else "wire plan"
+        print(f"  {name:<42} {size:>10} bytes  {kind}")
 
 
 def command_paper() -> None:
@@ -327,7 +360,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     run = sub.add_parser("run", help="run an experiment table")
-    run.add_argument("experiment", help="experiment id (E1..E15) or 'all'")
+    run.add_argument("experiment", help="experiment id (E1..E17) or 'all'")
     run.add_argument(
         "--engine",
         default=None,
@@ -348,6 +381,10 @@ def main(argv: list[str] | None = None) -> int:
         "distributed workers for the run (default: REPRO_DISTRIBUTED_HOSTS)",
     )
     sub.add_parser("engines", help="show evaluation engines and batch backend")
+    cache = sub.add_parser("cache", help="inspect or clear the persistent plan cache")
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every cached plan entry"
+    )
     sub.add_parser("paper", help="identify the reproduced paper")
     _add_worker_parsers(sub)
     args = parser.parse_args(argv)
@@ -360,6 +397,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.command == "engines":
         command_engines()
+    elif args.command == "cache":
+        command_cache(clear=args.clear)
     elif args.command == "paper":
         command_paper()
     elif args.command == "serve":

@@ -17,7 +17,12 @@ from repro.workloads.kb import (
     advisor_kb,
     citizenship_kb,
 )
-from repro.workloads.logs import LogWorkload, generate_logs, true_interleaving
+from repro.workloads.logs import (
+    LogWorkload,
+    StreamingLogMonitor,
+    generate_logs,
+    true_interleaving,
+)
 from repro.workloads.trips import (
     ALL_TRIPS,
     PODS,
@@ -47,6 +52,7 @@ __all__ = [
     "LogWorkload",
     "PODS",
     "STOC",
+    "StreamingLogMonitor",
     "TRIP_CDG_MEL",
     "TRIP_CDG_PDX",
     "TRIP_MEL_CDG",

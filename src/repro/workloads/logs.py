@@ -5,12 +5,20 @@ different machines or files, where the log entries are sequentially ordered
 but do not mention a global timestamp" (fetchmail, dmesg). We generate k
 totally ordered logs over a shared event vocabulary; their union is a
 po-relation whose possible worlds are the admissible global interleavings.
+
+:class:`StreamingLogMonitor` is the *incremental* face of the same story:
+log facts arrive in batches on one shared circuit arena and the standing
+alarm query is re-compiled after every batch with
+:func:`repro.circuits.recompile`, exercising the delta-recompilation fast
+path end to end (the E17 compile-path benchmark grows its workload through
+this class).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.circuits import Circuit, CompiledCircuit, compile_circuit, recompile
 from repro.order.algebra import union
 from repro.order.posets import LabeledPoset, chain
 from repro.util import check, stable_rng
@@ -57,6 +65,100 @@ def generate_logs(
     for m, entries in enumerate(logs[1:], start=1):
         merged = union(merged, chain(entries, prefix=f"m{m}_"))
     return LogWorkload(logs=logs, merged=merged)
+
+
+class StreamingLogMonitor:
+    """A standing alarm query over log facts streamed onto one shared arena.
+
+    Each appended fact is an uncertain log event (a circuit variable): the
+    event may or may not have really happened on its machine. The monitor
+    keeps a cumulative alarm — "some batch contained an ``error`` event on a
+    machine that logged no ``flush`` in that batch" — as a circuit output
+    that is *extended*, never rewritten, when a batch arrives:
+
+        output_t = OR(output_{t-1}, batch_alert_t)
+
+    Because every batch only appends gates and keeps the previous output
+    inside the new output's cone, :meth:`requery` recompiles in time
+    proportional to the batch, not the whole history, via
+    :func:`repro.circuits.recompile`.
+    """
+
+    def __init__(self, machines: int = 8, seed: int = 0) -> None:
+        check(machines >= 1, "need at least one machine")
+        self.machines = machines
+        self.circuit = Circuit()
+        self.event_names: list[str] = []
+        self._rng = stable_rng(seed)
+        self._next_event = 0
+        self._compiled: CompiledCircuit | None = None
+
+    def append(self, count: int) -> int:
+        """Append ``count`` new log-event facts as one batch; returns them.
+
+        Events are dealt round-robin across machines with kinds drawn from
+        :data:`EVENT_KINDS`; the batch's alert condition is OR-ed into the
+        standing output. The arena only grows.
+        """
+        check(count >= 1, "need at least one event per batch")
+        circuit = self.circuit
+        new_vars: dict[int, list[int]] = {}
+        error_vars: dict[int, list[int]] = {}
+        flush_vars: dict[int, list[int]] = {}
+        for offset in range(count):
+            machine = (self._next_event + offset) % self.machines
+            kind = EVENT_KINDS[self._rng.randrange(len(EVENT_KINDS))]
+            name = f"m{machine}:e{self._next_event + offset}:{kind}"
+            var = circuit.variable(name)
+            self.event_names.append(name)
+            new_vars.setdefault(machine, []).append(var)
+            if kind == "error":
+                error_vars.setdefault(machine, []).append(var)
+            elif kind == "flush":
+                flush_vars.setdefault(machine, []).append(var)
+        self._next_event += count
+        alerts: list[int] = []
+        for machine, errors in sorted(error_vars.items()):
+            unflushed = circuit.negation(
+                circuit.or_gate(flush_vars.get(machine, []))
+            ) if flush_vars.get(machine) else circuit.true()
+            alerts.append(
+                circuit.and_gate([
+                    circuit.or_gate(new_vars[machine]),
+                    circuit.or_gate(errors),
+                    unflushed,
+                ])
+            )
+        batch_alert = circuit.or_gate(alerts) if alerts else circuit.false()
+        if circuit.output is None:
+            circuit.set_output(batch_alert)
+        else:
+            circuit.set_output(circuit.or_gate([circuit.output, batch_alert]))
+        return count
+
+    def requery(self) -> CompiledCircuit:
+        """Re-lower the standing query, reusing the previous compile's work.
+
+        The first call is a cold :func:`compile_circuit`; every later call
+        goes through :func:`recompile` against the previous result so only
+        the most recent batch's cone is lowered.
+        """
+        check(self.circuit.output is not None, "append at least one batch first")
+        if self._compiled is None:
+            self._compiled = compile_circuit(self.circuit)
+        else:
+            self._compiled = recompile(self._compiled, self.circuit)
+        return self._compiled
+
+    @property
+    def compiled(self) -> CompiledCircuit | None:
+        """The most recent :meth:`requery` result (``None`` before the first)."""
+        return self._compiled
+
+    def sample_world(self, probability: float = 0.5, seed: int = 0) -> dict[str, bool]:
+        """One random truth assignment for every event fact appended so far."""
+        rng = stable_rng(seed)
+        return {name: rng.random() < probability for name in self.event_names}
 
 
 def true_interleaving(workload: LogWorkload, seed: int = 0) -> tuple[str, ...]:

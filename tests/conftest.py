@@ -14,11 +14,13 @@ Tests that open sockets or spawn worker subprocesses carry the
 jobs can deselect them with ``-m "not distributed"``.
 """
 
+import json
+import os
 import socket
 
 import pytest
 
-from repro.circuits import distributed, evaluation, parallel
+from repro.circuits import compiled, distributed, evaluation, parallel, plancache
 
 
 def pytest_configure(config):
@@ -48,6 +50,9 @@ def restore_engine_globals():
     secret = distributed._SECRET
     warned = set(distributed._WARNED)
     serial_warned = parallel._SERIAL_FALLBACK_WARNED
+    cache_dir = plancache._DIR
+    cache_limit = plancache._LIMIT_BYTES
+    cache_min = plancache._MIN_GATES
     yield
     evaluation._ENGINES.clear()
     evaluation._ENGINES.update(engines)
@@ -59,6 +64,29 @@ def restore_engine_globals():
     distributed._WARNED.clear()
     distributed._WARNED.update(warned)
     parallel._SERIAL_FALLBACK_WARNED = serial_warned
+    plancache._DIR = cache_dir
+    plancache._LIMIT_BYTES = cache_limit
+    plancache._MIN_GATES = cache_min
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump compile/plan-cache counters for the CI plan-cache job.
+
+    When ``REPRO_COMPILE_STATS`` names a file, write this process's compile
+    and disk-cache counters there as JSON at the end of the run — the CI
+    job runs the suite twice against one shared ``REPRO_PLAN_CACHE_DIR``
+    and asserts the second run lowered fewer circuits. Lifetime totals,
+    so per-test ``reset_*_stats`` calls cannot shrink the counts.
+    """
+    path = os.environ.get("REPRO_COMPILE_STATS")
+    if not path:
+        return
+    payload = {
+        "compile": compiled.compile_stats(lifetime=True),
+        "plan_cache": plancache.stats(lifetime=True),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -101,6 +101,150 @@ class TestLowering:
         with pytest.raises(ReproError, match="missing variable"):
             compiled.evaluate({})
 
+    def test_set_output_round_trip_is_not_stale(self):
+        """The memo is keyed per (version, output): toggling the output
+        back and forth returns each output's own lowering, cached."""
+        c = random_circuit(3)
+        original_output = c.output
+        first = compile_circuit(c)
+        other = c.negation(original_output)
+        c.set_output(other)
+        flipped = compile_circuit(c)
+        assert flipped is not first
+        assert flipped.output != first.output or flipped.kinds != first.kinds
+        c.set_output(original_output)
+        assert compile_circuit(c) is first  # same version + output: cached
+        c.set_output(other)
+        assert compile_circuit(c) is flipped
+
+
+def _apply_edits(c: Circuit, seed: int, n_edits: int) -> None:
+    """Append random gates and re-point the output (arena only grows)."""
+    rng = stable_rng(seed)
+    gates = list(range(len(c)))
+    last = c.output
+    for i in range(n_edits):
+        op = rng.choice(["and", "or", "not", "var", "extend"])
+        if op == "var":
+            gate = c.variable(f"edit{seed}_{i}")
+        elif op == "not":
+            gate = c.negation(rng.choice(gates))
+        elif op == "extend" and last is not None:
+            # keep the previous output inside the new cone (delta-friendly)
+            gate = c.or_gate([last, rng.choice(gates)])
+        else:
+            picked = rng.sample(gates, rng.randint(2, min(4, len(gates))))
+            gate = c.and_gate(picked) if op == "and" else c.or_gate(picked)
+        gates.append(gate)
+        last = gate
+    c.set_output(last)
+
+
+class TestRecompile:
+    def test_append_only_edit_takes_the_delta_path(self):
+        from repro.circuits import compile_stats, recompile
+
+        c = random_circuit(17, n_vars=8, steps=40)
+        old = compile_circuit(c)
+        before = compile_stats()
+        c.set_output(c.or_gate([c.output, c.variable("appended")]))
+        updated = recompile(old, c)
+        after = compile_stats()
+        assert after["delta_recompiles"] - before["delta_recompiles"] == 1
+        assert after["lowerings"] == before["lowerings"]
+        assert "appended" in updated.var_names
+        fresh = CompiledCircuit(c)
+        assert updated.kinds == fresh.kinds
+        assert updated.indices == fresh.indices
+        assert updated.gate_ids == fresh.gate_ids
+
+    def test_noop_edit_returns_the_same_object(self):
+        from repro.circuits import recompile
+
+        c = random_circuit(18)
+        old = compile_circuit(c)
+        c.variable("never_referenced")  # grows the arena, not the cone
+        assert recompile(old, c) is old
+
+    def test_cone_divergence_falls_back_to_full_compile(self):
+        from repro.circuits import recompile
+
+        c = random_circuit(19, n_vars=6, steps=30)
+        old = compile_circuit(c)
+        # New output that does NOT contain the old output gate's cone.
+        c.set_output(c.and_gate([c.variable("solo"), c.variable("duo")]))
+        updated = recompile(old, c)
+        fresh = CompiledCircuit(c)
+        assert updated.kinds == fresh.kinds
+        assert updated.var_names == fresh.var_names
+        assert updated.output == fresh.output
+
+    def test_recompile_requires_a_compiled_old_plan(self):
+        from repro.circuits import recompile
+
+        with pytest.raises(ReproError, match="CompiledCircuit"):
+            recompile(object(), random_circuit(1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=25),
+)
+def test_recompile_is_gate_for_gate_identical_to_fresh_compile(seed, n_edits):
+    """Property: after any append-only edit sequence, ``recompile`` against
+    the previous lowering produces exactly the arrays a from-scratch
+    compile would — same CSR, same interning, same levels, same gate map —
+    whether it took the delta fast path or fell back."""
+    from repro.circuits import recompile
+
+    c = random_circuit(seed, n_vars=6, steps=20)
+    old = compile_circuit(c)
+    _apply_edits(c, seed + 1, n_edits)
+    updated = recompile(old, c)
+    fresh = CompiledCircuit(c)
+    assert updated.kinds == fresh.kinds
+    assert updated.offsets == fresh.offsets
+    assert updated.indices == fresh.indices
+    assert updated.var_slot == fresh.var_slot
+    assert updated.var_names == fresh.var_names
+    assert updated.output == fresh.output
+    assert updated.gate_ids == fresh.gate_ids
+    assert updated.levels_list() == fresh.levels_list()
+    rng = stable_rng(seed + 2)
+    for _ in range(4):
+        world = {name: rng.random() < 0.5 for name in fresh.var_names}
+        assert updated.evaluate(world) == fresh.evaluate(world)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_vectorized_lowering_matches_python_lowering(seed):
+    """Property: above ``VECTOR_MIN_GATES`` the array-pass lowering and the
+    per-gate python lowering are indistinguishable."""
+    from repro.circuits import compiled as compiled_module
+
+    pytest.importorskip("numpy")
+    c = random_circuit(seed, n_vars=12, steps=700)
+    while len(c) < compiled_module.VECTOR_MIN_GATES:
+        c.set_output(c.or_gate([c.output, c.variable(f"pad{len(c)}")]))
+    vectorized = CompiledCircuit(c)
+    assert vectorized._np32 is not None  # the vector path actually ran
+    saved = compiled_module._np
+    try:
+        compiled_module._np = None
+        scalar = CompiledCircuit(c)
+    finally:
+        compiled_module._np = saved
+    assert vectorized.kinds == scalar.kinds
+    assert vectorized.offsets == scalar.offsets
+    assert vectorized.indices == scalar.indices
+    assert vectorized.var_slot == scalar.var_slot
+    assert vectorized.var_names == scalar.var_names
+    assert vectorized.output == scalar.output
+    assert vectorized.gate_ids == scalar.gate_ids
+    assert vectorized.levels_list() == scalar.levels_list()
+
 
 @settings(max_examples=60, deadline=None)
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=31))

@@ -9,8 +9,16 @@ degenerate worlds that per-path test files historically each re-asserted in
 their own ad-hoc way. This module replaces those scattered agreement
 asserts with one parametrized matrix:
 
-    scenario corpus  ×  {scalar, interpreter, numpy-batch, multiprocess,
-                         distributed, persistent-pool}
+    scenario corpus  ×  plan producer  ×  {scalar, interpreter, numpy-batch,
+                                           multiprocess, distributed,
+                                           persistent-pool}
+
+The *producer* axis pins how the compiled plan came to be: a fresh
+:func:`compile_circuit`, a delta :func:`repro.circuits.recompile` after an
+append edit, or a lowering rebuilt from the persistent on-disk plan cache.
+Each producer asserts its arrays are bit-identical to a from-scratch
+compile before the execution paths ever run, so a recompiled or
+cache-loaded plan can never drift from the oracle unnoticed.
 
 For Boolean evaluation the paths must agree **exactly**; for the
 probability pass the scalar kernels may associate float operations
@@ -27,12 +35,13 @@ second round reused the connection and skipped the plan transfer.
 """
 
 import math
+import tempfile
 
 import pytest
 
-from repro.circuits import Circuit, compile_circuit
+from repro.circuits import Circuit, compile_circuit, recompile
 from repro.circuits import compiled as compiled_module
-from repro.circuits import distributed, parallel
+from repro.circuits import distributed, parallel, plancache
 from repro.events import EventSpace
 
 
@@ -94,8 +103,68 @@ SCENARIOS = {
 }
 
 
-def scenario_fixture_data(name):
-    compiled = compile_circuit(SCENARIOS[name]())
+# --------------------------------------------------------------------------- #
+# plan producers: how the compiled object came to be
+
+def _assert_identical_lowering(produced, fresh):
+    """Pin a produced plan bit-identical to a from-scratch compile."""
+    assert produced.kinds == fresh.kinds
+    assert produced.offsets == fresh.offsets
+    assert produced.indices == fresh.indices
+    assert produced.var_slot == fresh.var_slot
+    assert produced.var_names == fresh.var_names
+    assert produced.output == fresh.output
+    assert produced.levels_list() == fresh.levels_list()
+
+
+def _produce_fresh(name):
+    return compile_circuit(SCENARIOS[name]())
+
+
+def _produce_recompiled(name):
+    """Compile, append an edit (a contradiction OR-ed into the output, so
+    every gate kind joins the dirty cone), then delta-recompile."""
+    c = SCENARIOS[name]()
+    old = compile_circuit(c)
+    aux = c.variable("aux")
+    c.set_output(c.or_gate([c.output, c.and_gate([aux, c.negation(aux)])]))
+    produced = recompile(old, c)
+    _assert_identical_lowering(produced, compiled_module.CompiledCircuit(c))
+    return produced
+
+
+def _produce_cache_loaded(name):
+    """Store a lowering in the on-disk plan cache, then rebuild the same
+    arena and load the plan back instead of lowering it."""
+    with tempfile.TemporaryDirectory() as directory:
+        with plancache.plan_cache_dir_set(directory):
+            previous_min = plancache.min_gates()
+            plancache.set_min_gates(0)
+            try:
+                compile_circuit(SCENARIOS[name]())
+                before = compiled_module.compile_stats()["disk_cache_hits"]
+                produced = compile_circuit(SCENARIOS[name]())
+                assert (
+                    compiled_module.compile_stats()["disk_cache_hits"]
+                    == before + 1
+                )
+            finally:
+                plancache.set_min_gates(previous_min)
+    _assert_identical_lowering(
+        produced, compiled_module.CompiledCircuit(produced.source)
+    )
+    return produced
+
+
+PRODUCERS = {
+    "fresh": _produce_fresh,
+    "recompiled": _produce_recompiled,
+    "cache-loaded": _produce_cache_loaded,
+}
+
+
+def scenario_fixture_data(name, producer="fresh"):
+    compiled = PRODUCERS[producer](name)
     n = len(compiled.variables())
     worlds = [
         [(mask >> i) & 1 for i in range(n)] for mask in range(1 << n)
@@ -217,6 +286,7 @@ def _reference(compiled, worlds, marginal_rows):
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("producer", sorted(PRODUCERS))
 @pytest.mark.parametrize(
     "path",
     [
@@ -228,8 +298,10 @@ def _reference(compiled, worlds, marginal_rows):
         pytest.param("persistent-pool", marks=pytest.mark.distributed),
     ],
 )
-def test_path_agrees_with_scalar_oracle(scenario, path, monkeypatch, request):
-    compiled, worlds, marginal_rows = scenario_fixture_data(scenario)
+def test_path_agrees_with_scalar_oracle(
+    scenario, producer, path, monkeypatch, request
+):
+    compiled, worlds, marginal_rows = scenario_fixture_data(scenario, producer)
     worker = (
         request.getfixturevalue("module_worker")
         if path in ("distributed", "persistent-pool")
@@ -247,10 +319,11 @@ def test_path_agrees_with_scalar_oracle(scenario, path, monkeypatch, request):
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
-def test_vectorized_tiers_agree_bitwise(scenario, request):
+@pytest.mark.parametrize("producer", sorted(PRODUCERS))
+def test_vectorized_tiers_agree_bitwise(scenario, producer, request):
     """numpy / pool / wire run the same kernels: equality, no tolerance."""
     pytest.importorskip("numpy")
-    compiled, worlds, marginal_rows = scenario_fixture_data(scenario)
+    compiled, worlds, marginal_rows = scenario_fixture_data(scenario, producer)
     base_eval, base_probs = _path_numpy_batch(
         compiled, worlds, marginal_rows, None, None
     )

@@ -32,7 +32,7 @@ import warnings
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.circuits import Circuit, compile_circuit
+from repro.circuits import Circuit, compile_circuit, plancache
 from repro.circuits import compiled as compiled_module
 from repro.circuits import distributed, parallel
 from repro.util import ReproError, stable_rng
@@ -565,7 +565,19 @@ class TestPersistentRuntime:
             compiled, marginals, samples, seed=seed, hosts=hosts
         )
 
-    def test_connection_and_plan_reused_across_calls(self, worker_factory):
+    @pytest.fixture
+    def no_plan_cache(self, monkeypatch):
+        """Tests that count plan publishes must pin the on-disk plan cache
+        off: with an ambient ``REPRO_PLAN_CACHE_DIR`` (the CI plan-cache
+        job sets one suite-wide) localhost workers answer ``PLAN_OFFER``
+        from the shared directory and the counters stay at zero. Cleared
+        from the environment too, so spawned workers do not inherit it."""
+        monkeypatch.delenv("REPRO_PLAN_CACHE_DIR", raising=False)
+        plancache.set_plan_cache_dir(None)
+
+    def test_connection_and_plan_reused_across_calls(
+        self, worker_factory, no_plan_cache
+    ):
         """Digest cache hit: call 2..N pay neither connect nor plan bytes."""
         worker = worker_factory()
         compiled = compile_circuit(random_circuit(50))
@@ -582,7 +594,9 @@ class TestPersistentRuntime:
         assert after["plans_published"] - before["plans_published"] == 1
         assert after["publishes_skipped"] - before["publishes_skipped"] >= 2
 
-    def test_digest_cache_miss_publishes_each_new_circuit(self, worker_factory):
+    def test_digest_cache_miss_publishes_each_new_circuit(
+        self, worker_factory, no_plan_cache
+    ):
         """Different circuits have different digests: each ships once."""
         worker = worker_factory()
         first = compile_circuit(random_circuit(51))
@@ -667,7 +681,7 @@ class TestPersistentRuntime:
         assert after["tasks_completed"] > before["tasks_completed"]
 
     def test_bounced_worker_rejoins_the_pool(
-        self, worker_factory, unused_tcp_port
+        self, worker_factory, unused_tcp_port, no_plan_cache
     ):
         """Kill + relaunch on the same port: heartbeat detects the bounce,
         the pool reconnects, and the digest handshake re-publishes the plan

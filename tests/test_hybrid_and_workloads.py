@@ -161,3 +161,62 @@ class TestHybridReduction:
         assert s == t
         assert math.isclose(factor, expected)
         assert len(remaining) == 0
+
+
+class TestStreamingLogMonitor:
+    """The streaming update scenario: append batches, requery through
+    ``recompile``, and stay bit-identical to a from-scratch compile."""
+
+    @staticmethod
+    def same_lowering(left, right):
+        return (
+            left.kinds == right.kinds
+            and left.offsets == right.offsets
+            and left.indices == right.indices
+            and left.var_slot == right.var_slot
+            and left.var_names == right.var_names
+            and left.output == right.output
+            and left.gate_ids == right.gate_ids
+            and left.levels_list() == right.levels_list()
+        )
+
+    def test_batches_only_append_and_keep_old_output_in_cone(self):
+        from repro.workloads import StreamingLogMonitor
+
+        monitor = StreamingLogMonitor(machines=3, seed=1)
+        monitor.append(20)
+        first_output = monitor.circuit.output
+        size_after_first = len(monitor.circuit)
+        monitor.append(20)
+        assert len(monitor.circuit) > size_after_first
+        assert first_output in monitor.circuit.reachable_from_output()
+
+    def test_requery_uses_the_delta_path_and_matches_fresh(self):
+        from repro.circuits import CompiledCircuit
+        from repro.circuits import compiled as compiled_module
+        from repro.workloads import StreamingLogMonitor
+
+        monitor = StreamingLogMonitor(machines=4, seed=2)
+        monitor.append(60)
+        monitor.requery()  # cold compile
+        deltas = compiled_module.compile_stats()["delta_recompiles"]
+        for _ in range(3):
+            monitor.append(25)
+            compiled = monitor.requery()
+            assert self.same_lowering(compiled, CompiledCircuit(monitor.circuit))
+        assert compiled_module.compile_stats()["delta_recompiles"] == deltas + 3
+
+    def test_recompiled_monitor_evaluates_like_a_fresh_compile(self):
+        from repro.circuits import CompiledCircuit
+        from repro.workloads import StreamingLogMonitor
+
+        monitor = StreamingLogMonitor(machines=2, seed=5)
+        monitor.append(30)
+        monitor.requery()
+        monitor.append(30)
+        compiled = monitor.requery()
+        fresh = CompiledCircuit(monitor.circuit)
+        worlds = [monitor.sample_world(seed=s) for s in range(16)]
+        assert compiled.evaluate_batch(worlds) == fresh.evaluate_batch(worlds)
+        marginals = {name: 0.5 for name in compiled.var_names}
+        assert compiled.probability(marginals) == fresh.probability(marginals)
