@@ -73,6 +73,18 @@ HEADLINES: list[tuple[str, str, str, float | None]] = [
     ("BENCH_compile_path.json", "vectorized_equals_python", "true", None),
     ("BENCH_compile_path.json", "delta_equals_fresh", "true", None),
     ("BENCH_compile_path.json", "cache_loaded_equals_fresh", "true", None),
+    # E18 columnar pipeline. The speedup floor sits under the measured
+    # ~12x with CI-noise headroom; the booleans pin the columnar pipeline
+    # bit-identical (circuits, lowerings, Monte-Carlo marginals) to the
+    # object path, and the 10^6-fact run must finish without materializing
+    # a single Fact object. Without numpy the speedup honestly collapses
+    # (scalar fallbacks) — a numpy-less runner must use --report-only.
+    ("BENCH_columnar_pipeline.json", "speedup_at_1e5", "min", 6.0),
+    ("BENCH_columnar_pipeline.json", "pipeline_bit_identical", "true", None),
+    ("BENCH_columnar_pipeline.json", "marginals_bit_identical", "true", None),
+    ("BENCH_columnar_pipeline.json", "columnar_1e6_completed", "true", None),
+    ("BENCH_columnar_pipeline.json", "columnar_1e6_facts_materialized",
+     "max", 0),
 ]
 
 

@@ -65,16 +65,22 @@ from repro.core import (
 )
 from repro.events import EventSpace, Formula, var
 from repro.instances import (
+    AbstractInstance,
     CInstance,
+    ColumnarInstance,
     Fact,
     Instance,
     PCCInstance,
     PCInstance,
     TIDInstance,
     fact,
+    instance_backend,
+    instance_backend_set,
+    make_instance,
     pc_from_tid,
     pcc_from_pc,
     pcc_from_tid,
+    set_instance_backend,
 )
 from repro.order import LabeledPoset, antichain, chain
 from repro.prxml import PrXMLDocument, TreePattern, path_pattern, query_probability
@@ -95,9 +101,11 @@ from repro.treewidth import TreeDecomposition, decompose, exact_treewidth
 __version__ = "1.0.0"
 
 __all__ = [
+    "AbstractInstance",
     "BipartiteAutomaton",
     "CInstance",
     "CQAutomaton",
+    "ColumnarInstance",
     "Circuit",
     "CompiledCircuit",
     "ConditionedInstance",
@@ -135,10 +143,14 @@ __all__ = [
     "decompose",
     "exact_treewidth",
     "fact",
+    "instance_backend",
+    "instance_backend_set",
     "is_safe",
     "karp_luby_probability",
+    "make_instance",
     "monte_carlo_probability",
     "path_pattern",
+    "set_instance_backend",
     "pc_from_tid",
     "pc_probability",
     "pc_probability_enumerate",

@@ -66,6 +66,13 @@ class Circuit:
     >>> c.set_output(g)
     >>> c.evaluate({"x": True, "y": False})
     True
+
+    The flat mirrors (kind codes, variable slots, CSR inputs, levels) are
+    the authoritative arena: :meth:`append_variables` and
+    :meth:`append_gates` extend *only* them, so bulk producers (the
+    columnar provenance builder) never create per-gate objects. The
+    ``Gate`` list and the hash-consing table are materialized lazily the
+    first time a per-gate consumer needs them.
     """
 
     def __init__(self) -> None:
@@ -97,11 +104,49 @@ class Circuit:
         #: also first-topological-occurrence order for any output).
         self._slot_names: list[str] = []
         self._slot_of_name: dict[str, int] = {}
+        #: Gate id of each slot's VAR gate (slot → gate id), so bulk
+        #: variable appends can dedup without the hash-consing table.
+        self._var_gates = array("i")
 
     # ------------------------------------------------------------------ #
     # construction
 
+    def _materialize(self) -> None:
+        """Build ``Gate`` objects (and intern keys) for bulk-appended gates.
+
+        Bulk appends extend only the flat mirrors; the first per-gate
+        consumer (``gate``, ``evaluate``, ``copy_into``, further
+        hash-consed appends, ...) pays one linear pass here. Materialized
+        gates intern as usual, though raw bulk appends may have created
+        duplicates — later keys win, which only affects compactness, never
+        semantics.
+        """
+        gates = self._gates
+        size = len(self._kind_codes)
+        if len(gates) == size:
+            return
+        intern = self._intern
+        offsets = self._input_offsets
+        flat = self._inputs_flat
+        slot_names = self._slot_names
+        for gid in range(len(gates), size):
+            code = self._kind_codes[gid]
+            inputs = tuple(flat[offsets[gid] : offsets[gid + 1]])
+            if code == K_VAR:
+                kind, payload = VAR, slot_names[self._var_slots[gid]]
+            elif code == K_NOT:
+                kind, payload = NOT, None
+            elif code == K_AND:
+                kind, payload = AND, None
+            elif code == K_OR:
+                kind, payload = OR, None
+            else:
+                kind, payload = CONST, code == K_TRUE
+            gates.append(Gate(kind, payload, inputs))
+            intern[(kind, payload, inputs)] = gid
+
     def _add(self, kind: str, payload: object, inputs: tuple[int, ...]) -> int:
+        self._materialize()
         key = (kind, payload, inputs)
         existing = self._intern.get(key)
         if existing is not None:
@@ -118,6 +163,7 @@ class Circuit:
             slot = len(self._slot_names)
             self._slot_of_name[payload] = slot  # type: ignore[index]
             self._slot_names.append(payload)  # type: ignore[arg-type]
+            self._var_gates.append(gate_id)
             code = K_VAR
         elif kind == CONST:
             code = K_TRUE if payload else K_FALSE
@@ -137,6 +183,206 @@ class Circuit:
         self.version += 1
         return gate_id
 
+    # ------------------------------------------------------------------ #
+    # bulk construction (flat mirrors only — no Gate objects)
+
+    def append_variables(self, names: Iterable[str]) -> array:
+        """Bulk-create VAR gates; returns one gate id per requested name.
+
+        Names already interned resolve to their existing gate (same
+        dedup guarantee as :meth:`variable`, via the slot table rather
+        than the hash-consing dict); fresh names append new leaves to the
+        flat mirrors only.
+        """
+        slot_of = self._slot_of_name
+        slot_names = self._slot_names
+        var_gates = self._var_gates
+        kind_codes = self._kind_codes
+        var_slots = self._var_slots
+        offsets = self._input_offsets
+        levels = self._gate_levels
+        flat_len = len(self._inputs_flat)
+        if not isinstance(names, (list, tuple)):
+            names = list(names)
+        # Bulk fast path: when the whole batch is distinct fresh names (the
+        # witness-DNF case — names come out of a np.unique pass over fact
+        # ids), the slot table grows by one dict.update and every mirror by
+        # one extend, with no per-name work at all.
+        base_gid = len(kind_codes)
+        base_slot = len(slot_names)
+        count = len(names)
+        fresh = dict(zip(names, range(base_slot, base_slot + count)))
+        if len(fresh) == count and (
+            not slot_of or slot_of.keys().isdisjoint(fresh)
+        ):
+            slot_of.update(fresh)
+            slot_names.extend(names)
+            out = array("i")
+            try:
+                import numpy as np
+            except ImportError:
+                np = None
+            if np is not None and count:
+                gids = np.arange(base_gid, base_gid + count, dtype=np.int32)
+                out.frombytes(gids.tobytes())
+                var_gates.frombytes(gids.tobytes())
+                var_slots.frombytes(
+                    np.arange(
+                        base_slot, base_slot + count, dtype=np.int32
+                    ).tobytes()
+                )
+                offsets.frombytes(
+                    np.full(count, flat_len, dtype=np.int32).tobytes()
+                )
+            else:
+                out.extend(range(base_gid, base_gid + count))
+                var_gates.extend(range(base_gid, base_gid + count))
+                var_slots.extend(range(base_slot, base_slot + count))
+                offsets.extend([flat_len] * count)
+            kind_codes.frombytes(bytes([K_VAR]) * count)
+            levels.frombytes(bytes(levels.itemsize * count))
+            if count:
+                self.version += 1
+            return out
+        out = array("i")
+        appended = 0
+        for name in names:
+            slot = slot_of.get(name)
+            if slot is not None:
+                out.append(var_gates[slot])
+                continue
+            gid = len(kind_codes)
+            slot = len(slot_names)
+            slot_of[name] = slot
+            slot_names.append(name)
+            var_gates.append(gid)
+            kind_codes.append(K_VAR)
+            var_slots.append(slot)
+            offsets.append(flat_len)
+            levels.append(0)
+            out.append(gid)
+            appended += 1
+        if appended:
+            self.version += 1
+        return out
+
+    def append_gates(self, kinds, inputs, offsets) -> range:
+        """Bulk-append operator gates in CSR form; returns their gate ids.
+
+        ``kinds`` holds one kind code (``K_NOT``/``K_AND``/``K_OR``) or
+        kind string per gate — or a single code/string, broadcast to every
+        row; ``inputs``/``offsets`` are the concatenated input gate ids
+        and the ``n+1`` row offsets (numpy arrays or any int sequences).
+        Inputs may reference earlier gates in the same batch. Unlike :meth:`and_gate`/:meth:`or_gate` this neither
+        constant-folds nor hash-conses — producers feed it pre-folded
+        rows (each with at least one input); in exchange the arena grows
+        by pure array extends and the vectorized lowering can consume the
+        result without ever materializing ``Gate`` objects.
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        base = len(self._kind_codes)
+        if isinstance(kinds, str):
+            kinds = _KIND_CODE[kinds]
+        if isinstance(kinds, int):
+            kind_list = [kinds] * (len(offsets) - 1)
+        else:
+            kind_list = [
+                k if isinstance(k, int) else _KIND_CODE[k] for k in kinds
+            ]
+        count = len(kind_list)
+        if count == 0:
+            return range(base, base)
+        for code in set(kind_list):
+            check(
+                code in (K_NOT, K_AND, K_OR),
+                "append_gates takes operator gates only "
+                "(use append_variables/constant for leaves)",
+            )
+        check(len(offsets) == count + 1, "offsets must have one entry per gate + 1")
+        flat_base = len(self._inputs_flat)
+        if np is not None:
+            inputs64 = np.asarray(inputs, dtype=np.int64)
+            offsets64 = np.asarray(offsets, dtype=np.int64)
+            row_ids = base + np.arange(count, dtype=np.int64)
+            counts = np.diff(offsets64)
+            check(bool((counts >= 1).all()), "append_gates rows need >= 1 input")
+            check(
+                int(offsets64[0]) == 0 and int(offsets64[-1]) == len(inputs64),
+                "offsets must span the inputs array",
+            )
+            bound = np.repeat(row_ids, counts)
+            check(
+                bool((inputs64 >= 0).all() and (inputs64 < bound).all()),
+                "append_gates inputs must reference earlier gates",
+            )
+            self._kind_codes.frombytes(
+                np.asarray(kind_list, dtype=np.int8).tobytes()
+            )
+            self._var_slots.frombytes(
+                np.full(count, -1, dtype=np.int32).tobytes()
+            )
+            self._inputs_flat.frombytes(inputs64.astype(np.int32).tobytes())
+            self._input_offsets.frombytes(
+                (flat_base + offsets64[1:]).astype(np.int32).tobytes()
+            )
+            # Levels: existing inputs resolve in one gather; in-batch
+            # references resolve in waves (bulk producers layer their
+            # batches, so this converges in one or two rounds).
+            # Copy: a frombuffer view would pin the array against the
+            # frombytes extend below.
+            existing = np.frombuffer(self._gate_levels, dtype=np.int32)[
+                :base
+            ].copy()
+            batch_levels = np.full(count, -1, dtype=np.int64)
+            in_batch = inputs64 >= base
+            input_levels = np.where(
+                in_batch, -1, existing[np.minimum(inputs64, base - 1)]
+                if base
+                else -1,
+            )
+            starts = offsets64[:-1]
+            pending = np.arange(count, dtype=np.int64)
+            while pending.size:
+                input_levels[in_batch] = batch_levels[
+                    inputs64[in_batch] - base
+                ]
+                row_min = np.minimum.reduceat(input_levels, starts)[pending]
+                row_max = np.maximum.reduceat(input_levels, starts)[pending]
+                ready = row_min >= 0
+                check(bool(ready.any()), "append_gates batch has a dependency cycle")
+                batch_levels[pending[ready]] = 1 + row_max[ready]
+                pending = pending[~ready]
+            self._gate_levels.frombytes(
+                batch_levels.astype(np.int32).tobytes()
+            )
+        else:
+            offsets_list = [int(o) for o in offsets]
+            inputs_list = [int(i) for i in inputs]
+            check(
+                offsets_list[0] == 0 and offsets_list[-1] == len(inputs_list),
+                "offsets must span the inputs array",
+            )
+            levels = self._gate_levels
+            for row, code in enumerate(kind_list):
+                gid = base + row
+                row_inputs = inputs_list[offsets_list[row] : offsets_list[row + 1]]
+                check(len(row_inputs) >= 1, "append_gates rows need >= 1 input")
+                for g in row_inputs:
+                    check(
+                        0 <= g < gid,
+                        "append_gates inputs must reference earlier gates",
+                    )
+                self._kind_codes.append(code)
+                self._var_slots.append(-1)
+                self._inputs_flat.extend(row_inputs)
+                self._input_offsets.append(len(self._inputs_flat))
+                levels.append(1 + max(levels[g] for g in row_inputs))
+        self.version += 1
+        return range(base, base + count)
+
     def variable(self, name: str) -> int:
         """Return the gate for input variable ``name`` (created on demand)."""
         return self._add(VAR, name, ())
@@ -155,12 +401,14 @@ class Circuit:
 
     def and_gate(self, inputs: Iterable[int]) -> int:
         """Return a conjunction gate over ``inputs`` with constant folding."""
+        size = len(self._kind_codes)
+        codes = self._kind_codes
         kept: list[int] = []
         for g in inputs:
-            check(0 <= g < len(self._gates), f"unknown input gate {g}")
-            gate = self._gates[g]
-            if gate.kind == CONST:
-                if not gate.payload:
+            check(0 <= g < size, f"unknown input gate {g}")
+            code = codes[g]
+            if code <= K_TRUE:
+                if code == K_FALSE:
                     return self.false()
                 continue
             kept.append(g)
@@ -172,12 +420,14 @@ class Circuit:
 
     def or_gate(self, inputs: Iterable[int]) -> int:
         """Return a disjunction gate over ``inputs`` with constant folding."""
+        size = len(self._kind_codes)
+        codes = self._kind_codes
         kept: list[int] = []
         for g in inputs:
-            check(0 <= g < len(self._gates), f"unknown input gate {g}")
-            gate = self._gates[g]
-            if gate.kind == CONST:
-                if gate.payload:
+            check(0 <= g < size, f"unknown input gate {g}")
+            code = codes[g]
+            if code <= K_TRUE:
+                if code == K_TRUE:
                     return self.true()
                 continue
             kept.append(g)
@@ -189,17 +439,20 @@ class Circuit:
 
     def negation(self, input_gate: int) -> int:
         """Return the negation of ``input_gate`` (double negations cancel)."""
-        check(0 <= input_gate < len(self._gates), f"unknown input gate {input_gate}")
-        gate = self._gates[input_gate]
-        if gate.kind == CONST:
-            return self.constant(not gate.payload)
-        if gate.kind == NOT:
-            return gate.inputs[0]
+        check(
+            0 <= input_gate < len(self._kind_codes),
+            f"unknown input gate {input_gate}",
+        )
+        code = self._kind_codes[input_gate]
+        if code <= K_TRUE:
+            return self.constant(code == K_FALSE)
+        if code == K_NOT:
+            return self._inputs_flat[self._input_offsets[input_gate]]
         return self._add(NOT, None, (input_gate,))
 
     def set_output(self, gate_id: int) -> None:
         """Designate ``gate_id`` as the circuit output."""
-        check(0 <= gate_id < len(self._gates), f"unknown gate {gate_id}")
+        check(0 <= gate_id < len(self._kind_codes), f"unknown gate {gate_id}")
         self.output = gate_id
 
     # ------------------------------------------------------------------ #
@@ -207,31 +460,36 @@ class Circuit:
 
     def gate(self, gate_id: int) -> Gate:
         """Return the gate object with the given id."""
+        if gate_id >= len(self._gates):
+            self._materialize()
         return self._gates[gate_id]
 
     def __len__(self) -> int:
-        return len(self._gates)
+        return len(self._kind_codes)
 
     def gate_ids(self) -> range:
         """Return all gate ids in creation (hence topological) order."""
-        return range(len(self._gates))
+        return range(len(self._kind_codes))
 
     def variables(self) -> frozenset[str]:
         """Return the names of all variable gates reachable from the output."""
         if self.output is None:
-            return frozenset(
-                g.payload for g in self._gates if g.kind == VAR  # type: ignore[misc]
-            )
-        names = set()
-        for gid in self.reachable_from_output():
-            g = self._gates[gid]
-            if g.kind == VAR:
-                names.add(g.payload)
-        return frozenset(names)  # type: ignore[arg-type]
+            # Every interned slot has exactly one VAR gate.
+            return frozenset(self._slot_names)
+        codes = self._kind_codes
+        slots = self._var_slots
+        names = self._slot_names
+        return frozenset(
+            names[slots[gid]]
+            for gid in self.reachable_from_output()
+            if codes[gid] == K_VAR
+        )
 
     def reachable_from_output(self) -> list[int]:
         """Return gate ids reachable from the output, in topological order."""
         check(self.output is not None, "circuit has no output gate")
+        flat = self._inputs_flat
+        offsets = self._input_offsets
         seen: set[int] = set()
         stack = [self.output]
         while stack:
@@ -239,12 +497,16 @@ class Circuit:
             if gid in seen:
                 continue
             seen.add(gid)  # type: ignore[arg-type]
-            stack.extend(self._gates[gid].inputs)  # type: ignore[index]
+            stack.extend(flat[offsets[gid] : offsets[gid + 1]])  # type: ignore[index]
         return sorted(seen)  # creation order is topological
 
     def max_fan_in(self) -> int:
         """Return the largest number of inputs of any gate."""
-        return max((len(g.inputs) for g in self._gates), default=0)
+        offsets = self._input_offsets
+        return max(
+            (offsets[i + 1] - offsets[i] for i in range(len(offsets) - 1)),
+            default=0,
+        )
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -253,6 +515,7 @@ class Circuit:
         """Evaluate the circuit (or one gate) under a variable ``valuation``."""
         target = self.output if gate_id is None else gate_id
         check(target is not None, "circuit has no output gate")
+        self._materialize()
         needed: set[int] = set()
         stack = [target]
         while stack:
@@ -294,6 +557,7 @@ class Circuit:
         used to plug annotation circuits into lineage circuits (pcc-instances).
         """
         substitution = substitution or {}
+        self._materialize()
         if roots is None:
             check(self.output is not None, "circuit has no output gate")
             roots = [self.output]  # type: ignore[list-item]
@@ -344,6 +608,7 @@ class Circuit:
         inputs, so fan-in directly lower-bounds the junction-tree width.
         """
         result = Circuit()
+        self._materialize()
         translation: dict[int, int] = {}
         roots = self.reachable_from_output() if self.output is not None else list(self.gate_ids())
         for gid in roots:
@@ -375,7 +640,7 @@ class Circuit:
         return result
 
     def __repr__(self) -> str:
-        return f"Circuit(gates={len(self._gates)}, output={self.output})"
+        return f"Circuit(gates={len(self)}, output={self.output})"
 
 
 def from_formula(formula, circuit: Circuit | None = None) -> tuple[Circuit, int]:

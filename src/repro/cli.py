@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E17
+    python -m repro list                # list experiments E1..E18
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run E14 --workers 4 # sharded evaluation on 4 processes
@@ -58,6 +58,7 @@ EXPERIMENTS = {
     "E14": ("bench_parallel_eval", "Sharded multi-process vs single-process batch eval"),
     "E15": ("bench_distributed_eval", "Distributed shard execution over localhost workers"),
     "E17": ("bench_compile_path", "Compile path: vectorized lowering, delta recompile, plan cache"),
+    "E18": ("bench_columnar_pipeline", "Columnar pipeline: generate/query/provenance/compile at scale"),
 }
 
 
@@ -134,7 +135,7 @@ def command_run(
     for exp_id in targets:
         if exp_id not in EXPERIMENTS:
             raise SystemExit(
-                f"unknown experiment {exp_id!r}; use 'list' to see E1..E17"
+                f"unknown experiment {exp_id!r}; use 'list' to see E1..E18"
             )
     with engine_forced(engine) if engine is not None else nullcontext():
         with parallel_workers_set(workers) if workers is not None else nullcontext():
@@ -360,7 +361,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
     run = sub.add_parser("run", help="run an experiment table")
-    run.add_argument("experiment", help="experiment id (E1..E17) or 'all'")
+    run.add_argument("experiment", help="experiment id (E1..E18) or 'all'")
     run.add_argument(
         "--engine",
         default=None,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.circuits import Circuit, CompiledCircuit, compile_circuit, probability
+from repro.circuits.circuit import K_AND, K_OR
 from repro.core.cq_automaton import automaton_for
 from repro.instances.base import Fact, Instance
 from repro.instances.pcc import PCCInstance
@@ -46,13 +47,20 @@ from repro.util import ReproError, check
 
 @dataclass
 class Lineage:
-    """Result of a lineage run: the circuit plus structural diagnostics."""
+    """Result of a lineage run: the circuit plus structural diagnostics.
+
+    The automaton path (:func:`build_lineage`) fills in the decomposition
+    machinery it ran over; the witness-DNF path
+    (:func:`build_provenance_circuit`) builds no tree, so its structural
+    fields stay ``None``/0 and ``max_profile_size`` reports the widest
+    witness set instead.
+    """
 
     circuit: Circuit
-    nice_tree: NiceTree
-    decomposition: TreeDecomposition
-    max_profile_size: int
-    node_count: int
+    nice_tree: NiceTree | None = None
+    decomposition: TreeDecomposition | None = None
+    max_profile_size: int = 0
+    node_count: int = 0
     fact_variables: dict[Fact, str] = field(default_factory=dict)
 
     def compiled(self) -> CompiledCircuit:
@@ -295,40 +303,93 @@ def pc_probability(query, pc, **kwargs):
 
 
 # --------------------------------------------------------------------------- #
-# Monotone provenance circuits (nondeterministic run)
+# Monotone provenance circuits (witness DNF over the join plan)
 
 
-class NondeterministicView:
-    """Adapter exposing the nondeterministic states inside a profile.
+def _witness_rows(query, instance):
+    """Witness fact variables of every homomorphism, index-encoded.
 
-    The CQ automaton's deterministic states are *profiles* (sets of
-    nondeterministic states). The provenance construction needs the
-    nondeterministic automaton itself; this adapter recovers it from the
-    same transition logic by running each singleton through the profile
-    functions.
+    Returns ``(names, flat_indices, width, n_rows)``: the distinct variable
+    names in first-occurrence row-major order, the flattened witness matrix
+    as indices into ``names`` (row-major, ``width`` entries per row), the
+    number of atoms, and the number of homomorphisms. On a columnar
+    instance (with numpy) the witness matrix comes straight out of the
+    vectorized join — no ``Fact`` objects are materialized; the object
+    backend enumerates the backtracking search's witnesses. Both produce
+    the identical sequence, so the circuits built from them are
+    bit-identical.
     """
+    from repro.instances.columnar import ColumnarInstance
 
-    def __init__(self, cq_automaton):
-        self.inner = cq_automaton
+    width = len(query.atoms)
+    if isinstance(instance, ColumnarInstance):
+        from repro.queries.vectorized import evaluate_cq, vectorized_available
 
-    def initial_states(self):
-        return list(self.inner.initial_state())
+        if vectorized_available():
+            from repro.instances.columnar import columnar_numpy
 
-    def introduce(self, state, vertex, bag):
-        return list(self.inner.introduce(frozenset({state}), vertex, bag))
+            np = columnar_numpy()
+            result = evaluate_cq(query, instance)
+            if result.n_rows == 0:
+                return [], [], width, 0
+            flat = result.witnesses.ravel()  # row-major
+            uniq, first_at, inverse = np.unique(
+                flat, return_index=True, return_inverse=True
+            )
+            # np.unique sorts by fact id; re-rank to first-occurrence order
+            # so variable creation order matches the object path.
+            order = np.argsort(first_at)
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order), dtype=np.int64)
+            names = instance.variable_names_for(uniq[order])
+            return names, rank[inverse], width, result.n_rows
+    index_of: dict[str, int] = {}
+    names: list[str] = []
+    flat_indices: list[int] = []
+    n_rows = 0
+    for witness in query.witnesses(instance):
+        n_rows += 1
+        for f in witness:
+            name = f.variable_name
+            idx = index_of.get(name)
+            if idx is None:
+                idx = len(names)
+                index_of[name] = idx
+                names.append(name)
+            flat_indices.append(idx)
+    return names, flat_indices, width, n_rows
 
-    def forget(self, state, vertex, bag):
-        return list(self.inner.forget(frozenset({state}), vertex, bag))
 
-    def join(self, left, right, bag):
-        return list(self.inner.join(frozenset({left}), frozenset({right}), bag))
+def _append_witness_dnf(circuit: Circuit, query, instance) -> tuple[int, int]:
+    """Append the witness DNF of a CQ to ``circuit``; returns (gate, rows).
 
-    def read_present(self, state, fact, bag):
-        _absent, present = self.inner.read(frozenset({state}), fact, bag)
-        return list(present)
+    One bulk variable append, one bulk AND append (a gate per
+    homomorphism), one OR over them — entirely on the arena's flat
+    mirrors, so a million-row lineage never materializes gate objects.
+    """
+    names, flat_indices, width, n_rows = _witness_rows(query, instance)
+    if n_rows == 0:
+        return circuit.false(), 0
+    var_gates = circuit.append_variables(names)
+    if isinstance(flat_indices, list):
+        inputs = [var_gates[i] for i in flat_indices]
+    else:
+        from repro.instances.columnar import columnar_numpy
 
-    def accepts(self, state) -> bool:
-        return self.inner.accepts(frozenset({state}))
+        np = columnar_numpy()
+        inputs = np.frombuffer(var_gates, dtype=np.int32).astype(np.int64)[
+            flat_indices
+        ]
+    if width == 1:
+        # Single-atom rows: AND of one input collapses to the input.
+        and_gates = inputs
+    else:
+        offsets = range(0, (n_rows + 1) * width, width)
+        and_gates = circuit.append_gates(K_AND, inputs, offsets)
+    if n_rows == 1:
+        return int(and_gates[0]), 1
+    or_gate = circuit.append_gates(K_OR, and_gates, (0, n_rows))[0]
+    return or_gate, n_rows
 
 
 def build_provenance_circuit(
@@ -339,104 +400,42 @@ def build_provenance_circuit(
 ) -> Lineage:
     """Build the *monotone* provenance circuit of a CQ/UCQ over an instance.
 
-    One gate per reachable nondeterministic state; reads guard transitions by
-    the fact variable, absence is never mentioned (monotone queries only).
-    Evaluating the circuit in an absorptive commutative semiring yields the
-    query's semiring provenance (Green et al.) — see
+    The circuit is the witness DNF of the query's join plan: an OR over
+    homomorphisms of the AND of their witness facts' variables (for UCQs,
+    one DNF per disjunct under a final OR). It is appended to the arena in
+    bulk — vectorized end to end on columnar instances. Absence is never
+    mentioned (monotone queries only). Evaluating the circuit in a
+    commutative semiring yields the query's GKT provenance — see
     :mod:`repro.semirings.provenance`.
+
+    ``decomposition``/``heuristic`` are accepted for signature
+    compatibility with :func:`build_lineage`; the DNF needs no tree.
     """
-    from repro.core.cq_automaton import CQAutomaton
+    del decomposition, heuristic  # DNF construction is decomposition-free
     from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
 
     if isinstance(query, ConjunctiveQuery):
-        inner = CQAutomaton(query)
+        disjuncts: tuple[ConjunctiveQuery, ...] = (query,)
     elif isinstance(query, UnionOfConjunctiveQueries):
-        # Provenance of a union is the sum; build per-disjunct circuits and OR
-        # them below via a shared construction.
-        inner = None
+        disjuncts = query.disjuncts
     else:
         raise ReproError("provenance circuits support CQs and UCQs only")
 
-    if inner is None:
-        disjunct_lineages = [
-            build_provenance_circuit(instance, q, decomposition, heuristic)
-            for q in query.disjuncts
-        ]
-        merged = Circuit()
-        outputs = []
-        for lin in disjunct_lineages:
-            translation = lin.circuit.copy_into(merged)
-            outputs.append(translation[lin.circuit.output])  # type: ignore[index]
-        merged.set_output(merged.or_gate(outputs))
-        first = disjunct_lineages[0]
-        return Lineage(
-            circuit=merged,
-            nice_tree=first.nice_tree,
-            decomposition=first.decomposition,
-            max_profile_size=max(
-                lin.max_profile_size for lin in disjunct_lineages
-            ),
-            node_count=first.node_count,
-            fact_variables={f: f.variable_name for f in instance.facts()},
-        )
-
-    view = NondeterministicView(inner)
-    if decomposition is None:
-        decomposition = instance_decomposition(instance, heuristic)
-    items_at = assign_facts_to_bags(instance, decomposition)
-    nice = build_nice_tree(decomposition, items_at)
-
     circuit = Circuit()
-    gates_of: dict[int, dict] = {}
-    max_states = 0
-    node_count = 0
-
-    for node in nice.iter_postorder():
-        node_count += 1
-        if node.kind == LEAF:
-            table = {state: [circuit.true()] for state in view.initial_states()}
-        elif node.kind in (INTRODUCE, FORGET):
-            child_table = gates_of.pop(id(node.children[0]))
-            step = view.introduce if node.kind == INTRODUCE else view.forget
-            table = {}
-            for state, gate in child_table.items():
-                for new_state in step(state, node.vertex, node.bag):
-                    _accumulate(table, new_state, gate)
-        elif node.kind == JOIN:
-            left_table = gates_of.pop(id(node.children[0]))
-            right_table = gates_of.pop(id(node.children[1]))
-            table = {}
-            for ls, lg in left_table.items():
-                for rs, rg in right_table.items():
-                    for new_state in view.join(ls, rs, node.bag):
-                        _accumulate(table, new_state, circuit.and_gate([lg, rg]))
-        elif node.kind == READ:
-            child_table = gates_of.pop(id(node.children[0]))
-            f: Fact = node.item  # type: ignore[assignment]
-            fact_var = circuit.variable(f.variable_name)
-            table = {}
-            for state, gate in child_table.items():
-                # Not using the fact: free pass (monotone — absence unneeded).
-                _accumulate(table, state, gate)
-                for new_state in view.read_present(state, f, node.bag):
-                    if new_state != state:
-                        _accumulate(
-                            table, new_state, circuit.and_gate([gate, fact_var])
-                        )
-        else:  # pragma: no cover
-            raise ReproError(f"unknown nice-tree node kind {node.kind!r}")
-        table = _combine(circuit, table)
-        max_states = max(max_states, len(table))
-        gates_of[id(node)] = table
-
-    root_table = gates_of[id(nice.root)]
-    accepting = [gate for state, gate in root_table.items() if view.accepts(state)]
-    circuit.set_output(circuit.or_gate(accepting))
+    outputs = []
+    max_rows = 0
+    for q in disjuncts:
+        gate, n_rows = _append_witness_dnf(circuit, q, instance)
+        outputs.append(gate)
+        max_rows = max(max_rows, n_rows)
+    if len(outputs) == 1:
+        circuit.set_output(outputs[0])
+    else:
+        # Bulk OR keeps the arena object-free even for empty disjuncts
+        # (ORing in their false gate is a no-op semantically).
+        circuit.set_output(
+            circuit.append_gates(K_OR, outputs, (0, len(outputs)))[0]
+        )
     return Lineage(
-        circuit=circuit,
-        nice_tree=nice,
-        decomposition=decomposition,
-        max_profile_size=max_states,
-        node_count=node_count,
-        fact_variables={f: f.variable_name for f in instance.facts()},
+        circuit=circuit, max_profile_size=max_rows, node_count=len(circuit)
     )

@@ -14,14 +14,19 @@ from collections.abc import Iterator, Mapping
 
 from repro.events import Formula, EventSpace, TRUE, Valuation
 from repro.instances.base import Fact, Instance
+from repro.instances.columnar import make_instance
 from repro.util import check
 
 
 class CInstance:
     """Facts annotated with propositional formulas over named events."""
 
-    def __init__(self, rows: Mapping[Fact, Formula] | None = None):
-        self.instance = Instance()
+    def __init__(
+        self,
+        rows: Mapping[Fact, Formula] | None = None,
+        backend: str | None = None,
+    ):
+        self.instance = make_instance(backend)
         self._annotations: dict[Fact, Formula] = {}
         if rows:
             for f, formula in rows.items():

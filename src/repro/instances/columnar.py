@@ -1,0 +1,618 @@
+"""U-relation-style columnar instances: dictionary-encoded int32 columns.
+
+Antova et al.'s *U-relations* observe that uncertain-relational processing
+becomes cheap once instances are stored as flat columns a conventional
+engine can scan. This backend mirrors that design (and the CSR layout of
+the compiled circuit backend): every relation is a set of parallel int32
+arrays — one per attribute position, dictionary-encoded against a shared
+constant dictionary — plus a fact-id column that doubles as the variable
+slot of the fact's presence variable in lineage circuits.
+
+The representation is lossless with respect to the object backend
+(:func:`ColumnarInstance.to_instance` / :func:`from_instance` round-trip
+exactly, preserving insertion order), but bulk loads and vectorized query
+evaluation never touch per-fact Python objects: generators append encoded
+column batches, the join planner reads the raw columns, and the provenance
+builder turns witness fact ids straight into circuit leaves.
+
+Columns are stored as stdlib ``array("i")`` buffers so the backend works
+without numpy; when numpy is importable the vectorized paths reinterpret
+the same buffers zero-copy via ``np.frombuffer`` (the trick the compiled
+lowering uses).
+
+The module also owns the backend knob: ``REPRO_INSTANCE_BACKEND`` (or
+:func:`set_instance_backend`) selects which backend
+:func:`make_instance` — and therefore the TID/c/pcc wrappers and the
+workload generators — construct by default.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+
+from repro.instances.base import (
+    AbstractInstance,
+    Constant,
+    Fact,
+    Instance,
+    variable_name_of,
+)
+from repro.util import ReproError, check
+
+try:  # capability check: vectorized bulk loads and joins need numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+
+def columnar_numpy():
+    """The numpy module the columnar paths use, or ``None`` without numpy."""
+    return _np
+
+
+# Codes are int32, so a pair of codes packs collision-free into an int64.
+_PACK = 1 << 31
+
+# The platform guarantees from circuit.py hold here too (checked there).
+
+
+def _pack_rows(columns: Sequence, length: int):
+    """Pack one encoded row per index into a hashable key (vectorized).
+
+    Arity 0 → zeros, arity 1 → the code itself, arity 2 → ``a * 2^31 + b``
+    (exact in int64); the fold matches :meth:`ColumnarInstance.add_fact`
+    exactly so bulk and single-fact inserts share one dedup index. Arities
+    above 2 overflow int64 under this fold, so they take the unbounded
+    Python-int path regardless of numpy.
+    """
+    if _np is not None and len(columns) <= 2:
+        if not columns:
+            return _np.zeros(length, dtype=_np.int64)
+        key = _np.asarray(columns[0], dtype=_np.int64)
+        for col in columns[1:]:
+            key = key * _PACK + _np.asarray(col, dtype=_np.int64)
+        return key
+    if not columns:
+        return [0] * length
+    keys = [int(c) for c in columns[0]]
+    for col in columns[1:]:
+        keys = [k * _PACK + int(c) for k, c in zip(keys, col)]
+    return keys
+
+
+class _RelationColumns:
+    """The column family of one relation."""
+
+    __slots__ = ("arity", "columns", "fact_ids", "_key_to_fid")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self.columns: list[array] = [array("i") for _ in range(arity)]
+        self.fact_ids = array("i")
+        # Packed row key → global fact id; the set-semantics index.
+        # ``None`` means "not built": bulk loads drop it rather than pay
+        # a per-row dict insert, and the property rebuilds it from the
+        # columns on the first keyed lookup.
+        self._key_to_fid: dict | None = {}
+
+    @property
+    def key_to_fid(self) -> dict:
+        index = self._key_to_fid
+        if index is None:
+            keys = _pack_rows(self.columns, len(self.fact_ids))
+            if hasattr(keys, "tolist"):
+                keys = keys.tolist()
+            index = dict(zip(keys, self.fact_ids))
+            self._key_to_fid = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self.fact_ids)
+
+
+class ColumnarInstance(AbstractInstance):
+    """Dictionary-encoded columnar instance (the U-relation backend).
+
+    Drop-in for :class:`repro.instances.base.Instance` everywhere the
+    shared protocol is used; additionally exposes bulk encoded loads and
+    raw column access for the vectorized query/provenance pipeline.
+
+    >>> inst = ColumnarInstance()
+    >>> _ = inst.add(Fact("R", (1,)))
+    >>> Fact("R", (1,)) in inst
+    True
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        # Shared dictionary. Ints in [0, _int_prefix) encode as themselves
+        # (the bulk-generator fast path); everything else goes through the
+        # dict, with codes offset past the prefix.
+        self._int_prefix = 0
+        self._dict_constants: list[Constant] = []
+        self._code_of: dict = {}
+        self._rels: dict[str, _RelationColumns] = {}
+        self._rel_names: list[str] = []
+        self._rel_index: dict[str, int] = {}
+        # Global fact-id → (relation, row) locator, as two parallel arrays.
+        self._fid_rel = array("i")
+        self._fid_row = array("i")
+        # Lazily extended code → str(decoded constant) table for bulk
+        # circuit-leaf naming.
+        self._strs: list[str] = []
+        #: Count of Fact objects this instance has materialized — the E18
+        #: bench asserts the columnar pipeline keeps this at zero.
+        self.facts_materialized = 0
+        for f in facts:
+            self.add(f)
+
+    # ------------------------------------------------------------------ #
+    # the constant dictionary
+
+    def intern_int_range(self, stop: int) -> None:
+        """Ensure ints ``0..stop-1`` are interned as their own codes.
+
+        O(1): only legal while the dictionary is untouched (fresh instance
+        or prior prefix growth), which is exactly the bulk-generator case.
+        """
+        check(stop < _PACK, "int range exceeds the int32 code space")
+        if stop <= self._int_prefix:
+            return
+        check(
+            not self._code_of,
+            "intern_int_range requires an untouched constant dictionary",
+        )
+        self._int_prefix = stop
+
+    def intern(self, constant: Constant) -> int:
+        """Return the code of ``constant``, interning it if new."""
+        if type(constant) is int and 0 <= constant < self._int_prefix:
+            return constant
+        code = self._code_of.get(constant)
+        if code is None:
+            code = self._int_prefix + len(self._dict_constants)
+            check(code < _PACK, "constant dictionary exceeds the int32 code space")
+            self._dict_constants.append(constant)
+            self._code_of[constant] = code
+        return code
+
+    def encode(self, constant: Constant) -> int | None:
+        """Return the code of ``constant``, or ``None`` if never interned."""
+        if type(constant) is int and 0 <= constant < self._int_prefix:
+            return constant
+        return self._code_of.get(constant)
+
+    def decode(self, code: int) -> Constant:
+        """Return the constant for ``code``."""
+        if code < self._int_prefix:
+            return code
+        return self._dict_constants[code - self._int_prefix]
+
+    def n_codes(self) -> int:
+        """Number of interned constants."""
+        return self._int_prefix + len(self._dict_constants)
+
+    # ------------------------------------------------------------------ #
+    # primitives of the shared protocol
+
+    def _rel_columns(self, relation: str, arity: int) -> _RelationColumns:
+        rel = self._rels.get(relation)
+        if rel is None:
+            rel = _RelationColumns(arity)
+            self._rels[relation] = rel
+            self._rel_index[relation] = len(self._rel_names)
+            self._rel_names.append(relation)
+        else:
+            check(
+                rel.arity == arity,
+                f"relation {relation!r} used with two arities",
+            )
+        return rel
+
+    def add(self, f: Fact) -> Fact:
+        """Insert a fact (idempotent) and return it."""
+        self.add_fact(f.relation, f.args)
+        return f
+
+    def add_fact(self, relation: str, args: tuple) -> int:
+        """Insert ``relation(args...)`` and return its fact id (no Fact)."""
+        rel = self._rel_columns(relation, len(args))
+        codes = [self.intern(a) for a in args]
+        key = 0
+        for c in codes:
+            key = key * _PACK + c
+        fid = rel.key_to_fid.get(key)
+        if fid is not None:
+            return fid
+        fid = len(self._fid_rel)
+        rel.key_to_fid[key] = fid
+        for col, c in zip(rel.columns, codes):
+            col.append(c)
+        rel.fact_ids.append(fid)
+        self._fid_rel.append(self._rel_index[relation])
+        self._fid_row.append(len(rel.fact_ids) - 1)
+        return fid
+
+    def fact_id_of(self, f: Fact) -> int | None:
+        """Return the fact id of ``f``, or ``None`` if absent."""
+        rel = self._rels.get(f.relation)
+        if rel is None or rel.arity != len(f.args):
+            return None
+        key = 0
+        for a in f.args:
+            code = self.encode(a)
+            if code is None:
+                return None
+            key = key * _PACK + code
+        return rel.key_to_fid.get(key)
+
+    def discard(self, f: Fact) -> None:
+        """Remove a fact if present (rebuilds the relation's columns).
+
+        O(instance) — the columnar backend is append-oriented; discard
+        exists for protocol completeness, not for hot paths.
+        """
+        fid = self.fact_id_of(f)
+        if fid is None:
+            return
+        count_before = self.facts_materialized
+        survivors = [g for g in self.facts() if g != f]
+        self.__init__(survivors)
+        self.facts_materialized = count_before + len(survivors) + 1
+
+    def __contains__(self, f: Fact) -> bool:
+        return self.fact_id_of(f) is not None
+
+    def __len__(self) -> int:
+        return len(self._fid_rel)
+
+    def fact_at(self, fid: int) -> Fact:
+        """Materialize the Fact object with global id ``fid``."""
+        relation = self._rel_names[self._fid_rel[fid]]
+        rel = self._rels[relation]
+        row = self._fid_row[fid]
+        args = tuple(self.decode(col[row]) for col in rel.columns)
+        self.facts_materialized += 1
+        return Fact(relation, args)
+
+    def facts(self) -> list[Fact]:
+        """Materialize all facts, in insertion (fact-id) order."""
+        return [self.fact_at(fid) for fid in range(len(self._fid_rel))]
+
+    def relations(self) -> dict[str, int]:
+        """Return the schema: relation name → arity (no materialization)."""
+        return {name: self._rels[name].arity for name in self._rel_names}
+
+    def by_relation(self, relation: str) -> list[Fact]:
+        """Materialize the facts of one relation, in insertion order."""
+        rel = self._rels.get(relation)
+        if rel is None:
+            return []
+        return [self.fact_at(fid) for fid in rel.fact_ids]
+
+    # ------------------------------------------------------------------ #
+    # columnar accessors (the vectorized pipeline's surface)
+
+    def relation_arrays(self, relation: str) -> tuple[list[array], array] | None:
+        """Return ``(columns, fact_ids)`` raw buffers, or None if absent."""
+        rel = self._rels.get(relation)
+        if rel is None:
+            return None
+        return rel.columns, rel.fact_ids
+
+    def variable_names_for(self, fids: Iterable[int]) -> list[str]:
+        """Circuit-leaf names for fact ids, without materializing Facts.
+
+        Follows :attr:`repro.instances.base.Fact.variable_name` exactly, so
+        both backends agree on every leaf of every lineage circuit.
+        """
+        if _np is not None and isinstance(fids, _np.ndarray):
+            return self._variable_names_bulk(fids)
+        names = []
+        rel_names = self._rel_names
+        fid_rel = self._fid_rel
+        fid_row = self._fid_row
+        decode = self.decode
+        for fid in fids:
+            relation = rel_names[fid_rel[fid]]
+            row = fid_row[fid]
+            cols = self._rels[relation].columns
+            names.append(
+                variable_name_of(relation, (decode(col[row]) for col in cols))
+            )
+        return names
+
+    def _code_strs(self) -> list[str]:
+        """Decoded-constant strings per code, extended lazily as codes grow."""
+        strs = self._strs
+        n = self.n_codes()
+        if len(strs) < n:
+            decode = self.decode
+            strs.extend(str(decode(c)) for c in range(len(strs), n))
+        return strs
+
+    def _variable_names_bulk(self, fids) -> list[str]:
+        """The numpy path of :meth:`variable_names_for`.
+
+        Sorts the requested fact ids (fid space is relation-blocked for
+        bulk loads, so sorted fids form a handful of same-relation runs),
+        gathers each run's code columns in one shot, formats names through
+        the cached code→str table, and scatters them back to the callers'
+        order with one object-array fancy assignment — no per-fact decode
+        or Fact materialization.
+        """
+        n = fids.size
+        if n == 0:
+            return []
+        order = _np.argsort(fids, kind="stable")
+        sorted_fids = fids[order]
+        rel_ids = _np.frombuffer(self._fid_rel, dtype=_np.int32)[sorted_fids]
+        rows = _np.frombuffer(self._fid_row, dtype=_np.int32)[sorted_fids]
+        strs = self._code_strs()
+        run_starts = [0, *(_np.flatnonzero(_np.diff(rel_ids)) + 1).tolist(), n]
+        if len(run_starts) - 2 > max(8, n >> 3):
+            # Heavily interleaved fid space (per-fact add path): the run
+            # machinery would pay per-run numpy overhead ~per fact.
+            rel_names = self._rel_names
+            fid_rel = self._fid_rel
+            fid_row = self._fid_row
+            rels = self._rels
+            out_list = []
+            for fid in fids.tolist():
+                relation = rel_names[fid_rel[fid]]
+                row = fid_row[fid]
+                inside = ",".join(
+                    [strs[col[row]] for col in rels[relation].columns]
+                )
+                out_list.append(f"f:{relation}({inside})")
+            return out_list
+        names: list[str] = []
+        for start, stop in zip(run_starts, run_starts[1:]):
+            relation = self._rel_names[rel_ids[start]]
+            rel = self._rels[relation]
+            run_rows = rows[start:stop]
+            cols = [
+                _np.frombuffer(col, dtype=_np.int32)[run_rows].tolist()
+                for col in rel.columns
+            ]
+            if rel.arity == 1:
+                names += [f"f:{relation}({strs[a]})" for a in cols[0]]
+            elif rel.arity == 2:
+                names += [
+                    f"f:{relation}({strs[a]},{strs[b]})"
+                    for a, b in zip(cols[0], cols[1])
+                ]
+            else:
+                names += [
+                    f"f:{relation}({','.join([strs[c] for c in row])})"
+                    for row in zip(*cols)
+                ]
+        out = _np.empty(n, dtype=object)
+        out[order] = names
+        return out.tolist()
+
+    # ------------------------------------------------------------------ #
+    # bulk loads
+
+    def extend_encoded(self, relation: str, columns: Sequence) -> "object":
+        """Bulk-append encoded rows; returns the per-row fact ids.
+
+        ``columns`` holds one int-sequence (list / array / numpy array) per
+        attribute position, already encoded against this instance's
+        dictionary (:meth:`intern`, :meth:`intern_int_range`,
+        :meth:`intern_values`). Set semantics match :meth:`add`: duplicate
+        rows — within the batch or against existing rows — map to the
+        first occurrence's fact id. Returns an int array (numpy when
+        available) aligned with the input rows.
+        """
+        lengths = {len(c) for c in columns}
+        check(len(lengths) <= 1, "encoded columns must have equal lengths")
+        length = lengths.pop() if lengths else 0
+        rel = self._rel_columns(relation, len(columns))
+        if length == 0:
+            return _np.zeros(0, dtype=_np.int64) if _np is not None else array("i")
+        keys = _pack_rows(columns, length)
+        base_fid = len(self._fid_rel)
+        base_row = len(rel.fact_ids)
+        if _np is not None and len(columns) <= 2:
+            uniq_keys, first_index = _np.unique(keys, return_index=True)
+            fresh = first_index
+            if base_row:
+                index = rel._key_to_fid
+                if index is not None:
+                    known = _np.fromiter(
+                        (k in index for k in uniq_keys.tolist()),
+                        dtype=bool,
+                        count=len(uniq_keys),
+                    )
+                else:
+                    # Index not built: dedup against the existing rows'
+                    # packed keys directly, keeping the load dict-free.
+                    known = _np.isin(
+                        uniq_keys, _pack_rows(rel.columns, base_row)
+                    )
+                fresh = first_index[~known]
+            keep = _np.sort(fresh)  # batch-insertion order
+            new_fids = base_fid + _np.arange(len(keep), dtype=_np.int64)
+            for col, values in zip(rel.columns, columns):
+                kept = _np.asarray(values, dtype=_np.int64)[keep]
+                col.frombytes(kept.astype(_np.int32).tobytes())
+            rel.fact_ids.frombytes(new_fids.astype(_np.int32).tobytes())
+            index = rel._key_to_fid
+            if index:
+                # A built (non-empty) index stays coherent incrementally.
+                index.update(zip(keys[keep].tolist(), new_fids.tolist()))
+            else:
+                # Fresh relation or already-lazy index: defer the dict to
+                # the first keyed lookup instead of paying it per load.
+                rel._key_to_fid = None
+            self._fid_rel.frombytes(
+                _np.full(len(keep), self._rel_index[relation], dtype=_np.int32)
+                .tobytes()
+            )
+            self._fid_row.frombytes(
+                (base_row + _np.arange(len(keep), dtype=_np.int32)).tobytes()
+            )
+            if len(keep) == length:
+                return new_fids  # all rows fresh and unique: the common case
+            return _np.fromiter(
+                (rel.key_to_fid[k] for k in keys.tolist()),
+                dtype=_np.int64,
+                count=length,
+            )
+        # Python fallback: same semantics, scalar loop.
+        fids = array("i")
+        key_to_fid = rel.key_to_fid
+        for i in range(length):
+            key = keys[i]
+            fid = key_to_fid.get(key)
+            if fid is None:
+                fid = len(self._fid_rel)
+                key_to_fid[key] = fid
+                for col, values in zip(rel.columns, columns):
+                    col.append(int(values[i]))
+                rel.fact_ids.append(fid)
+                self._fid_rel.append(self._rel_index[relation])
+                self._fid_row.append(len(rel.fact_ids) - 1)
+            fids.append(fid)
+        return fids
+
+    def intern_values(self, values: Iterable[Constant]):
+        """Intern arbitrary constants; returns their codes as an int array."""
+        codes = array("i", (self.intern(v) for v in values))
+        if _np is not None:
+            return _np.frombuffer(codes, dtype=_np.int32).copy()
+        return codes
+
+    # ------------------------------------------------------------------ #
+    # derived structure, column-native
+
+    def _unique_codes_by_relation(self) -> dict[str, list]:
+        out = {}
+        for name in self._rel_names:
+            rel = self._rels[name]
+            if _np is not None:
+                merged = (
+                    _np.unique(
+                        _np.concatenate(
+                            [
+                                _np.frombuffer(col, dtype=_np.int32)
+                                for col in rel.columns
+                            ]
+                        )
+                    ).tolist()
+                    if rel.columns and len(rel.fact_ids)
+                    else []
+                )
+            else:
+                seen: set[int] = set()
+                for col in rel.columns:
+                    seen.update(col)
+                merged = sorted(seen)
+            out[name] = merged
+        return out
+
+    def domain(self) -> frozenset[Constant]:
+        """Active domain from the columns — no Fact materialization."""
+        decode = self.decode
+        elements: set = set()
+        for codes in self._unique_codes_by_relation().values():
+            elements.update(decode(c) for c in codes)
+        return frozenset(elements)
+
+    def gaifman_graph(self):
+        """Gaifman graph from unique column pairs — no Fact materialization."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.domain())
+        decode = self.decode
+        for name in self._rel_names:
+            rel = self._rels[name]
+            if len(rel.fact_ids) == 0:
+                continue
+            for i in range(rel.arity):
+                for j in range(i + 1, rel.arity):
+                    a_col, b_col = rel.columns[i], rel.columns[j]
+                    if _np is not None:
+                        a = _np.frombuffer(a_col, dtype=_np.int32).astype(_np.int64)
+                        b = _np.frombuffer(b_col, dtype=_np.int32).astype(_np.int64)
+                        packed = _np.unique(a * _PACK + b)
+                        pairs = [
+                            (int(p) >> 31, int(p) & (_PACK - 1))
+                            for p in packed.tolist()
+                        ]
+                    else:
+                        pairs = sorted({(x, y) for x, y in zip(a_col, b_col)})
+                    for x, y in pairs:
+                        if x != y:
+                            graph.add_edge(decode(x), decode(y))
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # conversions
+
+    def to_instance(self) -> Instance:
+        """Materialize as an object-backend :class:`Instance` (lossless)."""
+        return Instance(self.facts())
+
+    @classmethod
+    def from_instance(cls, instance: AbstractInstance) -> "ColumnarInstance":
+        """Encode an object-backend instance column-wise (lossless)."""
+        return cls(instance.facts())
+
+
+# --------------------------------------------------------------------------- #
+# the backend knob
+
+_BACKENDS = ("object", "columnar")
+_BACKEND: str | None = None  # None → fall back to the environment
+
+
+def instance_backend() -> str:
+    """The process-wide default instance backend (``object``/``columnar``)."""
+    if _BACKEND is not None:
+        return _BACKEND
+    name = os.environ.get("REPRO_INSTANCE_BACKEND", "object").strip() or "object"
+    if name not in _BACKENDS:
+        raise ReproError(
+            f"REPRO_INSTANCE_BACKEND={name!r}; expected one of {_BACKENDS}"
+        )
+    return name
+
+
+def set_instance_backend(name: str | None) -> None:
+    """Override the default backend (``None`` → back to the environment)."""
+    global _BACKEND
+    check(
+        name is None or name in _BACKENDS,
+        f"unknown instance backend {name!r}; expected one of {_BACKENDS}",
+    )
+    _BACKEND = name
+
+
+@contextmanager
+def instance_backend_set(name: str | None):
+    """Scoped :func:`set_instance_backend` (restores the prior override)."""
+    previous = _BACKEND
+    set_instance_backend(name)
+    try:
+        yield
+    finally:
+        set_instance_backend(previous)
+
+
+def make_instance(
+    backend: str | None = None, facts: Iterable[Fact] = ()
+) -> AbstractInstance:
+    """Construct an instance of the requested (or default) backend."""
+    name = backend if backend is not None else instance_backend()
+    check(
+        name in _BACKENDS,
+        f"unknown instance backend {name!r}; expected one of {_BACKENDS}",
+    )
+    if name == "columnar":
+        return ColumnarInstance(facts)
+    return Instance(facts)

@@ -18,14 +18,20 @@ from repro.circuits import Circuit, from_formula
 from repro.circuits.graph import moral_graph
 from repro.events import EventSpace, Formula
 from repro.instances.base import Fact, Instance
+from repro.instances.columnar import make_instance
 from repro.util import check
 
 
 class PCCInstance:
     """An instance, an annotation circuit, an event space, and fact→gate links."""
 
-    def __init__(self, space: EventSpace | None = None, circuit: Circuit | None = None):
-        self.instance = Instance()
+    def __init__(
+        self,
+        space: EventSpace | None = None,
+        circuit: Circuit | None = None,
+        backend: str | None = None,
+    ):
+        self.instance = make_instance(backend)
         self.circuit = circuit if circuit is not None else Circuit()
         self.space = space if space is not None else EventSpace()
         self._gate_of: dict[Fact, int] = {}

@@ -4,15 +4,25 @@ The simplest probabilistic relational model (ProbView, Lakshmanan et al.):
 every fact is present independently with its own probability. Query
 probability evaluation is #P-hard on arbitrary TIDs (Dalvi–Suciu) — the
 paper's Theorem 1 shows it becomes linear-time on TIDs of bounded treewidth.
+
+The underlying instance uses whichever backend
+:func:`repro.instances.columnar.make_instance` selects (object by default;
+``REPRO_INSTANCE_BACKEND=columnar`` or ``backend="columnar"`` for the
+U-relation backend). On the columnar backend, probabilities live in a flat
+float column aligned with the instance's fact ids, and
+:meth:`TIDInstance.extend_encoded` bulk-loads encoded rows with their
+probabilities without materializing any :class:`Fact` objects.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterable, Iterator, Mapping
+from array import array
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.events import EventSpace
 from repro.instances.base import Fact, Instance
+from repro.instances.columnar import ColumnarInstance, make_instance
 from repro.util import check, stable_rng
 
 
@@ -25,9 +35,19 @@ class TIDInstance:
     0.5
     """
 
-    def __init__(self, rows: Mapping[Fact, float] | Iterable[tuple[Fact, float]] = ()):
-        self.instance = Instance()
-        self._probabilities: dict[Fact, float] = {}
+    def __init__(
+        self,
+        rows: Mapping[Fact, float] | Iterable[tuple[Fact, float]] = (),
+        backend: str | None = None,
+    ):
+        self.instance = make_instance(backend)
+        self._columnar = isinstance(self.instance, ColumnarInstance)
+        if self._columnar:
+            # One float per fact id — stays aligned because TIDs are
+            # append-only (there is no discard API on this wrapper).
+            self._probs = array("d")
+        else:
+            self._probabilities: dict[Fact, float] = {}
         items = rows.items() if isinstance(rows, Mapping) else rows
         for f, p in items:
             self.add(f, p)
@@ -35,12 +55,52 @@ class TIDInstance:
     def add(self, f: Fact, probability: float) -> Fact:
         """Insert fact ``f`` with the given presence probability."""
         check(0.0 <= probability <= 1.0, f"probability of {f!r} must be in [0,1]")
-        self.instance.add(f)
-        self._probabilities[f] = float(probability)
+        if self._columnar:
+            fid = self.instance.add_fact(f.relation, f.args)
+            if fid == len(self._probs):
+                self._probs.append(float(probability))
+            else:
+                self._probs[fid] = float(probability)
+        else:
+            self.instance.add(f)
+            self._probabilities[f] = float(probability)
         return f
+
+    def extend_encoded(
+        self, relation: str, columns: Sequence, probabilities
+    ) -> None:
+        """Bulk-insert encoded rows with probabilities (columnar backend).
+
+        ``columns`` and ``probabilities`` follow
+        :meth:`repro.instances.columnar.ColumnarInstance.extend_encoded`;
+        re-inserted rows overwrite their probability, matching :meth:`add`.
+        """
+        check(
+            self._columnar,
+            "extend_encoded requires the columnar instance backend",
+        )
+        fids = self.instance.extend_encoded(relation, columns)
+        total = len(self.instance)
+        if len(self._probs) < total:
+            self._probs.extend([0.0] * (total - len(self._probs)))
+        from repro.instances.columnar import columnar_numpy
+
+        np = columnar_numpy()
+        if np is not None:
+            view = np.frombuffer(self._probs, dtype=np.float64)
+            view[np.asarray(fids, dtype=np.int64)] = np.asarray(
+                probabilities, dtype=np.float64
+            )
+        else:
+            for fid, p in zip(fids, probabilities):
+                self._probs[fid] = float(p)
 
     def probability(self, f: Fact) -> float:
         """Return the presence probability of ``f``."""
+        if self._columnar:
+            fid = self.instance.fact_id_of(f)
+            check(fid is not None, f"unknown fact {f!r}")
+            return self._probs[fid]
         check(f in self._probabilities, f"unknown fact {f!r}")
         return self._probabilities[f]
 
@@ -51,12 +111,23 @@ class TIDInstance:
     def __len__(self) -> int:
         return len(self.instance)
 
+    def _items(self) -> list[tuple[Fact, float]]:
+        """(fact, probability) pairs in insertion order (materializes)."""
+        if self._columnar:
+            return list(zip(self.instance.facts(), self._probs))
+        return list(self._probabilities.items())
+
     def event_space(self) -> EventSpace:
         """Return the event space with one independent event per fact.
 
         Event names follow :attr:`repro.instances.base.Fact.variable_name`,
-        the convention the lineage engine uses for its circuit leaves.
+        the convention the lineage engine uses for its circuit leaves. On
+        the columnar backend the names come straight off the columns — no
+        Fact objects are materialized.
         """
+        if self._columnar:
+            names = self.instance.variable_names_for(range(len(self.instance)))
+            return EventSpace(dict(zip(names, self._probs)))
         return EventSpace(
             {f.variable_name: p for f, p in self._probabilities.items()}
         )
@@ -66,37 +137,36 @@ class TIDInstance:
 
     def possible_worlds(self) -> Iterator[tuple[Instance, float]]:
         """Enumerate ``(world, probability)`` pairs — exponential oracle."""
-        facts = self.facts()
-        check(len(facts) <= 20, "possible-world enumeration limited to 20 facts")
-        for included in itertools.product([False, True], repeat=len(facts)):
-            world = Instance(f for f, keep in zip(facts, included) if keep)
+        items = self._items()
+        check(len(items) <= 20, "possible-world enumeration limited to 20 facts")
+        for included in itertools.product([False, True], repeat=len(items)):
+            world = Instance(
+                f for (f, _p), keep in zip(items, included) if keep
+            )
             weight = 1.0
-            for f, keep in zip(facts, included):
-                p = self._probabilities[f]
+            for (_f, p), keep in zip(items, included):
                 weight *= p if keep else 1.0 - p
             yield world, weight
 
     def world_probability(self, world: Instance) -> float:
         """Return the probability of one specific world."""
         weight = 1.0
-        for f in self.facts():
-            p = self._probabilities[f]
+        for f, p in self._items():
             weight *= p if f in world else 1.0 - p
         return weight
 
     def sample_world(self, seed: int | None = None) -> Instance:
         """Draw a world at random (used by Monte-Carlo baselines)."""
         rng = stable_rng(seed)
-        return Instance(f for f in self.facts() if rng.random() < self._probabilities[f])
+        return Instance(f for f, p in self._items() if rng.random() < p)
 
     def world_sampler(self, seed: int | None = None):
         """Return a callable producing a fresh random world per call."""
         rng = stable_rng(seed)
-        facts = self.facts()
-        probabilities = self._probabilities
+        items = self._items()
 
         def draw() -> Instance:
-            return Instance(f for f in facts if rng.random() < probabilities[f])
+            return Instance(f for f, p in items if rng.random() < p)
 
         return draw
 

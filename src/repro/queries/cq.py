@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
-from repro.instances.base import Constant, Fact, Instance
+from repro.instances.base import AbstractInstance, Constant, Fact
 from repro.util import check
 
 Term = object  # either a Variable or a constant
@@ -78,36 +78,48 @@ class ConjunctiveQuery:
         names = [a.relation for a in self.atoms]
         return len(names) == len(set(names))
 
-    def homomorphisms(self, instance: Instance) -> Iterator[dict[Variable, Constant]]:
+    def homomorphisms(
+        self, instance: AbstractInstance
+    ) -> Iterator[dict[Variable, Constant]]:
         """Enumerate all homomorphisms from the query into ``instance``.
 
-        Backtracking over atoms in a connectivity-aware order; each yielded
-        mapping sends every variable to a constant such that all atoms are
-        facts of the instance.
+        On the object backend: backtracking over atoms in a
+        connectivity-aware order, with a per-relation value index so
+        partially bound atoms probe candidate buckets instead of scanning
+        every fact of the relation. On the columnar backend (with numpy):
+        the vectorized hash-join pipeline of
+        :mod:`repro.queries.vectorized`. Both enumerate the identical
+        sequence of bindings — the backtracking search is the oracle the
+        join pipeline is pinned to.
         """
-        order = _atom_order(self.atoms)
-        facts_by_relation = {
-            relation: instance.by_relation(relation)
-            for relation in {a.relation for a in self.atoms}
-        }
+        from repro.instances.columnar import ColumnarInstance
 
-        def extend(index: int, binding: dict[Variable, Constant]) -> Iterator[dict]:
-            if index == len(order):
+        if isinstance(instance, ColumnarInstance):
+            from repro.queries.vectorized import evaluate_cq, vectorized_available
+
+            if vectorized_available():
+                yield from evaluate_cq(self, instance).bindings()
+                return
+        order = _atom_order(self.atoms)
+        index = _RelationIndex(instance, {a.relation for a in self.atoms})
+
+        def extend(depth: int, binding: dict[Variable, Constant]) -> Iterator[dict]:
+            if depth == len(order):
                 yield dict(binding)
                 return
-            current = order[index]
-            for f in facts_by_relation[current.relation]:
+            current = order[depth]
+            for f in index.candidates(current, binding):
                 match = _match(current, f, binding)
                 if match is not None:
-                    yield from extend(index + 1, match)
+                    yield from extend(depth + 1, match)
 
         yield from extend(0, {})
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: AbstractInstance) -> bool:
         """Boolean evaluation: does the query have a homomorphism?"""
         return next(self.homomorphisms(instance), None) is not None
 
-    def witnesses(self, instance: Instance) -> Iterator[tuple[Fact, ...]]:
+    def witnesses(self, instance: AbstractInstance) -> Iterator[tuple[Fact, ...]]:
         """Enumerate image tuples (one fact per atom) of each homomorphism.
 
         The disjunction over witnesses of the conjunction of their facts is
@@ -132,7 +144,7 @@ class UnionOfConjunctiveQueries:
     def __post_init__(self):
         check(len(self.disjuncts) > 0, "a UCQ needs at least one disjunct")
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: AbstractInstance) -> bool:
         """Boolean evaluation: does some disjunct hold?"""
         return any(q.holds_in(instance) for q in self.disjuncts)
 
@@ -173,19 +185,77 @@ def _match(
     return extended
 
 
-def _atom_order(atoms: Iterable[Atom]) -> list[Atom]:
-    """Order atoms so each one shares variables with its predecessors if possible."""
-    remaining = list(atoms)
+def _atom_order_indices(atoms: tuple[Atom, ...]) -> list[int]:
+    """Atom positions ordered so each shares variables with predecessors.
+
+    Index-based so duplicate atoms (self-joins mapping two positions onto
+    the same relation row) keep distinct identities; the vectorized join
+    planner follows the same order to reproduce the backtracking search's
+    enumeration order exactly.
+    """
+    remaining = list(range(len(atoms)))
     if not remaining:
         return []
     ordered = [remaining.pop(0)]
-    seen = set(ordered[0].variables())
+    seen = set(atoms[ordered[0]].variables())
     while remaining:
-        connected = next(
-            (a for a in remaining if a.variables() & seen), None
+        chosen = next(
+            (i for i in remaining if atoms[i].variables() & seen), remaining[0]
         )
-        chosen = connected if connected is not None else remaining[0]
         remaining.remove(chosen)
         ordered.append(chosen)
-        seen |= chosen.variables()
+        seen |= atoms[chosen].variables()
     return ordered
+
+
+def _atom_order(atoms: Iterable[Atom]) -> list[Atom]:
+    """Order atoms so each one shares variables with its predecessors if possible."""
+    listed = tuple(atoms)
+    return [listed[i] for i in _atom_order_indices(listed)]
+
+
+class _RelationIndex:
+    """Per-relation, per-position value index for the backtracking search.
+
+    Buckets facts by ``(position, value)`` so an atom with any bound
+    position (a constant, or a variable the partial binding fixes) scans
+    its smallest matching bucket instead of the whole relation. Buckets
+    preserve insertion order, so candidate enumeration — and hence the
+    order of homomorphisms — is identical to the full scan's.
+    """
+
+    def __init__(self, instance: AbstractInstance, relations: Iterable[str]):
+        self._facts = {
+            relation: instance.by_relation(relation) for relation in relations
+        }
+        self._buckets: dict[str, list[dict]] = {}
+
+    def _position_buckets(self, relation: str) -> list[dict]:
+        buckets = self._buckets.get(relation)
+        if buckets is None:
+            buckets = []
+            for f in self._facts[relation]:
+                for position, value in enumerate(f.args):
+                    while len(buckets) <= position:
+                        buckets.append({})
+                    buckets[position].setdefault(value, []).append(f)
+            self._buckets[relation] = buckets
+        return buckets
+
+    def candidates(self, query_atom: Atom, binding: Mapping) -> list[Fact]:
+        facts = self._facts.get(query_atom.relation, [])
+        best = facts
+        buckets = None
+        for position, term in enumerate(query_atom.terms):
+            # Mirrors _match: a variable bound to None counts as unbound.
+            value = binding.get(term) if isinstance(term, Variable) else term
+            if value is None:
+                continue
+            if buckets is None:
+                buckets = self._position_buckets(query_atom.relation)
+            bucket = (
+                buckets[position].get(value, []) if position < len(buckets) else []
+            )
+            if len(bucket) < len(best):
+                best = bucket
+        return best

@@ -3,6 +3,15 @@
 Everything is seeded and deterministic. The partial-k-tree generator records
 the decomposition built during generation, so benchmarks can run with a
 *certified* width instead of trusting heuristics.
+
+Every generator takes a ``backend`` knob (defaulting to the process-wide
+:func:`repro.instances.columnar.instance_backend`). The linear-size
+generators (``path``, ``cycle``, ``rst_chain``, ``rst_bipartite``) emit
+columnar instances *natively*: encoded column batches go straight into the
+U-relation arrays, so million-fact instances load without creating a
+single :class:`~repro.instances.base.Fact`. Probabilities are always drawn
+by the same scalar RNG sequence, so a generator produces the identical
+(fact, probability) set on either backend.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.instances.base import fact
+from repro.instances.columnar import ColumnarInstance, columnar_numpy
 from repro.instances.tid import TIDInstance
 from repro.treewidth import TreeDecomposition
 from repro.util import check, stable_rng
@@ -26,28 +36,74 @@ class GeneratedGraph:
     width: int
 
 
-def path_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+def _columnar_of(tid: TIDInstance) -> ColumnarInstance | None:
+    """The TID's columnar instance when bulk loads apply, else ``None``."""
+    return tid.instance if isinstance(tid.instance, ColumnarInstance) else None
+
+
+def _int_column(start: int, stop: int):
+    """An encoded column holding ``start..stop-1`` (codes = values)."""
+    np = columnar_numpy()
+    if np is not None:
+        return np.arange(start, stop, dtype=np.int64)
+    from array import array
+
+    return array("i", range(start, stop))
+
+
+def path_tid(
+    n: int, probability: float = 0.5, seed: int = 0, backend: str | None = None
+) -> TIDInstance:
     """A path of uncertain edges E(i, i+1) — treewidth 1."""
     rng = stable_rng(seed)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
+    columnar = _columnar_of(tid)
+    if columnar is not None and n > 1:
+        probs = _jitter_list(probability, rng, n - 1)
+        columnar.intern_int_range(n)
+        tid.extend_encoded(
+            "E", [_int_column(0, n - 1), _int_column(1, n)], probs
+        )
+        return tid
     for i in range(n - 1):
         tid.add(fact("E", i, i + 1), _jitter(probability, rng))
     return tid
 
 
-def cycle_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+def cycle_tid(
+    n: int, probability: float = 0.5, seed: int = 0, backend: str | None = None
+) -> TIDInstance:
     """A cycle of uncertain edges — treewidth 2."""
     rng = stable_rng(seed)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
+    columnar = _columnar_of(tid)
+    if columnar is not None and n > 0:
+        probs = _jitter_list(probability, rng, n)
+        columnar.intern_int_range(n)
+        np = columnar_numpy()
+        if np is not None:
+            successor = (np.arange(n, dtype=np.int64) + 1) % n
+        else:
+            from array import array
+
+            successor = array("i", ((i + 1) % n for i in range(n)))
+        tid.extend_encoded("E", [_int_column(0, n), successor], probs)
+        return tid
     for i in range(n):
         tid.add(fact("E", i, (i + 1) % n), _jitter(probability, rng))
     return tid
 
 
-def grid_tid(rows: int, cols: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
+def grid_tid(
+    rows: int,
+    cols: int,
+    probability: float = 0.5,
+    seed: int = 0,
+    backend: str | None = None,
+) -> TIDInstance:
     """A rows×cols grid of uncertain edges — treewidth min(rows, cols)."""
     rng = stable_rng(seed)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
     for r in range(rows):
         for c in range(cols):
             if c + 1 < cols:
@@ -63,6 +119,7 @@ def partial_ktree_tid(
     edge_keep: float = 0.7,
     probability: float = 0.5,
     seed: int = 0,
+    backend: str | None = None,
 ) -> GeneratedGraph:
     """A random partial k-tree with a certified width-k decomposition.
 
@@ -97,7 +154,7 @@ def partial_ktree_tid(
             cliques.append(full)
             bag_of_clique[full] = bag_id
     decomposition = TreeDecomposition(bags, edges)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
     for a, b in sorted(graph.edges, key=str):
         if rng.random() < edge_keep:
             key = (a, b) if str(a) <= str(b) else (b, a)
@@ -105,10 +162,32 @@ def partial_ktree_tid(
     return GeneratedGraph(tid=tid, decomposition=decomposition, width=k)
 
 
-def rst_chain_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstance:
-    """R(i), S(i, i+1), T(i) facts along a path — the Q_RST workload."""
+def rst_chain_tid(
+    n: int, probability: float = 0.5, seed: int = 0, backend: str | None = None
+) -> TIDInstance:
+    """R(i), S(i, i+1), T(i) facts along a path — the Q_RST workload.
+
+    The scaling workload of the columnar-pipeline benchmark (E18): on the
+    columnar backend it bulk-loads the three relations as encoded ranges,
+    so ``n`` in the millions stays object-free. The RNG draw order matches
+    the object path fact for fact (R, T, then S per position).
+    """
     rng = stable_rng(seed)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
+    columnar = _columnar_of(tid)
+    if columnar is not None and n > 0:
+        # The object path draws R, T, S jitters interleaved per position;
+        # one flat draw of the same length deals them back out by stride.
+        flat = _jitter_list(probability, rng, 3 * n - 1)
+        probs_r, probs_t, probs_s = flat[0::3], flat[1::3], flat[2::3]
+        columnar.intern_int_range(n)
+        tid.extend_encoded("R", [_int_column(0, n)], probs_r)
+        tid.extend_encoded("T", [_int_column(0, n)], probs_t)
+        if n > 1:
+            tid.extend_encoded(
+                "S", [_int_column(0, n - 1), _int_column(1, n)], probs_s
+            )
+        return tid
     for i in range(n):
         tid.add(fact("R", i), _jitter(probability, rng))
         tid.add(fact("T", i), _jitter(probability, rng))
@@ -118,7 +197,12 @@ def rst_chain_tid(n: int, probability: float = 0.5, seed: int = 0) -> TIDInstanc
 
 
 def rst_bipartite_tid(
-    left: int, right: int, probability: float = 0.5, seed: int = 0, density: float = 1.0
+    left: int,
+    right: int,
+    probability: float = 0.5,
+    seed: int = 0,
+    density: float = 1.0,
+    backend: str | None = None,
 ) -> TIDInstance:
     """R over left nodes, T over right nodes, S a (dense) bipartite relation.
 
@@ -127,7 +211,37 @@ def rst_bipartite_tid(
     treewidth); lower densities interpolate toward tree-like instances.
     """
     rng = stable_rng(seed)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
+    columnar = _columnar_of(tid)
+    if columnar is not None:
+        left_codes = columnar.intern_values(f"l{i}" for i in range(left))
+        right_codes = columnar.intern_values(f"r{j}" for j in range(right))
+        probs_r = _jitter_list(probability, rng, left)
+        probs_t = _jitter_list(probability, rng, right)
+        # Keep the object path's RNG sequence: one density draw per pair,
+        # one jitter per kept pair.
+        s_left, s_right, probs_s = [], [], []
+        random = rng.random
+        for i in range(left):
+            for j in range(right):
+                if random() < density:
+                    s_left.append(int(left_codes[i]))
+                    s_right.append(int(right_codes[j]))
+                    jit = probability + (-0.2 + 0.4 * random())
+                    probs_s.append(
+                        round(
+                            (0.95 if jit > 0.95 else 0.05 if jit < 0.05 else jit)
+                            * 1000
+                        )
+                        / 1000
+                    )
+        if left:
+            tid.extend_encoded("R", [left_codes], probs_r)
+        if right:
+            tid.extend_encoded("T", [right_codes], probs_t)
+        if probs_s:
+            tid.extend_encoded("S", [s_left, s_right], probs_s)
+        return tid
     for i in range(left):
         tid.add(fact("R", f"l{i}"), _jitter(probability, rng))
     for j in range(right):
@@ -145,6 +259,7 @@ def core_and_tentacles_tid(
     tentacle_length: int,
     probability: float = 0.5,
     seed: int = 0,
+    backend: str | None = None,
 ) -> TIDInstance:
     """A dense clique core with long path tentacles hanging off it.
 
@@ -152,7 +267,7 @@ def core_and_tentacles_tid(
     ``core_size − 1`` while the tentacles are width-1 paths.
     """
     rng = stable_rng(seed)
-    tid = TIDInstance()
+    tid = TIDInstance(backend=backend)
     for i in range(core_size):
         for j in range(i + 1, core_size):
             tid.add(fact("E", f"core{i}", f"core{j}"), _jitter(probability, rng))
@@ -167,6 +282,29 @@ def core_and_tentacles_tid(
 
 
 def _jitter(probability: float, rng) -> float:
-    """Perturb a base probability slightly, clamped to (0.05, 0.95)."""
+    """Perturb a base probability slightly, clamped to [0.05, 0.95].
+
+    Quantized to ~3 decimals via integer rounding — the single-argument
+    ``round`` is several times cheaper than ``round(x, 3)``'s decimal
+    string path, and these are synthetic probabilities where the exact
+    quantization boundary is immaterial (the two instance backends matter
+    only relative to each other, and both draw through this formula).
+    """
     jittered = probability + rng.uniform(-0.2, 0.2)
-    return round(min(0.95, max(0.05, jittered)), 3)
+    return round(min(0.95, max(0.05, jittered)) * 1000) / 1000
+
+
+def _jitter_list(probability: float, rng, count: int) -> list[float]:
+    """``count`` draws of :func:`_jitter`, loop-inlined for the bulk paths.
+
+    Consumes the identical RNG sequence and computes the identical floats
+    (``uniform(a, b)`` is exactly ``a + (b - a) * random()``), so columnar
+    bulk loads stay probability-for-probability equal to the object path.
+    """
+    random = rng.random
+    out: list[float] = []
+    append = out.append
+    for _ in range(count):
+        j = probability + (-0.2 + 0.4 * random())
+        append(round((0.95 if j > 0.95 else 0.05 if j < 0.05 else j) * 1000) / 1000)
+    return out

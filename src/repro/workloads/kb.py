@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.instances.base import Instance, fact
+from repro.instances.base import AbstractInstance, fact
+from repro.instances.columnar import make_instance
 from repro.queries.cq import atom, variables
 from repro.rules.probabilistic import ProbabilisticRule
 from repro.rules.tgds import rule
@@ -50,14 +51,16 @@ ADVISOR_RULES = (
 class KBWorkload:
     """A generated KB instance with its soft rules."""
 
-    instance: Instance
+    instance: AbstractInstance
     rules: tuple[ProbabilisticRule, ...]
 
 
-def citizenship_kb(people: int, countries: int = 3, seed: int = 0) -> KBWorkload:
+def citizenship_kb(
+    people: int, countries: int = 3, seed: int = 0, backend: str | None = None
+) -> KBWorkload:
     """People with citizenships; countries with official languages."""
     rng = stable_rng(seed)
-    inst = Instance()
+    inst = make_instance(backend)
     languages = ["english", "french", "german", "spanish"]
     for c in range(countries):
         inst.add(fact("OfficialLanguage", f"country{c}", languages[c % len(languages)]))
@@ -70,10 +73,12 @@ def citizenship_kb(people: int, countries: int = 3, seed: int = 0) -> KBWorkload
     return KBWorkload(instance=inst, rules=CITIZEN_RULES)
 
 
-def advisor_kb(students: int, seed: int = 0) -> KBWorkload:
+def advisor_kb(
+    students: int, seed: int = 0, backend: str | None = None
+) -> KBWorkload:
     """PhD students with advisors; some papers already known."""
     rng = stable_rng(seed)
-    inst = Instance()
+    inst = make_instance(backend)
     for s in range(students):
         advisor = f"prof{s % max(1, students // 2)}"
         inst.add(fact("AdvisedBy", f"student{s}", advisor))

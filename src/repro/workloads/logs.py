@@ -102,15 +102,21 @@ class StreamingLogMonitor:
         """
         check(count >= 1, "need at least one event per batch")
         circuit = self.circuit
-        new_vars: dict[int, list[int]] = {}
-        error_vars: dict[int, list[int]] = {}
-        flush_vars: dict[int, list[int]] = {}
+        batch: list[tuple[int, str]] = []
+        names: list[str] = []
         for offset in range(count):
             machine = (self._next_event + offset) % self.machines
             kind = EVENT_KINDS[self._rng.randrange(len(EVENT_KINDS))]
-            name = f"m{machine}:e{self._next_event + offset}:{kind}"
-            var = circuit.variable(name)
-            self.event_names.append(name)
+            names.append(f"m{machine}:e{self._next_event + offset}:{kind}")
+            batch.append((machine, kind))
+        # One bulk leaf append for the whole batch (names are fresh by
+        # construction, so this never consults the hash-consing table).
+        batch_vars = circuit.append_variables(names)
+        self.event_names.extend(names)
+        new_vars: dict[int, list[int]] = {}
+        error_vars: dict[int, list[int]] = {}
+        flush_vars: dict[int, list[int]] = {}
+        for var, (machine, kind) in zip(batch_vars, batch):
             new_vars.setdefault(machine, []).append(var)
             if kind == "error":
                 error_vars.setdefault(machine, []).append(var)

@@ -23,10 +23,10 @@ TRIP_PDX_CDG = fact("Trip", "Portland PDX", "Paris CDG")
 ALL_TRIPS = (TRIP_CDG_MEL, TRIP_MEL_CDG, TRIP_MEL_PDX, TRIP_CDG_PDX, TRIP_PDX_CDG)
 
 
-def table1_cinstance() -> CInstance:
+def table1_cinstance(backend: str | None = None) -> CInstance:
     """The exact c-instance of the paper's Table 1."""
     pods, stoc = var(PODS), var(STOC)
-    ci = CInstance()
+    ci = CInstance(backend=backend)
     ci.add(TRIP_CDG_MEL, pods)
     ci.add(TRIP_MEL_CDG, pods & ~stoc)
     ci.add(TRIP_MEL_PDX, pods & stoc)
@@ -35,9 +35,11 @@ def table1_cinstance() -> CInstance:
     return ci
 
 
-def table1_pc_instance(p_pods: float = 0.7, p_stoc: float = 0.5) -> PCInstance:
+def table1_pc_instance(
+    p_pods: float = 0.7, p_stoc: float = 0.5, backend: str | None = None
+) -> PCInstance:
     """Table 1 as a pc-instance with attendance probabilities."""
-    pc = PCInstance(table1_cinstance())
+    pc = PCInstance(table1_cinstance(backend))
     pc.add_event(PODS, p_pods)
     pc.add_event(STOC, p_stoc)
     return pc

@@ -21,6 +21,7 @@ import socket
 import pytest
 
 from repro.circuits import compiled, distributed, evaluation, parallel, plancache
+from repro.instances import columnar
 
 
 def pytest_configure(config):
@@ -53,6 +54,7 @@ def restore_engine_globals():
     cache_dir = plancache._DIR
     cache_limit = plancache._LIMIT_BYTES
     cache_min = plancache._MIN_GATES
+    instance_backend = columnar._BACKEND
     yield
     evaluation._ENGINES.clear()
     evaluation._ENGINES.update(engines)
@@ -67,6 +69,7 @@ def restore_engine_globals():
     plancache._DIR = cache_dir
     plancache._LIMIT_BYTES = cache_limit
     plancache._MIN_GATES = cache_min
+    columnar._BACKEND = instance_backend
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -276,3 +276,58 @@ def test_message_passing_equals_enumeration_property(seed):
     assert math.isclose(
         wmc_message_passing(c, SPACE), wmc_enumerate(c, SPACE), abs_tol=1e-9
     )
+
+
+class TestBulkAppend:
+    """The bulk arena APIs behind the witness-DNF provenance builder."""
+
+    def test_append_variables_fast_path_matches_scalar(self):
+        bulk, scalar = Circuit(), Circuit()
+        names = [f"v{i}" for i in range(6)]
+        got = list(bulk.append_variables(names))
+        want = [scalar.variable(n) for n in names]
+        assert got == want
+        assert bulk._kind_codes == scalar._kind_codes
+        assert bulk._var_slots == scalar._var_slots
+        assert bulk._slot_names == scalar._slot_names
+
+    def test_append_variables_dedups_existing(self):
+        c = Circuit()
+        a = c.variable("a")
+        got = list(c.append_variables(["b", "a", "b", "c"]))
+        assert got[1] == a
+        assert got[0] == got[2]  # in-batch duplicate resolves to one gate
+        assert c._slot_names == ["a", "b", "c"]
+
+    def test_append_gates_matches_scalar_construction(self):
+        from repro.circuits.circuit import K_AND, K_NOT, K_OR
+
+        bulk, scalar = Circuit(), Circuit()
+        bulk.append_variables(["x", "y"])
+        scalar.variable("x")
+        scalar.variable("y")
+        got = bulk.append_gates(
+            [K_AND, K_NOT, K_OR], [0, 1, 2, 0, 3], [0, 2, 3, 5]
+        )
+        g_and = scalar.and_gate([0, 1])
+        g_not = scalar.negation(g_and)
+        scalar.or_gate([0, g_not])
+        assert list(got) == [2, 3, 4]
+        assert bulk._kind_codes == scalar._kind_codes
+        assert bulk._inputs_flat == scalar._inputs_flat
+        assert bulk._input_offsets == scalar._input_offsets
+        assert bulk._gate_levels == scalar._gate_levels
+
+    def test_append_gates_rejects_bad_rows(self):
+        from repro.circuits.circuit import K_AND, K_VAR
+
+        c = Circuit()
+        c.append_variables(["x", "y"])
+        with pytest.raises(ReproError, match="operator gates only"):
+            c.append_gates([K_VAR], [0], [0, 1])
+        with pytest.raises(ReproError, match=">= 1 input"):
+            c.append_gates([K_AND], [], [0, 0])
+        with pytest.raises(ReproError, match="one entry per gate"):
+            c.append_gates([K_AND], [0, 1], [0])
+        with pytest.raises(ReproError, match="earlier gates"):
+            c.append_gates([K_AND], [0, 7], [0, 2])

@@ -8,7 +8,7 @@ from repro.cli import EXPERIMENTS, command_list, command_run, main
 class TestCli:
     def test_experiment_index_complete(self):
         # E16 is reserved for the service-layer bench (see ROADMAP.md).
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)} | {"E17"}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)} | {"E17", "E18"}
 
     def test_run_unknown_engine(self):
         with pytest.raises(SystemExit, match="unknown engine"):

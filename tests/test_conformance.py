@@ -156,10 +156,74 @@ def _produce_cache_loaded(name):
     return produced
 
 
+def _rebuild_bulk(circuit):
+    """Replay an arena through the bulk construction APIs, gate for gate.
+
+    Walks the source circuit's flat mirrors in gate-id order and re-creates
+    maximal runs of VAR leaves via ``append_variables`` and of operator
+    gates via ``append_gates`` (constants via the scalar calls). Gate ids
+    must come out identical, pinning the bulk APIs to the scalar
+    ``variable``/``and_gate``/``or_gate`` construction bit for bit.
+    """
+    from repro.circuits.circuit import K_AND, K_FALSE, K_NOT, K_OR, K_TRUE, K_VAR
+
+    rebuilt = Circuit()
+    codes = circuit._kind_codes
+    offs = circuit._input_offsets
+    flat = circuit._inputs_flat
+    slot_names = circuit._slot_names
+    var_slots = circuit._var_slots
+    size = len(codes)
+    i = 0
+    while i < size:
+        code = codes[i]
+        if code == K_VAR:
+            j = i
+            names = []
+            while j < size and codes[j] == K_VAR:
+                names.append(slot_names[var_slots[j]])
+                j += 1
+            got = rebuilt.append_variables(names)
+            assert list(got) == list(range(i, j))
+            i = j
+        elif code in (K_TRUE, K_FALSE):
+            assert rebuilt.constant(code == K_TRUE) == i
+            i += 1
+        else:
+            j = i
+            kinds = []
+            inputs = []
+            offsets = [0]
+            while j < size and codes[j] in (K_NOT, K_AND, K_OR):
+                kinds.append(codes[j])
+                inputs.extend(flat[offs[j] : offs[j + 1]])
+                offsets.append(len(inputs))
+                j += 1
+            got = rebuilt.append_gates(kinds, inputs, offsets)
+            assert got == range(i, j)
+            i = j
+    if circuit.output is not None:
+        rebuilt.set_output(circuit.output)
+    for name in ("_kind_codes", "_var_slots", "_inputs_flat",
+                 "_input_offsets", "_gate_levels"):
+        assert getattr(rebuilt, name) == getattr(circuit, name), name
+    assert rebuilt._slot_names == circuit._slot_names
+    return rebuilt
+
+
+def _produce_bulk_rebuilt(name):
+    """Rebuild the scenario arena through append_variables/append_gates."""
+    fresh = SCENARIOS[name]()
+    produced = compile_circuit(_rebuild_bulk(fresh))
+    _assert_identical_lowering(produced, compile_circuit(fresh))
+    return produced
+
+
 PRODUCERS = {
     "fresh": _produce_fresh,
     "recompiled": _produce_recompiled,
     "cache-loaded": _produce_cache_loaded,
+    "bulk-rebuilt": _produce_bulk_rebuilt,
 }
 
 
@@ -372,3 +436,82 @@ def test_probability_engines_agree_on_corpus(scenario):
         assert math.isclose(
             probability(compiled, space, engine=engine), oracle, abs_tol=1e-9
         ), engine
+
+
+# --------------------------------------------------------------------------- #
+# instance-backend conformance: columnar vs object, property-based
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import build_provenance_circuit
+from repro.instances import ColumnarInstance, Instance, fact
+from repro.queries import atom, cq, ucq, variables
+
+_qx, _qy, _qz = variables("x", "y", "z")
+
+#: CQ/UCQ shapes chosen to hit the joins' edge cases: self-joins, repeated
+#: variables, constants, duplicate atoms, and relations with no facts.
+BACKEND_QUERIES = (
+    cq(atom("R", _qx)),
+    cq(atom("R", _qx), atom("S", _qx, _qy), atom("T", _qy)),
+    cq(atom("S", _qx, _qy), atom("S", _qy, _qz)),
+    cq(atom("S", _qx, _qx)),
+    cq(atom("R", 1), atom("S", 1, _qy)),
+    cq(atom("U", _qx)),
+    cq(atom("R", _qx), atom("R", _qx)),
+    ucq(cq(atom("R", _qx), atom("T", _qx)), cq(atom("S", _qx, _qy))),
+    ucq(cq(atom("U", _qx)), cq(atom("T", _qx))),
+)
+
+_small = st.integers(min_value=0, max_value=3)
+_backend_instances = st.tuples(
+    st.lists(st.tuples(_small), max_size=6),
+    st.lists(st.tuples(_small, _small), max_size=8),
+    st.lists(st.tuples(_small), max_size=6),
+)
+
+
+def _both_backends(r_rows, s_rows, t_rows):
+    """The same fact sequence (duplicates included) on both backends."""
+    obj, col = Instance(), ColumnarInstance()
+    for relation, rows in (("R", r_rows), ("S", s_rows), ("T", t_rows)):
+        for row in rows:
+            obj.add(fact(relation, *row))
+            col.add(fact(relation, *row))
+    return obj, col
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_backend_instances, query_index=st.integers(0, len(BACKEND_QUERIES) - 1))
+def test_columnar_backend_matches_object_oracle(rows, query_index):
+    """Columnar CQ/UCQ evaluation and provenance pin to the object backend.
+
+    Homomorphisms must agree *in enumeration order* (the vectorized join
+    reproduces backtracking order), the witness-DNF provenance circuits
+    must be bit-identical down to the arena's flat arrays, and the circuit
+    must decide the query on sampled sub-worlds exactly like re-evaluating
+    the query on the corresponding sub-instance.
+    """
+    obj, col = _both_backends(*rows)
+    query = BACKEND_QUERIES[query_index]
+    if hasattr(query, "atoms"):  # homomorphism order is a CQ-level contract
+        assert list(query.homomorphisms(obj)) == list(query.homomorphisms(col))
+    lineage_obj = build_provenance_circuit(obj, query)
+    lineage_col = build_provenance_circuit(col, query)
+    for name in ("_kind_codes", "_var_slots", "_inputs_flat",
+                 "_input_offsets", "_gate_levels"):
+        assert getattr(lineage_obj.circuit, name) == getattr(
+            lineage_col.circuit, name
+        ), name
+    assert lineage_obj.circuit._slot_names == lineage_col.circuit._slot_names
+    assert lineage_obj.circuit.output == lineage_col.circuit.output
+    # Semantic spot check: the circuit decides the query on sub-worlds.
+    facts_in = obj.facts()
+    for mask in (0, (1 << len(facts_in)) - 1, 0b1011010 % (1 << max(1, len(facts_in)))):
+        kept = [f for i, f in enumerate(facts_in) if mask >> i & 1]
+        valuation = {
+            f.variable_name: bool(mask >> i & 1) for i, f in enumerate(facts_in)
+        }
+        assert lineage_col.circuit.evaluate(valuation) == query.holds_in(
+            Instance(kept)
+        )

@@ -8,12 +8,16 @@ from hypothesis import given, settings, strategies as st
 from repro.events import TRUE, var
 from repro.instances import (
     CInstance,
+    ColumnarInstance,
     Fact,
     Instance,
     PCCInstance,
     PCInstance,
     TIDInstance,
     fact,
+    instance_backend,
+    instance_backend_set,
+    make_instance,
     pc_from_tid,
     pcc_from_pc,
     pcc_from_tid,
@@ -249,3 +253,110 @@ def test_pc_and_pcc_world_distributions_agree(seed):
             pcc.fact_probability_enumerate(f),
             abs_tol=1e-9,
         )
+
+
+class TestColumnarInstance:
+    def build(self) -> "ColumnarInstance":
+        col = ColumnarInstance()
+        col.add(fact("R", 1))
+        col.add(fact("S", 1, "a"))
+        col.add(fact("S", 2, "b"))
+        return col
+
+    def test_protocol_basics(self):
+        col = self.build()
+        assert len(col) == 3
+        assert fact("S", 1, "a") in col
+        assert fact("S", 9, "a") not in col
+        assert col.relations() == {"R": 1, "S": 2}
+        assert col.domain() == frozenset({1, 2, "a", "b"})
+
+    def test_set_semantics(self):
+        col = self.build()
+        fid = col.add_fact("R", (1,))
+        assert fid == col.fact_id_of(fact("R", 1))
+        assert len(col) == 3
+
+    def test_roundtrip_object_instance(self):
+        col = self.build()
+        obj = col.to_instance()
+        assert isinstance(obj, Instance)
+        assert set(obj.facts()) == set(col.facts())
+        back = ColumnarInstance.from_instance(obj)
+        assert set(back.facts()) == set(col.facts())
+        assert back.relations() == col.relations()
+
+    def test_variable_names_match_fact_objects(self):
+        col = self.build()
+        fids = [col.fact_id_of(f) for f in col.facts()]
+        names = col.variable_names_for(fids)
+        assert names == [f.variable_name for f in col.facts()]
+
+    def test_extend_encoded_dedups_against_add(self):
+        col = ColumnarInstance()
+        existing = col.add_fact("E", (0, 1))
+        codes = [col.intern(v) for v in range(4)]
+        left = [codes[0], codes[1], codes[0]]
+        right = [codes[1], codes[2], codes[1]]
+        fids = list(col.extend_encoded("E", [left, right]))
+        # Row 0 and row 2 are the pre-existing (and intra-batch duplicate)
+        # fact; only E(1, 2) is fresh.
+        assert fids[0] == existing and fids[2] == existing
+        assert fids[1] != existing
+        assert len(col) == 2
+
+    def test_bulk_load_then_keyed_lookup(self):
+        # Bulk loads drop the key→fid dict; the first keyed lookup must
+        # rebuild it coherently (same fids, duplicates still detected).
+        col = ColumnarInstance()
+        col.intern_int_range(5)
+        fids = list(col.extend_encoded("E", [[0, 1, 2], [1, 2, 3]]))
+        assert col.fact_id_of(fact("E", 1, 2)) == fids[1]
+        assert col.add_fact("E", (0, 1)) == fids[0]
+        assert col.add_fact("E", (3, 4)) not in fids
+        assert len(col) == 4
+
+    def test_bulk_load_materializes_no_facts(self):
+        col = ColumnarInstance()
+        col.intern_int_range(100)
+        col.extend_encoded("E", [list(range(99)), list(range(1, 100))])
+        assert col.facts_materialized == 0
+        col.fact_at(0)
+        assert col.facts_materialized == 1
+
+    def test_mixed_arity_rejected(self):
+        col = self.build()
+        with pytest.raises(ReproError, match="two arities"):
+            col.add(fact("R", 1, 2))
+
+
+class TestInstanceBackendKnob:
+    def test_make_instance_dispatches(self):
+        assert isinstance(make_instance("object"), Instance)
+        assert isinstance(make_instance("columnar"), ColumnarInstance)
+        with pytest.raises(ReproError, match="unknown instance backend"):
+            make_instance("arrow")
+
+    def test_set_instance_backend_scopes(self):
+        # The suite may itself run under REPRO_INSTANCE_BACKEND=columnar
+        # (the CI columnar job does) — scope back to the ambient default.
+        ambient = instance_backend()
+        with instance_backend_set("columnar"):
+            assert instance_backend() == "columnar"
+            assert isinstance(make_instance(), ColumnarInstance)
+        with instance_backend_set("object"):
+            assert isinstance(make_instance(), Instance)
+        assert instance_backend() == ambient
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTANCE_BACKEND", "columnar")
+        with instance_backend_set(None):
+            assert instance_backend() == "columnar"
+        monkeypatch.setenv("REPRO_INSTANCE_BACKEND", "parquet")
+        with instance_backend_set(None):
+            with pytest.raises(ReproError, match="REPRO_INSTANCE_BACKEND"):
+                instance_backend()
+
+    def test_tid_takes_backend(self):
+        tid = TIDInstance(backend="columnar")
+        assert isinstance(tid.instance, ColumnarInstance)

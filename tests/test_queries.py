@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.instances import Instance, TIDInstance, fact
+from repro.instances import ColumnarInstance, Instance, TIDInstance, fact
 from repro.queries import (
     DatalogProgram,
     DatalogRule,
@@ -206,3 +206,45 @@ def test_cq_evaluation_matches_witness_existence(seed):
         inst.add(fact("S", rng.randrange(n), rng.randrange(n)))
     q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
     assert q.holds_in(inst) == (next(q.witnesses(inst), None) is not None)
+
+
+class TestColumnarEvaluation:
+    """The columnar joins must reproduce the object backtracking order."""
+
+    def both(self):
+        obj, col = Instance(), ColumnarInstance()
+        for f in (
+            fact("R", 0), fact("R", 2),
+            fact("S", 0, 1), fact("S", 1, 1), fact("S", 2, 0), fact("S", 1, 2),
+            fact("T", 1), fact("T", 2),
+        ):
+            obj.add(f)
+            col.add(f)
+        return obj, col
+
+    @pytest.mark.parametrize(
+        "q",
+        [
+            cq(atom("R", X), atom("S", X, Y), atom("T", Y)),
+            cq(atom("S", X, Y), atom("S", Y, Z)),   # self-join
+            cq(atom("S", X, X)),                    # repeated variable
+            cq(atom("R", 0), atom("S", 0, Y)),      # constants
+            cq(atom("R", X), atom("R", X)),         # duplicate atom
+        ],
+        ids=["rst", "self-join", "repeated-var", "constants", "dup-atom"],
+    )
+    def test_homomorphism_order_matches_object(self, q):
+        obj, col = self.both()
+        assert list(q.homomorphisms(col)) == list(q.homomorphisms(obj))
+
+    def test_holds_in_agrees(self):
+        obj, col = self.both()
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        assert q.holds_in(col) == q.holds_in(obj) is True
+        empty = cq(atom("U", X))
+        assert empty.holds_in(col) == empty.holds_in(obj) is False
+
+    def test_ucq_agrees(self):
+        obj, col = self.both()
+        q = ucq(cq(atom("U", X)), cq(atom("S", X, X)))
+        assert q.holds_in(col) == q.holds_in(obj) is True
