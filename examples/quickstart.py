@@ -318,6 +318,59 @@ def distributed_example() -> None:
           "(repeat calls skip connect + publish)")
 
 
+def service_example() -> None:
+    """Start the always-on query service and serve marginals over HTTP.
+
+    The serving layer (see "The serving layer" in ``ARCHITECTURE.md``):
+    ``repro serve-http`` keeps the compile caches, the plan cache and the
+    distributed host pool resident in one long-lived process, coalesces
+    concurrent requests for the same plan into shared matrix passes, and
+    memoizes served marginals. Here the service is spawned as a local
+    subprocess via the same :func:`repro.service.spawn_service` helper
+    the tests and the E19 benchmark use; in production you would run
+    ``python -m repro serve-http --port 8080`` and point
+    :class:`repro.service.ServiceClient` (or any HTTP client — the
+    protocol is plain JSON) at it.
+    """
+    from repro.service import spawn_service
+
+    print()
+    print("=" * 70)
+    print("The always-on query service")
+    print("=" * 70)
+    x, y = variables("x", "y")
+    query = cq(atom("R", x), atom("S", x, y), atom("T", y))
+    tid = TIDInstance()
+    for i in range(8):
+        tid.add(fact("R", i), 0.5)
+        tid.add(fact("T", i), 0.6)
+        if i + 1 < 8:
+            tid.add(fact("S", i, i + 1), 0.7)
+    compiled = compile_circuit(build_lineage(tid.instance, query).circuit)
+    space = tid.event_space()
+    marginals = [space.probability(name) for name in compiled.variables()]
+
+    handle = spawn_service()
+    try:
+        client = handle.client()
+        digest = client.register_compiled(compiled)  # content-addressed
+        print(f"service up at {handle.url}, plan registered as {digest}")
+        served = client.probability(digest, [marginals])["marginals"][0]
+        direct = compiled.probability_batch([marginals])[0]
+        print(f"P(query) served over HTTP:     {served:.6f}")
+        print(f"P(query) via the library:      {float(direct):.6f}")
+        assert served == float(direct), "served marginal must be identical"
+        again = client.probability(digest, [marginals])
+        hits = client.stats()["result_cache"]["hits"]
+        assert again["marginals"][0] == served and hits >= 1
+        print(f"repeat request answered from the result cache ({hits} hit)")
+        client.shutdown()
+        assert handle.wait_dead(10.0) == 0, "service must exit cleanly"
+        print("service shut down cleanly over HTTP")
+    finally:
+        handle.stop()
+
+
 if __name__ == "__main__":
     trips_example()
     treewidth_engine_example()
@@ -325,4 +378,5 @@ if __name__ == "__main__":
     columnar_example()
     parallel_example()
     distributed_example()
+    service_example()
     print("\nQuickstart complete — all exact numbers cross-checked.")

@@ -60,10 +60,12 @@ from repro.circuits.circuit import AND, CONST, NOT, OR, VAR, Circuit, Gate, from
 from repro.circuits.compiled import (
     ENUMERATION_VARIABLE_CAP,
     CompiledCircuit,
+    batch_stats,
     compile_circuit,
     compile_stats,
     numpy_available,
     recompile,
+    reset_batch_stats,
     reset_compile_stats,
 )
 from repro.circuits.dd import (
@@ -128,6 +130,7 @@ __all__ = [
     "OR",
     "VAR",
     "available_engines",
+    "batch_stats",
     "capabilities",
     "check_decomposability",
     "check_determinism_sampled",
@@ -161,6 +164,7 @@ __all__ = [
     "probability_dd",
     "recompile",
     "register_engine",
+    "reset_batch_stats",
     "reset_compile_stats",
     "reset_plan_cache_stats",
     "reset_pool",

@@ -173,6 +173,42 @@ def reset_compile_stats() -> None:
         _STATS[key] = 0
 
 
+#: Process-wide batch-execution counters: how many matrix passes the batch
+#: entry points ran and how many rows they covered. The query service's
+#: tests read these to prove coalescing really merged N requests into one
+#: pass; ``/stats`` exposes them for operators.
+_BATCH_STATS = {
+    "probability_passes": 0,
+    "probability_rows": 0,
+    "evaluate_passes": 0,
+    "evaluate_rows": 0,
+}
+
+_BATCH_LIFETIME = dict.fromkeys(_BATCH_STATS, 0)
+
+
+def batch_stats(lifetime: bool = False) -> dict:
+    """A snapshot of the process-wide batch-pass counters.
+
+    One "pass" is one :meth:`CompiledCircuit.probability_batch` or
+    :meth:`CompiledCircuit.evaluate_batch` call, whatever execution tier
+    it lands on; "rows" counts the matrix rows those passes covered. With
+    ``lifetime=True`` the counts span the whole process, including
+    everything zeroed by intervening :func:`reset_batch_stats` calls.
+    """
+    if lifetime:
+        return {key: _BATCH_STATS[key] + _BATCH_LIFETIME[key]
+                for key in _BATCH_STATS}
+    return dict(_BATCH_STATS)
+
+
+def reset_batch_stats() -> None:
+    """Zero the batch-pass counters (test isolation); totals are kept."""
+    for key in _BATCH_STATS:
+        _BATCH_LIFETIME[key] += _BATCH_STATS[key]
+        _BATCH_STATS[key] = 0
+
+
 def _csr_gather(starts, counts):
     """Flat element indices of many CSR ranges: ``concat(arange(s, s+c))``.
 
@@ -1240,6 +1276,8 @@ class CompiledCircuit:
             n_worlds = matrix.shape[0]
             if n_worlds == 0:
                 return []
+            _BATCH_STATS["evaluate_passes"] += 1
+            _BATCH_STATS["evaluate_rows"] += n_worlds
             sharded = self._maybe_sharded(matrix, as_float=False)
             if sharded is not None:
                 return sharded.tolist()
@@ -1249,12 +1287,18 @@ class CompiledCircuit:
         kernel = self._kernel("bool")
         slot_values = self.slot_values
         if kernel is not None:
-            return [bool(kernel(slot_values(valuation))) for valuation in valuations]
-        buffer = bytearray(self.size)
-        return [
-            bool(self._evaluate_into(buffer, slot_values(valuation)))
-            for valuation in valuations
-        ]
+            results = [
+                bool(kernel(slot_values(valuation))) for valuation in valuations
+            ]
+        else:
+            buffer = bytearray(self.size)
+            results = [
+                bool(self._evaluate_into(buffer, slot_values(valuation)))
+                for valuation in valuations
+            ]
+        _BATCH_STATS["evaluate_passes"] += 1
+        _BATCH_STATS["evaluate_rows"] += len(results)
+        return results
 
     # ------------------------------------------------------------------ #
     # probability fast paths
@@ -1309,7 +1353,10 @@ class CompiledCircuit:
         circuits over independent variables.
         """
         if _np is None:
-            return [float(self.probability(row)) for row in marginals_batch]
+            results = [float(self.probability(row)) for row in marginals_batch]
+            _BATCH_STATS["probability_passes"] += 1
+            _BATCH_STATS["probability_rows"] += len(results)
+            return results
         n_vars = len(self.var_names)
         if isinstance(marginals_batch, _np.ndarray) and marginals_batch.ndim == 2:
             check(
@@ -1323,6 +1370,8 @@ class CompiledCircuit:
             if not rows:
                 return []
             matrix = _np.asarray(rows, dtype=_np.float64)
+        _BATCH_STATS["probability_passes"] += 1
+        _BATCH_STATS["probability_rows"] += matrix.shape[0]
         sharded = self._maybe_sharded(matrix, as_float=True)
         if sharded is not None:
             return sharded.tolist()

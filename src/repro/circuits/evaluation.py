@@ -47,9 +47,11 @@ from repro.circuits.compiled import (
     compile_circuit,
 )
 from repro.circuits.compiled import (  # noqa: F401 - re-exported knobs
+    batch_stats,
     compile_stats,
     numpy_available,
     recompile,
+    reset_batch_stats,
     reset_compile_stats,
 )
 from repro.circuits.distributed import (  # noqa: F401 - re-exported knobs
@@ -103,6 +105,7 @@ def capabilities() -> dict:
         "plan_cache_dir": plan_cache_dir(),
         "plan_cache": plan_cache_stats(),
         "compile": compile_stats(),
+        "batch": batch_stats(),
         "cpu_count": os.cpu_count() or 1,
     }
 

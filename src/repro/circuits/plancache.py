@@ -428,3 +428,20 @@ def store_plan_blob(digest: str, blob: bytes) -> None:
     path = _entry_path(digest, PLAN_SUFFIX)
     if path is not None:
         _write_entry(path, blob)
+
+
+def has_plan(digest: str) -> bool:
+    """Whether a wire payload for ``digest`` is on disk — existence only.
+
+    No read, no validation, no LRU touch: the query service reports its
+    write-through state with this without perturbing the cache (a corrupt
+    entry still answers ``True`` here and is caught by
+    :func:`load_plan_blob`'s checksum on the first real load).
+    """
+    path = _entry_path(digest, PLAN_SUFFIX)
+    if path is None:
+        return False
+    try:
+        return os.path.exists(path)
+    except OSError:  # pragma: no cover - exotic filesystem failure
+        return False

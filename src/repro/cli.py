@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E18
+    python -m repro list                # list experiments E1..E19
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run E14 --workers 4 # sharded evaluation on 4 processes
@@ -14,6 +14,8 @@ Usage::
     python -m repro serve --port 7761   # become a distributed shard worker
     python -m repro serve --port 7761 --secret swordfish   # require auth
     python -m repro dist-eval --hosts 127.0.0.1:7761,127.0.0.1:7762
+    python -m repro serve-http --port 8080   # always-on query service
+    python -m repro serve-http --port 8080 --hosts 127.0.0.1:7761   # + shards
 
 ``--workers`` scopes the process-wide ``parallel_workers`` knob (see
 :mod:`repro.circuits.parallel`) to the run, exactly like ``--engine``
@@ -59,6 +61,7 @@ EXPERIMENTS = {
     "E15": ("bench_distributed_eval", "Distributed shard execution over localhost workers"),
     "E17": ("bench_compile_path", "Compile path: vectorized lowering, delta recompile, plan cache"),
     "E18": ("bench_columnar_pipeline", "Columnar pipeline: generate/query/provenance/compile at scale"),
+    "E19": ("bench_service", "Query service: coalesced vs uncoalesced QPS and tail latency"),
 }
 
 
@@ -276,6 +279,42 @@ def command_serve(
         pass
 
 
+def command_serve_http(
+    host: str = "127.0.0.1", port: int = 0, no_coalesce: bool = False,
+    coalesce_ms: float | None = None, cache_size: int | None = None,
+    cache_ttl: float | None = None, hosts: str | None = None,
+    secret: str | None = None,
+) -> None:
+    """Run the always-on HTTP query service until interrupted.
+
+    The process keeps the compile cache, the persistent plan cache and the
+    distributed :class:`~repro.circuits.distributed.HostPool` resident, so
+    every request after the first skips lowering, connection setup and the
+    plan handshake (see :mod:`repro.service`). Prints a single
+    ``repro-service listening on host:port`` readiness line. ``--hosts``
+    installs a distributed worker list for the process (big batches fan
+    out exactly as with ``dist-eval``); ``--no-coalesce`` disables request
+    coalescing (the benchmark baseline); ``--coalesce-ms``,
+    ``--cache-size`` and ``--cache-ttl`` override the corresponding
+    ``REPRO_SERVICE_*`` environment knobs.
+    """
+    from repro.circuits import distributed
+    from repro.service import serve_http
+
+    if hosts is not None:
+        distributed.set_distributed_hosts(hosts)
+    if secret is not None:
+        distributed.set_distributed_secret(secret)
+    kwargs: dict = {"coalesce": not no_coalesce}
+    if coalesce_ms is not None:
+        kwargs["coalesce_window"] = coalesce_ms / 1e3
+    if cache_size is not None:
+        kwargs["cache_size"] = cache_size
+    if cache_ttl is not None:
+        kwargs["cache_ttl"] = cache_ttl
+    serve_http(host=host, port=port, **kwargs)
+
+
 def command_dist_eval(
     hosts: str | None = None, samples: int = 100_000, seed: int = 0,
     secret: str | None = None,
@@ -412,6 +451,12 @@ def main(argv: list[str] | None = None) -> int:
             hosts=args.hosts, samples=args.samples, seed=args.seed,
             secret=args.secret,
         )
+    elif args.command == "serve-http":
+        command_serve_http(
+            host=args.host, port=args.port, no_coalesce=args.no_coalesce,
+            coalesce_ms=args.coalesce_ms, cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl, hosts=args.hosts, secret=args.secret,
+        )
     return 0
 
 
@@ -452,6 +497,43 @@ def _add_worker_parsers(sub) -> None:
     )
     dist.add_argument("--samples", type=int, default=100_000)
     dist.add_argument("--seed", type=int, default=0)
+    http = sub.add_parser(
+        "serve-http", help="run the always-on HTTP query service"
+    )
+    http.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    http.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (0 = ephemeral, printed on startup)",
+    )
+    http.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable request coalescing (every request runs its own pass)",
+    )
+    http.add_argument(
+        "--coalesce-ms", type=float, default=None,
+        help="coalescing window in milliseconds "
+        "(default: REPRO_SERVICE_COALESCE_MS or 2.0)",
+    )
+    http.add_argument(
+        "--cache-size", type=int, default=None,
+        help="result-cache capacity in rows "
+        "(default: REPRO_SERVICE_CACHE_SIZE or 4096)",
+    )
+    http.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="result-cache TTL in seconds "
+        "(default: REPRO_SERVICE_CACHE_TTL; unset = no expiry)",
+    )
+    http.add_argument(
+        "--hosts", default=None,
+        help="route big passes to these 'host:port,host:port' distributed "
+        "workers (default: REPRO_DISTRIBUTED_HOSTS)",
+    )
+    http.add_argument(
+        "--secret", default=None,
+        help="shared secret for authenticated workers "
+        "(default: REPRO_DISTRIBUTED_SECRET)",
+    )
 
 
 def worker_main(argv: list[str] | None = None) -> int:
@@ -474,6 +556,12 @@ def worker_main(argv: list[str] | None = None) -> int:
         command_serve(
             host=args.host, port=args.port, max_tasks=args.max_tasks,
             secret=args.secret, delay=args.delay,
+        )
+    elif args.command == "serve-http":
+        command_serve_http(
+            host=args.host, port=args.port, no_coalesce=args.no_coalesce,
+            coalesce_ms=args.coalesce_ms, cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl, hosts=args.hosts, secret=args.secret,
         )
     else:
         command_dist_eval(

@@ -22,6 +22,7 @@ from repro.core.engine import (
     build_lineage,
     build_provenance_circuit,
     combine_with_annotations,
+    compile_query_plan,
     instance_decomposition,
     pc_probability,
     pcc_probability,
@@ -65,6 +66,7 @@ __all__ = [
     "candidate_answers",
     "certain",
     "combine_with_annotations",
+    "compile_query_plan",
     "conjunction",
     "disjunction",
     "hybrid_stconn",

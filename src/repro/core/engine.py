@@ -392,6 +392,40 @@ def _append_witness_dnf(circuit: Circuit, query, instance) -> tuple[int, int]:
     return or_gate, n_rows
 
 
+def compile_query_plan(
+    instance: Instance,
+    query,
+    method: str = "lineage",
+    heuristic: str = "min_fill",
+) -> tuple[Lineage, CompiledCircuit]:
+    """Lineage + compiled plan in one call — the serving compile path.
+
+    ``method`` picks the construction: ``"lineage"`` (the default —
+    :func:`build_lineage`, the decomposition-automaton Theorem 1 path) or
+    ``"provenance"`` (:func:`build_provenance_circuit`, the monotone
+    provenance circuit). Only ``"lineage"`` plans are deterministic and
+    decomposable, i.e. valid inputs to the linear probability pass
+    (``probability``/``probability_batch``); the monotone circuit defines
+    the same Boolean function but shares witnesses across OR branches, so
+    it is for semiring provenance, not for marginals. Returns
+    ``(lineage, compiled)``; the lowering is cached on the arena, so the
+    query service registers the compiled plan without paying a second
+    lowering anywhere.
+    """
+    builders = {
+        "lineage": build_lineage,
+        "provenance": build_provenance_circuit,
+    }
+    builder = builders.get(method)
+    if builder is None:
+        raise ReproError(
+            f"unknown compile method {method!r}; expected one of "
+            f"{sorted(builders)}"
+        )
+    lineage = builder(instance, query, heuristic=heuristic)
+    return lineage, lineage.compiled()
+
+
 def build_provenance_circuit(
     instance: Instance,
     query,

@@ -563,6 +563,99 @@ class ColumnarInstance(AbstractInstance):
         """Encode an object-backend instance column-wise (lossless)."""
         return cls(instance.facts())
 
+    # ------------------------------------------------------------------ #
+    # encoded wire payloads (the query-service ingest format)
+
+    def to_payload(self) -> dict:
+        """This instance as a JSON-friendly encoded payload.
+
+        Carries the shared dictionary (int prefix + interned constants, in
+        code order) and each relation's raw code columns — no Fact
+        objects, no decoded rows — and round-trips exactly through
+        :meth:`ingest_payload`. Constants must be JSON-representable
+        (str/int/float/bool); anything else is rejected here rather than
+        silently mangled by the serializer.
+        """
+        for constant in self._dict_constants:
+            check(
+                isinstance(constant, (str, int, float, bool)),
+                f"constant {constant!r} is not JSON-representable",
+            )
+        return {
+            "version": 1,
+            "int_prefix": self._int_prefix,
+            "constants": list(self._dict_constants),
+            "relations": {
+                name: [list(column) for column in self._rels[name].columns]
+                for name in self._rel_names
+            },
+        }
+
+    @classmethod
+    def ingest_payload(cls, payload) -> tuple["ColumnarInstance", dict]:
+        """Build an instance from an encoded payload (the service ingest).
+
+        Returns ``(instance, fids_by_relation)`` where each relation maps
+        to the per-row fact ids its columns produced, aligned with the
+        payload's rows (duplicate rows get their first occurrence's id) —
+        exactly what a caller needs to attach per-row probabilities to the
+        resulting lineage variables (:meth:`variable_names_for`). The
+        payload is untrusted wire input: shapes, code ranges, and
+        dictionary consistency are all validated with clear errors.
+        """
+        check(isinstance(payload, dict), "instance payload must be an object")
+        check(
+            payload.get("version", 1) == 1,
+            "unsupported instance payload version",
+        )
+        instance = cls()
+        prefix = payload.get("int_prefix", 0)
+        check(
+            isinstance(prefix, int) and 0 <= prefix < _PACK,
+            "'int_prefix' must be a non-negative int32",
+        )
+        instance.intern_int_range(prefix)
+        constants = payload.get("constants", [])
+        check(isinstance(constants, list), "'constants' must be a list")
+        for position, constant in enumerate(constants):
+            check(
+                isinstance(constant, (str, int, float, bool)),
+                f"constant {constant!r} is not JSON-representable",
+            )
+            code = instance.intern(constant)
+            check(
+                code == prefix + position,
+                f"constant {constant!r} collides with an earlier code "
+                "(duplicate dictionary entry or int-prefix overlap)",
+            )
+        relations = payload.get("relations", {})
+        check(isinstance(relations, dict), "'relations' must be an object")
+        n_codes = instance.n_codes()
+        fids_by_relation: dict = {}
+        for name, columns in relations.items():
+            check(
+                isinstance(name, str) and name,
+                "relation names must be non-empty strings",
+            )
+            check(
+                isinstance(columns, list)
+                and all(isinstance(column, list) for column in columns),
+                f"relation {name!r} must hold a list of code columns",
+            )
+            for column in columns:
+                check(
+                    all(
+                        isinstance(code, int) and 0 <= code < n_codes
+                        for code in column
+                    ),
+                    f"relation {name!r} has codes outside the dictionary",
+                )
+            fids = instance.extend_encoded(
+                name, [array("i", column) for column in columns]
+            )
+            fids_by_relation[name] = [int(fid) for fid in fids]
+        return instance, fids_by_relation
+
 
 # --------------------------------------------------------------------------- #
 # the backend knob
