@@ -33,8 +33,10 @@ Run the table:  python benchmarks/bench_distributed_eval.py
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -61,6 +63,102 @@ def build_compiled():
     tid = rst_chain_tid(CHAIN_LENGTH, probability=FACT_PROBABILITY, seed=0)
     lineage = build_lineage(tid.instance, query)
     return compile_circuit(lineage.circuit), tid.event_space()
+
+
+class _LatencyRelay:
+    """A localhost TCP relay injecting fixed one-way delay per direction.
+
+    Loopback has no link latency, so lockstep-vs-pipelined on the bare
+    socket measures scheduler jitter, not the transport change. The relay
+    restores the fleet regime pipelining targets: every byte stream
+    crosses a FIFO that delivers data ``delay`` seconds after it was
+    read — order-preserving and bandwidth-unlimited, so the only thing
+    simulated is latency. Runs on a private loop thread; ``address`` is
+    what the coordinator dials instead of the worker.
+    """
+
+    def __init__(self, target: str, delay: float):
+        host, port = target.rsplit(":", 1)
+        self._target = (host, int(port))
+        self._delay = delay
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        port = asyncio.run_coroutine_threadsafe(
+            self._start(), self._loop
+        ).result(10)
+        self.address = f"127.0.0.1:{port}"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _pump(self, src, dst) -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+
+        async def deliver():
+            while True:
+                due, data = await queue.get()
+                await asyncio.sleep(max(0.0, due - self._loop.time()))
+                if not data:
+                    return
+                dst.write(data)
+                await dst.drain()
+
+        delivery = asyncio.ensure_future(deliver())
+        try:
+            while True:
+                data = await src.read(1 << 16)
+                queue.put_nowait((self._loop.time() + self._delay, data))
+                if not data:
+                    break
+            await delivery
+        finally:
+            delivery.cancel()
+            try:
+                dst.close()
+            except Exception:
+                pass
+
+    async def _handle(self, reader, writer) -> None:
+        # Swallow the stop()-time cancellation: asyncio.streams attaches a
+        # done-callback that calls task.exception(), which re-raises out
+        # of a task that ended *cancelled* and spams the log at teardown.
+        try:
+            try:
+                up_reader, up_writer = await asyncio.open_connection(
+                    *self._target
+                )
+            except OSError:
+                writer.close()
+                return
+            await asyncio.gather(
+                self._pump(reader, up_writer), self._pump(up_reader, writer),
+                return_exceptions=True,
+            )
+        except asyncio.CancelledError:
+            pass
+
+    def stop(self) -> None:
+        async def shut_down():
+            self._server.close()
+            await self._server.wait_closed()
+            tasks = [task for task in asyncio.all_tasks()
+                     if task is not asyncio.current_task()]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(shut_down(), self._loop).result(10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10)
+        self._loop.close()
 
 
 def _timed(fn, repeats: int = 3):
@@ -193,6 +291,67 @@ def main() -> None:
                 "amortized_speedup": amortized_speedup,
                 "plans_republished_during_warm_repeats": republished,
             }
+
+            # Pipelining — the second transport headline. Measured over a
+            # simulated-latency link (see :class:`_LatencyRelay`): on bare
+            # loopback the round trip is scheduler jitter and the
+            # lockstep-vs-pipelined ratio swings around 1.0x; on any real
+            # fleet link every frame pays latency, which is exactly what
+            # keeping PIPELINE_DEPTH task frames in flight hides. One
+            # worker behind a 1 ms one-way relay, shard grid shrunk so
+            # the link crossing is a visible fraction of each shard:
+            # lockstep (depth 1, the old wire) pays a full round trip of
+            # dead air between a shard's RESULT and the next TASK;
+            # pipelined correlates out-of-order RESULTs by shard id and
+            # amortizes the latency across the in-flight window.
+            pipe_samples = 65_536
+            link_delay = 0.001
+            saved_shard = parallel.MC_SHARD
+            parallel.MC_SHARD = 1024
+            relay = _LatencyRelay(workers[0].address, delay=link_delay)
+            try:
+                n_pipe_shards = len(parallel._sample_shards(pipe_samples))
+                pipe_local = parallel.monte_carlo_hits(
+                    compiled, probs, pipe_samples, seed=SEED, workers=0
+                )
+
+                def pipe_call():
+                    return distributed.monte_carlo_hits(
+                        compiled, probs, pipe_samples, seed=SEED,
+                        hosts=[relay.address],
+                    )
+
+                with distributed.pipeline_depth_set(1):
+                    pipe_call()  # warm the relayed link on this shard grid
+                    lockstep_seconds, lockstep_hits = _timed(pipe_call)
+                pipe_depth = distributed.pipeline_depth()
+                pipelined_seconds, pipelined_hits = _timed(pipe_call)
+                assert pipe_local == lockstep_hits == pipelined_hits, (
+                    "pipelined dispatch must stay bit-identical to lockstep "
+                    "and to the local oracle"
+                )
+                pipelining_speedup = lockstep_seconds / pipelined_seconds
+                print(f"\npipelining ({pipe_samples} samples, "
+                      f"{n_pipe_shards} shards, 1 worker behind a "
+                      f"{link_delay * 1e3:.0f} ms one-way relay):")
+                print(f"{'lockstep (depth 1, old wire)':<38} "
+                      f"{lockstep_seconds * 1e3:>8.1f} ms")
+                print(f"{f'pipelined (depth {pipe_depth})':<38} "
+                      f"{pipelined_seconds * 1e3:>8.1f} ms "
+                      f"{pipelining_speedup:>8.2f}x")
+                result["pipelining"] = {
+                    "samples": pipe_samples,
+                    "shards": n_pipe_shards,
+                    "depth": pipe_depth,
+                    "link_delay_seconds": link_delay,
+                    "warm_unpipelined_seconds": lockstep_seconds,
+                    "warm_pipelined_seconds": pipelined_seconds,
+                    "speedup_vs_unpipelined": pipelining_speedup,
+                    "estimates_identical": True,
+                }
+            finally:
+                parallel.MC_SHARD = saved_shard
+                relay.stop()
 
         host_lists = [
             [worker.address for worker in workers[:count]]

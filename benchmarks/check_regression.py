@@ -59,6 +59,19 @@ HEADLINES: list[tuple[str, str, str, float | None]] = [
     ("BENCH_distributed_eval.json",
      "amortization.plans_republished_during_warm_repeats", "max", 0),
     ("BENCH_distributed_eval.json", "plan_wire_bytes", "report", None),
+    # Shard pipelining (the fleet-transport change): keeping PIPELINE_DEPTH
+    # task frames in flight must never be slower than lockstep. The bench
+    # measures through a 1 ms latency relay (bare loopback has no round
+    # trip to hide, so the ratio there is scheduler noise) — in that
+    # regime pipelining's removal of one RTT of dead air per shard is
+    # structural, machine-independent, and holds on 1 CPU. The floor is
+    # 1.0 (pipelined >= unpipelined, same warm pool, same shard grid,
+    # same link); the boolean pins the pipelined estimate bit-identical
+    # to the local oracle.
+    ("BENCH_distributed_eval.json", "pipelining.speedup_vs_unpipelined",
+     "min", 1.0),
+    ("BENCH_distributed_eval.json", "pipelining.estimates_identical",
+     "true", None),
     # E17 compile path. The speedup floors sit under the measured numbers
     # (6.3x / 29.5x / 11.2x / 9.4x locally) with CI-noise headroom; the
     # booleans pin every fast path bit-identical to the per-gate python
@@ -91,8 +104,10 @@ HEADLINES: list[tuple[str, str, str, float | None]] = [
     # pins that coalescing actually merges requests (measured 0.023
     # passes/request at 64 clients — 0.5 allows heavy scheduler jitter
     # but not a silent fall-back to one-pass-per-request); the boolean
-    # pins every served marginal to probability_batch within 1e-12 (see
-    # bench_service.py for why this one is a tolerance, not bitwise).
+    # pins every served marginal to probability_batch *bitwise* — the
+    # batch plan routes single-row passes through the wide-batch
+    # reduction order, so even the one-row-per-pass uncoalesced baseline
+    # produces identical doubles (see bench_service.py).
     # Without numpy a matrix pass degenerates to per-row scalar loops and
     # the speedup honestly collapses — a numpy-less runner must use
     # --report-only; the correctness boolean still gates there.
@@ -149,7 +164,14 @@ def check_file(name: str, fresh_dir: Path, baseline_dir: Path,
             print(f"  {label} = {_format(fresh_value)} "
                   "(newly introduced metric; nothing committed to gate against)")
             continue
-        effective_mode = "report" if report_only and mode != "true" else mode
+        # A ratio gate is relative to the committed number; without any
+        # baseline snapshot there is nothing to anchor it, so report.
+        effective_mode = (
+            "report"
+            if (report_only and mode != "true")
+            or (mode == "ratio" and committed_value is None)
+            else mode
+        )
         verdict, detail = _judge(
             effective_mode, fresh_value, committed_value, threshold
         )

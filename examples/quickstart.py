@@ -263,6 +263,18 @@ def distributed_example() -> None:
     ``REPRO_DISTRIBUTED_SECRET=...`` for the coordinator and ``repro
     serve --secret ...`` (or the same variable) for every worker; workers
     then refuse any connection that cannot answer their HMAC challenge.
+
+    For untrusted networks, encrypt the link too: point
+    ``REPRO_DISTRIBUTED_TLS_CERT`` / ``REPRO_DISTRIBUTED_TLS_KEY`` at the
+    worker's certificate (``repro serve --tls-cert/--tls-key`` also
+    works) and ``REPRO_DISTRIBUTED_TLS_CA`` at the CA bundle the
+    coordinator should verify it against; setting the CA *and* a cert on
+    the coordinator side upgrades to mutual TLS. Certificate-verification
+    failures are always fatal for that host (the pool warns once and
+    evaluates elsewhere); only ``REPRO_DISTRIBUTED_TLS_ALLOW_PLAINTEXT=1``
+    lets a coordinator retry a non-TLS legacy worker unencrypted. TLS and
+    the HMAC secret compose — see "Transport security" in
+    ``ARCHITECTURE.md``.
     """
     from repro.baselines import monte_carlo_probability
     from repro.circuits import (

@@ -82,6 +82,8 @@ from repro.circuits.evaluation import (
     distributed_hosts_set,
     distributed_secret,
     distributed_secret_set,
+    distributed_tls,
+    distributed_tls_set,
     engine_forced,
     force_engine,
     forced_engine,
@@ -89,17 +91,24 @@ from repro.circuits.evaluation import (
     parallel_available,
     parallel_workers,
     parallel_workers_set,
+    pipeline_depth,
+    pipeline_depth_set,
     plan_from_bytes,
     plan_to_bytes,
     pool_stats,
     probability,
     register_engine,
+    registered_hosts,
     reset_pool,
     set_default_engine,
     set_distributed_hosts,
     set_distributed_secret,
+    set_distributed_tls,
+    set_pipeline_depth,
     set_parallel_workers,
     shutdown_pool,
+    start_registry,
+    stop_registry,
 )
 from repro.circuits.export import CircuitStats, circuit_stats, to_dot
 from repro.circuits.plancache import (
@@ -144,6 +153,8 @@ __all__ = [
     "distributed_hosts_set",
     "distributed_secret",
     "distributed_secret_set",
+    "distributed_tls",
+    "distributed_tls_set",
     "engine_forced",
     "force_engine",
     "forced_engine",
@@ -154,6 +165,8 @@ __all__ = [
     "parallel_available",
     "parallel_workers",
     "parallel_workers_set",
+    "pipeline_depth",
+    "pipeline_depth_set",
     "plan_cache_dir",
     "plan_cache_dir_set",
     "plan_cache_stats",
@@ -164,6 +177,7 @@ __all__ = [
     "probability_dd",
     "recompile",
     "register_engine",
+    "registered_hosts",
     "reset_batch_stats",
     "reset_compile_stats",
     "reset_plan_cache_stats",
@@ -171,9 +185,13 @@ __all__ = [
     "set_default_engine",
     "set_distributed_hosts",
     "set_distributed_secret",
+    "set_distributed_tls",
     "set_parallel_workers",
+    "set_pipeline_depth",
     "set_plan_cache_dir",
     "shutdown_pool",
+    "start_registry",
+    "stop_registry",
     "to_dot",
     "wmc_enumerate",
     "wmc_message_passing",

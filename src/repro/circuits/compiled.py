@@ -578,6 +578,15 @@ class _BatchPlan:
         from the shared CSR arrays.
         """
         n_worlds = matrix.shape[0]
+        if as_float and n_worlds == 1:
+            # A single-column value buffer makes numpy's reduce kernels
+            # pick a different inner loop than wider batches do (a few
+            # ulps of drift on deep plans), while batches of two or more
+            # rows are bitwise identical to each other. Evaluate the row
+            # as a width-2 pass (a zero-copy broadcast view) so every
+            # batch shape shares one reduction order, and keep element 0.
+            widened = _np.broadcast_to(matrix, (2, matrix.shape[1]))
+            return self.run(widened, as_float)[:1].copy()
         values = _np.empty(
             (self.size, n_worlds), dtype=_np.float64 if as_float else _np.bool_
         )

@@ -35,13 +35,26 @@ over TCP so any number of hosts can chew on one batch or Monte-Carlo run:
   transparently reconnected, so a bounced worker rejoins the pool (and is
   re-sent any plan it lost). **A shard is retried on worker disconnect**
   (on another worker, or locally when none remain), exactly as before.
-- **Auth** — optional shared-secret authentication: a worker started with
-  a secret (``repro serve --secret …`` or ``REPRO_DISTRIBUTED_SECRET``)
-  embeds a random challenge in its ``HELLO`` and requires an HMAC-SHA256
-  response before serving anything; coordinators take the secret from
-  :func:`distributed_secret` (same environment variable). This
-  authenticates peers on a trusted network — it is not transport
-  encryption; front workers with TLS/SSH tunnels for hostile networks.
+- **Auth + transport security** — a pluggable :class:`AuthProvider` seam.
+  Shared-secret authentication (a worker started with ``repro serve
+  --secret …`` or ``REPRO_DISTRIBUTED_SECRET`` embeds a random challenge
+  in its ``HELLO`` and requires an HMAC-SHA256 response) remains one
+  provider; :class:`TLSAuth` wraps every socket in TLS — mutual TLS when
+  a CA bundle demands client certificates — configured by ``repro serve
+  --tls-cert/--tls-key/--tls-ca`` and the ``REPRO_DISTRIBUTED_TLS_*``
+  knobs, with a plaintext retry only when explicitly allowed
+  (``REPRO_DISTRIBUTED_TLS_ALLOW_PLAINTEXT``).
+- **Capability handshake + pipelining + elastic membership** — ``HELLO``
+  carries a capability set (:data:`PROTOCOL_CAPS`) and peers restrict
+  themselves to the intersection, so mixed worker versions keep serving
+  each other (only an empty intersection rejects). Connections whose
+  worker negotiated ``pipeline`` keep :func:`pipeline_depth` task frames
+  in flight with out-of-order RESULT correlation by shard id — shard N+1
+  crosses the wire while shard N computes. Workers may also dial *in*:
+  ``repro serve --register host:port`` REGISTERs with the coordinator's
+  registry (``REPRO_DISTRIBUTED_REGISTRY_BIND`` / :func:`start_registry`)
+  and joins the default host list until its registration link drops —
+  an autoscaler adds and drains hosts mid-run with no static config.
 
 Knob: ``hosts=`` on the entry points (and on the sampling baselines),
 defaulting to the process-wide :func:`distributed_hosts` (set with
@@ -67,6 +80,7 @@ import hmac as hmac_module
 import json
 import os
 import secrets as secrets_module
+import ssl
 import struct
 import sys
 import threading
@@ -95,8 +109,49 @@ WIRE_VERSION = 1
 #: PLAN_HAVE / PLAN_NEED) and the AUTH challenge became part of every
 #: conversation: a version-1 peer would not merely miss features, it would
 #: drop the connection on the first unknown frame, so mismatches must fail
-#: loudly at hello time instead.
+#: loudly at hello time instead. From there on the int is frozen: new
+#: features negotiate through the capability set below instead of another
+#: bump, so mixed worker versions keep serving each other.
 PROTOCOL_VERSION = 2
+
+#: What a plain version-2 peer can do. A HELLO without a ``caps`` entry
+#: (an older build) is assumed to speak exactly this set — the behaviours
+#: the version-2 protocol already required.
+V2_BASELINE_CAPS = frozenset({"mc", "kl", "eval", "ping", "plan-offer"})
+
+#: Everything this build speaks. HELLO carries ``sorted(PROTOCOL_CAPS)``
+#: and each side restricts itself to the *intersection* with its peer's
+#: set: a worker missing ``pipeline`` is simply driven lockstep, a
+#: coordinator that never registers ignores ``register``, and only an
+#: empty intersection is a hard handshake failure. ``caps`` itself is
+#: advertised so peers can tell "negotiated baseline" from "legacy hello".
+PROTOCOL_CAPS = V2_BASELINE_CAPS | frozenset({"caps", "pipeline", "register"})
+
+
+def negotiate_caps(meta: dict, peer: str) -> frozenset:
+    """The capability set shared with a peer, from its HELLO metadata.
+
+    A hello without ``caps`` must carry the exact legacy version int (the
+    old all-or-nothing check) and grants :data:`V2_BASELINE_CAPS`. With
+    ``caps`` present the version int is advisory and the intersection with
+    :data:`PROTOCOL_CAPS` decides; an empty intersection — nothing both
+    sides can do — is the only remaining hard rejection.
+    """
+    advertised = meta.get("caps")
+    if advertised is None:
+        if meta.get("version") != PROTOCOL_VERSION:
+            raise ReproError(
+                f"peer {peer} speaks protocol {meta.get('version')!r} with no "
+                f"capability set, not {PROTOCOL_VERSION}"
+            )
+        return V2_BASELINE_CAPS
+    shared = PROTOCOL_CAPS & frozenset(str(cap) for cap in advertised)
+    if not (shared - {"caps"}):
+        raise ReproError(
+            f"peer {peer} shares no protocol capabilities with this build "
+            f"(it offered {sorted(str(c) for c in advertised)!r})"
+        )
+    return shared
 
 #: Fixed wire header: magic, version, flags, crc32(meta+payload), meta
 #: length, payload length — little-endian, 24 bytes.
@@ -606,10 +661,16 @@ def distributed_hosts_set(hosts):
 def effective_hosts(hosts) -> tuple[str, ...]:
     """Resolve a per-call ``hosts`` argument against the process-wide knob.
 
-    ``None`` defers to :func:`distributed_hosts`; an explicit empty list (or
-    ``()``) forces local execution regardless of the knob.
+    ``None`` defers to :func:`distributed_hosts` *plus* any workers that
+    REGISTERed with this coordinator's registry (static list first,
+    deduplicated); an explicit empty list (or ``()``) forces local
+    execution regardless of the knob, and an explicit list is taken
+    verbatim — elastic members only ever extend the default.
     """
     if hosts is None:
+        elastic = registered_hosts()
+        if elastic:
+            return tuple(dict.fromkeys(_HOSTS + elastic))
         return _HOSTS
     if isinstance(hosts, str):
         hosts = [part for part in hosts.replace(";", ",").split(",") if part.strip()]
@@ -666,6 +727,287 @@ def auth_response(secret: str, challenge_hex: str) -> str:
     ).hexdigest()
 
 
+# --------------------------------------------------------------------------- #
+# transport security: the pluggable AuthProvider seam
+
+class AuthProvider:
+    """How a coordinator secures (and authenticates) worker connections.
+
+    The base class is the plaintext provider: no transport encryption, and
+    worker challenges answered with the process-wide
+    :func:`distributed_secret`. Subclasses override any of the three
+    seams — :meth:`client_ssl` / :meth:`server_ssl` for transport
+    contexts, :meth:`secret` for the challenge-response credential — so
+    HMAC, TLS, mTLS, or a custom backend all plug into the same
+    :class:`HostPool` without it knowing which is active.
+    """
+
+    name = "plaintext"
+
+    def client_ssl(self) -> ssl.SSLContext | None:
+        """Context for dialing out (coordinator→worker); ``None`` = plaintext."""
+        return None
+
+    def server_ssl(self) -> ssl.SSLContext | None:
+        """Context for listening (the registration endpoint); ``None`` = plaintext."""
+        return None
+
+    def secret(self) -> str | None:
+        """The shared secret used to answer HMAC challenges, if any."""
+        return distributed_secret()
+
+    def plaintext_fallback(self) -> bool:
+        """Whether a failed TLS handshake may retry in plaintext (opt-in)."""
+        return False
+
+
+class HMACAuth(AuthProvider):
+    """Shared-secret challenge-response only (the pre-TLS behaviour)."""
+
+    name = "hmac"
+
+    def __init__(self, secret: str | None = None):
+        self._secret = str(secret) if secret else None
+
+    def secret(self) -> str | None:
+        return self._secret if self._secret is not None else distributed_secret()
+
+
+class TLSAuth(AuthProvider):
+    """TLS transport security, optionally mutual, on top of the HMAC layer.
+
+    ``certfile``/``keyfile`` are this endpoint's own certificate — a
+    worker's server certificate, or the coordinator's *client* certificate
+    when the fleet requires mutual TLS. ``cafile`` is the bundle the peer
+    is verified against: a coordinator needs it to trust workers; a worker
+    that sets it demands (and verifies) client certificates, turning the
+    link into mTLS. Hostname/IP checking stays on — certificates must name
+    the address they serve. ``allow_plaintext`` opts into a one-shot
+    plaintext retry when the peer does not speak TLS at all (never when
+    certificate *verification* fails).
+    """
+
+    def __init__(self, certfile: str | None = None, keyfile: str | None = None,
+                 cafile: str | None = None, *, secret: str | None = None,
+                 allow_plaintext: bool = False):
+        self.certfile = str(certfile) if certfile else None
+        self.keyfile = str(keyfile) if keyfile else None
+        self.cafile = str(cafile) if cafile else None
+        self._secret = str(secret) if secret else None
+        self._allow_plaintext = bool(allow_plaintext)
+        self._client_ctx: ssl.SSLContext | None = None
+        self._server_ctx: ssl.SSLContext | None = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "mtls" if (self.cafile and self.certfile) else "tls"
+
+    def client_ssl(self) -> ssl.SSLContext | None:
+        if self._client_ctx is None:
+            check(
+                self.cafile is not None,
+                "TLS coordinator needs a CA bundle to verify workers "
+                "(REPRO_DISTRIBUTED_TLS_CA)",
+            )
+            context = ssl.create_default_context(
+                ssl.Purpose.SERVER_AUTH, cafile=self.cafile
+            )
+            if self.certfile:  # present a client certificate for mTLS peers
+                context.load_cert_chain(self.certfile, self.keyfile)
+            self._client_ctx = context
+        return self._client_ctx
+
+    def server_ssl(self) -> ssl.SSLContext | None:
+        if self._server_ctx is None:
+            check(
+                self.certfile is not None and self.keyfile is not None,
+                "a TLS endpoint needs its own certificate and key "
+                "(--tls-cert/--tls-key or REPRO_DISTRIBUTED_TLS_CERT/_KEY)",
+            )
+            context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            context.load_cert_chain(self.certfile, self.keyfile)
+            if self.cafile:  # mutual TLS: demand and verify client certs
+                context.load_verify_locations(self.cafile)
+                context.verify_mode = ssl.CERT_REQUIRED
+            self._server_ctx = context
+        return self._server_ctx
+
+    def secret(self) -> str | None:
+        return self._secret if self._secret is not None else distributed_secret()
+
+    def plaintext_fallback(self) -> bool:
+        return self._allow_plaintext
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def _tls_from_env() -> dict | None:
+    cert = os.environ.get("REPRO_DISTRIBUTED_TLS_CERT") or None
+    key = os.environ.get("REPRO_DISTRIBUTED_TLS_KEY") or None
+    ca = os.environ.get("REPRO_DISTRIBUTED_TLS_CA") or None
+    if not (cert or ca):
+        return None
+    return {
+        "certfile": cert,
+        "keyfile": key,
+        "cafile": ca,
+        "allow_plaintext": _env_flag("REPRO_DISTRIBUTED_TLS_ALLOW_PLAINTEXT"),
+    }
+
+
+_TLS: dict | None = _tls_from_env()
+_AUTH_PROVIDER: AuthProvider | None = None
+_TLS_PROVIDER_CACHE: tuple[tuple, TLSAuth] | None = None
+_PLAINTEXT_PROVIDER = AuthProvider()
+
+
+def distributed_tls() -> dict | None:
+    """The process-wide TLS knob values (``None`` = TLS not configured)."""
+    return dict(_TLS) if _TLS is not None else None
+
+
+def set_distributed_tls(certfile=None, keyfile=None, cafile=None,
+                        allow_plaintext: bool = False) -> None:
+    """Set the process-wide TLS knobs (``REPRO_DISTRIBUTED_TLS_*`` override).
+
+    With neither a certificate nor a CA bundle the knob clears and the
+    provider falls back to HMAC/plaintext. Coordinators need ``cafile``
+    (to verify workers) and present ``certfile``/``keyfile`` when workers
+    demand client certificates (mTLS); workers read the same knobs for
+    their server side.
+    """
+    global _TLS
+    if not (certfile or cafile):
+        _TLS = None
+        return
+    _TLS = {
+        "certfile": str(certfile) if certfile else None,
+        "keyfile": str(keyfile) if keyfile else None,
+        "cafile": str(cafile) if cafile else None,
+        "allow_plaintext": bool(allow_plaintext),
+    }
+
+
+@contextmanager
+def distributed_tls_set(certfile=None, keyfile=None, cafile=None,
+                        allow_plaintext: bool = False):
+    """Scope a :func:`set_distributed_tls` change, restoring the previous."""
+    global _TLS
+    previous = _TLS
+    set_distributed_tls(certfile, keyfile, cafile, allow_plaintext)
+    try:
+        yield
+    finally:
+        _TLS = previous
+
+
+def set_auth_provider(provider: AuthProvider | None) -> None:
+    """Install an explicit :class:`AuthProvider`, overriding the knobs."""
+    global _AUTH_PROVIDER
+    check(
+        provider is None or isinstance(provider, AuthProvider),
+        "auth provider must be an AuthProvider (or None to clear)",
+    )
+    _AUTH_PROVIDER = provider
+
+
+@contextmanager
+def auth_provider_set(provider: AuthProvider | None):
+    """Scope a :func:`set_auth_provider` change, restoring the previous."""
+    global _AUTH_PROVIDER
+    previous = _AUTH_PROVIDER
+    set_auth_provider(provider)
+    try:
+        yield
+    finally:
+        _AUTH_PROVIDER = previous
+
+
+def auth_provider() -> AuthProvider:
+    """The active provider: explicit install > TLS knobs > HMAC > plaintext."""
+    global _TLS_PROVIDER_CACHE
+    if _AUTH_PROVIDER is not None:
+        return _AUTH_PROVIDER
+    if _TLS is not None:
+        key = tuple(sorted(_TLS.items()))
+        if _TLS_PROVIDER_CACHE is None or _TLS_PROVIDER_CACHE[0] != key:
+            # Cache per config so SSL contexts build once, not per connect.
+            _TLS_PROVIDER_CACHE = (key, TLSAuth(**_TLS))
+        return _TLS_PROVIDER_CACHE[1]
+    if _SECRET is not None:
+        return HMACAuth()
+    return _PLAINTEXT_PROVIDER
+
+
+# --------------------------------------------------------------------------- #
+# pipelining and registration knobs
+
+#: Default task frames kept in flight per pooled connection. Depth 1 is
+#: the old lockstep send→wait protocol; anything higher lets shard N+1
+#: cross the wire while shard N computes, hiding per-shard round-trip
+#: latency behind worker compute.
+PIPELINE_DEPTH = 4
+
+#: Task payload bytes allowed in flight beyond the first frame. Both peers
+#: write without reading while a pipeline drains, so unread bytes in each
+#: direction must stay below the kernel socket buffers or the pair can
+#: deadlock writing at each other; results are never larger than their
+#: tasks here (a row's answer is one value), so capping outstanding *task*
+#: bytes bounds both directions. Frames bigger than the window simply ride
+#: an empty pipe — lockstep, exactly as before.
+PIPELINE_WINDOW_BYTES = 1 << 17
+
+
+def _pipeline_depth_from_env() -> int:
+    raw = os.environ.get("REPRO_DISTRIBUTED_PIPELINE", "").strip()
+    if not raw:
+        return PIPELINE_DEPTH
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return PIPELINE_DEPTH
+
+
+_PIPELINE_DEPTH: int = _pipeline_depth_from_env()
+
+
+def pipeline_depth() -> int:
+    """Task frames kept in flight per connection (1 = lockstep)."""
+    return _PIPELINE_DEPTH
+
+
+def set_pipeline_depth(depth: int | None) -> None:
+    """Set the pipeline depth (``None`` restores the default; floor 1)."""
+    global _PIPELINE_DEPTH
+    _PIPELINE_DEPTH = PIPELINE_DEPTH if depth is None else max(1, int(depth))
+
+
+@contextmanager
+def pipeline_depth_set(depth: int | None):
+    """Scope a :func:`set_pipeline_depth` change, restoring the previous."""
+    global _PIPELINE_DEPTH
+    previous = _PIPELINE_DEPTH
+    set_pipeline_depth(depth)
+    try:
+        yield
+    finally:
+        _PIPELINE_DEPTH = previous
+
+
+#: ``host:port`` to bind the coordinator's registration endpoint on, from
+#: ``REPRO_DISTRIBUTED_REGISTRY_BIND``. When set, the endpoint starts
+#: lazily with the pool and workers launched with ``repro serve
+#: --register host:port`` join the host list without being configured on
+#: the coordinator at all.
+_REGISTRY_BIND: str | None = os.environ.get("REPRO_DISTRIBUTED_REGISTRY_BIND") or None
+
+#: Seconds a registering worker waits between dial attempts (the registry
+#: may simply not be up yet; registration failure is never fatal).
+REGISTER_RETRY_SECONDS = 1.0
+
+
 _WARNED: set[str] = set()
 
 
@@ -693,6 +1035,8 @@ MSG_PLAN_HAVE = 11
 MSG_PLAN_NEED = 12
 MSG_AUTH = 13
 MSG_AUTH_OK = 14
+MSG_REGISTER = 15
+MSG_DEREGISTER = 16
 
 #: Seconds allowed for a TCP connect + handshake before a host is skipped.
 CONNECT_TIMEOUT = 5.0
@@ -753,6 +1097,44 @@ _CONNECTION_ERRORS = (
 )
 
 
+async def _open_transport(host: str, port: int, provider: AuthProvider):
+    """``(reader, writer)`` with the provider's transport security applied.
+
+    Certificate *verification* failures are always fatal (the peer speaks
+    TLS; trust is the whole point). A peer that does not speak TLS at all
+    raises unless the provider explicitly allows a one-shot plaintext
+    retry — the "mixed fleet mid-rollout" escape hatch.
+    """
+    context = provider.client_ssl()
+    if context is None:
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port), CONNECT_TIMEOUT
+        )
+    try:
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port, ssl=context), CONNECT_TIMEOUT
+        )
+    except ssl.SSLCertVerificationError as exc:
+        raise ReproError(
+            f"worker {host}:{port} failed TLS certificate verification ({exc})"
+        ) from None
+    except ssl.SSLError as exc:
+        if not provider.plaintext_fallback():
+            raise ReproError(
+                f"TLS handshake with worker {host}:{port} failed ({exc}); set "
+                "REPRO_DISTRIBUTED_TLS_ALLOW_PLAINTEXT=1 to permit a plaintext "
+                "retry during rollout"
+            ) from None
+        _warn_once(
+            f"tls-fallback:{host}:{port}",
+            f"worker {host}:{port} does not speak TLS; retrying in plaintext "
+            "as explicitly allowed",
+        )
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port), CONNECT_TIMEOUT
+        )
+
+
 # --------------------------------------------------------------------------- #
 # worker side
 
@@ -770,29 +1152,70 @@ class WorkerServer:
 
     ``secret`` arms shared-secret authentication: the hello carries a
     random challenge and the first client message must be a valid
-    ``MSG_AUTH`` HMAC response or the connection is refused. ``max_tasks``
-    is a fault-injection hook for tests and drills: the process dies
-    abruptly (``os._exit``) when asked to run task ``max_tasks + 1``,
-    simulating a mid-run crash. ``delay`` sleeps before every task — the
-    slow-host hook the work-stealing tests and drills use.
+    ``MSG_AUTH`` HMAC response or the connection is refused.
+    ``tls_cert``/``tls_key`` wrap the listener in TLS (plus ``tls_ca`` to
+    demand client certificates — mutual TLS); ``register`` dials a
+    coordinator's registration endpoint so this worker joins its host
+    list without static configuration, advertising ``advertise`` (or its
+    own bound address). ``max_tasks`` is a fault-injection hook for tests
+    and drills: the process dies abruptly (``os._exit``) when asked to
+    run task ``max_tasks + 1``, simulating a mid-run crash. ``delay``
+    sleeps before every task — the slow-host hook the work-stealing tests
+    and drills use. ``hello_caps``/``hello_version`` override what HELLO
+    advertises — the mixed-version drill hooks (``hello_caps=()`` sends a
+    caps-less legacy version-2 hello).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  max_tasks: int | None = None, secret: str | None = None,
-                 delay: float = 0.0):
+                 delay: float = 0.0, tls_cert: str | None = None,
+                 tls_key: str | None = None, tls_ca: str | None = None,
+                 register: str | None = None, advertise: str | None = None,
+                 hello_caps=None, hello_version: int | None = None):
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port on start
         self.max_tasks = max_tasks
         self.secret = str(secret) if secret else None
         self.delay = float(delay or 0.0)
+        self.tls = (
+            TLSAuth(tls_cert, tls_key, tls_ca, secret=self.secret)
+            if tls_cert
+            else None
+        )
+        self.register = str(register) if register else None
+        self.advertise = str(advertise) if advertise else None
+        self.hello_caps = None if hello_caps is None else tuple(hello_caps)
+        self.hello_version = hello_version
+        self.registered = False  # True while the registry link is up
         self._executed = 0
         self._plans: dict[str, WirePlan] = {}
         self._tables: dict[str, WireTables] = {}
         self._server = None
+        self._register_task = None
+
+    def _hello_meta(self) -> dict:
+        hello = {
+            "version": (
+                PROTOCOL_VERSION if self.hello_version is None else self.hello_version
+            ),
+            "wire": WIRE_VERSION,
+            "pid": os.getpid(),
+            "numpy": numpy_module() is not None,
+            "auth": self.secret is not None,
+        }
+        caps = sorted(PROTOCOL_CAPS) if self.hello_caps is None else self.hello_caps
+        if caps:  # an empty override simulates a caps-less legacy hello
+            hello["caps"] = list(caps)
+        return hello
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port,
+            ssl=self.tls.server_ssl() if self.tls is not None else None,
+        )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.register is not None:
+            self._register_task = asyncio.ensure_future(self._register_loop())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -801,10 +1224,112 @@ class WorkerServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._register_task is not None:
+            self._register_task.cancel()
+            try:
+                await self._register_task
+            except asyncio.CancelledError:
+                pass
+            self._register_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def _register_loop(self) -> None:
+        """Keep a registration link to the coordinator open, forever.
+
+        Dials ``self.register``, answers its challenge, REGISTERs this
+        worker's advertised address, then holds the connection open
+        answering PINGs — its EOF is the coordinator's signal to drain
+        the membership. Every failure (registry not up yet, bounced
+        coordinator) just waits and re-dials; a worker that cannot
+        register still serves its static listeners. On cancellation
+        (worker stop) a polite DEREGISTER is attempted first.
+        """
+        reg_host, reg_port = _parse_hostport(self.register)
+        advertise = self.advertise or f"{self.host}:{self.port}"
+        context = None
+        if self.tls is not None and self.tls.cafile is not None:
+            context = self.tls.client_ssl()
+        writer = None
+        announced = False
+        try:
+            while True:
+                try:
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(reg_host, reg_port, ssl=context),
+                        CONNECT_TIMEOUT,
+                    )
+                    kind, meta, _blob = await asyncio.wait_for(
+                        _read_message(reader), CONNECT_TIMEOUT
+                    )
+                    if kind != MSG_HELLO:
+                        raise ReproError("registry endpoint did not greet")
+                    challenge = meta.get("challenge")
+                    if challenge is not None:
+                        check(
+                            self.secret is not None,
+                            "coordinator registry requires authentication and "
+                            "this worker has no secret",
+                        )
+                        await _send_message(
+                            writer, MSG_AUTH,
+                            {"mac": auth_response(self.secret, challenge)},
+                        )
+                        akind, _ameta, _ablob = await asyncio.wait_for(
+                            _read_message(reader), CONNECT_TIMEOUT
+                        )
+                        if akind != MSG_AUTH_OK:
+                            raise ReproError("registry rejected authentication")
+                    await _send_message(
+                        writer, MSG_REGISTER,
+                        {"advertise": advertise, "pid": os.getpid(),
+                         "caps": sorted(PROTOCOL_CAPS)},
+                    )
+                    kind, meta, _blob = await asyncio.wait_for(
+                        _read_message(reader), CONNECT_TIMEOUT
+                    )
+                    if kind != MSG_REGISTER or not meta.get("accepted"):
+                        raise ReproError("registry refused the registration")
+                    self.registered = True
+                    if not announced:
+                        announced = True
+                        print(
+                            f"repro-worker registered with {self.register} "
+                            f"as {advertise}",
+                            flush=True,
+                        )
+                    while True:  # hold the link; EOF on either side = drain
+                        kind, meta, _blob = await _read_message(reader)
+                        if kind == MSG_PING:
+                            await _send_message(
+                                writer, MSG_PONG, {"pid": os.getpid()}
+                            )
+                        elif kind == MSG_SHUTDOWN:
+                            raise asyncio.IncompleteReadError(b"", None)
+                except asyncio.CancelledError:
+                    if writer is not None and self.registered:
+                        try:  # polite drain; EOF covers it if this fails
+                            await _send_message(
+                                writer, MSG_DEREGISTER, {"advertise": advertise}
+                            )
+                        except BaseException:  # noqa: BLE001 - best effort
+                            pass
+                    raise
+                except _CONNECTION_ERRORS + (ReproError,):
+                    pass
+                finally:
+                    self.registered = False
+                    if writer is not None:
+                        try:
+                            writer.close()
+                        except Exception:  # pragma: no cover - teardown race
+                            pass
+                        writer = None
+                await asyncio.sleep(REGISTER_RETRY_SECONDS)
+        except asyncio.CancelledError:
+            raise
 
     def _cache_put(self, cache: dict, key: str, value) -> None:
         while len(cache) >= _WORKER_CACHE_LIMIT:
@@ -813,13 +1338,7 @@ class WorkerServer:
 
     async def _handle(self, reader, writer) -> None:
         try:
-            hello = {
-                "version": PROTOCOL_VERSION,
-                "wire": WIRE_VERSION,
-                "pid": os.getpid(),
-                "numpy": numpy_module() is not None,
-                "auth": self.secret is not None,
-            }
+            hello = self._hello_meta()
             challenge = None
             if self.secret is not None:
                 challenge = secrets_module.token_hex(16)
@@ -987,7 +1506,12 @@ class LocalWorker:
 def spawn_local_worker(max_tasks: int | None = None,
                        startup_timeout: float = 30.0, port: int = 0,
                        secret: str | None = None,
-                       delay: float | None = None) -> LocalWorker:
+                       delay: float | None = None,
+                       tls_cert: str | None = None,
+                       tls_key: str | None = None,
+                       tls_ca: str | None = None,
+                       register: str | None = None,
+                       advertise: str | None = None) -> LocalWorker:
     """Start a localhost shard worker subprocess and wait until it is ready.
 
     Runs ``python -m repro serve`` (``port=0`` lets the OS pick, so any
@@ -997,8 +1521,10 @@ def spawn_local_worker(max_tasks: int | None = None,
     ``repro-worker listening on host:port`` readiness line. The caller owns
     teardown (:meth:`LocalWorker.stop`). Tests and benchmarks share this
     one implementation of the spawn/readiness/teardown dance; ``max_tasks``
-    (crash after N tasks), ``secret`` (require auth) and ``delay`` (sleep
-    before each task) pass the drill hooks through.
+    (crash after N tasks), ``secret`` (require auth), ``delay`` (sleep
+    before each task), the ``tls_*`` certificate paths and
+    ``register``/``advertise`` (elastic membership) pass the serve flags
+    through.
     """
     import re
     import subprocess
@@ -1012,6 +1538,16 @@ def spawn_local_worker(max_tasks: int | None = None,
     env["PYTHONPATH"] = package_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if tls_cert is not None or tls_key is not None or tls_ca is not None:
+        # An explicit TLS configuration means exactly these files: serve
+        # backfills each missing --tls-* flag from the environment on its
+        # own, so an ambient REPRO_DISTRIBUTED_TLS_CA (the CI distributed
+        # job runs the suite under full mTLS) would silently upgrade a
+        # server-auth-only worker to demanding client certificates.
+        for tls_var in ("REPRO_DISTRIBUTED_TLS_CERT",
+                        "REPRO_DISTRIBUTED_TLS_KEY",
+                        "REPRO_DISTRIBUTED_TLS_CA"):
+            env.pop(tls_var, None)
     command = [sys.executable, "-m", "repro", "serve", "--port", str(port)]
     if max_tasks is not None:
         command += ["--max-tasks", str(max_tasks)]
@@ -1019,6 +1555,16 @@ def spawn_local_worker(max_tasks: int | None = None,
         command += ["--secret", str(secret)]
     if delay is not None:
         command += ["--delay", str(delay)]
+    if tls_cert is not None:
+        command += ["--tls-cert", str(tls_cert)]
+    if tls_key is not None:
+        command += ["--tls-key", str(tls_key)]
+    if tls_ca is not None:
+        command += ["--tls-ca", str(tls_ca)]
+    if register is not None:
+        command += ["--register", str(register)]
+    if advertise is not None:
+        command += ["--advertise", str(advertise)]
     process = subprocess.Popen(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
@@ -1043,14 +1589,15 @@ def spawn_local_worker(max_tasks: int | None = None,
 class _Conn:
     """One pooled worker connection plus what that worker is known to hold."""
 
-    __slots__ = ("hostport", "reader", "writer", "published", "pid")
+    __slots__ = ("hostport", "reader", "writer", "published", "pid", "caps")
 
-    def __init__(self, hostport: str, reader, writer, pid):
+    def __init__(self, hostport: str, reader, writer, pid, caps=V2_BASELINE_CAPS):
         self.hostport = hostport
         self.reader = reader
         self.writer = writer
         self.published: set[str] = set()  # digests confirmed on this worker
         self.pid = pid
+        self.caps = caps  # negotiated capability intersection
 
 
 class _StealQueue:
@@ -1125,6 +1672,8 @@ def _fresh_stats() -> dict:
         "publishes_skipped": 0,
         "tasks_completed": 0,
         "steals": 0,
+        "registrations": 0,
+        "drains": 0,
         "per_host_tasks": {},
     }
 
@@ -1153,6 +1702,11 @@ class HostPool:
         self._host_locks: dict[str, asyncio.Lock] = {}
         self._ever_connected: set[str] = set()
         self._stats = _fresh_stats()
+        self._registered: dict[str, int] = {}  # hostport -> registering pid
+        self._registry = None  # the asyncio server accepting registrations
+        self._registry_addr: str | None = None
+        self._registry_lock = threading.Lock()
+        self._registry_tasks: set = set()  # live per-connection handlers
 
     # -- lifecycle -------------------------------------------------------- #
 
@@ -1185,17 +1739,69 @@ class HostPool:
         self._submit(self._close_connections()).result()
 
     def close(self) -> None:
-        """Tear the runtime down: connections, then the loop thread."""
-        if self._loop is None:
+        """Tear the runtime down: connections, registry, then the loop thread.
+
+        Runs at interpreter exit via :func:`close_pool`, which may be
+        *after* the daemon loop thread was already torn down — so every
+        step is best-effort and the method is idempotent: a dead loop
+        just has its references dropped, never awaited. Exceptions never
+        escape (an atexit hook that raises turns a clean exit noisy).
+        """
+        loop, thread = self._loop, self._thread
+        if loop is None:
             return
-        self._submit(self._close_connections()).result()
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        self._loop.close()
+        alive = thread is not None and thread.is_alive() and not loop.is_closed()
+        if alive:
+            try:
+                # Not _submit: that would restart a dead loop thread.
+                asyncio.run_coroutine_threadsafe(
+                    self._close_runtime(), loop
+                ).result(timeout=5.0)
+            except Exception:  # pragma: no cover - interpreter-exit races
+                pass
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+                thread.join(timeout=5.0)
+            except Exception:  # pragma: no cover - interpreter-exit races
+                pass
+        try:
+            if not loop.is_closed():
+                loop.close()
+        except Exception:  # pragma: no cover - interpreter-exit races
+            pass
         self._loop = None
         self._thread = None
         self._host_locks = {}
+        self._conns = {}
+        self._registered = {}
+        self._registry = None
+        self._registry_addr = None
+
+    async def _close_runtime(self) -> None:
+        await self._close_registry()
+        await self._close_connections()
+
+    async def _close_registry(self) -> None:
+        if self._registry is None:
+            return
+        self._registry.close()
+        try:
+            await asyncio.wait_for(self._registry.wait_closed(), timeout=1.0)
+        except Exception:  # pragma: no cover - teardown race
+            pass
+        # Registered workers hold their link open (membership = the link),
+        # so every live handler is parked in a read that would outlive the
+        # loop — cancel them or interpreter exit logs pending-task noise.
+        for task in list(self._registry_tasks):
+            task.cancel()
+        if self._registry_tasks:
+            await asyncio.gather(
+                *self._registry_tasks, return_exceptions=True
+            )
+        self._registry_tasks.clear()
+        self._registry = None
+        self._registry_addr = None
+        self._registered = {}
 
     async def _close_connections(self) -> None:
         for conn in list(self._conns.values()):
@@ -1225,7 +1831,169 @@ class HostPool:
         snapshot = dict(self._stats)
         snapshot["per_host_tasks"] = dict(self._stats["per_host_tasks"])
         snapshot["open_connections"] = sorted(self._conns)
+        snapshot["registered_hosts"] = sorted(self._registered)
+        snapshot["registry_addr"] = self._registry_addr
         return snapshot
+
+    # -- elastic membership: the registration endpoint -------------------- #
+
+    def registered(self) -> tuple[str, ...]:
+        """Hosts currently registered via the endpoint (insertion order)."""
+        return tuple(self._registered)
+
+    def ensure_registry(self) -> str | None:
+        """Start the env-armed registry once; returns its bound address."""
+        if _REGISTRY_BIND is None:
+            return self._registry_addr
+        host, port = _parse_hostport(_REGISTRY_BIND)
+        try:
+            return self.start_registry(host, port)
+        except (ReproError, OSError) as exc:
+            _warn_once(
+                "registry-bind",
+                f"could not bind the worker registry on {_REGISTRY_BIND} "
+                f"({exc}); elastic registration disabled",
+            )
+            return None
+
+    def start_registry(self, host: str = "127.0.0.1", port: int = 0) -> str:
+        """Bind the registration endpoint (idempotent); returns ``host:port``.
+
+        Workers started with ``repro serve --register host:port`` dial it,
+        authenticate exactly like a coordinator dialing a worker (HMAC
+        challenge when a secret is armed; TLS when the provider has a
+        server certificate), REGISTER an advertised address, and hold the
+        connection open — membership lasts exactly as long as the link.
+        """
+        with self._registry_lock:
+            if self._registry_addr is not None:
+                return self._registry_addr
+            self._registry_addr = self._submit(
+                self._start_registry(host, port)
+            ).result(timeout=CONNECT_TIMEOUT)
+            return self._registry_addr
+
+    def stop_registry(self) -> None:
+        """Close the registration endpoint and drop every registered host."""
+        with self._registry_lock:
+            if self._registry_addr is None:
+                return
+            self._submit(self._close_registry()).result(timeout=CONNECT_TIMEOUT)
+
+    def admit(self, hostport: str) -> None:
+        """Add a worker to the elastic membership (thread-safe test/API hook)."""
+        _parse_hostport(hostport)
+        self._submit(self._admit(hostport)).result(timeout=CONNECT_TIMEOUT)
+
+    def drain(self, hostport: str) -> None:
+        """Remove a worker from the elastic membership (thread-safe)."""
+        self._submit(self._drain(hostport)).result(timeout=CONNECT_TIMEOUT)
+
+    async def _start_registry(self, host: str, port: int):
+        provider = auth_provider()
+        try:
+            context = provider.server_ssl()
+        except ReproError:
+            # A coordinator without its own certificate still registers
+            # workers — the link is then HMAC/plaintext like the old wire.
+            context = None
+        self._registry = await asyncio.start_server(
+            self._handle_registration, host, port, ssl=context
+        )
+        bound = self._registry.sockets[0].getsockname()[1]
+        return f"{host}:{bound}"
+
+    async def _admit(self, hostport: str, pid: int = 0) -> None:
+        if hostport not in self._registered:
+            self._stats["registrations"] += 1
+        self._registered[hostport] = pid
+
+    async def _drain(self, hostport: str) -> None:
+        if self._registered.pop(hostport, None) is None:
+            return
+        self._stats["drains"] += 1
+        conn = self._conns.get(hostport)
+        lock = self._host_locks.get(hostport)
+        if conn is not None and (lock is None or not lock.locked()):
+            # The pooled connection is idle: retire it politely now. A
+            # busy one finishes its current call first (the queue simply
+            # stops handing the host work on the next call).
+            try:
+                await _send_message(conn.writer, MSG_SHUTDOWN, {})
+            except _CONNECTION_ERRORS:
+                pass
+            self._discard(conn)
+
+    async def _handle_registration(self, reader, writer) -> None:
+        """One registry peer: challenge, REGISTER, then hold until EOF."""
+        provider = auth_provider()
+        advertise = None
+        task = asyncio.current_task()
+        self._registry_tasks.add(task)
+        try:
+            hello = {
+                "version": PROTOCOL_VERSION,
+                "caps": sorted(PROTOCOL_CAPS),
+                "role": "registry",
+                "pid": os.getpid(),
+            }
+            secret = provider.secret()
+            challenge = None
+            if secret is not None:
+                challenge = secrets_module.token_hex(16)
+                hello["challenge"] = challenge
+            await _send_message(writer, MSG_HELLO, hello)
+            kind, meta, _blob = await asyncio.wait_for(
+                _read_message(reader), CONNECT_TIMEOUT
+            )
+            if challenge is not None:
+                expected = auth_response(secret, challenge)
+                if kind != MSG_AUTH or not hmac_module.compare_digest(
+                    str(meta.get("mac", "")), expected
+                ):
+                    await _send_message(
+                        writer, MSG_ERROR, {"message": "authentication failed"}
+                    )
+                    return
+                await _send_message(writer, MSG_AUTH_OK, {"pid": os.getpid()})
+                kind, meta, _blob = await asyncio.wait_for(
+                    _read_message(reader), CONNECT_TIMEOUT
+                )
+            if kind != MSG_REGISTER:
+                await _send_message(
+                    writer, MSG_ERROR, {"message": "expected a REGISTER"}
+                )
+                return
+            advertise = str(meta.get("advertise", ""))
+            _parse_hostport(advertise)  # garbage advertisements are refused
+            await self._admit(advertise, int(meta.get("pid") or 0))
+            await _send_message(
+                writer, MSG_REGISTER, {"advertise": advertise, "accepted": True}
+            )
+            while True:  # membership lasts exactly as long as this link
+                kind, meta, _blob = await _read_message(reader)
+                if kind == MSG_DEREGISTER:
+                    return
+                if kind == MSG_PING:
+                    await _send_message(writer, MSG_PONG, {"pid": os.getpid()})
+        except _CONNECTION_ERRORS:
+            pass  # worker went away: EOF is the drain signal
+        except ReproError:
+            pass  # malformed registration; refuse silently
+        except asyncio.CancelledError:
+            # Registry shutdown. Swallow so the task completes instead of
+            # ending *cancelled*: asyncio.streams retrieves task.exception()
+            # in a done-callback, and a cancelled task would re-raise there
+            # and spam the loop's exception handler at teardown.
+            pass
+        finally:
+            self._registry_tasks.discard(task)
+            if advertise is not None:
+                await self._drain(advertise)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown race
+                pass
 
     # -- connection management (pool thread only) ------------------------- #
 
@@ -1244,26 +2012,27 @@ class HostPool:
                 _read_message(conn.reader), HEARTBEAT_TIMEOUT
             )
             return kind == MSG_PONG
-        except _CONNECTION_ERRORS:
+        except _CONNECTION_ERRORS + (ReproError,):
+            # ReproError covers a dying worker flushing a garbled partial
+            # frame: that PING failed just as surely as a dropped socket —
+            # letting it propagate would skip the failure accounting *and*
+            # leak the dead _Conn in the pool map.
             return False
 
     async def _connect(self, hostport: str) -> _Conn:
         host, port = _parse_hostport(hostport)
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port), CONNECT_TIMEOUT
-        )
+        provider = auth_provider()
+        reader, writer = await _open_transport(host, port, provider)
         try:
             kind, meta, _blob = await asyncio.wait_for(
                 _read_message(reader), CONNECT_TIMEOUT
             )
-            if kind != MSG_HELLO or meta.get("version") != PROTOCOL_VERSION:
-                raise ReproError(
-                    f"worker {hostport} speaks protocol "
-                    f"{meta.get('version')!r}, not {PROTOCOL_VERSION}"
-                )
+            if kind != MSG_HELLO:
+                raise ReproError(f"worker {hostport} did not greet with HELLO")
+            caps = negotiate_caps(meta, f"worker {hostport}")
             challenge = meta.get("challenge")
             if challenge is not None:
-                secret = _SECRET
+                secret = provider.secret()
                 if secret is None:
                     raise ReproError(
                         f"worker {hostport} requires authentication and no "
@@ -1283,7 +2052,7 @@ class HostPool:
         except BaseException:
             writer.close()
             raise
-        conn = _Conn(hostport, reader, writer, meta.get("pid"))
+        conn = _Conn(hostport, reader, writer, meta.get("pid"), caps)
         self._stats["connects"] += 1
         if hostport in self._ever_connected:
             self._stats["reconnects"] += 1
@@ -1297,17 +2066,28 @@ class HostPool:
         Reuses the pooled connection when its heartbeat answers; otherwise
         reconnects (a bounced worker rejoining the pool). Failures warn
         once per host per process and return ``None`` — the caller's other
-        hosts, or the local fallback, absorb the work.
+        hosts, or the local fallback, absorb the work. The whole sequence
+        (heartbeat included) runs inside one try so no failure path can
+        leave a dead connection behind in the pool map.
         """
         conn = self._conns.get(hostport)
-        if conn is not None and not await self._heartbeat(conn):
-            self._stats["heartbeat_failures"] += 1
-            self._discard(conn)
-            conn = None
         try:
+            if conn is not None and not await self._heartbeat(conn):
+                self._stats["heartbeat_failures"] += 1
+                self._discard(conn)
+                conn = None
             if conn is None:
                 conn = await self._connect(hostport)
             await self._publish(conn, payloads)
+        except asyncio.CancelledError:
+            # Cancelled mid-exchange (a steal completed the call while
+            # this host was still heartbeating/publishing): a PING or
+            # offer may be on the wire with its reply unread, so the
+            # connection cannot be pooled — the next call would read the
+            # stale PONG/HAVE where it expects its own reply.
+            if conn is not None:
+                self._discard(conn)
+            raise
         except _CONNECTION_ERRORS + (ReproError,) as exc:
             if conn is not None:
                 self._discard(conn)
@@ -1400,7 +2180,17 @@ class HostPool:
         return results
 
     async def _pump(self, hostport, payloads, queue, tasks, results, complete):
-        """One host's task loop for one call: pull, send, record, steal.
+        """One host's task loop for one call: pull, pipeline, record, steal.
+
+        Up to :func:`pipeline_depth` task frames ride the connection at
+        once (when the worker negotiated the ``pipeline`` capability), so
+        shard N+1 crosses the wire while shard N computes; RESULT frames
+        are correlated back to their shard by task id, out of order.
+        Outstanding payload bytes beyond the first frame are capped at
+        :data:`PIPELINE_WINDOW_BYTES` — a frame that will not fit waits
+        for the pipe to empty and goes lockstep, which keeps unread bytes
+        in both directions bounded far below the kernel socket buffers
+        (the classic both-sides-blocked-writing pipelining deadlock).
 
         Tracks its own per-task latency so the stealing grace scales with
         the connection's real speed (a fast host may steal a shard that
@@ -1414,6 +2204,16 @@ class HostPool:
         loop = asyncio.get_running_loop()
         conn = None
         dirty = False
+        ran: set[int] = set()
+        inflight: dict[int, tuple[int, float, int]] = {}  # id -> (slot, t0, bytes)
+
+        def abandon_inflight() -> None:
+            """Requeue every unanswered shard (the connection is lost)."""
+            for slot, _started, _nbytes in inflight.values():
+                queue.release(slot)
+                ran.discard(slot)
+            inflight.clear()
+
         try:
             async with lock:
                 dirty = True  # _acquire exchanges heartbeat/auth/plan frames
@@ -1421,44 +2221,56 @@ class HostPool:
                 dirty = False
                 if conn is None:
                     return
-                ran: set[int] = set()
+                depth = pipeline_depth() if "pipeline" in conn.caps else 1
                 rejoined = False
                 latency_total = 0.0
                 latency_count = 0
+                window_bytes = 0
                 while len(results) < len(tasks):
                     min_age = STEAL_GRACE if latency_count == 0 else max(
                         STEAL_GRACE, 2.0 * latency_total / latency_count
                     )
-                    slot, retry_in = queue.take(ran, loop.time(), min_age)
-                    if slot is None:
-                        if retry_in is None:
-                            break
-                        # In-flight work exists but is too young to steal:
-                        # give its owner a beat, then look again.
-                        await asyncio.sleep(min(retry_in, STEAL_GRACE))
-                        continue
-                    task_id, meta, blob = tasks[slot]
-                    if task_id in results:
-                        queue.done(slot)
-                        continue
-                    ran.add(slot)
-                    started = loop.time()
+                    retry_in = None
                     try:
-                        payload = blob() if callable(blob) else blob
-                        dirty = True
-                        await _send_message(conn.writer, MSG_TASK, meta, payload)
+                        while len(inflight) < depth:
+                            slot, retry_in = queue.take(ran, loop.time(), min_age)
+                            if slot is None:
+                                break
+                            task_id, meta, blob = tasks[slot]
+                            if task_id in results:
+                                queue.done(slot)
+                                continue
+                            payload = blob() if callable(blob) else blob
+                            if inflight and (
+                                window_bytes + len(payload) > PIPELINE_WINDOW_BYTES
+                            ):
+                                # Too big to pipeline safely: put it back
+                                # and ship it alone once the pipe drains.
+                                queue.release(slot)
+                                break
+                            ran.add(slot)
+                            inflight[task_id] = (slot, loop.time(), len(payload))
+                            window_bytes += len(payload)
+                            dirty = True
+                            await _send_message(conn.writer, MSG_TASK, meta, payload)
+                        if not inflight:
+                            if retry_in is None:
+                                break
+                            # In-flight work exists elsewhere but is too
+                            # young to steal: give its owner a beat.
+                            await asyncio.sleep(min(retry_in, STEAL_GRACE))
+                            continue
                         kind, rmeta, rblob = await _read_message(conn.reader)
-                        dirty = False
                     except _CONNECTION_ERRORS:
+                        abandon_inflight()
+                        window_bytes = 0
                         dirty = False
-                        queue.release(slot)
-                        ran.discard(slot)
                         self._discard(conn)
                         conn = None
                         _warn_once(
                             "worker-died",
                             "a distributed worker disconnected mid-run; its "
-                            "shard was requeued",
+                            "shards were requeued",
                         )
                         if rejoined:
                             return
@@ -1468,17 +2280,23 @@ class HostPool:
                         dirty = False
                         if conn is None:
                             return
+                        depth = pipeline_depth() if "pipeline" in conn.caps else 1
                         continue
-                    if kind != MSG_RESULT or rmeta.get("id") != task_id:
+                    entry = (
+                        inflight.pop(rmeta.get("id"), None)
+                        if kind == MSG_RESULT
+                        else None
+                    )
+                    if entry is None:
                         # MSG_ERROR (e.g. a cache-evicted plan on a shared
-                        # worker) or a mismatched stream: requeue the shard
-                        # and drop the connection so the next call
-                        # re-publishes from a clean slate.
-                        queue.release(slot)
+                        # worker) or a reply for nothing in flight: requeue
+                        # everything and drop the connection so the next
+                        # call re-publishes from a clean slate.
                         detail = (
                             rmeta.get("message") if kind == MSG_ERROR
                             else "bad reply"
                         )
+                        abandon_inflight()
                         _warn_once(
                             "worker-refused",
                             f"a distributed worker refused a shard ({detail}); "
@@ -1486,6 +2304,10 @@ class HostPool:
                         )
                         self._discard(conn)
                         return
+                    slot, started, nbytes = entry
+                    window_bytes -= nbytes
+                    dirty = bool(inflight)  # pipelined replies still unread
+                    task_id = rmeta.get("id")
                     queue.done(slot)
                     latency_total += loop.time() - started
                     latency_count += 1
@@ -1497,10 +2319,11 @@ class HostPool:
                     if len(results) >= len(tasks):
                         complete.set()
         except asyncio.CancelledError:
-            # Cancelled with a frame possibly half-exchanged (mid-task or
-            # mid-handshake): the connection has unread bytes in flight and
-            # cannot be pooled. A cancel between frames keeps it.
-            if conn is not None and dirty:
+            # Cancelled with frames possibly half-exchanged (mid-task,
+            # mid-handshake, or pipelined replies unread): the connection
+            # has bytes in flight and cannot be pooled. A cancel between
+            # frames keeps it.
+            if conn is not None and (dirty or inflight):
                 self._discard(conn)
             raise
 
@@ -1521,6 +2344,29 @@ def pool_stats() -> dict:
 def reset_pool() -> None:
     """Drop the pooled worker connections; the next call reconnects."""
     _HOST_POOL.reset()
+
+
+def registered_hosts() -> tuple[str, ...]:
+    """Workers currently registered with this coordinator's registry.
+
+    Starts the env-armed registry (``REPRO_DISTRIBUTED_REGISTRY_BIND``)
+    lazily on first use, so merely importing this module never binds a
+    socket. Without the env knob or an explicit :func:`start_registry`
+    this is always empty and costs a dict copy.
+    """
+    if _REGISTRY_BIND is not None:
+        _HOST_POOL.ensure_registry()
+    return _HOST_POOL.registered()
+
+
+def start_registry(host: str = "127.0.0.1", port: int = 0) -> str:
+    """Bind the worker-registration endpoint; returns its ``host:port``."""
+    return _HOST_POOL.start_registry(host, port)
+
+
+def stop_registry() -> None:
+    """Close the registration endpoint and drop the elastic membership."""
+    _HOST_POOL.stop_registry()
 
 
 def close_pool() -> None:

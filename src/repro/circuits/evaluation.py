@@ -55,16 +55,28 @@ from repro.circuits.compiled import (  # noqa: F401 - re-exported knobs
     reset_compile_stats,
 )
 from repro.circuits.distributed import (  # noqa: F401 - re-exported knobs
+    auth_provider,
+    auth_provider_set,
     distributed_hosts,
     distributed_hosts_set,
     distributed_secret,
     distributed_secret_set,
+    distributed_tls,
+    distributed_tls_set,
+    pipeline_depth,
+    pipeline_depth_set,
     plan_from_bytes,
     plan_to_bytes,
     pool_stats,
+    registered_hosts,
     reset_pool,
+    set_auth_provider,
     set_distributed_hosts,
     set_distributed_secret,
+    set_distributed_tls,
+    set_pipeline_depth,
+    start_registry,
+    stop_registry,
 )
 from repro.circuits.parallel import (  # noqa: F401 - re-exported knobs
     parallel_available,
@@ -101,6 +113,9 @@ def capabilities() -> dict:
         "parallel_workers": parallel_workers(),
         "distributed_hosts": list(distributed_hosts()),
         "distributed_auth": distributed_secret() is not None,
+        "distributed_transport": auth_provider().name,
+        "distributed_pipeline": pipeline_depth(),
+        "distributed_registered": list(registered_hosts()),
         "distributed_pool": pool_stats(),
         "plan_cache_dir": plan_cache_dir(),
         "plan_cache": plan_cache_stats(),

@@ -239,6 +239,9 @@ def command_paper() -> None:
 def command_serve(
     host: str = "127.0.0.1", port: int = 0, max_tasks: int | None = None,
     secret: str | None = None, delay: float = 0.0,
+    tls_cert: str | None = None, tls_key: str | None = None,
+    tls_ca: str | None = None, register: str | None = None,
+    advertise: str | None = None,
 ) -> None:
     """Run a distributed shard worker until interrupted.
 
@@ -248,10 +251,16 @@ def command_serve(
     :mod:`repro.circuits.distributed`). ``--secret`` (default: the
     ``REPRO_DISTRIBUTED_SECRET`` environment variable) arms shared-secret
     authentication: every connection must answer the worker's HMAC
-    challenge or is refused. ``--max-tasks`` is the fault-injection hook
-    used by the test suite and resilience drills: the process dies
-    abruptly when asked to run one task more. ``--delay`` makes the worker
-    artificially slow (the work-stealing drill hook).
+    challenge or is refused. ``--tls-cert``/``--tls-key`` (defaults:
+    ``REPRO_DISTRIBUTED_TLS_CERT``/``_KEY``) wrap the listener in TLS, and
+    ``--tls-ca`` (``REPRO_DISTRIBUTED_TLS_CA``) additionally demands a
+    verified client certificate — mutual TLS. ``--register host:port``
+    dials a coordinator's registry so this worker joins its host list
+    elastically, advertising ``--advertise`` (default: its own bound
+    address). ``--max-tasks`` is the fault-injection hook used by the test
+    suite and resilience drills: the process dies abruptly when asked to
+    run one task more. ``--delay`` makes the worker artificially slow (the
+    work-stealing drill hook).
     """
     import asyncio
     import os
@@ -260,13 +269,23 @@ def command_serve(
 
     if secret is None:
         secret = os.environ.get("REPRO_DISTRIBUTED_SECRET") or None
+    if tls_cert is None:
+        tls_cert = os.environ.get("REPRO_DISTRIBUTED_TLS_CERT") or None
+    if tls_key is None:
+        tls_key = os.environ.get("REPRO_DISTRIBUTED_TLS_KEY") or None
+    if tls_ca is None:
+        tls_ca = os.environ.get("REPRO_DISTRIBUTED_TLS_CA") or None
 
     async def _serve() -> None:
         server = WorkerServer(
-            host=host, port=port, max_tasks=max_tasks, secret=secret, delay=delay
+            host=host, port=port, max_tasks=max_tasks, secret=secret,
+            delay=delay, tls_cert=tls_cert, tls_key=tls_key, tls_ca=tls_ca,
+            register=register, advertise=advertise,
         )
         await server.start()
         auth_note = " (auth required)" if secret else ""
+        if tls_cert:
+            auth_note += " (mtls)" if tls_ca else " (tls)"
         print(
             f"repro-worker listening on {server.host}:{server.port}{auth_note}",
             flush=True,
@@ -283,7 +302,9 @@ def command_serve_http(
     host: str = "127.0.0.1", port: int = 0, no_coalesce: bool = False,
     coalesce_ms: float | None = None, cache_size: int | None = None,
     cache_ttl: float | None = None, hosts: str | None = None,
-    secret: str | None = None,
+    secret: str | None = None, tls_cert: str | None = None,
+    tls_key: str | None = None, tls_ca: str | None = None,
+    registry_bind: str | None = None,
 ) -> None:
     """Run the always-on HTTP query service until interrupted.
 
@@ -305,6 +326,12 @@ def command_serve_http(
         distributed.set_distributed_hosts(hosts)
     if secret is not None:
         distributed.set_distributed_secret(secret)
+    if tls_cert or tls_ca:
+        distributed.set_distributed_tls(tls_cert, tls_key, tls_ca)
+    if registry_bind is not None:
+        reg_host, reg_port = distributed._parse_hostport(registry_bind)
+        bound = distributed.start_registry(reg_host, reg_port)
+        print(f"repro-service worker registry on {bound}", flush=True)
     kwargs: dict = {"coalesce": not no_coalesce}
     if coalesce_ms is not None:
         kwargs["coalesce_window"] = coalesce_ms / 1e3
@@ -444,7 +471,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "serve":
         command_serve(
             host=args.host, port=args.port, max_tasks=args.max_tasks,
-            secret=args.secret, delay=args.delay,
+            secret=args.secret, delay=args.delay, tls_cert=args.tls_cert,
+            tls_key=args.tls_key, tls_ca=args.tls_ca, register=args.register,
+            advertise=args.advertise,
         )
     elif args.command == "dist-eval":
         command_dist_eval(
@@ -456,6 +485,8 @@ def main(argv: list[str] | None = None) -> int:
             host=args.host, port=args.port, no_coalesce=args.no_coalesce,
             coalesce_ms=args.coalesce_ms, cache_size=args.cache_size,
             cache_ttl=args.cache_ttl, hosts=args.hosts, secret=args.secret,
+            tls_cert=args.tls_cert, tls_key=args.tls_key, tls_ca=args.tls_ca,
+            registry_bind=args.registry_bind,
         )
     return 0
 
@@ -481,6 +512,29 @@ def _add_worker_parsers(sub) -> None:
         "--delay", type=float, default=0.0,
         help="drill hook: sleep this many seconds before each task "
         "(simulates a slow host for work-stealing drills)",
+    )
+    serve.add_argument(
+        "--tls-cert", default=None,
+        help="serve TLS with this certificate chain "
+        "(default: REPRO_DISTRIBUTED_TLS_CERT)",
+    )
+    serve.add_argument(
+        "--tls-key", default=None,
+        help="private key for --tls-cert (default: REPRO_DISTRIBUTED_TLS_KEY)",
+    )
+    serve.add_argument(
+        "--tls-ca", default=None,
+        help="demand client certificates verified against this CA bundle — "
+        "mutual TLS (default: REPRO_DISTRIBUTED_TLS_CA)",
+    )
+    serve.add_argument(
+        "--register", default=None,
+        help="dial this coordinator registry ('host:port') and join its "
+        "host list elastically",
+    )
+    serve.add_argument(
+        "--advertise", default=None,
+        help="address to register as (default: the bound host:port)",
     )
     dist = sub.add_parser(
         "dist-eval", help="run a checked distributed Monte-Carlo evaluation"
@@ -534,6 +588,25 @@ def _add_worker_parsers(sub) -> None:
         help="shared secret for authenticated workers "
         "(default: REPRO_DISTRIBUTED_SECRET)",
     )
+    http.add_argument(
+        "--tls-cert", default=None,
+        help="client certificate presented to mTLS workers "
+        "(default: REPRO_DISTRIBUTED_TLS_CERT)",
+    )
+    http.add_argument(
+        "--tls-key", default=None,
+        help="private key for --tls-cert (default: REPRO_DISTRIBUTED_TLS_KEY)",
+    )
+    http.add_argument(
+        "--tls-ca", default=None,
+        help="CA bundle distributed workers are verified against "
+        "(default: REPRO_DISTRIBUTED_TLS_CA)",
+    )
+    http.add_argument(
+        "--registry-bind", default=None,
+        help="accept elastic worker registrations on this 'host:port' "
+        "(default: REPRO_DISTRIBUTED_REGISTRY_BIND)",
+    )
 
 
 def worker_main(argv: list[str] | None = None) -> int:
@@ -555,13 +628,17 @@ def worker_main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         command_serve(
             host=args.host, port=args.port, max_tasks=args.max_tasks,
-            secret=args.secret, delay=args.delay,
+            secret=args.secret, delay=args.delay, tls_cert=args.tls_cert,
+            tls_key=args.tls_key, tls_ca=args.tls_ca, register=args.register,
+            advertise=args.advertise,
         )
     elif args.command == "serve-http":
         command_serve_http(
             host=args.host, port=args.port, no_coalesce=args.no_coalesce,
             coalesce_ms=args.coalesce_ms, cache_size=args.cache_size,
             cache_ttl=args.cache_ttl, hosts=args.hosts, secret=args.secret,
+            tls_cert=args.tls_cert, tls_key=args.tls_key, tls_ca=args.tls_ca,
+            registry_bind=args.registry_bind,
         )
     else:
         command_dist_eval(

@@ -411,6 +411,12 @@ class QueryService:
             "streams": dict(self.stream_stats),
             "pool": caps["distributed_pool"],
             "distributed_hosts": caps["distributed_hosts"],
+            "transport": {
+                "provider": caps["distributed_transport"],
+                "auth": caps["distributed_auth"],
+                "pipeline_depth": caps["distributed_pipeline"],
+                "registered_hosts": caps["distributed_registered"],
+            },
             "compile": caps["compile"],
             "batch": caps["batch"],
             "plan_cache": caps["plan_cache"],

@@ -108,6 +108,15 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request("GET", "/stats")
 
+    def transport(self) -> dict:
+        """The service's distributed-transport block from ``/stats``.
+
+        ``{"provider", "auth", "pipeline_depth", "registered_hosts"}`` —
+        what secures the worker links, how deep shard pipelining runs,
+        and which workers joined elastically (empty on older services).
+        """
+        return self.stats().get("transport", {})
+
     def register_plan(self, plan_bytes: bytes) -> dict:
         """Register a wire plan; returns the service's digest record."""
         encoded = base64.b64encode(plan_bytes).decode("ascii")

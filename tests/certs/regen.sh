@@ -1,0 +1,47 @@
+#!/bin/sh
+# Regenerate the test-only TLS material in this directory.
+#
+# Everything here is throwaway localhost-only test fixture data — the CA
+# key is committed on purpose so the fault drills can mint certificates
+# deterministically. Never reuse any of it outside the test suite.
+#
+# Layout:
+#   ca.pem / ca.key               — the test CA (~1000 years)
+#   server.pem / server.key       — CA-signed, SAN IP:127.0.0.1 + DNS:localhost
+#   client.pem / client.key       — CA-signed client certificate (mTLS)
+#   expired.pem / expired.key     — CA-signed but already expired
+#   selfsigned.pem / selfsigned.key — NOT CA-signed (the "bad cert" drill)
+set -eu
+cd "$(dirname "$0")"
+
+DAYS=365000
+SAN="subjectAltName=IP:127.0.0.1,DNS:localhost"
+
+openssl req -x509 -newkey rsa:2048 -sha256 -nodes -days "$DAYS" \
+    -subj "/CN=repro-test-ca" -keyout ca.key -out ca.pem \
+    -addext "basicConstraints=critical,CA:TRUE"
+
+openssl req -newkey rsa:2048 -sha256 -nodes \
+    -subj "/CN=repro-test-worker" -keyout server.key -out server.csr \
+    -addext "$SAN"
+openssl x509 -req -in server.csr -CA ca.pem -CAkey ca.key -CAcreateserial \
+    -days "$DAYS" -sha256 -copy_extensions copy -out server.pem
+
+openssl req -newkey rsa:2048 -sha256 -nodes \
+    -subj "/CN=repro-test-coordinator" -keyout client.key -out client.csr \
+    -addext "$SAN"
+openssl x509 -req -in client.csr -CA ca.pem -CAkey ca.key -CAcreateserial \
+    -days "$DAYS" -sha256 -copy_extensions copy -out client.pem
+
+openssl req -newkey rsa:2048 -sha256 -nodes \
+    -subj "/CN=repro-test-expired" -keyout expired.key -out expired.csr \
+    -addext "$SAN"
+openssl x509 -req -in expired.csr -CA ca.pem -CAkey ca.key -CAcreateserial \
+    -not_before 20200101000000Z -not_after 20200102000000Z \
+    -sha256 -copy_extensions copy -out expired.pem
+
+openssl req -x509 -newkey rsa:2048 -sha256 -nodes -days "$DAYS" \
+    -subj "/CN=repro-test-selfsigned" -keyout selfsigned.key \
+    -out selfsigned.pem -addext "$SAN"
+
+rm -f server.csr client.csr expired.csr ca.srl

@@ -49,6 +49,9 @@ def restore_engine_globals():
     workers = parallel._WORKERS
     hosts = distributed._HOSTS
     secret = distributed._SECRET
+    tls = None if distributed._TLS is None else dict(distributed._TLS)
+    provider = distributed._AUTH_PROVIDER
+    pipeline = distributed._PIPELINE_DEPTH
     warned = set(distributed._WARNED)
     serial_warned = parallel._SERIAL_FALLBACK_WARNED
     cache_dir = plancache._DIR
@@ -63,6 +66,16 @@ def restore_engine_globals():
     parallel._WORKERS = workers
     distributed._HOSTS = hosts
     distributed._SECRET = secret
+    distributed._TLS = tls
+    distributed._AUTH_PROVIDER = provider
+    distributed._PIPELINE_DEPTH = pipeline
+    if distributed._REGISTRY_BIND is None:
+        # Tests that bind an explicit registry must not leak it (or the
+        # membership it admitted) into the next test. The env-armed
+        # registry (the CI TLS topology) is suite-wide and stays up.
+        distributed.stop_registry()
+        for leaked in distributed._HOST_POOL.registered():
+            distributed._HOST_POOL.drain(leaked)
     distributed._WARNED.clear()
     distributed._WARNED.update(warned)
     parallel._SERIAL_FALLBACK_WARNED = serial_warned
@@ -120,23 +133,31 @@ def unused_tcp_port():
 def worker_factory():
     """Spawn localhost workers with guaranteed teardown, one test at a time.
 
-    Yields a ``factory(max_tasks=None, port=0, secret=None, delay=None) ->
-    LocalWorker`` built on
+    Yields a ``factory(max_tasks=None, port=0, secret=None, delay=None,
+    tls_cert=None, tls_key=None, tls_ca=None, register=None,
+    advertise=None) -> LocalWorker`` built on
     :func:`repro.circuits.distributed.spawn_local_worker` (the same spawn/
     readiness-wait/teardown implementation the benchmarks use); every
     spawned worker — including ones the test deliberately crashed — is
     reaped when the test ends, whether it passed or not. ``port`` lets a
     test bounce a worker and relaunch it at the same address; ``secret``
-    arms authentication; ``delay`` makes the worker artificially slow.
+    arms authentication; ``delay`` makes the worker artificially slow;
+    the ``tls_*`` paths arm transport security and ``register`` dials a
+    coordinator registry (elastic membership).
     """
     spawned: list[distributed.LocalWorker] = []
 
     def factory(
         max_tasks: int | None = None, port: int = 0,
         secret: str | None = None, delay: float | None = None,
+        tls_cert: str | None = None, tls_key: str | None = None,
+        tls_ca: str | None = None, register: str | None = None,
+        advertise: str | None = None,
     ) -> distributed.LocalWorker:
         handle = distributed.spawn_local_worker(
-            max_tasks=max_tasks, port=port, secret=secret, delay=delay
+            max_tasks=max_tasks, port=port, secret=secret, delay=delay,
+            tls_cert=tls_cert, tls_key=tls_key, tls_ca=tls_ca,
+            register=register, advertise=advertise,
         )
         spawned.append(handle)
         return handle

@@ -262,6 +262,40 @@ class TestHasNegation:
         assert not compile_circuit(monotone).has_negation
 
 
+class TestSingleRowReductionOrder:
+    def test_single_row_bit_identical_to_wider_batches(self):
+        """Regression: a 1-row float pass shares the wide-batch reduction
+        order bit-for-bit. numpy's reduce kernels pick a different inner
+        loop for single-column value buffers, drifting a few ulps on deep
+        plans; the plan now widens single rows to a broadcast pair, so the
+        same row must produce the identical double at every batch width."""
+        for seed in (101, 202, 303, 404):
+            compiled = compile_circuit(random_circuit(seed, n_vars=8, steps=48))
+            n = len(compiled.variables())
+            rows = np.linspace(0.03, 0.97, 4 * n).reshape(4, n)
+            wide = compiled.probability_batch(rows)
+            for i in range(4):
+                single = compiled.probability_batch(rows[i : i + 1])
+                assert single[0] == wide[i]  # bitwise, not isclose
+
+    def test_single_row_plan_pass_shape_and_dtype(self):
+        compiled = compile_circuit(random_circuit(11))
+        n = len(compiled.variables())
+        row = np.linspace(0.1, 0.9, n).reshape(1, n)
+        out = compiled.batch_plan().run(row, as_float=True)
+        assert out.shape == (1,)
+        assert out.dtype == np.float64
+        assert out[0] == compiled.probability_batch(np.vstack([row, row]))[0]
+
+    def test_single_row_bool_pass_unchanged(self):
+        """The widening applies to float passes only; bool single rows stay
+        on the direct path and agree with the scalar kernel."""
+        compiled = compile_circuit(random_circuit(12))
+        n = len(compiled.variables())
+        world = np.array([[True, False] * ((n + 1) // 2)][0][:n]).reshape(1, n)
+        assert compiled.evaluate_batch(world) == [compiled.evaluate(world[0])]
+
+
 class TestBatchPlan:
     def test_plan_cached_and_csr_mirrored_as_int32(self):
         compiled = compile_circuit(random_circuit(13))

@@ -209,12 +209,23 @@ class TestHostsKnob:
             distributed.set_distributed_hosts(["h:99999"])
 
     def test_effective_hosts_override_semantics(self):
+        # Under an env-armed registry (the CI distributed job) ambient
+        # REGISTERed workers legitimately extend the default host list,
+        # so assert the knob's contribution, not an exact tuple.
+        elastic = distributed.registered_hosts()
         with distributed.distributed_hosts_set("a:1"):
-            assert distributed.effective_hosts(None) == ("a:1",)
+            assert distributed.effective_hosts(None) == tuple(
+                dict.fromkeys(("a:1",) + elastic)
+            )
             assert distributed.effective_hosts(()) == ()  # explicit opt-out
+            # An explicit per-call list is verbatim — never extended.
             assert distributed.effective_hosts("b:2") == ("b:2",)
 
-    def test_should_distribute_thresholds(self):
+    def test_should_distribute_thresholds(self, monkeypatch):
+        # Neutralize ambient elastic members (the CI distributed job keeps
+        # a REGISTERed worker around): this test is about the row
+        # threshold and the truly-unconfigured default.
+        monkeypatch.setattr(distributed, "registered_hosts", lambda: ())
         with distributed.distributed_hosts_set("a:1"):
             assert distributed.should_distribute(parallel.PARALLEL_MIN_ROWS)
             assert not distributed.should_distribute(parallel.PARALLEL_MIN_ROWS - 1)
@@ -708,6 +719,71 @@ class TestPersistentRuntime:
         assert after["reconnects"] - before["reconnects"] == 1
         # the relaunched process had no plan cache: the plan shipped again
         assert after["plans_published"] - before["plans_published"] == 1
+
+    def test_double_bounce_counts_one_heartbeat_failure_each(
+        self, worker_factory, unused_tcp_port, no_plan_cache
+    ):
+        """Regression: every bounce costs exactly one ``heartbeat_failures``
+        and leaves exactly one live connection in the pool. The failed-PING
+        path used to sit outside the accounting try, so a worker whose
+        death surfaced as a garbled partial frame (``ReproError``, not a
+        socket error) skipped the counter and leaked the dead ``_Conn``;
+        the second bounce then double-counted against the stale entry."""
+        compiled = compile_circuit(random_circuit(60))
+        marginals = [0.3] * len(compiled.variables())
+        serial = parallel.monte_carlo_hits(
+            compiled, marginals, 700, seed=9, workers=0
+        )
+        worker = worker_factory(port=unused_tcp_port)
+        assert self._mc(compiled, marginals, (worker.address,)) == serial
+        for bounce in (1, 2):
+            worker.stop()
+            worker = worker_factory(port=unused_tcp_port)
+            before = distributed.pool_stats()
+            assert self._mc(compiled, marginals, (worker.address,)) == serial
+            after = distributed.pool_stats()
+            assert after["heartbeat_failures"] - before["heartbeat_failures"] == 1
+            assert after["reconnects"] - before["reconnects"] == 1
+            # the pooled connection is the fresh process, not a leaked one
+            conn = distributed._HOST_POOL._conns[worker.address]
+            assert conn.pid == worker.process.pid
+
+    def test_interpreter_exit_after_distributed_use_is_quiet(self, tmp_path):
+        """The atexit ``close_pool`` must stay silent and exception-free
+        even when the daemon loop thread is already gone — a process that
+        used the distributed runtime exits with code 0 and zero stderr."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        script = tmp_path / "exit_clean.py"
+        script.write_text(
+            "from repro.circuits import distributed\n"
+            "# spin the pool loop thread + registry up for real\n"
+            "distributed.start_registry()\n"
+            "distributed._HOST_POOL.admit('127.0.0.1:19997')\n"
+            "assert distributed.registered_hosts() == ('127.0.0.1:19997',)\n"
+            "# explicit close is idempotent ...\n"
+            "distributed.close_pool()\n"
+            "distributed.close_pool()\n"
+            "# ... and the atexit close finds the loop thread already dead\n"
+            "distributed._HOST_POOL.admit('127.0.0.1:19996')\n"
+            "loop = distributed._HOST_POOL._loop\n"
+            "loop.call_soon_threadsafe(loop.stop)\n"
+            "distributed._HOST_POOL._thread.join(10)\n"
+            "print('still-here')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True,
+            timeout=60, env={**__import__('os').environ,
+                             "PYTHONPATH": package_root},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "still-here" in result.stdout
+        assert result.stderr == ""
 
     def test_slow_worker_does_not_gate_the_merge(
         self, worker_factory, monkeypatch

@@ -153,13 +153,16 @@ class TestShardedMatrixPasses:
                 workers=2,
             )
 
-    def test_evaluate_batch_routes_through_pool(self):
+    def test_evaluate_batch_routes_through_pool(self, monkeypatch):
         from repro.circuits import distributed
 
         compiled = compile_circuit(random_circuit(15))
         matrix = world_matrix(compiled, parallel.PARALLEL_MIN_ROWS + 17)
         # Pin the distributed knob off: it outranks the pool, and this test
         # asserts specifically that the *pool* tier handled the batch.
+        # Elastic members extend the empty default (the CI distributed job
+        # keeps one REGISTERed worker around), so neutralize those too.
+        monkeypatch.setattr(distributed, "registered_hosts", lambda: ())
         with distributed.distributed_hosts_set(()):
             serial = compiled.evaluate_batch(matrix)
             with parallel.parallel_workers_set(2):
@@ -325,7 +328,10 @@ class TestSerialFallbackWarning:
 
         compiled = compile_circuit(random_circuit(16))
         matrix = world_matrix(compiled, parallel.PARALLEL_MIN_ROWS + 3)
-        with distributed.distributed_hosts_set(()):  # pin the pool tier on
+        # Pin the pool tier on: empty static knob plus no elastic members
+        # (the CI distributed job keeps one REGISTERed worker around).
+        monkeypatch.setattr(distributed, "registered_hosts", lambda: ())
+        with distributed.distributed_hosts_set(()):
             serial = compiled.evaluate_batch(matrix)
 
             def broken_pass(*_args, **_kwargs):
