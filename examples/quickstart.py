@@ -1,13 +1,17 @@
 """Quickstart: uncertain data in, exact probabilities out.
 
 Builds the paper's Table 1 (the PODS/STOC trips c-instance), asks
-possibility / certainty / probability questions, runs the headline
-#P-hard query ``∃xy R(x)S(x,y)T(y)`` on a tree-like TID instance with the
-treewidth-based engine, cross-checks every number against brute force,
-shows the compile-once/evaluate-many circuit API, pushes a million
+possibility / certainty / probability questions, computes certain answers
+over key-violating data with the trichotomy-routed CQA engine, runs the
+headline #P-hard query ``∃xy R(x)S(x,y)T(y)`` on a tree-like TID instance
+with the treewidth-based engine, cross-checks every number against brute
+force, shows the compile-once/evaluate-many circuit API, pushes a million
 uncertain facts through the columnar frontend without materializing a
 single ``Fact`` object, and finishes with the sharded multi-process
 backend (worker-count knob, deterministic seeding).
+
+Everything here imports from the package root — ``repro`` is the blessed
+public surface.
 
 How the pieces fit together — the four-stage lowering pipeline, the
 engine registry, and a module map — is documented in ``ARCHITECTURE.md``
@@ -17,6 +21,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    ALL_TRIPS,
     TIDInstance,
     atom,
     build_lineage,
@@ -25,11 +30,12 @@ from repro import (
     cq,
     fact,
     monte_carlo_probability,
+    table1_cinstance,
+    table1_pc_instance,
     tid_probability,
     tid_probability_enumerate,
     variables,
 )
-from repro.workloads import ALL_TRIPS, table1_cinstance, table1_pc_instance
 
 
 def trips_example() -> None:
@@ -50,6 +56,51 @@ def trips_example() -> None:
     for world, valuation in ci.possible_worlds():
         attending = [name for name, value in valuation.items() if value]
         print(f"  attend {attending or ['nothing']}: {len(world)} trips booked")
+
+
+def cqa_example() -> None:
+    """Certain answers over key-violating data, routed by the trichotomy.
+
+    A different uncertainty model from the rest of the quickstart: the
+    instance *violates* its primary keys, the possible worlds are its
+    maximal consistent subsets (repairs), and a Boolean query is certain
+    iff it holds in every repair.  ``repro.classify`` places each
+    self-join-free query in the Koutris–Wijsen trichotomy —
+    first-order-rewritable, PTIME, or coNP-complete — and
+    ``repro.certain_answers`` routes accordingly: FO queries run as a
+    direct rewriting against the instance (no circuits, no repair
+    enumeration), PTIME queries get the polynomial propagation algorithm,
+    and coNP queries fall back to the lineage-circuit pipeline over a
+    uniformly random repair.  Every path is cross-checked here against
+    the brute-force all-repairs oracle.
+    """
+    from repro import (
+        certain_answers,
+        certain_oracle,
+        classify,
+        cqa_trichotomy_queries,
+        fo_rewriting,
+        key_violation_instance,
+    )
+
+    print()
+    print("=" * 70)
+    print("Certain answers under primary keys — the CQA trichotomy")
+    print("=" * 70)
+    instance, keys = key_violation_instance(12, violation_rate=0.4, seed=3)
+    n_blocks = sum(len(set(f.args[0] for f in instance.by_relation(r)))
+                   for r in ("R", "S"))
+    print(f"instance: {len(instance)} facts in {n_blocks} blocks "
+          "(key = first column, some blocks conflicting)")
+    for name, query in cqa_trichotomy_queries().items():
+        classification = classify(query, keys)
+        answer = certain_answers(query, instance, keys)
+        oracle = certain_oracle(query, instance, keys)
+        assert answer == oracle, "engine must match the all-repairs oracle"
+        print(f"  {name:<6} class={classification.trichotomy:<6} "
+              f"certain={answer} (oracle agrees)")
+        if classification.trichotomy == "fo":
+            print(f"         rewriting: {fo_rewriting(query, keys).formula}")
 
 
 def treewidth_engine_example() -> None:
@@ -121,7 +172,7 @@ def compiled_circuit_example() -> None:
     compiled = compile_circuit(lineage.circuit)   # once
     space = tid.event_space()
 
-    from repro.circuits import numpy_available
+    from repro import numpy_available
 
     exact = compiled.probability(space)           # Theorem 1 linear pass
     sampled_worlds = [space.sample(seed) for seed in range(5)]
@@ -164,9 +215,7 @@ def columnar_example() -> None:
     """
     import time
 
-    from repro.circuits import numpy_available
-    from repro.core.engine import build_provenance_circuit
-    from repro.workloads import rst_chain_tid
+    from repro import build_provenance_circuit, numpy_available, rst_chain_tid
 
     print()
     print("=" * 70)
@@ -208,7 +257,7 @@ def parallel_example() -> None:
     """
     import os
 
-    from repro.circuits import capabilities
+    from repro import capabilities
 
     print()
     print("=" * 70)
@@ -276,13 +325,7 @@ def distributed_example() -> None:
     the HMAC secret compose — see "Transport security" in
     ``ARCHITECTURE.md``.
     """
-    from repro.baselines import monte_carlo_probability
-    from repro.circuits import (
-        compile_circuit,
-        distributed_hosts,
-        numpy_available,
-        plan_from_bytes,
-    )
+    from repro import distributed_hosts, numpy_available, plan_from_bytes
 
     print()
     print("=" * 70)
@@ -322,7 +365,7 @@ def distributed_example() -> None:
     print("identical estimates across hosts — determinism verified")
     repeat = monte_carlo_probability(query, tid, samples=40_000, seed=11)
     assert repeat == serial
-    from repro.circuits import pool_stats
+    from repro import pool_stats
 
     stats = pool_stats()
     print(f"persistent pool: {len(stats['open_connections'])} connection(s) "
@@ -344,7 +387,7 @@ def service_example() -> None:
     :class:`repro.service.ServiceClient` (or any HTTP client — the
     protocol is plain JSON) at it.
     """
-    from repro.service import spawn_service
+    from repro import spawn_service
 
     print()
     print("=" * 70)
@@ -385,6 +428,7 @@ def service_example() -> None:
 
 if __name__ == "__main__":
     trips_example()
+    cqa_example()
     treewidth_engine_example()
     compiled_circuit_example()
     columnar_example()

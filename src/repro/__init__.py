@@ -24,6 +24,15 @@ Quickstart::
     tid = TIDInstance({fact("R", 1): 0.6, fact("S", 1, 2): 0.5, fact("T", 2): 0.8})
     print(tid_probability(q, tid))   # exact, via the treewidth-based engine
 
+This package root is the blessed public surface: the core verbs
+(:func:`make_instance`, :func:`homomorphisms`,
+:func:`build_provenance_circuit`, :func:`compile_circuit`,
+:func:`probability_batch`, :func:`certain_answers`), introspection
+(:func:`capabilities`), and configuration (:func:`configure` /
+:func:`overrides` over the knob registry in :mod:`repro.config`).
+Submodules remain importable for specialized entry points, but everything
+``examples/quickstart.py`` needs comes from ``repro`` directly.
+
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
@@ -41,7 +50,13 @@ from repro.circuits import (
     Circuit,
     CompiledCircuit,
     available_engines,
+    capabilities,
     compile_circuit,
+    distributed_hosts,
+    numpy_available,
+    plan_from_bytes,
+    pool_stats,
+    probability_batch,
     probability_dd,
     set_default_engine,
     wmc_enumerate,
@@ -50,6 +65,7 @@ from repro.circuits import (
 )
 from repro.circuits import probability as circuit_probability
 from repro.conditioning import ConditionedInstance, SimulatedCrowd, run_crowd_session
+from repro.config import configure, overrides
 from repro.core import (
     BipartiteAutomaton,
     CQAutomaton,
@@ -62,6 +78,14 @@ from repro.core import (
     pc_probability,
     pcc_probability,
     tid_probability,
+)
+from repro.cqa import (
+    certain_answers,
+    certain_oracle,
+    classify,
+    cqa_stats,
+    fo_rewriting,
+    reset_cqa_stats,
 )
 from repro.events import EventSpace, Formula, var
 from repro.instances import (
@@ -86,21 +110,34 @@ from repro.order import LabeledPoset, antichain, chain
 from repro.prxml import PrXMLDocument, TreePattern, path_pattern, query_probability
 from repro.queries import (
     ConjunctiveQuery,
+    KeySpec,
     UnionOfConjunctiveQueries,
     atom,
     cq,
+    homomorphisms,
     is_safe,
+    key_spec,
     safe_plan_probability,
     ucq,
     variables,
 )
 from repro.rules import ProbabilisticRule, chase, probabilistic_chase, rule
 from repro.semirings import Semiring, circuit_provenance, reference_provenance
+from repro.service import ServiceClient, spawn_service
 from repro.treewidth import TreeDecomposition, decompose, exact_treewidth
+from repro.workloads import (
+    ALL_TRIPS,
+    cqa_trichotomy_queries,
+    key_violation_instance,
+    rst_chain_tid,
+    table1_cinstance,
+    table1_pc_instance,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALL_TRIPS",
     "AbstractInstance",
     "BipartiteAutomaton",
     "CInstance",
@@ -115,6 +152,7 @@ __all__ = [
     "Fact",
     "Formula",
     "Instance",
+    "KeySpec",
     "LabeledPoset",
     "Lineage",
     "PCCInstance",
@@ -124,6 +162,7 @@ __all__ = [
     "ProbabilisticRule",
     "STConnectivityAutomaton",
     "Semiring",
+    "ServiceClient",
     "SimulatedCrowd",
     "TIDInstance",
     "TreeDecomposition",
@@ -134,23 +173,36 @@ __all__ = [
     "available_engines",
     "build_lineage",
     "build_provenance_circuit",
+    "capabilities",
+    "certain_answers",
+    "certain_oracle",
     "chain",
     "chase",
     "circuit_probability",
     "circuit_provenance",
+    "classify",
     "compile_circuit",
+    "configure",
     "cq",
+    "cqa_stats",
+    "cqa_trichotomy_queries",
     "decompose",
+    "distributed_hosts",
     "exact_treewidth",
     "fact",
+    "fo_rewriting",
+    "homomorphisms",
     "instance_backend",
     "instance_backend_set",
     "is_safe",
     "karp_luby_probability",
+    "key_spec",
+    "key_violation_instance",
     "make_instance",
     "monte_carlo_probability",
+    "numpy_available",
+    "overrides",
     "path_pattern",
-    "set_instance_backend",
     "pc_from_tid",
     "pc_probability",
     "pc_probability_enumerate",
@@ -158,14 +210,23 @@ __all__ = [
     "pcc_from_tid",
     "pcc_probability",
     "pcc_probability_enumerate",
+    "plan_from_bytes",
+    "pool_stats",
     "probabilistic_chase",
+    "probability_batch",
     "probability_dd",
     "query_probability",
     "reference_provenance",
+    "reset_cqa_stats",
+    "rst_chain_tid",
     "rule",
     "run_crowd_session",
     "safe_plan_probability",
     "set_default_engine",
+    "set_instance_backend",
+    "spawn_service",
+    "table1_cinstance",
+    "table1_pc_instance",
     "tid_certain",
     "tid_possible",
     "tid_probability",

@@ -97,6 +97,7 @@ from repro.circuits.evaluation import (
     plan_to_bytes,
     pool_stats,
     probability,
+    probability_batch,
     register_engine,
     registered_hosts,
     reset_pool,
@@ -174,6 +175,7 @@ __all__ = [
     "plan_to_bytes",
     "pool_stats",
     "probability",
+    "probability_batch",
     "probability_dd",
     "recompile",
     "register_engine",

@@ -87,7 +87,6 @@ import threading
 import warnings
 import zlib
 from collections import deque
-from contextlib import contextmanager
 
 from repro.circuits import compiled as _compiled
 from repro.circuits import parallel as _parallel
@@ -647,15 +646,14 @@ def set_distributed_hosts(hosts) -> None:
     _HOSTS = tuple(normalized)
 
 
-@contextmanager
 def distributed_hosts_set(hosts):
-    """Scope a :func:`set_distributed_hosts` change, restoring the previous."""
-    previous = _HOSTS
-    set_distributed_hosts(hosts)
-    try:
-        yield
-    finally:
-        set_distributed_hosts(previous)
+    """Scope a :func:`set_distributed_hosts` change, restoring the previous.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(distributed_hosts=hosts)
 
 
 def effective_hosts(hosts) -> tuple[str, ...]:
@@ -702,16 +700,14 @@ def set_distributed_secret(secret: str | None) -> None:
     _SECRET = str(secret) if secret else None
 
 
-@contextmanager
 def distributed_secret_set(secret: str | None):
-    """Scope a :func:`set_distributed_secret` change, restoring the previous."""
-    global _SECRET
-    previous = _SECRET
-    set_distributed_secret(secret)
-    try:
-        yield
-    finally:
-        _SECRET = previous
+    """Scope a :func:`set_distributed_secret` change, restoring the previous.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(distributed_secret=secret)
 
 
 def auth_response(secret: str, challenge_hex: str) -> str:
@@ -890,17 +886,23 @@ def set_distributed_tls(certfile=None, keyfile=None, cafile=None,
     }
 
 
-@contextmanager
 def distributed_tls_set(certfile=None, keyfile=None, cafile=None,
                         allow_plaintext: bool = False):
-    """Scope a :func:`set_distributed_tls` change, restoring the previous."""
-    global _TLS
-    previous = _TLS
-    set_distributed_tls(certfile, keyfile, cafile, allow_plaintext)
-    try:
-        yield
-    finally:
-        _TLS = previous
+    """Scope a :func:`set_distributed_tls` change, restoring the previous.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    value = None
+    if certfile or cafile:
+        value = {
+            "certfile": str(certfile) if certfile else None,
+            "keyfile": str(keyfile) if keyfile else None,
+            "cafile": str(cafile) if cafile else None,
+            "allow_plaintext": bool(allow_plaintext),
+        }
+    return config.overrides(distributed_tls=value)
 
 
 def set_auth_provider(provider: AuthProvider | None) -> None:
@@ -913,16 +915,14 @@ def set_auth_provider(provider: AuthProvider | None) -> None:
     _AUTH_PROVIDER = provider
 
 
-@contextmanager
 def auth_provider_set(provider: AuthProvider | None):
-    """Scope a :func:`set_auth_provider` change, restoring the previous."""
-    global _AUTH_PROVIDER
-    previous = _AUTH_PROVIDER
-    set_auth_provider(provider)
-    try:
-        yield
-    finally:
-        _AUTH_PROVIDER = previous
+    """Scope a :func:`set_auth_provider` change, restoring the previous.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(auth_provider=provider)
 
 
 def auth_provider() -> AuthProvider:
@@ -984,16 +984,14 @@ def set_pipeline_depth(depth: int | None) -> None:
     _PIPELINE_DEPTH = PIPELINE_DEPTH if depth is None else max(1, int(depth))
 
 
-@contextmanager
 def pipeline_depth_set(depth: int | None):
-    """Scope a :func:`set_pipeline_depth` change, restoring the previous."""
-    global _PIPELINE_DEPTH
-    previous = _PIPELINE_DEPTH
-    set_pipeline_depth(depth)
-    try:
-        yield
-    finally:
-        _PIPELINE_DEPTH = previous
+    """Scope a :func:`set_pipeline_depth` change, restoring the previous.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(pipeline_depth=depth)
 
 
 #: ``host:port`` to bind the coordinator's registration endpoint on, from

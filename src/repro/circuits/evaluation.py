@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable
-from contextlib import contextmanager
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.compiled import (
@@ -91,6 +90,9 @@ from repro.circuits.plancache import (  # noqa: F401 - re-exported knobs
     plan_cache_stats,
     set_plan_cache_dir,
 )
+from repro.circuits.plancache import enabled as plan_cache_enabled
+from repro.circuits.plancache import min_gates as plan_cache_min_gates
+from repro.circuits.plancache import plan_cache_limit_bytes
 from repro.events import EventSpace
 from repro.util import ReproError, check
 
@@ -101,14 +103,21 @@ def capabilities() -> dict:
     """Execution capabilities of this install, for CLI/test introspection.
 
     Reports whether the numpy batch kernels and the sharded multi-process
-    backend are importable, the current ``parallel_workers`` and
-    ``distributed_hosts`` knobs, whether worker authentication is armed,
-    a snapshot of the persistent host pool's counters, and the visible
-    CPU count — everything a caller needs to decide how to run a large
-    workload (engines are listed by :func:`available_engines`).
+    backend are importable, the engine and instance-backend knobs, the
+    ``parallel_workers`` and ``distributed_hosts`` knobs, whether worker
+    authentication is armed, the full plan-cache state, the CQA engine's
+    trichotomy classes and routing counters, a snapshot of the persistent
+    host pool's counters, and the visible CPU count — one call reports the
+    whole configuration (engines are listed by :func:`available_engines`).
     """
+    from repro.cqa import CONP, FO, PTIME, cqa_stats
+    from repro.instances.columnar import instance_backend
+
     return {
         "numpy": numpy_available(),
+        "engine": default_engine(),
+        "forced_engine": forced_engine(),
+        "instance_backend": instance_backend(),
         "parallel": parallel_available(),
         "parallel_workers": parallel_workers(),
         "distributed_hosts": list(distributed_hosts()),
@@ -118,7 +127,12 @@ def capabilities() -> dict:
         "distributed_registered": list(registered_hosts()),
         "distributed_pool": pool_stats(),
         "plan_cache_dir": plan_cache_dir(),
+        "plan_cache_enabled": plan_cache_enabled(),
+        "plan_cache_limit_bytes": plan_cache_limit_bytes(),
+        "plan_cache_min_gates": plan_cache_min_gates(),
         "plan_cache": plan_cache_stats(),
+        "cqa_classes": [FO, PTIME, CONP],
+        "cqa": cqa_stats(),
         "compile": compile_stats(),
         "batch": batch_stats(),
         "cpu_count": os.cpu_count() or 1,
@@ -184,32 +198,27 @@ def force_engine(name: str | None) -> None:
     _FORCED_ENGINE = name
 
 
-@contextmanager
 def engine_forced(name: str | None):
     """Scope a :func:`force_engine` override, restoring the previous one.
 
     ``force_engine``/``set_default_engine`` are process-wide; tests and
-    experiment drivers that flip them should do so through these context
+    experiment drivers that flip them should do so through scoped context
     managers so an exception (or an early return) cannot leak the override
-    into unrelated code.
+    into unrelated code.  Thin shim over :func:`repro.config.overrides`.
     """
-    previous = _FORCED_ENGINE
-    force_engine(name)
-    try:
-        yield
-    finally:
-        force_engine(previous)
+    from repro import config
+
+    return config.overrides(forced_engine=name)
 
 
-@contextmanager
 def default_engine_set(name: str):
-    """Scope a :func:`set_default_engine` change, restoring the previous one."""
-    previous = _DEFAULT_ENGINE
-    set_default_engine(name)
-    try:
-        yield
-    finally:
-        set_default_engine(previous)
+    """Scope a :func:`set_default_engine` change, restoring the previous one.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(engine=name)
 
 
 def probability(
@@ -234,6 +243,19 @@ def probability(
         # (value, report) contract, with placeholder diagnostics.
         return result, MessagePassingReport(-1, 0, compiled.size)
     return result
+
+
+def probability_batch(
+    circuit: Circuit | CompiledCircuit, marginals_batch
+) -> list[float]:
+    """Batched Theorem-1 probabilities, one per row of per-variable marginals.
+
+    Module-level form of :meth:`CompiledCircuit.probability_batch` for the
+    blessed ``repro`` facade: compiles (or reuses the cached lowering of)
+    ``circuit`` and runs the leveled batch pass — numpy kernels, the
+    sharded pool, or distributed hosts, per the configured knobs.
+    """
+    return compile_circuit(circuit).probability_batch(marginals_batch)
 
 
 # --------------------------------------------------------------------------- #

@@ -51,7 +51,6 @@ import os
 import secrets
 import signal
 import weakref
-from contextlib import contextmanager
 
 from repro.circuits import compiled as _compiled
 from repro.circuits.compiled import numpy_module
@@ -117,15 +116,14 @@ def set_parallel_workers(workers: int | None) -> None:
     _WORKERS = workers
 
 
-@contextmanager
 def parallel_workers_set(workers: int | None):
-    """Scope a :func:`set_parallel_workers` change, restoring the previous one."""
-    previous = _WORKERS
-    set_parallel_workers(workers)
-    try:
-        yield
-    finally:
-        set_parallel_workers(previous)
+    """Scope a :func:`set_parallel_workers` change, restoring the previous one.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(parallel_workers=workers)
 
 
 def _effective_workers(workers: int | None) -> int:

@@ -38,7 +38,6 @@ import os
 import struct
 import sys
 import tempfile
-from contextlib import contextmanager
 
 from repro.util import ReproError, check
 
@@ -106,15 +105,14 @@ def set_plan_cache_dir(path: str | None) -> None:
     _DIR = str(path) if path else None
 
 
-@contextmanager
 def plan_cache_dir_set(path: str | None):
-    """Context manager: temporarily set (or disable) the cache directory."""
-    previous = _DIR
-    set_plan_cache_dir(path)
-    try:
-        yield
-    finally:
-        set_plan_cache_dir(previous)
+    """Context manager: temporarily set (or disable) the cache directory.
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(plan_cache_dir=path)
 
 
 def plan_cache_limit_bytes() -> int:

@@ -2,12 +2,14 @@
 
 Usage::
 
-    python -m repro list                # list experiments E1..E19
+    python -m repro list                # list experiments E1..E20
     python -m repro run E3              # print Theorem 1's scaling table
     python -m repro run E3 --engine shannon   # force one engine everywhere
     python -m repro run E14 --workers 4 # sharded evaluation on 4 processes
     python -m repro run all             # print every table (long)
     python -m repro engines             # engines + batch/parallel backends
+    python -m repro cqa                 # certain answers on key-violating data
+    python -m repro cqa --rate 0.5 --query conp --method circuit
     python -m repro cache               # inspect the persistent plan cache
     python -m repro cache --clear       # empty the persistent plan cache
     python -m repro paper               # one-line paper identification
@@ -62,6 +64,7 @@ EXPERIMENTS = {
     "E17": ("bench_compile_path", "Compile path: vectorized lowering, delta recompile, plan cache"),
     "E18": ("bench_columnar_pipeline", "Columnar pipeline: generate/query/provenance/compile at scale"),
     "E19": ("bench_service", "Query service: coalesced vs uncoalesced QPS and tail latency"),
+    "E20": ("bench_cqa", "Certain answers: trichotomy routing vs repairs oracle vs circuits"),
 }
 
 
@@ -198,11 +201,81 @@ def command_engines() -> None:
           f"{pool['steals']} steal(s)")
     cache_dir = caps["plan_cache_dir"]
     if cache_dir:
-        print(f"plan cache: on at {cache_dir} "
+        print(f"plan cache: on at {cache_dir}, "
+              f"limit {caps['plan_cache_limit_bytes']} bytes, "
+              f"min {caps['plan_cache_min_gates']} gates "
               "('repro cache' for contents, 'repro cache --clear' to empty)")
     else:
         print("plan cache: off (set REPRO_PLAN_CACHE_DIR to persist "
               "compiled plans across runs)")
+    print(f"instance backend: {caps['instance_backend']} "
+          "(REPRO_INSTANCE_BACKEND=object|columnar)")
+    cqa = caps["cqa"]
+    routed = ", ".join(f"{name}={cqa[name]}" for name in caps["cqa_classes"])
+    print(f"certain-answer engine: classes {'/'.join(caps['cqa_classes'])}; "
+          f"routed this process: {routed} "
+          f"(pair solver {cqa['pair_solver']}, "
+          f"circuit fallbacks {cqa['circuit_fallbacks']})")
+
+
+def command_cqa(
+    n_keys: int = 12,
+    rate: float = 0.4,
+    seed: int = 3,
+    query: str = "all",
+    method: str = "auto",
+    backend: str | None = None,
+) -> None:
+    """Run the certain-answer engine on a generated key-violating instance."""
+    from repro.cqa import (
+        certain_answers,
+        certain_oracle,
+        classify,
+        cqa_stats,
+        fo_rewriting,
+        repair_count,
+        reset_cqa_stats,
+    )
+    from repro.cqa.attacks import FO
+    from repro.cqa.engine import METHODS
+    from repro.util import ReproError
+    from repro.workloads import cqa_trichotomy_queries, key_violation_instance
+
+    queries = cqa_trichotomy_queries()
+    if method not in METHODS:
+        raise SystemExit(
+            f"unknown method {method!r}; available: {', '.join(METHODS)}"
+        )
+    if query != "all" and query not in queries:
+        raise SystemExit(
+            f"unknown query {query!r}; available: all, {', '.join(queries)}"
+        )
+    try:
+        instance, keys = key_violation_instance(
+            n_keys, violation_rate=rate, seed=seed, backend=backend
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    selected = queries if query == "all" else {query: queries[query]}
+    relations = sorted({a.relation for q in selected.values() for a in q.atoms})
+    count = repair_count(instance, keys, relations)
+    print(f"instance: {len(instance)} facts, seed={seed}, "
+          f"violation rate {rate}, {count} repair(s)")
+    reset_cqa_stats()
+    for name, q in selected.items():
+        classification = classify(q, keys)
+        print(f"\n{name}: {q}")
+        print(f"  {classification.describe(q)}")
+        if classification.trichotomy == FO:
+            print(f"  rewriting: {fo_rewriting(q, keys).formula}")
+        answer = certain_answers(q, instance, keys, method=method)
+        print(f"  certain ({method}): {answer}")
+        if count <= 200_000:
+            oracle = certain_oracle(q, instance, keys)
+            agree = "agrees" if oracle == answer else "DISAGREES"
+            print(f"  all-repairs oracle: {oracle} ({agree})")
+    stats = cqa_stats()
+    print("\nrouting: " + ", ".join(f"{k}={v}" for k, v in stats.items() if v))
 
 
 def command_cache(clear: bool = False) -> None:
@@ -448,6 +521,30 @@ def main(argv: list[str] | None = None) -> int:
         "distributed workers for the run (default: REPRO_DISTRIBUTED_HOSTS)",
     )
     sub.add_parser("engines", help="show evaluation engines and batch backend")
+    cqa = sub.add_parser(
+        "cqa", help="certain answers on a generated key-violating instance"
+    )
+    cqa.add_argument(
+        "--keys", type=int, default=12, dest="n_keys",
+        help="number of key blocks per relation (default 12)",
+    )
+    cqa.add_argument(
+        "--rate", type=float, default=0.4,
+        help="fraction of blocks violating their key (default 0.4)",
+    )
+    cqa.add_argument("--seed", type=int, default=3, help="generator seed")
+    cqa.add_argument(
+        "--query", default="all", choices=["all", "fo", "ptime", "conp"],
+        help="which canonical trichotomy query to answer (default all)",
+    )
+    cqa.add_argument(
+        "--method", default="auto", choices=["auto", "rewrite", "circuit", "oracle"],
+        help="force one answering method instead of trichotomy routing",
+    )
+    cqa.add_argument(
+        "--backend", default=None, choices=["object", "columnar"],
+        help="instance backend (default: REPRO_INSTANCE_BACKEND)",
+    )
     cache = sub.add_parser("cache", help="inspect or clear the persistent plan cache")
     cache.add_argument(
         "--clear", action="store_true", help="delete every cached plan entry"
@@ -464,6 +561,11 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.command == "engines":
         command_engines()
+    elif args.command == "cqa":
+        command_cqa(
+            n_keys=args.n_keys, rate=args.rate, seed=args.seed,
+            query=args.query, method=args.method, backend=args.backend,
+        )
     elif args.command == "cache":
         command_cache(clear=args.clear)
     elif args.command == "paper":

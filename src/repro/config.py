@@ -1,0 +1,222 @@
+"""One registry for every process-wide knob.
+
+Historically each knob grew its own triple — a getter, a ``set_X``
+setter, and an ``X_set`` context manager, plus a ``REPRO_X`` environment
+fallback — scattered across the modules that own the state.  This module
+collapses the *surface*: one :func:`configure` call sets any number of
+knobs by name, one :func:`overrides` context manager scopes any number
+of them, and :func:`describe` lists them all with their current values.
+
+The state itself stays where it always lived (the owning modules), so
+the old names keep working — the per-knob ``X_set`` context managers are
+now thin shims over :func:`overrides`.
+
+>>> from repro import config
+>>> config.configure(engine="message_passing", parallel_workers=0)
+>>> with config.overrides(instance_backend="columnar", pipeline_depth=4):
+...     ...                                        # scoped; restored on exit
+
+Knob values round-trip: :func:`overrides` snapshots through the same
+accessors it restores through, so "no override installed" (fall back to
+the ``REPRO_*`` environment) is faithfully reinstated — it does not get
+frozen into whatever the environment said at entry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.circuits import evaluation as _evaluation
+from repro.circuits import distributed as _distributed
+from repro.circuits import parallel as _parallel
+from repro.circuits import plancache as _plancache
+from repro.instances import columnar as _columnar
+from repro.util import ReproError
+
+__all__ = ["Knob", "configure", "describe", "get", "knobs", "overrides"]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered knob: accessors plus documentation."""
+
+    name: str
+    get: Callable[[], Any]
+    set: Callable[[Any], None]
+    doc: str
+    env: str | None = None
+
+
+def _set_tls(value: dict | None) -> None:
+    if value is None:
+        _distributed.set_distributed_tls()
+    else:
+        _distributed.set_distributed_tls(**value)
+
+
+# Raw-override accessors: these two knobs' public getters return the
+# *effective* value (environment fallback / provider ladder), which must
+# not be pinned on restore — snapshot the override itself instead.
+def _instance_backend_override() -> str | None:
+    return _columnar._BACKEND
+
+
+def _auth_provider_override():
+    return _distributed._AUTH_PROVIDER
+
+
+_KNOBS: dict[str, Knob] = {
+    knob.name: knob
+    for knob in (
+        Knob(
+            "engine",
+            _evaluation.default_engine,
+            _evaluation.set_default_engine,
+            "Default probability engine when a call names none.",
+        ),
+        Knob(
+            "forced_engine",
+            _evaluation.forced_engine,
+            _evaluation.force_engine,
+            "Engine override trumping every per-call choice (None = off).",
+        ),
+        Knob(
+            "instance_backend",
+            _instance_backend_override,
+            _columnar.set_instance_backend,
+            "Default instance backend for make_instance and the generators "
+            "(None = follow the environment).",
+            "REPRO_INSTANCE_BACKEND",
+        ),
+        Knob(
+            "parallel_workers",
+            _parallel.parallel_workers,
+            _parallel.set_parallel_workers,
+            "Local worker processes for sharded batch evaluation (0 = serial).",
+            "REPRO_PARALLEL_WORKERS",
+        ),
+        Knob(
+            "distributed_hosts",
+            _distributed.distributed_hosts,
+            _distributed.set_distributed_hosts,
+            "Remote worker host:port list (empty = stay local).",
+            "REPRO_DISTRIBUTED_HOSTS",
+        ),
+        Knob(
+            "distributed_secret",
+            _distributed.distributed_secret,
+            _distributed.set_distributed_secret,
+            "Shared HMAC worker-auth secret (None = unauthenticated).",
+            "REPRO_DISTRIBUTED_SECRET",
+        ),
+        Knob(
+            "distributed_tls",
+            _distributed.distributed_tls,
+            _set_tls,
+            "TLS knob dict (certfile/keyfile/cafile/allow_plaintext; None = off).",
+            "REPRO_DISTRIBUTED_TLS_*",
+        ),
+        Knob(
+            "auth_provider",
+            _auth_provider_override,
+            _distributed.set_auth_provider,
+            "Explicitly installed AuthProvider, overriding the TLS/HMAC ladder "
+            "(None = derive from the other knobs).",
+        ),
+        Knob(
+            "pipeline_depth",
+            _distributed.pipeline_depth,
+            _distributed.set_pipeline_depth,
+            "Task frames kept in flight per worker connection (1 = lockstep).",
+            "REPRO_DISTRIBUTED_PIPELINE",
+        ),
+        Knob(
+            "plan_cache_dir",
+            _plancache.plan_cache_dir,
+            _plancache.set_plan_cache_dir,
+            "On-disk compiled-plan cache directory (None = cache off).",
+            "REPRO_PLAN_CACHE_DIR",
+        ),
+        Knob(
+            "plan_cache_limit_bytes",
+            _plancache.plan_cache_limit_bytes,
+            _plancache.set_plan_cache_limit_bytes,
+            "Plan-cache directory size bound triggering LRU eviction.",
+            "REPRO_PLAN_CACHE_LIMIT_BYTES",
+        ),
+        Knob(
+            "plan_cache_min_gates",
+            _plancache.min_gates,
+            _plancache.set_min_gates,
+            "Gate count below which circuits bypass the plan cache.",
+            "REPRO_PLAN_CACHE_MIN_GATES",
+        ),
+    )
+}
+
+
+def knobs() -> tuple[str, ...]:
+    """All registered knob names, sorted."""
+    return tuple(sorted(_KNOBS))
+
+
+def _knob(name: str) -> Knob:
+    knob = _KNOBS.get(name)
+    if knob is None:
+        known = ", ".join(sorted(_KNOBS))
+        raise ReproError(f"unknown knob {name!r}; known knobs: {known}")
+    return knob
+
+
+def get(name: str) -> Any:
+    """The current value of one knob (the override, not the env fallback)."""
+    return _knob(name).get()
+
+
+def describe() -> dict[str, dict[str, Any]]:
+    """Every knob with its current value, docstring, and env fallback."""
+    return {
+        name: {"value": knob.get(), "doc": knob.doc, "env": knob.env}
+        for name, knob in sorted(_KNOBS.items())
+    }
+
+
+def configure(**values: Any) -> None:
+    """Set any number of knobs by name: ``configure(engine="dd", ...)``.
+
+    All names are validated before anything is applied; if a *setter*
+    rejects its value midway, the knobs already changed are rolled back
+    so a failed call leaves the process as it found it.
+    """
+    items = [(_knob(name), value) for name, value in sorted(values.items())]
+    applied: list[tuple[Knob, Any]] = []
+    try:
+        for knob, value in items:
+            previous = knob.get()
+            knob.set(value)
+            applied.append((knob, previous))
+    except BaseException:
+        for knob, previous in reversed(applied):
+            knob.set(previous)
+        raise
+
+
+@contextmanager
+def overrides(**values: Any):
+    """Scope any number of knob changes, restoring prior values on exit.
+
+    The single replacement for the per-knob ``X_set`` context managers
+    (which now delegate here)::
+
+        with config.overrides(engine="shannon", parallel_workers=2):
+            ...
+    """
+    snapshot = [(_knob(name), _knob(name).get()) for name in sorted(values)]
+    configure(**values)
+    try:
+        yield
+    finally:
+        for knob, previous in reversed(snapshot):
+            knob.set(previous)

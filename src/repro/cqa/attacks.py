@@ -1,0 +1,254 @@
+"""Koutris–Wijsen attack graphs and the CERTAINTY(q) trichotomy.
+
+For a self-join-free Boolean conjunctive query ``q`` under primary keys,
+the complexity of *certain query answering* over key-violating databases
+("is q true in **every** repair?") is decided by the **attack graph** of
+``q`` (Koutris & Wijsen, PODS 2015 / TODS 2017):
+
+- acyclic attack graph        → CERTAINTY(q) is **FO-rewritable**;
+- cycles, but none *strong*   → CERTAINTY(q) is in **PTIME** (not FO);
+- some strong cycle           → CERTAINTY(q) is **coNP-complete**.
+
+The attack graph has the query's atoms as vertices.  Write ``key(F)`` for
+the variables in key positions of atom ``F`` and ``vars(F)`` for all its
+variables (constants are ignored — they are "known").  Each atom ``G``
+contributes the functional dependency ``key(G) → vars(G)``; let
+``F^{+,q}`` be the closure of ``key(F)`` under the FDs of all atoms
+*except* ``F``.  Then ``F`` **attacks** ``G`` (``F ≠ G``) when some
+sequence of atoms ``F = F₀, …, Fₙ = G`` exists in which consecutive atoms
+share a variable outside ``F^{+,q}``.
+
+An attack ``F → G`` is **weak** when the FDs of *all* atoms (now
+including ``F``) imply ``key(F) → key(G)``; otherwise it is **strong**.
+A cycle of the attack graph is strong when it contains a strong attack.
+This module exposes the graph itself (:func:`attack_graph`) and the
+resulting classification (:func:`classify`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.queries.cq import Atom, ConjunctiveQuery, Variable
+from repro.queries.keys import KeySpec
+from repro.util import check
+
+__all__ = [
+    "FO",
+    "PTIME",
+    "CONP",
+    "Attack",
+    "Classification",
+    "attack_graph",
+    "classify",
+    "substitute_atom",
+]
+
+#: The three trichotomy classes, in increasing order of hardness.
+FO = "fo"
+PTIME = "ptime"
+CONP = "conp"
+
+
+@dataclass(frozen=True)
+class Attack:
+    """A directed attack between two atoms, by index into the query."""
+
+    source: int
+    target: int
+    weak: bool
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The trichotomy verdict for one query.
+
+    ``trichotomy`` is one of :data:`FO` / :data:`PTIME` / :data:`CONP`;
+    ``attacks`` is the full attack graph; ``witness_cycle`` names one
+    cycle certifying the verdict (``None`` for the acyclic class), as a
+    tuple of atom indices with a strong cycle preferred when one exists.
+    """
+
+    trichotomy: str
+    attacks: tuple[Attack, ...]
+    witness_cycle: tuple[int, ...] | None
+
+    def describe(self, query: ConjunctiveQuery) -> str:
+        """Human-readable one-paragraph summary (used by ``repro cqa``)."""
+        atoms = query.atoms
+        lines = [f"class: {self.trichotomy}"]
+        for a in self.attacks:
+            kind = "weak" if a.weak else "strong"
+            lines.append(f"  {atoms[a.source]} --{kind}--> {atoms[a.target]}")
+        if self.witness_cycle is not None:
+            shown = " -> ".join(str(atoms[i]) for i in self.witness_cycle)
+            lines.append(f"  cycle: {shown}")
+        return "\n".join(lines)
+
+
+def substitute_atom(atom: Atom, binding: dict[Variable, object]) -> Atom:
+    """Replace bound variables of ``atom`` by their values (a ground step).
+
+    The rewriting engine calls this as it eliminates atoms: variables
+    fixed by earlier atoms become constants, which the attack-graph and
+    matching machinery then treat as known — exactly the theory's "bound
+    variables act as constants" convention.
+    """
+    return Atom(
+        atom.relation,
+        tuple(binding.get(t, t) if isinstance(t, Variable) else t for t in atom.terms),
+    )
+
+
+def _variables(terms: Iterable) -> frozenset[Variable]:
+    return frozenset(t for t in terms if isinstance(t, Variable))
+
+
+def _key_terms(atom: Atom, keys: KeySpec) -> tuple:
+    positions = keys.positions_for(atom.relation, len(atom.terms))
+    return tuple(atom.terms[p] for p in positions)
+
+
+def _closure(seed: frozenset[Variable], fds: Sequence[tuple[frozenset, frozenset]]) -> frozenset[Variable]:
+    """Closure of a variable set under functional dependencies lhs → rhs."""
+    closed = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in fds:
+            if lhs <= closed and not rhs <= closed:
+                closed |= rhs
+                changed = True
+    return frozenset(closed)
+
+
+def attack_graph(atoms: Sequence[Atom], keys: KeySpec) -> tuple[Attack, ...]:
+    """The attack graph of a sequence of atoms under ``keys``.
+
+    Works on a bare atom sequence (not a query) because the FO engine
+    recomputes residual attack graphs mid-rewriting, after substituting
+    bindings into atoms.  Constants never occur in the variable sets, so
+    substituted (ground) positions drop out exactly as the theory's
+    "bound variables become constants" step prescribes.
+    """
+    n = len(atoms)
+    key_vars = [_variables(_key_terms(a, keys)) for a in atoms]
+    all_vars = [a.variables() for a in atoms]
+    fds = [(key_vars[i], all_vars[i]) for i in range(n)]
+
+    attacks: list[Attack] = []
+    for i in range(n):
+        plus = _closure(key_vars[i], [fds[j] for j in range(n) if j != i])
+        outside = all_vars[i] - plus
+        # BFS over atoms through shared variables outside F^{+,q}.
+        frontier_vars = set(outside)
+        reached: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for j in range(n):
+                if j == i or j in reached:
+                    continue
+                if all_vars[j] & frontier_vars:
+                    reached.add(j)
+                    frontier_vars |= all_vars[j] - plus
+                    changed = True
+        if reached:
+            full_closure = _closure(key_vars[i], fds)
+            for j in sorted(reached):
+                attacks.append(Attack(i, j, weak=key_vars[j] <= full_closure))
+    return tuple(attacks)
+
+
+def _strongly_connected(n: int, edges: dict[int, set[int]]) -> list[list[int]]:
+    """Tarjan SCCs over vertices 0..n-1, iterative (queries are tiny but
+    recursion limits are not worth risking)."""
+    index_of: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = [0]
+
+    for root in range(n):
+        if root in index_of:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index_of:
+                    index_of[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index_of[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index_of[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def _reachable(start: int, edges: dict[int, set[int]]) -> set[int]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        v = frontier.pop()
+        for w in edges.get(v, ()):
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return seen
+
+
+def classify(query: ConjunctiveQuery, keys: KeySpec) -> Classification:
+    """Place a self-join-free CQ in its CERTAINTY(q) trichotomy class.
+
+    Raises :class:`repro.util.ReproError` on queries with self-joins —
+    the trichotomy (and this whole engine) is only established for the
+    self-join-free fragment.
+    """
+    check(
+        query.is_self_join_free(),
+        "CQA classification requires a self-join-free query",
+    )
+    atoms = query.atoms
+    attacks = attack_graph(atoms, keys)
+    edges: dict[int, set[int]] = {}
+    for a in attacks:
+        edges.setdefault(a.source, set()).add(a.target)
+
+    sccs = _strongly_connected(len(atoms), edges)
+    cyclic = [c for c in sccs if len(c) > 1]
+    if not cyclic:
+        return Classification(FO, attacks, None)
+
+    # A strong attack u → v inside a cycle (v reaches back to u) makes the
+    # cycle — and hence the query — coNP-complete.
+    for a in attacks:
+        if not a.weak and a.source in _reachable(a.target, edges):
+            return Classification(CONP, attacks, (a.source, a.target))
+    witness = tuple(sorted(cyclic[0]))
+    return Classification(PTIME, attacks, witness)

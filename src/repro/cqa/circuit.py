@@ -1,0 +1,110 @@
+"""Lower "q holds in a uniformly random repair" to a provenance circuit.
+
+The coNP-complete trichotomy class is exactly what the compiled circuit
+pipeline exists for: deciding certainty is hard, so we *encode* it and
+let the weighted-model-counting engines do the work.
+
+Per block ``f₁ … f_k`` we introduce a chain of independent Booleans
+``c₁ … c_{k-1}`` with ``P(cᵢ) = 1/(k-i+1)`` and define::
+
+    chosen(fᵢ) = ¬c₁ ∧ … ∧ ¬c_{i-1} ∧ cᵢ        (i < k)
+    chosen(f_k) = ¬c₁ ∧ … ∧ ¬c_{k-1}
+
+Every valuation of the chain variables selects exactly one fact per
+block — i.e. *is* a repair — and each of the k facts comes out with
+probability exactly 1/k, so the product distribution over all chain
+variables is the uniform distribution over repairs.  The query lineage
+is then the DNF over witnesses of the conjunction of their facts'
+``chosen`` gates, and::
+
+    q certain  ⇔  P(lineage) = 1  ⇔  no repair falsifies q.
+
+The threshold is set *below* the probability mass of a single repair
+(``1 - ½/#repairs``), so float round-off cannot flip the verdict as long
+as ``#repairs`` stays within double precision — far beyond anything the
+engines can count anyway.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import Circuit, probability
+from repro.cqa.repairs import blocks, repair_count
+from repro.events import EventSpace
+from repro.instances.base import AbstractInstance
+from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.queries.keys import KeySpec
+from repro.util import ReproError
+
+__all__ = ["repair_lineage", "certain_by_circuit"]
+
+
+def repair_lineage(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    instance: AbstractInstance,
+    keys: KeySpec,
+) -> tuple[Circuit, EventSpace]:
+    """Build the uniform-repair lineage circuit for ``query``.
+
+    Returns ``(circuit, space)`` whose output gate is true exactly on the
+    valuations (= repairs) satisfying the query.  UCQs lower as the
+    disjunction of their disjuncts' witness DNFs over one shared set of
+    block-chain variables.
+    """
+    circuit = Circuit()
+    space = EventSpace()
+    chosen: dict = {}
+    disjuncts = getattr(query, "disjuncts", None) or (query,)
+    for relation in sorted({a.relation for q in disjuncts for a in q.atoms}):
+        for b_idx, block in enumerate(blocks(instance, relation, keys)):
+            k = len(block)
+            if k == 1:
+                chosen[block[0]] = circuit.true()
+                continue
+            negated_prefix: list[int] = []
+            for i, f in enumerate(block):
+                if i < k - 1:
+                    name = f"cqa:{relation}:{b_idx}:{i}"
+                    space.add(name, 1.0 / (k - i))
+                    v = circuit.variable(name)
+                    chosen[f] = circuit.and_gate([*negated_prefix, v]) if negated_prefix else v
+                    negated_prefix.append(circuit.negation(v))
+                else:
+                    chosen[f] = (
+                        negated_prefix[0]
+                        if len(negated_prefix) == 1
+                        else circuit.and_gate(negated_prefix)
+                    )
+    witness_gates = [
+        circuit.and_gate([chosen[f] for f in witness])
+        for q in disjuncts
+        for witness in q.witnesses(instance)
+    ]
+    output = circuit.or_gate(witness_gates) if witness_gates else circuit.false()
+    circuit.set_output(output)
+    return circuit, space
+
+
+def certain_by_circuit(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    instance: AbstractInstance,
+    keys: KeySpec,
+    engine: str | None = None,
+) -> bool:
+    """Decide certainty through the compiled circuit pipeline.
+
+    ``engine=None`` uses the default engine and retries once with exact
+    Shannon expansion if the structural engine rejects the circuit (e.g.
+    a width cap); an explicit engine is never second-guessed.
+    """
+    circuit, space = repair_lineage(query, instance, keys)
+    try:
+        p = probability(circuit, space, engine=engine)
+    except ReproError:
+        if engine is not None:
+            raise
+        p = probability(circuit, space, engine="shannon")
+    disjuncts = getattr(query, "disjuncts", None) or (query,)
+    relations = tuple(sorted({a.relation for q in disjuncts for a in q.atoms}))
+    count = repair_count(instance, keys, relations)
+    threshold = 1.0 - 0.5 / count if count < 10**12 else 1.0 - 1e-12
+    return p >= threshold

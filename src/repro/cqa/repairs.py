@@ -1,0 +1,90 @@
+"""Blocks, repairs, and the brute-force certain-answer oracle.
+
+A *repair* of a key-violating instance keeps exactly one fact from every
+block (facts agreeing on their relation's key).  The oracle enumerates
+every repair of the query's relations and evaluates the query in each —
+exponential, but exact, and the ground truth every routed method in
+:mod:`repro.cqa.engine` is pinned to on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator
+
+from repro.instances.base import AbstractInstance, Fact, Instance
+from repro.queries.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.queries.keys import KeySpec
+from repro.util import check
+
+__all__ = ["blocks", "repair_count", "iter_repairs", "certain_oracle"]
+
+
+def blocks(instance: AbstractInstance, relation: str, keys: KeySpec) -> list[list[Fact]]:
+    """The relation's blocks under ``keys``, in insertion order."""
+    arity = instance.relations().get(relation)
+    if arity is None:
+        return []
+    index = instance.key_index(relation, keys.positions_for(relation, arity))
+    return list(index.values())
+
+
+def _query_relations(query: ConjunctiveQuery | UnionOfConjunctiveQueries) -> tuple[str, ...]:
+    disjuncts = getattr(query, "disjuncts", None) or (query,)
+    names = {a.relation for q in disjuncts for a in q.atoms}
+    return tuple(sorted(names))
+
+
+def _all_blocks(
+    instance: AbstractInstance, relations: tuple[str, ...], keys: KeySpec
+) -> list[list[Fact]]:
+    out: list[list[Fact]] = []
+    for relation in relations:
+        out.extend(blocks(instance, relation, keys))
+    return out
+
+
+def repair_count(
+    instance: AbstractInstance, keys: KeySpec, relations: tuple[str, ...] | None = None
+) -> int:
+    """Number of repairs of ``relations`` (all of them by default). Exact."""
+    if relations is None:
+        relations = tuple(sorted(instance.relations()))
+    return math.prod(len(b) for b in _all_blocks(instance, relations, keys))
+
+
+def iter_repairs(
+    instance: AbstractInstance, keys: KeySpec, relations: tuple[str, ...] | None = None
+) -> Iterator[Instance]:
+    """Enumerate every repair as a small object-backend :class:`Instance`.
+
+    Facts of relations outside ``relations`` are omitted — callers only
+    ever evaluate queries over the relations they mention.
+    """
+    if relations is None:
+        relations = tuple(sorted(instance.relations()))
+    per_block = _all_blocks(instance, relations, keys)
+    for choice in itertools.product(*per_block):
+        yield Instance(choice)
+
+
+def certain_oracle(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    instance: AbstractInstance,
+    keys: KeySpec,
+    max_repairs: int = 200_000,
+) -> bool:
+    """Is ``query`` true in **every** repair?  By exhaustive enumeration.
+
+    Refuses (raises :class:`repro.util.ReproError`) beyond ``max_repairs``
+    repairs — this is the ground-truth oracle for small instances, not an
+    evaluation strategy.
+    """
+    relations = _query_relations(query)
+    count = repair_count(instance, keys, relations)
+    check(
+        count <= max_repairs,
+        f"{count} repairs exceed the oracle cap of {max_repairs}",
+    )
+    return all(query.holds_in(repair) for repair in iter_repairs(instance, keys, relations))

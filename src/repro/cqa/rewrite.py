@@ -1,0 +1,114 @@
+"""First-order rewritings for the FO class of the trichotomy.
+
+When the attack graph is acyclic, certainty is expressible as a plain
+first-order formula over the (key-violating) database — no repairs are
+ever enumerated and no circuits are built.  The rewriting eliminates one
+*unattacked* atom at a time (Koutris–Wijsen): with ``F = R(x̲, y)``
+unattacked in ``q``,
+
+    certain(q)  ≡  ∃x̲ [ ∃y R(x̲, y) ∧ ∀y ( R(x̲, y) → certain(q ∖ F) ) ]
+
+where the recursive call treats ``x̲, y`` as constants.  The residual
+attack graph is recomputed after each elimination (bound variables act
+as constants), so the order adapts as attacks disappear.
+
+This module produces the *static* artifact — the elimination order and a
+printable formula; :mod:`repro.cqa.engine` executes the same recursion
+directly against an instance (on either backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cqa.attacks import attack_graph, substitute_atom
+from repro.queries.cq import Atom, ConjunctiveQuery, Variable
+from repro.queries.keys import KeySpec
+from repro.util import ReproError, check
+
+__all__ = ["FORewriting", "elimination_order", "fo_rewriting"]
+
+#: Sentinel constant substituted for bound variables when recomputing
+#: residual attack graphs without an instance at hand.
+_BOUND = "§bound"
+
+
+@dataclass(frozen=True)
+class FORewriting:
+    """The certain-answer rewriting of one FO-class query.
+
+    ``order`` lists atom indices in elimination order; ``formula`` is a
+    printable rendering of the first-order certainty test.
+    """
+
+    query: ConjunctiveQuery
+    keys: KeySpec
+    order: tuple[int, ...]
+    formula: str
+
+
+def elimination_order(query: ConjunctiveQuery, keys: KeySpec) -> tuple[int, ...] | None:
+    """Greedy unattacked-atom elimination order, or ``None`` when stuck.
+
+    Completes for exactly the FO (acyclic attack graph) class: an acyclic
+    graph always has an unattacked atom, and eliminating it (binding its
+    variables) never creates new attacks among the rest.
+    """
+    atoms = query.atoms
+    remaining = list(range(len(atoms)))
+    bound: set[Variable] = set()
+    order: list[int] = []
+    while remaining:
+        binding = {v: (_BOUND, v.name) for v in bound}
+        residual = [substitute_atom(atoms[i], binding) for i in remaining]
+        attacked = {remaining[a.target] for a in attack_graph(residual, keys)}
+        pick = next((i for i in remaining if i not in attacked), None)
+        if pick is None:
+            return None
+        order.append(pick)
+        bound |= atoms[pick].variables()
+        remaining.remove(pick)
+    return tuple(order)
+
+
+def _render(atoms: tuple[Atom, ...], keys: KeySpec, order: tuple[int, ...]) -> str:
+    bound: set[Variable] = set()
+
+    def step(depth: int) -> str:
+        if depth == len(order):
+            return "⊤"
+        a = atoms[order[depth]]
+        key_positions = set(keys.positions_for(a.relation, len(a.terms)))
+        key_vars = sorted(
+            {t.name for p, t in enumerate(a.terms) if p in key_positions and isinstance(t, Variable)}
+            - {v.name for v in bound}
+        )
+        other_vars = sorted(
+            {t.name for p, t in enumerate(a.terms) if p not in key_positions and isinstance(t, Variable)}
+            - {v.name for v in bound}
+        )
+        bound.update(a.variables())
+        rest = step(depth + 1)
+        exists_key = "".join(f"∃{v} " for v in key_vars)
+        exists_other = "".join(f"∃{v} " for v in other_vars)
+        forall = "".join(f"∀{v} " for v in other_vars)
+        if other_vars:
+            return f"{exists_key}[{exists_other}{a} ∧ {forall}({a} → {rest})]"
+        return f"{exists_key}[{a} ∧ {rest}]"
+
+    return step(0)
+
+
+def fo_rewriting(query: ConjunctiveQuery, keys: KeySpec) -> FORewriting:
+    """The first-order certainty rewriting of an FO-class query.
+
+    Raises :class:`ReproError` for queries outside the FO class (the
+    elimination gets stuck on a cycle of attacks).
+    """
+    check(query.is_self_join_free(), "FO rewriting requires a self-join-free query")
+    order = elimination_order(query, keys)
+    if order is None:
+        raise ReproError(
+            "query has a cyclic attack graph: certainty is not FO-rewritable"
+        )
+    return FORewriting(query, keys, order, _render(query.atoms, keys, order))

@@ -165,6 +165,25 @@ class AbstractInstance(ABC):
 
         return decompose(self.gaifman_graph(), heuristic).width()
 
+    def key_index(self, relation: str, key_positions: Iterable[int]) -> dict[tuple, list[Fact]]:
+        """Group the relation's facts into blocks by their key projection.
+
+        Returns ``{key_tuple: [facts...]}`` in insertion order (both the
+        blocks and the facts inside each block).  A block with more than
+        one fact is a key violation; a *repair* keeps exactly one fact per
+        block.  Backends may override with a faster grouping, but the
+        result must be order-identical to this reference implementation.
+        """
+        positions = tuple(key_positions)
+        index: dict[tuple, list[Fact]] = {}
+        for f in self.by_relation(relation):
+            check(
+                all(p < len(f.args) for p in positions),
+                f"key position out of range for {relation!r} (arity {len(f.args)})",
+            )
+            index.setdefault(tuple(f.args[p] for p in positions), []).append(f)
+        return index
+
     def restricted_to(self, keep: Iterable[Fact]) -> "AbstractInstance":
         """Return the sub-instance (same backend) with only the facts in ``keep``."""
         keep_set = set(keep)

@@ -31,7 +31,6 @@ from __future__ import annotations
 import os
 from array import array
 from collections.abc import Iterable, Sequence
-from contextlib import contextmanager
 
 from repro.instances.base import (
     AbstractInstance,
@@ -291,6 +290,37 @@ class ColumnarInstance(AbstractInstance):
         if rel is None:
             return []
         return [self.fact_at(fid) for fid in rel.fact_ids]
+
+    def key_index(self, relation: str, key_positions: Iterable[int]) -> dict[tuple, list[Fact]]:
+        """Group the relation's facts into blocks by their key projection.
+
+        Columnar override of the shared-protocol method: rows are grouped
+        by their packed key codes (one vectorized :func:`_pack_rows` pass
+        over the key columns instead of a per-fact tuple build), then each
+        block materializes its facts.  Order-identical to the reference
+        implementation on :class:`AbstractInstance`.
+        """
+        positions = tuple(key_positions)
+        rel = self._rels.get(relation)
+        if rel is None:
+            return {}
+        check(
+            all(p < rel.arity for p in positions),
+            f"key position out of range for {relation!r} (arity {rel.arity})",
+        )
+        n = len(rel.fact_ids)
+        packed = _pack_rows([rel.columns[p] for p in positions], n)
+        if hasattr(packed, "tolist"):
+            packed = packed.tolist()
+        groups: dict[int, list[int]] = {}
+        for row, key in enumerate(packed):
+            groups.setdefault(key, []).append(row)
+        index: dict[tuple, list[Fact]] = {}
+        for rows in groups.values():
+            first = rows[0]
+            key_tuple = tuple(self.decode(rel.columns[p][first]) for p in positions)
+            index[key_tuple] = [self.fact_at(rel.fact_ids[r]) for r in rows]
+        return index
 
     # ------------------------------------------------------------------ #
     # columnar accessors (the vectorized pipeline's surface)
@@ -686,15 +716,14 @@ def set_instance_backend(name: str | None) -> None:
     _BACKEND = name
 
 
-@contextmanager
 def instance_backend_set(name: str | None):
-    """Scoped :func:`set_instance_backend` (restores the prior override)."""
-    previous = _BACKEND
-    set_instance_backend(name)
-    try:
-        yield
-    finally:
-        set_instance_backend(previous)
+    """Scoped :func:`set_instance_backend` (restores the prior override).
+
+    Thin shim over :func:`repro.config.overrides`.
+    """
+    from repro import config
+
+    return config.overrides(instance_backend=name)
 
 
 def make_instance(

@@ -10,7 +10,9 @@ from repro.queries.cq import (
     ucq,
     variables,
 )
+from repro.queries.cq import homomorphisms
 from repro.queries.datalog import DatalogProgram, DatalogRule
+from repro.queries.keys import KeySpec, key_spec
 from repro.queries.safe import (
     UnsafeQueryError,
     is_hierarchical,
@@ -23,12 +25,15 @@ __all__ = [
     "ConjunctiveQuery",
     "DatalogProgram",
     "DatalogRule",
+    "KeySpec",
     "UnionOfConjunctiveQueries",
     "UnsafeQueryError",
     "Variable",
     "atom",
     "cq",
+    "homomorphisms",
     "is_hierarchical",
+    "key_spec",
     "is_safe",
     "safe_plan_probability",
     "ucq",

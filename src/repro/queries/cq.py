@@ -161,6 +161,19 @@ def cq(*atoms_: Atom) -> ConjunctiveQuery:
     return ConjunctiveQuery(tuple(atoms_))
 
 
+def homomorphisms(
+    query: ConjunctiveQuery, instance: AbstractInstance
+) -> Iterator[dict[Variable, Constant]]:
+    """Module-level form of :meth:`ConjunctiveQuery.homomorphisms`.
+
+    Part of the blessed ``repro`` facade: ``homomorphisms(q, inst)``
+    reads like the other top-level verbs (``certain_answers``,
+    ``build_provenance_circuit``) and dispatches to the vectorized join
+    pipeline on columnar instances exactly like the method does.
+    """
+    return query.homomorphisms(instance)
+
+
 def ucq(*queries: ConjunctiveQuery) -> UnionOfConjunctiveQueries:
     """Convenience constructor for unions of conjunctive queries."""
     return UnionOfConjunctiveQueries(tuple(queries))

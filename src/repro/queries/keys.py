@@ -1,0 +1,108 @@
+"""Primary-key declarations for relations.
+
+Certain-answer query answering (``repro.cqa``) reasons about databases
+that may *violate* their primary keys: several facts of one relation can
+agree on the key attributes.  A :class:`KeySpec` records, per relation,
+which argument positions form the primary key.  Facts that agree on those
+positions form a **block**; a *repair* of the instance picks exactly one
+fact from every block.
+
+Relations with no declared key default to "every position is key", which
+makes each fact its own block — the relation is then certain and repairs
+never drop any of its facts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.instances.base import AbstractInstance, Fact
+from repro.util import check
+
+__all__ = ["KeySpec", "key_spec"]
+
+
+class KeySpec:
+    """Maps relation names to the argument positions forming their key.
+
+    Immutable and hashable; construct with :func:`key_spec` or directly
+    from a mapping ``{relation: positions}``.
+    """
+
+    __slots__ = ("_positions", "_hash")
+
+    def __init__(self, positions: Mapping[str, Iterable[int]]) -> None:
+        cleaned: dict[str, tuple[int, ...]] = {}
+        for relation, raw in positions.items():
+            check(isinstance(relation, str) and relation != "", "relation names must be non-empty strings")
+            pos = tuple(raw)
+            for p in pos:
+                check(isinstance(p, int) and p >= 0, f"key positions for {relation!r} must be non-negative ints")
+            check(len(set(pos)) == len(pos), f"duplicate key position for relation {relation!r}")
+            cleaned[relation] = tuple(sorted(pos))
+        self._positions = cleaned
+        self._hash = hash(tuple(sorted(cleaned.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r}: {p}" for r, p in sorted(self._positions.items()))
+        return f"KeySpec({{{inner}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeySpec):
+            return NotImplemented
+        return self._positions == other._positions
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def relations(self) -> tuple[str, ...]:
+        """Relations with an explicitly declared key, sorted."""
+        return tuple(sorted(self._positions))
+
+    def declares(self, relation: str) -> bool:
+        return relation in self._positions
+
+    def positions_for(self, relation: str, arity: int) -> tuple[int, ...]:
+        """Key positions of ``relation``; all positions when undeclared."""
+        declared = self._positions.get(relation)
+        if declared is None:
+            return tuple(range(arity))
+        check(
+            all(p < arity for p in declared),
+            f"key position out of range for {relation!r} (arity {arity})",
+        )
+        return declared
+
+    def key_of(self, f: Fact) -> tuple:
+        """The key projection of a fact (the tuple identifying its block)."""
+        return tuple(f.args[p] for p in self.positions_for(f.relation, len(f.args)))
+
+    def violations(self, instance: AbstractInstance) -> int:
+        """Number of facts beyond the first in some block (0 ⇔ consistent)."""
+        total = 0
+        for relation, arity in instance.relations().items():
+            index = instance.key_index(relation, self.positions_for(relation, arity))
+            total += sum(len(block) - 1 for block in index.values())
+        return total
+
+    def is_consistent(self, instance: AbstractInstance) -> bool:
+        """Whether ``instance`` satisfies every declared key."""
+        return self.violations(instance) == 0
+
+
+def key_spec(**relations: Iterable[int] | int) -> KeySpec:
+    """Build a :class:`KeySpec` from keyword arguments.
+
+    >>> keys = key_spec(R=(0,), S=0)
+    >>> keys.positions_for("R", 2)
+    (0,)
+
+    A bare int is shorthand for a singleton key.
+    """
+    positions: dict[str, Iterable[int]] = {}
+    for relation, raw in relations.items():
+        if isinstance(raw, int):
+            positions[relation] = (raw,)
+        else:
+            positions[relation] = tuple(raw)
+    return KeySpec(positions)

@@ -35,6 +35,12 @@ from repro.workloads.trips import (
     table1_cinstance,
     table1_pc_instance,
 )
+from repro.workloads.violations import (
+    CQAWorkload,
+    cqa_trichotomy_queries,
+    cqa_workload,
+    key_violation_instance,
+)
 from repro.workloads.wikidata import (
     FIGURE1_EVENT_JANE,
     adversarial_scope_document,
@@ -46,6 +52,7 @@ __all__ = [
     "ADVISOR_RULES",
     "ALL_TRIPS",
     "CITIZEN_RULES",
+    "CQAWorkload",
     "FIGURE1_EVENT_JANE",
     "GeneratedGraph",
     "KBWorkload",
@@ -62,10 +69,13 @@ __all__ = [
     "advisor_kb",
     "citizenship_kb",
     "core_and_tentacles_tid",
+    "cqa_trichotomy_queries",
+    "cqa_workload",
     "cycle_tid",
     "figure1_document",
     "generate_logs",
     "grid_tid",
+    "key_violation_instance",
     "partial_ktree_tid",
     "path_tid",
     "rst_bipartite_tid",

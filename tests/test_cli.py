@@ -10,7 +10,7 @@ class TestCli:
         # E16 stays unassigned: the service-layer bench it was reserved
         # for landed as E19 once E17/E18 had taken the next slots.
         assert set(EXPERIMENTS) == (
-            {f"E{i}" for i in range(1, 16)} | {"E17", "E18", "E19"}
+            {f"E{i}" for i in range(1, 16)} | {"E17", "E18", "E19", "E20"}
         )
 
     def test_run_unknown_engine(self):
